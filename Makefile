@@ -1,0 +1,36 @@
+# Convenience targets; plain `go build ./...` / `go test ./...` work too.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One testing.B benchmark per table/figure (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment at full scale (minutes).
+experiments:
+	$(GO) run ./cmd/speedkit-bench
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,191 @@
+package speedkit_test
+
+// One testing.B benchmark per table/figure of the reconstructed
+// evaluation (DESIGN.md, per-experiment index). Each benchmark runs the
+// corresponding experiment from internal/bench, prints its table once,
+// and reports the headline numbers as custom benchmark metrics so that
+// `go test -bench=.` output doubles as the experiment record.
+//
+// Benchmarks run at a reduced scale (benchScale) to keep the full suite
+// in the minutes range; `cmd/speedkit-bench -scale 1` regenerates every
+// artifact at full size.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"speedkit/internal/bench"
+)
+
+const benchScale = bench.Scale(0.2)
+
+// printOnce prints each experiment table a single time even when the
+// benchmark framework re-runs the function with growing b.N.
+var printed sync.Map
+
+func printOnce(key, table string) {
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		fmt.Print(table)
+	}
+}
+
+func BenchmarkTable1TierHitRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t1", res.String())
+		b.ReportMetric(res.HitRatio*100, "hit%")
+		b.ReportMetric(res.Rows[0].P50ms, "device_p50_ms")
+	}
+}
+
+func BenchmarkTable2Staleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable2(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t2", res.String())
+		b.ReportMetric(res.Rows[0].StaleRate*100, "baseline_stale%")
+		b.ReportMetric(res.Rows[1].StaleRate*100, "sketch1s_stale%")
+	}
+}
+
+func BenchmarkTable3GDPR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable3(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("t3", res.String())
+		b.ReportMetric(float64(res.Rows[0].CDNPIIFields), "legacy_pii_fields")
+		b.ReportMetric(float64(res.Rows[1].CDNPIIFields), "speedkit_pii_fields")
+	}
+}
+
+func BenchmarkFigure4PageLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure4(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("f4", res.String())
+		// Headline: APAC p50 direct vs speedkit.
+		var direct, sk float64
+		for _, p := range res.Points {
+			if string(p.Region) == "apac" {
+				switch p.System {
+				case bench.ModeDirect:
+					direct = p.P50ms
+				case bench.ModeSpeedKit:
+					sk = p.P50ms
+				}
+			}
+		}
+		if sk > 0 {
+			b.ReportMetric(direct/sk, "apac_speedup_x")
+		}
+	}
+}
+
+func BenchmarkFigure5DeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure5(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("f5", res.String())
+		b.ReportMetric(res.Points[0].HitRatio*100, "hit%_delta1s")
+		b.ReportMetric(res.Points[len(res.Points)-1].HitRatio*100, "hit%_delta120s")
+	}
+}
+
+func BenchmarkFigure6SketchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFigure6(benchScale)
+		printOnce("f6", res.String())
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(last.SketchBytes), "bytes_at_max")
+		b.ReportMetric(last.MeasuredFPR*100, "fpr%")
+	}
+}
+
+func BenchmarkFigure7TTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure7(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("f7", res.String())
+		for _, p := range res.Points {
+			if p.Policy == "adaptive" {
+				b.ReportMetric(p.HitRatio*100, "adaptive_hit%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8InvaliDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFigure8(bench.Scale(0.1))
+		printOnce("f8", res.String())
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.EventsPerS, "events/s_at_max_queries")
+	}
+}
+
+func BenchmarkFigure9FieldAB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure9(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("f9", res.String())
+		b.ReportMetric(res.CheckoutUplift*100, "checkout_uplift%")
+	}
+}
+
+func BenchmarkAblationDynamicBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationA1(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("a1", res.String())
+		b.ReportMetric(res.Rows[0].P50ms, "device_blocks_p50_ms")
+		b.ReportMetric(res.Rows[2].P50ms, "legacy_p50_ms")
+	}
+}
+
+func BenchmarkAblationQueryIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.RunAblationA3(bench.Scale(0.2))
+		printOnce("a3", res.String())
+		b.ReportMetric(res.Rows[0].NsPerEval, "scan_ns/eval")
+		b.ReportMetric(res.Rows[1].NsPerEval, "indexed_ns/eval")
+	}
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationA4(1, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("a4", res.String())
+		b.ReportMetric(res.Rows[0].DeviceShare*100, "device%_k0")
+		b.ReportMetric(res.Rows[1].DeviceShare*100, "device%_k3")
+	}
+}
+
+func BenchmarkAblationBloomMaintenance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.RunAblationA2(bench.Scale(0.2))
+		printOnce("a2", res.String())
+		b.ReportMetric(res.Rows[0].NsPerOp, "counting_ns/op")
+		b.ReportMetric(res.Rows[1].NsPerOp, "rebuild_ns/op")
+	}
+}

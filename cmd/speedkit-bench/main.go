@@ -1,0 +1,113 @@
+// Command speedkit-bench regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	speedkit-bench                  # run everything at full scale
+//	speedkit-bench -scale 0.1       # quick pass
+//	speedkit-bench -only t2,f5      # selected artifacts
+//	speedkit-bench -seed 7          # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"speedkit/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(seed int64, scale bench.Scale) (fmt.Stringer, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"t1", "cache-tier hit ratios and latencies", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunTable1(s, sc)
+		}},
+		{"t2", "consistency: TTL-only vs Cache Sketch", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunTable2(s, sc)
+		}},
+		{"t3", "GDPR: PII crossing the CDN boundary", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunTable3(s, sc)
+		}},
+		{"f4", "page-load time by geography", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure4(s, sc)
+		}},
+		{"f5", "Δ refresh-interval sweep", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure5(s, sc)
+		}},
+		{"f6", "sketch size vs tracked entries", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure6(sc), nil
+		}},
+		{"f7", "TTL policies: adaptive vs static", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure7(s, sc)
+		}},
+		{"f8", "invalidation matcher scaling", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure8(sc), nil
+		}},
+		{"f9", "A/B field simulation", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunFigure9(s, sc)
+		}},
+		{"a1", "ablation: dynamic-block strategies", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunAblationA1(s, sc)
+		}},
+		{"a2", "ablation: sketch maintenance", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunAblationA2(sc), nil
+		}},
+		{"a3", "ablation: listing-query index", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunAblationA3(sc), nil
+		}},
+		{"a4", "ablation: link prefetching", func(s int64, sc bench.Scale) (fmt.Stringer, error) {
+			return bench.RunAblationA4(s, sc)
+		}},
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for all experiments")
+	scale := flag.Float64("scale", 1.0, "scale factor for op counts (0.05 = quick)")
+	only := flag.String("only", "", "comma-separated experiment ids (t1,t2,t3,f4..f9,a1,a2)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	failed := false
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s (seed=%d scale=%.2f)\n", e.id, e.desc, *seed, *scale)
+		start := time.Now()
+		res, err := e.run(*seed, bench.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("--- %s done in %v\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

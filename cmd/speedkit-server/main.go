@@ -1,0 +1,65 @@
+// Command speedkit-server runs the Speed Kit service side over real HTTP:
+// the origin, CDN-path page delivery (with ETag-based conditional
+// revalidation), the sketch endpoint clients poll every Δ, and the
+// first-party blocks API. It is the deployable surface of the
+// reproduction — a service worker (or the curl commands below) plays the
+// client role.
+//
+//	speedkit-server -addr :8080 -products 1000
+//
+//	curl localhost:8080/page?path=/product/p00042      # anonymous shell
+//	curl localhost:8080/page?path=/product/p00042 -H 'If-None-Match: "v1"'
+//	curl localhost:8080/sketch -o sketch.bin           # Δ-refreshed sketch
+//	curl 'localhost:8080/blocks?names=cart,greeting&user=u000001'
+//	curl -X POST 'localhost:8080/admin/write?product=p00042&price=9.99'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"speedkit"
+	"speedkit/internal/clock"
+	"speedkit/internal/core"
+	"speedkit/internal/httpapi"
+	"speedkit/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	products := flag.Int("products", 1000, "catalog size")
+	delta := flag.Duration("delta", 60*time.Second, "staleness bound Δ")
+	warm := flag.Bool("warm", false, "pre-fill every edge with the home and category pages")
+	flag.Parse()
+
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config: core.Config{
+			Clock: clock.System, // real time for a real server
+			Delta: *delta,
+		},
+		Products: *products,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	if *warm {
+		paths := []string{"/"}
+		for _, cat := range workload.Categories {
+			paths = append(paths, workload.CategoryPath(cat))
+		}
+		warmed, skipped, err := svc.Warm(paths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warmed %d paths (%d skipped)", warmed, len(skipped))
+	}
+
+	api := httpapi.New(svc, speedkit.NewUsers(1, 100))
+	log.Printf("speedkit-server listening on %s (%d products, Δ=%v)", *addr, *products, *delta)
+	log.Fatal(http.ListenAndServe(*addr, api.Handler()))
+}

@@ -1,0 +1,180 @@
+// Command speedkit-sim runs one deployment simulation with explicit
+// parameters and prints the full measurement report — the exploratory
+// companion to speedkit-bench's fixed experiment suite.
+//
+// Usage:
+//
+//	speedkit-sim -mode speedkit -ops 50000 -writes 0.05 -delta 30s
+//	speedkit-sim -mode ttl-only -ops 50000 -writes 0.05
+//	speedkit-sim -mode direct -diurnal -ops 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"speedkit/internal/bench"
+	"speedkit/internal/netsim"
+	"speedkit/internal/proxy"
+	"speedkit/internal/workload"
+)
+
+func parseMode(s string) (bench.ClientMode, error) {
+	switch s {
+	case "speedkit":
+		return bench.ModeSpeedKit, nil
+	case "direct":
+		return bench.ModeDirect, nil
+	case "legacy", "legacy-cdn":
+		return bench.ModeLegacy, nil
+	case "ttl-only", "ttlonly":
+		return bench.ModeTTLOnly, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (speedkit|direct|legacy|ttl-only)", s)
+}
+
+func main() {
+	mode := flag.String("mode", "speedkit", "client mode: speedkit|direct|legacy|ttl-only")
+	ops := flag.Int("ops", 20000, "workload operations")
+	users := flag.Int("users", 90, "device population")
+	products := flag.Int("products", 500, "catalog size")
+	writes := flag.Float64("writes", 0.02, "backend write fraction")
+	delta := flag.Duration("delta", 60*time.Second, "staleness bound Δ")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	rate := flag.Float64("rate", 50, "mean workload ops per simulated second")
+	diurnal := flag.Bool("diurnal", false, "day/night load curve")
+	bounce := flag.Bool("bounce", false, "bounce model (slow loads abort sessions)")
+	record := flag.String("record", "", "write the generated workload trace to this file (JSON Lines)")
+	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating one")
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := bench.FieldConfig{
+		Mode: m, Seed: *seed, Ops: *ops, Users: *users, Products: *products,
+		WriteFraction: *writes, Delta: *delta, Diurnal: *diurnal, BounceModel: *bounce,
+		MeanOpsPerSecond: *rate,
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trace, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Trace = trace
+		fmt.Printf("replaying %d ops from %s\n", len(trace), *replay)
+	}
+	if *record != "" {
+		gen := workload.NewGenerator(workload.Config{
+			Seed: *seed + 100, Products: *products, Users: *users,
+			WriteFraction: *writes, Diurnal: *diurnal,
+		})
+		trace := gen.Take(*ops)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.WriteTrace(f, trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("recorded %d ops to %s\n", len(trace), *record)
+		cfg.Trace = trace // run what was recorded
+	}
+
+	start := time.Now()
+	res, err := bench.RunField(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mode=%s ops=%d users=%d products=%d writes=%.1f%% Δ=%v\n",
+		m, *ops, *users, *products, *writes*100, *delta)
+	fmt.Printf("simulated %v of traffic in %v wall-clock\n\n",
+		res.SimulatedDuration.Round(time.Second), time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("loads            %d\n", res.Loads)
+	fmt.Printf("hit ratio        %.1f%%\n", res.HitRatio()*100)
+	for _, tier := range []proxy.Source{proxy.SourceDevice, proxy.SourceCDN, proxy.SourceOrigin} {
+		h := res.LatencyByTier[tier]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %5.1f%%  p50=%6.1fms p99=%7.1fms\n", tier,
+			float64(res.TierCounts[tier])/float64(res.Loads)*100,
+			h.Quantile(0.5)/1000, h.Quantile(0.99)/1000)
+	}
+	qs := res.Latency.Quantiles(0.5, 0.9, 0.99)
+	fmt.Printf("latency          p50=%.1fms p90=%.1fms p99=%.1fms\n", qs[0]/1000, qs[1]/1000, qs[2]/1000)
+	for _, region := range netsim.Regions() {
+		h := res.LatencyByRegion[region]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-5s p50=%6.1fms p90=%7.1fms\n", region, h.Quantile(0.5)/1000, h.Quantile(0.9)/1000)
+	}
+	fmt.Printf("stale reads      %d (%.2f%%), max staleness %v\n",
+		res.StaleReads, res.StaleRate()*100, res.MaxStaleness.Round(time.Millisecond))
+	fmt.Printf("sketch           %d refreshes, %d bytes on wire\n", res.SketchRefreshes, res.SketchBytes)
+	if res.Revalidations > 0 {
+		fmt.Printf("revalidations    %d, of which %d answered 304 (%.0f%% header-only)\n",
+			res.Revalidations, res.NotModified,
+			float64(res.NotModified)/float64(res.Revalidations)*100)
+	}
+	fmt.Printf("checkouts        %d, bounces %d\n", res.Checkouts, res.Bounces)
+	if hot := res.Service.HotPaths(5); len(hot) > 0 {
+		fmt.Println("hot paths (service-side fetches):")
+		for _, h := range hot {
+			fmt.Printf("  %6d  %s\n", h.Hits, h.Path)
+		}
+	}
+	if *diurnal {
+		printHourlyCurve(res)
+	}
+	fmt.Printf("\nGDPR audit:\n%s", res.Service.Auditor())
+	fmt.Printf("compliant: %v\n", res.Service.Auditor().Compliant())
+}
+
+// printHourlyCurve renders the origin-render rate per simulated hour as
+// an ASCII bar chart — the diurnal shape the field study's traffic shows.
+func printHourlyCurve(res *bench.FieldResult) {
+	ts := res.Service.Analytics()
+	start := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC) // simulated epoch
+	buckets := ts.Downsample("origin_renders", start, start.Add(res.SimulatedDuration), time.Hour)
+	if len(buckets) < 2 {
+		return
+	}
+	// Downsample returns per-bucket means of the appended 1-values, so
+	// count per hour comes from Range; use counts for the bars.
+	fmt.Println("origin fetches per simulated hour:")
+	maxN := 1
+	counts := make([]int, len(buckets))
+	for i, b := range buckets {
+		n := len(ts.Range("origin_renders", b.Time, b.Time.Add(time.Hour-time.Nanosecond)))
+		counts[i] = n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for i, b := range buckets {
+		bar := int(float64(counts[i]) / float64(maxN) * 40)
+		fmt.Printf("  %02dh %5d %s\n", b.Time.Hour(), counts[i], strings.Repeat("#", bar))
+	}
+}

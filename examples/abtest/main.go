@@ -1,0 +1,53 @@
+// A/B field test: replays a multi-day diurnal e-commerce workload twice —
+// control arm loading directly from the origin, treatment arm through
+// Speed Kit — and reports the load-time and conversion-proxy uplift the
+// paper's production deployment measured. This is the miniature of the
+// Figure 9 experiment (run `speedkit-bench -only f9` for the full one).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"speedkit/internal/bench"
+)
+
+func main() {
+	const ops = 20000
+	fmt.Printf("A/B test: %d ops per arm, diurnal load, bounce model on\n\n", ops)
+
+	arms := []bench.ClientMode{bench.ModeDirect, bench.ModeSpeedKit}
+	results := make([]*bench.FieldResult, len(arms))
+	for i, mode := range arms {
+		start := time.Now()
+		r, err := bench.RunField(bench.FieldConfig{
+			Mode: mode, Seed: 42, Ops: ops,
+			Diurnal: true, BounceModel: true, MeanOpsPerSecond: 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[i] = r
+		qs := r.Latency.Quantiles(0.5, 0.9, 0.99)
+		fmt.Printf("arm %-9s  p50=%6.1fms  p90=%6.1fms  p99=%6.1fms\n",
+			mode, qs[0]/1000, qs[1]/1000, qs[2]/1000)
+		fmt.Printf("  hit ratio %.1f%%, bounce rate %.2f%%, checkouts %d\n",
+			r.HitRatio()*100,
+			float64(r.Bounces)/float64(r.Loads)*100, r.Checkouts)
+		fmt.Printf("  simulated %v in %v wall-clock\n\n",
+			r.SimulatedDuration.Round(time.Minute), time.Since(start).Round(time.Millisecond))
+	}
+
+	control, treated := results[0], results[1]
+	cq := control.Latency.Quantile(0.5)
+	tq := treated.Latency.Quantile(0.5)
+	fmt.Printf("p50 speedup:        %.1fx\n", cq/tq)
+	if control.Checkouts > 0 {
+		uplift := (float64(treated.Checkouts) - float64(control.Checkouts)) / float64(control.Checkouts)
+		fmt.Printf("checkout uplift:    %+.1f%%\n", uplift*100)
+	}
+	fmt.Printf("bounce reduction:   %.2f%% -> %.2f%%\n",
+		float64(control.Bounces)/float64(control.Loads)*100,
+		float64(treated.Bounces)/float64(treated.Loads)*100)
+}

@@ -1,0 +1,3 @@
+module speedkit
+
+go 1.22

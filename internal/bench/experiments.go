@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"speedkit/internal/gdpr"
+	"speedkit/internal/netsim"
+	"speedkit/internal/proxy"
+	"speedkit/internal/ttl"
+)
+
+// Scale shrinks or grows every experiment's op counts at once; the bench
+// harness uses 1.0, unit tests use smaller factors for speed.
+type Scale float64
+
+func (s Scale) ops(n int) int {
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * float64(s))
+	if v < 500 {
+		v = 500
+	}
+	return v
+}
+
+// --- Table 1: cache-tier hit ratios and latencies --------------------------
+
+// Table1Row is one serving tier's line.
+type Table1Row struct {
+	Tier  proxy.Source
+	Share float64
+	P50ms float64
+	P99ms float64
+}
+
+// Table1Result is the tier breakdown of a Speed Kit deployment.
+type Table1Result struct {
+	Rows     []Table1Row
+	HitRatio float64
+	Loads    uint64
+}
+
+// RunTable1 reproduces Table 1: where do page loads get served, at what
+// latency, under the standard e-commerce workload.
+func RunTable1(seed int64, scale Scale) (*Table1Result, error) {
+	r, err := RunField(FieldConfig{Mode: ModeSpeedKit, Seed: seed, Ops: scale.ops(100000)})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{HitRatio: r.HitRatio(), Loads: r.Loads}
+	for _, tier := range []proxy.Source{proxy.SourceDevice, proxy.SourceCDN, proxy.SourceOrigin} {
+		h := r.LatencyByTier[tier]
+		out.Rows = append(out.Rows, Table1Row{
+			Tier:  tier,
+			Share: float64(r.TierCounts[tier]) / float64(r.Loads),
+			P50ms: h.Quantile(0.5) / 1000,
+			P99ms: h.Quantile(0.99) / 1000,
+		})
+	}
+	return out, nil
+}
+
+// String renders the table.
+func (t *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — cache-tier breakdown (%d loads, overall hit ratio %.1f%%)\n", t.Loads, t.HitRatio*100)
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s\n", "tier", "share", "p50 [ms]", "p99 [ms]")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-8s %7.1f%% %10.1f %10.1f\n", row.Tier, row.Share*100, row.P50ms, row.P99ms)
+	}
+	return b.String()
+}
+
+// --- Table 2: consistency under writes --------------------------------------
+
+// Table2Row compares one configuration's consistency outcome.
+type Table2Row struct {
+	System       string
+	Delta        time.Duration // 0 for the TTL-only baseline
+	StaleRate    float64
+	MaxStaleness time.Duration
+	HitRatio     float64
+}
+
+// Table2Result holds the consistency comparison.
+type Table2Result struct {
+	Rows          []Table2Row
+	WriteFraction float64
+}
+
+// RunTable2 reproduces Table 2: stale-read rate and worst-case staleness
+// for the TTL-only baseline versus the Cache Sketch at several Δ.
+func RunTable2(seed int64, scale Scale) (*Table2Result, error) {
+	const writes = 0.05
+	out := &Table2Result{WriteFraction: writes}
+	ops := scale.ops(30000)
+
+	base, err := RunField(FieldConfig{Mode: ModeTTLOnly, Seed: seed, Ops: ops, WriteFraction: writes})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, Table2Row{
+		System: "ttl-only (60s)", StaleRate: base.StaleRate(),
+		MaxStaleness: base.MaxStaleness, HitRatio: base.HitRatio(),
+	})
+	for _, delta := range []time.Duration{time.Second, 5 * time.Second, 30 * time.Second, 60 * time.Second} {
+		r, err := RunField(FieldConfig{Mode: ModeSpeedKit, Seed: seed, Ops: ops,
+			WriteFraction: writes, Delta: delta})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table2Row{
+			System: "cache-sketch", Delta: delta, StaleRate: r.StaleRate(),
+			MaxStaleness: r.MaxStaleness, HitRatio: r.HitRatio(),
+		})
+	}
+	return out, nil
+}
+
+// String renders the table.
+func (t *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — consistency under %.0f%% writes\n", t.WriteFraction*100)
+	fmt.Fprintf(&b, "%-16s %8s %12s %14s %10s\n", "system", "Δ", "stale reads", "max staleness", "hit ratio")
+	for _, r := range t.Rows {
+		d := "—"
+		if r.Delta > 0 {
+			d = r.Delta.String()
+		}
+		fmt.Fprintf(&b, "%-16s %8s %11.2f%% %14s %9.1f%%\n",
+			r.System, d, r.StaleRate*100, r.MaxStaleness.Round(time.Millisecond), r.HitRatio*100)
+	}
+	return b.String()
+}
+
+// --- Table 3: GDPR compliance ------------------------------------------------
+
+// Table3Row is one architecture's boundary audit.
+type Table3Row struct {
+	System          string
+	CDNRequests     uint64
+	CDNWithPII      uint64
+	CDNPIIFields    uint64
+	TopLeakedFields []string
+	Compliant       bool
+}
+
+// Table3Result compares PII exposure across architectures.
+type Table3Result struct{ Rows []Table3Row }
+
+// RunTable3 reproduces Table 3: what crosses the shared CDN boundary
+// under the legacy personalizing CDN versus Speed Kit.
+func RunTable3(seed int64, scale Scale) (*Table3Result, error) {
+	out := &Table3Result{}
+	ops := scale.ops(20000)
+	for _, mode := range []ClientMode{ModeLegacy, ModeSpeedKit} {
+		r, err := RunField(FieldConfig{Mode: mode, Seed: seed, Ops: ops})
+		if err != nil {
+			return nil, err
+		}
+		rep := r.Service.Auditor().Report(gdpr.BoundaryCDN)
+		top := rep.TopPIIFields
+		if len(top) > 3 {
+			top = top[:3]
+		}
+		out.Rows = append(out.Rows, Table3Row{
+			System:          mode.String(),
+			CDNRequests:     rep.Requests,
+			CDNWithPII:      rep.RequestsWithPII,
+			CDNPIIFields:    rep.PIIFieldCount,
+			TopLeakedFields: top,
+			Compliant:       r.Service.Auditor().Compliant(),
+		})
+	}
+	return out, nil
+}
+
+// String renders the table.
+func (t *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — PII crossing the shared CDN boundary\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %-20s %s\n",
+		"system", "requests", "w/ PII", "PII fields", "top leaked", "compliant")
+	for _, r := range t.Rows {
+		top := strings.Join(r.TopLeakedFields, ",")
+		if top == "" {
+			top = "—"
+		}
+		fmt.Fprintf(&b, "%-12s %10d %12d %12d %-20s %v\n",
+			r.System, r.CDNRequests, r.CDNWithPII, r.CDNPIIFields, top, r.Compliant)
+	}
+	return b.String()
+}
+
+// --- Figure 4: page-load time by geography ----------------------------------
+
+// Figure4Point is one (region, system) latency summary.
+type Figure4Point struct {
+	Region              netsim.Region
+	System              ClientMode
+	P50ms, P90ms, P99ms float64
+}
+
+// Figure4Result is the geography × system latency matrix.
+type Figure4Result struct{ Points []Figure4Point }
+
+// RunFigure4 reproduces Figure 4: page-load-time distributions with and
+// without Speed Kit, by client geography.
+func RunFigure4(seed int64, scale Scale) (*Figure4Result, error) {
+	out := &Figure4Result{}
+	ops := scale.ops(40000)
+	for _, mode := range []ClientMode{ModeDirect, ModeLegacy, ModeSpeedKit} {
+		r, err := RunField(FieldConfig{Mode: mode, Seed: seed, Ops: ops})
+		if err != nil {
+			return nil, err
+		}
+		for _, region := range netsim.Regions() {
+			h := r.LatencyByRegion[region]
+			qs := h.Quantiles(0.5, 0.9, 0.99)
+			out.Points = append(out.Points, Figure4Point{
+				Region: region, System: mode,
+				P50ms: qs[0] / 1000, P90ms: qs[1] / 1000, P99ms: qs[2] / 1000,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the series.
+func (f *Figure4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — page-load time by geography [ms]\n")
+	fmt.Fprintf(&b, "%-6s %-12s %8s %8s %8s\n", "region", "system", "p50", "p90", "p99")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-6s %-12s %8.1f %8.1f %8.1f\n", p.Region, p.System, p.P50ms, p.P90ms, p.P99ms)
+	}
+	return b.String()
+}
+
+// --- Figure 5: Δ sweep --------------------------------------------------------
+
+// Figure5Point is one Δ setting's outcome.
+type Figure5Point struct {
+	Delta           time.Duration
+	HitRatio        float64
+	StaleRate       float64
+	MaxStaleness    time.Duration
+	SketchRefreshes uint64
+}
+
+// Figure5Result is the Δ sweep.
+type Figure5Result struct{ Points []Figure5Point }
+
+// RunFigure5 reproduces Figure 5: how the refresh interval Δ trades
+// sketch traffic against bounded staleness.
+func RunFigure5(seed int64, scale Scale) (*Figure5Result, error) {
+	out := &Figure5Result{}
+	ops := scale.ops(25000)
+	for _, delta := range []time.Duration{time.Second, 5 * time.Second, 15 * time.Second,
+		30 * time.Second, 60 * time.Second, 120 * time.Second} {
+		r, err := RunField(FieldConfig{Mode: ModeSpeedKit, Seed: seed, Ops: ops,
+			Delta: delta, WriteFraction: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Figure5Point{
+			Delta: delta, HitRatio: r.HitRatio(), StaleRate: r.StaleRate(),
+			MaxStaleness: r.MaxStaleness, SketchRefreshes: r.SketchRefreshes,
+		})
+	}
+	return out, nil
+}
+
+// String renders the series.
+func (f *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — Δ sweep (5% writes)\n")
+	fmt.Fprintf(&b, "%8s %10s %12s %14s %16s\n", "Δ", "hit ratio", "stale reads", "max staleness", "sketch fetches")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%8s %9.1f%% %11.2f%% %14s %16d\n",
+			p.Delta, p.HitRatio*100, p.StaleRate*100, p.MaxStaleness.Round(time.Millisecond), p.SketchRefreshes)
+	}
+	return b.String()
+}
+
+// --- Figure 7: TTL policies ----------------------------------------------------
+
+// Figure7Point is one TTL policy's outcome.
+type Figure7Point struct {
+	Policy        string
+	HitRatio      float64
+	OriginFetches uint64
+	Invalidations uint64
+	StaleRate     float64
+}
+
+// Figure7Result compares TTL policies.
+type Figure7Result struct{ Points []Figure7Point }
+
+// RunFigure7 reproduces Figure 7: adaptive TTL estimation versus static
+// TTLs on the combined miss/invalidation cost.
+func RunFigure7(seed int64, scale Scale) (*Figure7Result, error) {
+	out := &Figure7Result{}
+	ops := scale.ops(30000)
+	policies := []struct {
+		name string
+		src  ttl.TTLSource
+	}{
+		{"static-10s", ttl.Static(10 * time.Second)},
+		{"static-60s", ttl.Static(60 * time.Second)},
+		{"static-1h", ttl.Static(time.Hour)},
+		{"adaptive", nil},
+	}
+	for _, p := range policies {
+		r, err := RunField(FieldConfig{Mode: ModeSpeedKit, Seed: seed, Ops: ops,
+			TTLSource: p.src, WriteFraction: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		st := r.Service.SketchServer().Stats()
+		out.Points = append(out.Points, Figure7Point{
+			Policy:        p.name,
+			HitRatio:      r.HitRatio(),
+			OriginFetches: r.TierCounts[proxy.SourceOrigin],
+			Invalidations: st.Adds + st.Extends,
+			StaleRate:     r.StaleRate(),
+		})
+	}
+	return out, nil
+}
+
+// String renders the series.
+func (f *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — TTL policy comparison (5% writes)\n")
+	fmt.Fprintf(&b, "%-12s %10s %14s %14s %12s\n", "policy", "hit ratio", "origin fetch", "sketch load", "stale reads")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %14d %14d %11.2f%%\n",
+			p.Policy, p.HitRatio*100, p.OriginFetches, p.Invalidations, p.StaleRate*100)
+	}
+	return b.String()
+}
+
+// --- Figure 9: A/B field simulation --------------------------------------------
+
+// Figure9Arm is one experiment arm's field outcome.
+type Figure9Arm struct {
+	System       ClientMode
+	P50ms, P90ms float64
+	BounceRate   float64
+	Checkouts    uint64
+	Loads        uint64
+}
+
+// Figure9Result is the A/B comparison.
+type Figure9Result struct {
+	Arms       []Figure9Arm
+	SimulatedH float64
+	// CheckoutUplift is (speedkit − control) / control.
+	CheckoutUplift float64
+}
+
+// RunFigure9 reproduces Figure 9: the production A/B test — half the
+// traffic accelerated, half direct — over a multi-day diurnal workload,
+// reporting load-time and conversion-proxy uplift.
+func RunFigure9(seed int64, scale Scale) (*Figure9Result, error) {
+	out := &Figure9Result{}
+	ops := scale.ops(60000)
+	var control, treated *FieldResult
+	for _, mode := range []ClientMode{ModeDirect, ModeSpeedKit} {
+		r, err := RunField(FieldConfig{Mode: mode, Seed: seed, Ops: ops,
+			Diurnal: true, BounceModel: true, MeanOpsPerSecond: 20})
+		if err != nil {
+			return nil, err
+		}
+		qs := r.Latency.Quantiles(0.5, 0.9)
+		arm := Figure9Arm{
+			System: mode,
+			P50ms:  qs[0] / 1000, P90ms: qs[1] / 1000,
+			BounceRate: float64(r.Bounces) / float64(r.Loads),
+			Checkouts:  r.Checkouts,
+			Loads:      r.Loads,
+		}
+		out.Arms = append(out.Arms, arm)
+		out.SimulatedH = r.SimulatedDuration.Hours()
+		if mode == ModeDirect {
+			control = r
+		} else {
+			treated = r
+		}
+	}
+	if control != nil && treated != nil && control.Checkouts > 0 {
+		out.CheckoutUplift = (float64(treated.Checkouts) - float64(control.Checkouts)) / float64(control.Checkouts)
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (f *Figure9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — A/B field simulation (%.0f simulated hours)\n", f.SimulatedH)
+	fmt.Fprintf(&b, "%-10s %10s %10s %12s %11s\n", "arm", "p50 [ms]", "p90 [ms]", "bounce rate", "checkouts")
+	for _, a := range f.Arms {
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %11.2f%% %11d\n",
+			a.System, a.P50ms, a.P90ms, a.BounceRate*100, a.Checkouts)
+	}
+	fmt.Fprintf(&b, "checkout uplift (speedkit vs direct): %+.1f%%\n", f.CheckoutUplift*100)
+	return b.String()
+}

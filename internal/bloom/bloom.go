@@ -1,0 +1,257 @@
+// Package bloom implements the probabilistic set representations that back
+// the Cache Sketch: a plain Bloom filter (the compact form shipped to
+// clients) and a counting Bloom filter (the mutable form maintained at the
+// server, which supports removal when a resource's last cached copy
+// expires).
+//
+// Hashing uses the Kirsch–Mitzenmacher double-hashing scheme over FNV-1a:
+// two independent 32-bit hashes h1, h2 are derived from one 64-bit FNV
+// digest and the k probe positions are g_i = h1 + i·h2 (mod m). This gives
+// the asymptotically optimal false-positive behaviour of k independent
+// hash functions at the cost of one digest per key.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classic Bloom filter over string keys. It is NOT safe for
+// concurrent mutation; the Cache Sketch wraps it with its own
+// synchronization because sketch updates and serialization must be atomic
+// with respect to each other anyway.
+type Filter struct {
+	bits []uint64
+	m    uint32 // number of bits
+	k    uint32 // number of probes
+	n    uint64 // number of Add calls (for fill estimation)
+}
+
+// NewFilter creates a filter with m bits and k probes. m is rounded up to
+// at least 64; k is clamped to [1, 32].
+func NewFilter(m, k uint32) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}
+}
+
+// NewFilterForCapacity sizes a filter for n expected entries at the target
+// false-positive rate p using the standard optima m = -n·ln p / (ln 2)² and
+// k = (m/n)·ln 2.
+func NewFilterForCapacity(n uint64, p float64) *Filter {
+	m, k := OptimalParams(n, p)
+	return NewFilter(m, k)
+}
+
+// OptimalParams returns the optimal (m, k) for n entries at false-positive
+// rate p. Degenerate inputs fall back to a small sane filter.
+func OptimalParams(n uint64, p float64) (m, k uint32) {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	ln2 := math.Ln2
+	mf := -float64(n) * math.Log(p) / (ln2 * ln2)
+	kf := mf / float64(n) * ln2
+	m = uint32(math.Ceil(mf))
+	k = uint32(math.Round(kf))
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return m, k
+}
+
+// hash derives the two base hashes for a key.
+func hashKey(key string) (h1, h2 uint32) {
+	h := fnv.New64a()
+	// hash.Hash64.Write never returns an error.
+	_, _ = h.Write([]byte(key))
+	sum := h.Sum64()
+	h1 = uint32(sum)
+	h2 = uint32(sum >> 32)
+	// h2 must be odd so probe positions cycle through all residues when m
+	// is a power of two, and nonzero in general.
+	h2 |= 1
+	return h1, h2
+}
+
+// probe returns the bit index of the i-th probe for the given base hashes.
+func probe(h1, h2, i, m uint32) uint32 {
+	return (h1 + i*h2) % m
+}
+
+// Add inserts key.
+func (f *Filter) Add(key string) {
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < f.k; i++ {
+		p := probe(h1, h2, i, f.m)
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may be in the set. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key string) bool {
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < f.k; i++ {
+		p := probe(h1, h2, i, f.m)
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear resets the filter to empty.
+func (f *Filter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Bits returns m, the filter's size in bits.
+func (f *Filter) Bits() uint32 { return f.m }
+
+// Hashes returns k, the number of probes.
+func (f *Filter) Hashes() uint32 { return f.k }
+
+// SizeBytes returns the in-memory payload size of the bit array, which is
+// also the serialized size minus the fixed header. This is what the Cache
+// Sketch reports as "sketch bytes on the wire".
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// FillRatio returns the fraction of set bits, the quantity that determines
+// the realized false-positive rate ((fill)^k).
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFPR estimates the current false-positive probability from the
+// realized fill ratio.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// EstimatedCardinality estimates the number of distinct inserted keys from
+// the fill ratio using the standard inversion n ≈ -(m/k)·ln(1 - X/m).
+func (f *Filter) EstimatedCardinality() float64 {
+	fill := f.FillRatio()
+	if fill >= 1 {
+		return math.Inf(1)
+	}
+	return -float64(f.m) / float64(f.k) * math.Log(1-fill)
+}
+
+// Union ORs other into f. Both filters must have identical parameters.
+func (f *Filter) Union(other *Filter) error {
+	if other == nil {
+		return errors.New("bloom: union with nil filter")
+	}
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: parameter mismatch (m=%d,k=%d vs m=%d,k=%d)", f.m, f.k, other.m, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}
+
+// Clone returns a deep copy of the filter.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		bits: make([]uint64, len(f.bits)),
+		m:    f.m,
+		k:    f.k,
+		n:    f.n,
+	}
+	copy(c.bits, f.bits)
+	return c
+}
+
+func popcount(x uint64) int {
+	// math/bits would be fine too, but keeping the hot path inlined and
+	// explicit documents the cost model used in the size benchmarks.
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// --- serialization -------------------------------------------------------
+
+// marshal header: magic "SKBF", version, k, m, then the bit words.
+var filterMagic = [4]byte{'S', 'K', 'B', 'F'}
+
+const filterVersion = 1
+
+// MarshalBinary encodes the filter for transfer to clients. The format is
+// stable: 4-byte magic, 1-byte version, 4-byte big-endian k, 4-byte m,
+// followed by the raw little-endian bit words.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 13+len(f.bits)*8)
+	out = append(out, filterMagic[:]...)
+	out = append(out, filterVersion)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], f.k)
+	binary.BigEndian.PutUint32(hdr[4:8], f.m)
+	out = append(out, hdr[:]...)
+	var w [8]byte
+	for _, word := range f.bits {
+		binary.LittleEndian.PutUint64(w[:], word)
+		out = append(out, w[:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 13 {
+		return errors.New("bloom: truncated filter")
+	}
+	if [4]byte(data[0:4]) != filterMagic {
+		return errors.New("bloom: bad magic")
+	}
+	if data[4] != filterVersion {
+		return fmt.Errorf("bloom: unsupported version %d", data[4])
+	}
+	k := binary.BigEndian.Uint32(data[5:9])
+	m := binary.BigEndian.Uint32(data[9:13])
+	nwords := int((m + 63) / 64)
+	if len(data) != 13+nwords*8 {
+		return fmt.Errorf("bloom: payload length %d does not match m=%d", len(data), m)
+	}
+	bits := make([]uint64, nwords)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[13+i*8:])
+	}
+	f.bits, f.m, f.k, f.n = bits, m, k, 0
+	return nil
+}

@@ -1,0 +1,162 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counting is a counting Bloom filter: each cell is a small counter rather
+// than a bit, so keys can be removed again. This is the server-side
+// representation of the Cache Sketch — a resource ID is added when it is
+// written while cached copies may still exist, and removed once the last
+// possible copy has expired.
+//
+// Counters are 16-bit and saturate at 65535. A saturated counter is never
+// decremented (doing so could introduce false negatives, which would break
+// the Δ-atomicity guarantee); it is only cleared by Clear. With the fill
+// ratios the sketch operates at, saturation is practically unreachable and
+// is surfaced via the Saturations counter for monitoring.
+type Counting struct {
+	cells []uint16
+	m     uint32
+	k     uint32
+	n     int64 // net membership count (adds minus removes)
+
+	// Saturations counts cell increments that hit the ceiling. Nonzero
+	// values indicate the filter is drastically undersized.
+	Saturations uint64
+}
+
+const maxCell = math.MaxUint16
+
+// NewCounting creates a counting filter with m cells and k probes.
+func NewCounting(m, k uint32) *Counting {
+	if m < 64 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return &Counting{
+		cells: make([]uint16, m),
+		m:     m,
+		k:     k,
+	}
+}
+
+// NewCountingForCapacity sizes the filter for n entries at false-positive
+// rate p, mirroring NewFilterForCapacity.
+func NewCountingForCapacity(n uint64, p float64) *Counting {
+	m, k := OptimalParams(n, p)
+	return NewCounting(m, k)
+}
+
+// Add inserts key, incrementing its k cells.
+func (c *Counting) Add(key string) {
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < c.k; i++ {
+		p := probe(h1, h2, i, c.m)
+		if c.cells[p] == maxCell {
+			c.Saturations++
+			continue
+		}
+		c.cells[p]++
+	}
+	c.n++
+}
+
+// Remove deletes one prior Add of key. Removing a key that was never added
+// can corrupt the filter (introduce false negatives for other keys), so the
+// Cache Sketch only ever calls Remove for keys it tracked adding; as a
+// defensive measure, cells already at zero are left at zero and the call
+// reports whether every probed cell was decrementable.
+func (c *Counting) Remove(key string) bool {
+	h1, h2 := hashKey(key)
+	clean := true
+	for i := uint32(0); i < c.k; i++ {
+		p := probe(h1, h2, i, c.m)
+		switch c.cells[p] {
+		case 0:
+			clean = false
+		case maxCell:
+			// Saturated cells are sticky; see type comment.
+		default:
+			c.cells[p]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+	return clean
+}
+
+// Contains reports whether key may be in the set.
+func (c *Counting) Contains(key string) bool {
+	h1, h2 := hashKey(key)
+	for i := uint32(0); i < c.k; i++ {
+		if c.cells[probe(h1, h2, i, c.m)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear resets the filter.
+func (c *Counting) Clear() {
+	for i := range c.cells {
+		c.cells[i] = 0
+	}
+	c.n = 0
+	c.Saturations = 0
+}
+
+// Len returns the net number of members (adds minus removes).
+func (c *Counting) Len() int64 { return c.n }
+
+// Bits returns m, the number of cells.
+func (c *Counting) Bits() uint32 { return c.m }
+
+// Hashes returns k.
+func (c *Counting) Hashes() uint32 { return c.k }
+
+// SizeBytes returns the in-memory size of the cell array. The counting
+// filter never leaves the server, but its footprint is part of the
+// polyglot-architecture cost accounting (Figure 6 / Ablation A2).
+func (c *Counting) SizeBytes() int { return len(c.cells) * 2 }
+
+// FillRatio returns the fraction of nonzero cells.
+func (c *Counting) FillRatio() float64 {
+	var set int
+	for _, cell := range c.cells {
+		if cell != 0 {
+			set++
+		}
+	}
+	return float64(set) / float64(c.m)
+}
+
+// Flatten projects the counting filter onto a plain Bloom filter with the
+// same parameters: exactly the operation the Cache Sketch server performs
+// to produce the compact client sketch. The resulting filter contains every
+// key currently in the counting filter (possibly more, never fewer).
+func (c *Counting) Flatten() *Filter {
+	f := NewFilter(c.m, c.k)
+	for i, cell := range c.cells {
+		if cell != 0 {
+			f.bits[i/64] |= 1 << (uint32(i) % 64)
+		}
+	}
+	// Cardinality bookkeeping: the flat filter's n is the net member count.
+	if c.n > 0 {
+		f.n = uint64(c.n)
+	}
+	return f
+}
+
+// String summarizes the filter for logs.
+func (c *Counting) String() string {
+	return fmt.Sprintf("counting-bloom{m=%d k=%d members=%d fill=%.3f}", c.m, c.k, c.n, c.FillRatio())
+}

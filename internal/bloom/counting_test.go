@@ -1,0 +1,225 @@
+package bloom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingAddRemove(t *testing.T) {
+	c := NewCountingForCapacity(1000, 0.01)
+	c.Add("resource/1")
+	if !c.Contains("resource/1") {
+		t.Fatal("added key missing")
+	}
+	if !c.Remove("resource/1") {
+		t.Fatal("remove of present key reported unclean")
+	}
+	if c.Contains("resource/1") {
+		t.Fatal("removed key still present (no other members, must be exact)")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCountingMultiplicity(t *testing.T) {
+	// Adding a key twice requires removing it twice before it disappears,
+	// which is exactly the semantics the Cache Sketch needs for a resource
+	// written twice while cached copies of both versions may exist.
+	c := NewCounting(1024, 4)
+	c.Add("x")
+	c.Add("x")
+	c.Remove("x")
+	if !c.Contains("x") {
+		t.Fatal("key vanished after removing one of two adds")
+	}
+	c.Remove("x")
+	if c.Contains("x") {
+		t.Fatal("key present after removing both adds")
+	}
+}
+
+func TestCountingRemoveAbsentIsDefensive(t *testing.T) {
+	c := NewCounting(1024, 4)
+	c.Add("present")
+	if clean := c.Remove("never-added"); clean {
+		// It's possible (though unlikely at this fill) that all probed
+		// cells overlap "present"; treat a clean report as suspicious only
+		// if the filter then lies about "present".
+		if !c.Contains("present") {
+			t.Fatal("defensive remove corrupted an unrelated key")
+		}
+	}
+	// The zero-floor guarantee: removing from an empty filter never wraps
+	// a cell to 65535 (which would poison Contains for colliding keys).
+	c2 := NewCounting(1024, 4)
+	for i := 0; i < 100; i++ {
+		if clean := c2.Remove(fmt.Sprintf("ghost-%d", i)); clean {
+			t.Fatalf("remove on empty filter reported clean for ghost-%d", i)
+		}
+	}
+	if c2.FillRatio() != 0 {
+		t.Fatal("phantom removals set cells via underflow")
+	}
+}
+
+func TestCountingLenNeverNegative(t *testing.T) {
+	c := NewCounting(64, 2)
+	c.Remove("nothing")
+	if c.Len() < 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCountingClear(t *testing.T) {
+	c := NewCounting(256, 3)
+	c.Add("a")
+	c.Add("b")
+	c.Clear()
+	if c.Contains("a") || c.Contains("b") || c.Len() != 0 {
+		t.Fatal("clear incomplete")
+	}
+}
+
+func TestCountingFlattenPreservesMembers(t *testing.T) {
+	c := NewCountingForCapacity(2000, 0.02)
+	for i := 0; i < 2000; i++ {
+		c.Add(fmt.Sprintf("stale-%d", i))
+	}
+	f := c.Flatten()
+	for i := 0; i < 2000; i++ {
+		if !f.Contains(fmt.Sprintf("stale-%d", i)) {
+			t.Fatalf("flatten lost stale-%d", i)
+		}
+	}
+	if f.Bits() != c.Bits() || f.Hashes() != c.Hashes() {
+		t.Fatal("flatten changed parameters")
+	}
+}
+
+func TestCountingFlattenAfterRemovals(t *testing.T) {
+	c := NewCountingForCapacity(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		c.Add(fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < 500; i++ {
+		c.Remove(fmt.Sprintf("k%d", i))
+	}
+	f := c.Flatten()
+	for i := 500; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("flatten lost surviving member k%d", i)
+		}
+	}
+	// Removed keys should mostly be gone (false positives aside).
+	fp := 0
+	for i := 0; i < 500; i++ {
+		if f.Contains(fmt.Sprintf("k%d", i)) {
+			fp++
+		}
+	}
+	if fp > 50 {
+		t.Fatalf("%d/500 removed keys still reported present", fp)
+	}
+}
+
+func TestCountingSaturationSticky(t *testing.T) {
+	c := NewCounting(64, 1)
+	// Drive one cell to saturation.
+	key := "hot"
+	for i := 0; i < maxCell+10; i++ {
+		c.Add(key)
+	}
+	if c.Saturations == 0 {
+		t.Fatal("saturation not recorded")
+	}
+	// Saturated cells must never decrement.
+	for i := 0; i < maxCell+10; i++ {
+		c.Remove(key)
+	}
+	if !c.Contains(key) {
+		t.Fatal("saturated cell was decremented to zero")
+	}
+}
+
+func TestCountingString(t *testing.T) {
+	c := NewCounting(128, 3)
+	c.Add("x")
+	s := c.String()
+	if !strings.Contains(s, "m=128") || !strings.Contains(s, "members=1") {
+		t.Fatalf("unexpected String: %s", s)
+	}
+}
+
+func TestCountingPropertyAddRemoveIsIdentity(t *testing.T) {
+	// Property: adding a set of distinct keys and removing them all leaves
+	// the filter empty (no residue), for any key set.
+	f := func(keys []string) bool {
+		seen := map[string]bool{}
+		c := NewCounting(4096, 4)
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			c.Add(k)
+		}
+		for k := range seen {
+			c.Remove(k)
+		}
+		if c.Len() != 0 {
+			return false
+		}
+		return c.FillRatio() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingPropertyFlattenSuperset(t *testing.T) {
+	// Property: Flatten never loses a current member.
+	f := func(keys []string) bool {
+		c := NewCounting(8192, 5)
+		for _, k := range keys {
+			c.Add(k)
+		}
+		fl := c.Flatten()
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountingAddRemove(b *testing.B) {
+	c := NewCountingForCapacity(100000, 0.01)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("churn-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		c.Add(k)
+		c.Remove(k)
+	}
+}
+
+func BenchmarkCountingFlatten(b *testing.B) {
+	c := NewCountingForCapacity(50000, 0.05)
+	for i := 0; i < 50000; i++ {
+		c.Add(fmt.Sprintf("s-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Flatten()
+	}
+}

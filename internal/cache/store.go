@@ -1,0 +1,298 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Store is the concrete Cache implementation shared by all tiers. It
+// bounds both entry count and total bytes; whichever limit is hit first
+// triggers eviction according to the configured policy. Safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = next eviction candidate
+	clk      clock.Clock
+	policy   Policy
+	maxItems int
+	maxBytes int
+	stats    Stats
+}
+
+type storedEntry struct {
+	entry Entry
+	freq  uint64 // LFU use count
+	size  int
+}
+
+// Config sizes and parameterizes a Store.
+type Config struct {
+	// MaxItems bounds the entry count; 0 means unlimited.
+	MaxItems int
+	// MaxBytes bounds the accounted size; 0 means unlimited.
+	MaxBytes int
+	// Policy selects the eviction policy (default LRU).
+	Policy Policy
+	// Clock supplies time for expiration (default system clock).
+	Clock clock.Clock
+}
+
+// New creates a Store from cfg.
+func New(cfg Config) *Store {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Store{
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		clk:      clk,
+		policy:   cfg.Policy,
+		maxItems: cfg.MaxItems,
+		maxBytes: cfg.MaxBytes,
+	}
+}
+
+// Get implements Cache.
+func (s *Store) Get(key string) (Entry, bool) {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return Entry{}, false
+	}
+	se := el.Value.(*storedEntry)
+	if se.entry.Expired(now) {
+		s.removeLocked(key, el)
+		s.stats.Expirations++
+		s.stats.Misses++
+		return Entry{}, false
+	}
+	s.promoteLocked(el, se)
+	s.stats.Hits++
+	return se.entry, true
+}
+
+// Peek implements Cache.
+func (s *Store) Peek(key string) (Entry, bool) {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	se := el.Value.(*storedEntry)
+	if se.entry.Expired(now) {
+		return Entry{}, false
+	}
+	return se.entry, true
+}
+
+// PeekAny returns the stored entry under key even if it has expired.
+// Revalidation uses this: an expired copy cannot be served, but its
+// version still makes a conditional request possible, saving the body
+// transfer when the resource is unchanged.
+func (s *Store) PeekAny(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return el.Value.(*storedEntry).entry, true
+}
+
+// promoteLocked updates eviction order after a use.
+func (s *Store) promoteLocked(el *list.Element, se *storedEntry) {
+	switch s.policy {
+	case LRU:
+		s.order.MoveToBack(el)
+	case LFU:
+		se.freq++
+		s.repositionLFULocked(el, se)
+	case FIFO:
+		// Insertion order is eviction order; uses don't promote.
+	}
+}
+
+// repositionLFULocked bubbles el toward the back past entries with
+// lower-or-equal frequency, keeping the front the least-frequently-used.
+func (s *Store) repositionLFULocked(el *list.Element, se *storedEntry) {
+	for next := el.Next(); next != nil; next = el.Next() {
+		if next.Value.(*storedEntry).freq > se.freq {
+			break
+		}
+		s.order.MoveAfter(el, next)
+	}
+}
+
+// Put implements Cache.
+func (s *Store) Put(e Entry) {
+	if e.StoredAt.IsZero() {
+		e.StoredAt = s.clk.Now()
+	}
+	size := e.Size()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Key]; ok {
+		se := el.Value.(*storedEntry)
+		s.stats.BytesUsed += size - se.size
+		se.entry = e
+		se.size = size
+		s.promoteLocked(el, se)
+	} else {
+		se := &storedEntry{entry: e, size: size, freq: 1}
+		var el *list.Element
+		if s.policy == LFU {
+			// New entries start at the front and bubble past freq-1 peers
+			// so ties break by recency (older same-frequency entries are
+			// evicted first).
+			el = s.order.PushFront(se)
+			s.repositionLFULocked(el, se)
+		} else {
+			el = s.order.PushBack(se)
+		}
+		s.entries[e.Key] = el
+		s.stats.BytesUsed += size
+	}
+	s.stats.Puts++
+	s.evictLocked()
+}
+
+// evictLocked enforces both capacity limits. Expired entries are evicted
+// first (they are free wins), then the policy's victim order applies.
+func (s *Store) evictLocked() {
+	over := func() bool {
+		if s.maxItems > 0 && len(s.entries) > s.maxItems {
+			return true
+		}
+		if s.maxBytes > 0 && s.stats.BytesUsed > s.maxBytes {
+			return true
+		}
+		return false
+	}
+	if !over() {
+		return
+	}
+	// First pass: drop expired entries.
+	now := s.clk.Now()
+	for el := s.order.Front(); el != nil && over(); {
+		next := el.Next()
+		se := el.Value.(*storedEntry)
+		if se.entry.Expired(now) {
+			s.removeLocked(se.entry.Key, el)
+			s.stats.Expirations++
+		}
+		el = next
+	}
+	// Second pass: policy order from the front.
+	for over() {
+		el := s.order.Front()
+		if el == nil {
+			return
+		}
+		se := el.Value.(*storedEntry)
+		s.removeLocked(se.entry.Key, el)
+		s.stats.Evictions++
+	}
+}
+
+func (s *Store) removeLocked(key string, el *list.Element) {
+	s.order.Remove(el)
+	delete(s.entries, key)
+	s.stats.BytesUsed -= el.Value.(*storedEntry).size
+}
+
+// Delete implements Cache.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	s.removeLocked(key, el)
+	s.stats.Invalidations++
+	return true
+}
+
+// Clear implements Cache.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	s.entries = make(map[string]*list.Element)
+	s.order.Init()
+	s.stats.BytesUsed = 0
+	s.mu.Unlock()
+}
+
+// Len implements Cache.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats implements Cache.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Sweep removes all expired entries eagerly and returns the count reaped.
+func (s *Store) Sweep() int {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for el := s.order.Front(); el != nil; {
+		next := el.Next()
+		se := el.Value.(*storedEntry)
+		if se.entry.Expired(now) {
+			s.removeLocked(se.entry.Key, el)
+			s.stats.Expirations++
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Keys returns the keys of live (unexpired) entries in eviction order,
+// front (next victim) first. Primarily for tests and debugging.
+func (s *Store) Keys() []string {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		se := el.Value.(*storedEntry)
+		if !se.entry.Expired(now) {
+			out = append(out, se.entry.Key)
+		}
+	}
+	return out
+}
+
+var _ Cache = (*Store)(nil)
+
+// TTLEntry is a convenience constructor for an entry expiring ttl from now
+// according to clk.
+func TTLEntry(clk clock.Clock, key string, body []byte, version uint64, ttl time.Duration) Entry {
+	if clk == nil {
+		clk = clock.System
+	}
+	now := clk.Now()
+	e := Entry{Key: key, Body: body, Version: version, StoredAt: now}
+	if ttl > 0 {
+		e.ExpiresAt = now.Add(ttl)
+	}
+	return e
+}

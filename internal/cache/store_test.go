@@ -1,0 +1,370 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func newLRU(items int) (*Store, *clock.Simulated) {
+	clk := clock.NewSimulated(time.Time{})
+	return New(Config{MaxItems: items, Clock: clk}), clk
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", []byte("body"), 1, time.Minute))
+	e, ok := s.Get("/a")
+	if !ok || string(e.Body) != "body" || e.Version != 1 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := s.Get("/missing"); ok {
+		t.Fatal("missing key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreExpiration(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", []byte("x"), 1, 10*time.Second))
+	clk.Advance(11 * time.Second)
+	if _, ok := s.Get("/a"); ok {
+		t.Fatal("expired entry served")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d", st.Expirations)
+	}
+	if s.Len() != 0 {
+		t.Fatal("expired entry not reaped on access")
+	}
+}
+
+func TestStoreNoTTLNeverExpires(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", []byte("x"), 1, 0))
+	clk.Advance(1000 * time.Hour)
+	if _, ok := s.Get("/a"); !ok {
+		t.Fatal("no-TTL entry expired")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, clk := newLRU(3)
+	for i := 0; i < 3; i++ {
+		s.Put(TTLEntry(clk, fmt.Sprintf("/%d", i), nil, 1, time.Hour))
+	}
+	s.Get("/0") // 0 becomes most recent
+	s.Put(TTLEntry(clk, "/3", nil, 1, time.Hour))
+	if _, ok := s.Peek("/1"); ok {
+		t.Fatal("/1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"/0", "/2", "/3"} {
+		if _, ok := s.Peek(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if s.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", s.Stats().Evictions)
+	}
+}
+
+func TestStoreExpiredEvictedBeforeLive(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{MaxItems: 3, Clock: clk})
+	s.Put(TTLEntry(clk, "/live1", nil, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/short", nil, 1, time.Second))
+	s.Put(TTLEntry(clk, "/live2", nil, 1, time.Hour))
+	clk.Advance(2 * time.Second) // /short expires
+	s.Put(TTLEntry(clk, "/new", nil, 1, time.Hour))
+	// /short should be the victim even though /live1 is older in LRU order.
+	if _, ok := s.Peek("/live1"); !ok {
+		t.Fatal("live entry evicted while expired entry was available")
+	}
+	st := s.Stats()
+	if st.Evictions != 0 || st.Expirations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreLFUEviction(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{MaxItems: 3, Policy: LFU, Clock: clk})
+	for _, k := range []string{"/a", "/b", "/c"} {
+		s.Put(TTLEntry(clk, k, nil, 1, time.Hour))
+	}
+	// Access /a 3x, /b 1x, /c 0x extra.
+	s.Get("/a")
+	s.Get("/a")
+	s.Get("/a")
+	s.Get("/b")
+	s.Put(TTLEntry(clk, "/d", nil, 1, time.Hour))
+	if _, ok := s.Peek("/c"); ok {
+		t.Fatal("/c should be evicted (LFU)")
+	}
+	if _, ok := s.Peek("/a"); !ok {
+		t.Fatal("/a evicted despite highest frequency")
+	}
+}
+
+func TestStoreLFUTieBreakByAge(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{MaxItems: 2, Policy: LFU, Clock: clk})
+	s.Put(TTLEntry(clk, "/old", nil, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/new", nil, 1, time.Hour))
+	// Both freq 1; inserting a third should evict the older one.
+	s.Put(TTLEntry(clk, "/newest", nil, 1, time.Hour))
+	if _, ok := s.Peek("/old"); ok {
+		t.Fatal("tie not broken by age")
+	}
+	if _, ok := s.Peek("/new"); !ok {
+		t.Fatal("newer tie member evicted")
+	}
+}
+
+func TestStoreFIFOEviction(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{MaxItems: 2, Policy: FIFO, Clock: clk})
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/b", nil, 1, time.Hour))
+	s.Get("/a") // FIFO must ignore use
+	s.Put(TTLEntry(clk, "/c", nil, 1, time.Hour))
+	if _, ok := s.Peek("/a"); ok {
+		t.Fatal("/a should be evicted (FIFO ignores recency)")
+	}
+}
+
+func TestStoreByteCapacity(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{MaxBytes: 1000, Clock: clk})
+	big := make([]byte, 400)
+	s.Put(TTLEntry(clk, "/a", big, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/b", big, 1, time.Hour))
+	// Third 400B+overhead entry exceeds 1000B; /a must go.
+	s.Put(TTLEntry(clk, "/c", big, 1, time.Hour))
+	if _, ok := s.Peek("/a"); ok {
+		t.Fatal("byte capacity not enforced")
+	}
+	if st := s.Stats(); st.BytesUsed > 1000 {
+		t.Fatalf("bytes used %d > cap", st.BytesUsed)
+	}
+}
+
+func TestStoreUpdateExistingKeyAdjustsBytes(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := New(Config{Clock: clk})
+	s.Put(TTLEntry(clk, "/a", make([]byte, 100), 1, time.Hour))
+	before := s.Stats().BytesUsed
+	s.Put(TTLEntry(clk, "/a", make([]byte, 50), 2, time.Hour))
+	after := s.Stats().BytesUsed
+	if after != before-50 {
+		t.Fatalf("bytes not adjusted: before=%d after=%d", before, after)
+	}
+	e, _ := s.Get("/a")
+	if e.Version != 2 {
+		t.Fatal("update did not replace entry")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Hour))
+	if !s.Delete("/a") {
+		t.Fatal("delete existing returned false")
+	}
+	if s.Delete("/a") {
+		t.Fatal("delete missing returned true")
+	}
+	if s.Stats().Invalidations != 1 {
+		t.Fatalf("invalidations = %d", s.Stats().Invalidations)
+	}
+	if s.Stats().BytesUsed != 0 {
+		t.Fatalf("bytes leak: %d", s.Stats().BytesUsed)
+	}
+}
+
+func TestStoreClear(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", []byte("x"), 1, time.Hour))
+	s.Clear()
+	if s.Len() != 0 || s.Stats().BytesUsed != 0 {
+		t.Fatal("clear incomplete")
+	}
+}
+
+func TestStorePeekDoesNotPromoteOrCount(t *testing.T) {
+	s, clk := newLRU(2)
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/b", nil, 1, time.Hour))
+	s.Peek("/a") // must NOT promote
+	s.Put(TTLEntry(clk, "/c", nil, 1, time.Hour))
+	if _, ok := s.Peek("/a"); ok {
+		t.Fatal("Peek promoted /a")
+	}
+	st := s.Stats()
+	if st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("Peek counted in stats: %+v", st)
+	}
+}
+
+func TestStorePeekExpired(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Second))
+	clk.Advance(2 * time.Second)
+	if _, ok := s.Peek("/a"); ok {
+		t.Fatal("Peek served expired entry")
+	}
+}
+
+func TestStoreSweep(t *testing.T) {
+	s, clk := newLRU(0)
+	for i := 0; i < 10; i++ {
+		s.Put(TTLEntry(clk, fmt.Sprintf("/%d", i), nil, 1, time.Duration(i+1)*time.Second))
+	}
+	clk.Advance(5 * time.Second)
+	if n := s.Sweep(); n != 5 {
+		t.Fatalf("swept %d, want 5", n)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreKeysEvictionOrder(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Hour))
+	s.Put(TTLEntry(clk, "/b", nil, 1, time.Hour))
+	s.Get("/a")
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "/b" || keys[1] != "/a" {
+		t.Fatalf("keys = %v, want [/b /a]", keys)
+	}
+}
+
+func TestStoreHitRatio(t *testing.T) {
+	s, clk := newLRU(10)
+	s.Put(TTLEntry(clk, "/a", nil, 1, time.Hour))
+	s.Get("/a")
+	s.Get("/a")
+	s.Get("/miss")
+	if r := s.Stats().HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio = %v", r)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty hit ratio nonzero")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := New(Config{MaxItems: 128})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("/k%d", (w*1000+i)%200)
+				s.Put(Entry{Key: k, Body: []byte("v")})
+				s.Get(k)
+				if i%100 == 0 {
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 128 {
+		t.Fatalf("capacity exceeded: %d", s.Len())
+	}
+}
+
+func TestStorePropertyCapacityInvariant(t *testing.T) {
+	// Property: after any sequence of puts, entry count never exceeds
+	// MaxItems and accounted bytes never exceed MaxBytes.
+	f := func(keys []string, sizes []uint16) bool {
+		clk := clock.NewSimulated(time.Time{})
+		s := New(Config{MaxItems: 16, MaxBytes: 8192, Clock: clk})
+		for i, k := range keys {
+			var body []byte
+			if i < len(sizes) {
+				body = make([]byte, sizes[i]%2048)
+			}
+			s.Put(TTLEntry(clk, k, body, 1, time.Hour))
+			if s.Len() > 16 {
+				return false
+			}
+			if st := s.Stats(); st.BytesUsed > 8192 && s.Len() > 1 {
+				// A single oversized entry may exceed MaxBytes (nothing
+				// left to evict); with >1 entries the bound must hold.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	now := time.Unix(100, 0)
+	e := Entry{Key: "/x", ExpiresAt: now.Add(10 * time.Second)}
+	if e.Expired(now) {
+		t.Fatal("fresh entry expired")
+	}
+	if e.Expired(now.Add(9 * time.Second)) {
+		t.Fatal("entry expired early")
+	}
+	if !e.Expired(now.Add(10 * time.Second)) {
+		t.Fatal("entry not expired at boundary")
+	}
+	if d := e.FreshFor(now); d != 10*time.Second {
+		t.Fatalf("FreshFor = %v", d)
+	}
+	if d := e.FreshFor(now.Add(time.Minute)); d != 0 {
+		t.Fatalf("FreshFor past expiry = %v", d)
+	}
+	var never Entry
+	if never.Expired(now) || never.FreshFor(now) != 0 {
+		t.Fatal("zero-expiry semantics wrong")
+	}
+}
+
+func TestEntrySizeStable(t *testing.T) {
+	e := Entry{Key: "/x", Body: make([]byte, 100), Metadata: map[string]string{"ct": "text/html"}}
+	want := 100 + 2 + 64 + 2 + 9
+	if e.Size() != want {
+		t.Fatalf("Size = %d, want %d", e.Size(), want)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" || FIFO.String() != "fifo" || Policy(9).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func BenchmarkStorePutGet(b *testing.B) {
+	s := New(Config{MaxItems: 10000})
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/bench/%d", i)
+	}
+	body := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		s.Put(Entry{Key: k, Body: body})
+		s.Get(k)
+	}
+}

@@ -1,0 +1,136 @@
+package cachesketch
+
+import (
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Client is the device-side half of the protocol: it holds the most
+// recently fetched sketch snapshot and enforces the Δ refresh discipline.
+// The client proxy consults it before serving anything from a local
+// cache. Safe for concurrent use.
+type Client struct {
+	mu       sync.Mutex
+	clk      clock.Clock
+	delta    time.Duration
+	snapshot *Snapshot
+	stats    ClientStats
+}
+
+// ClientStats counts client-side protocol decisions.
+type ClientStats struct {
+	// Refreshes counts sketch fetches.
+	Refreshes uint64
+	// StaleHits counts lookups where the sketch flagged the key.
+	StaleHits uint64
+	// FreshPasses counts lookups where the sketch cleared the key.
+	FreshPasses uint64
+}
+
+// NewClient creates a client enforcing the given Δ. A zero or negative
+// delta defaults to 60 s, a common production refresh interval.
+func NewClient(clk clock.Clock, delta time.Duration) *Client {
+	if clk == nil {
+		clk = clock.System
+	}
+	if delta <= 0 {
+		delta = 60 * time.Second
+	}
+	return &Client{clk: clk, delta: delta}
+}
+
+// Delta returns the client's staleness bound Δ.
+func (c *Client) Delta() time.Duration { return c.delta }
+
+// NeedsRefresh reports whether the held snapshot is missing or older than
+// Δ. While this is true the client MUST NOT serve cached content based on
+// the sketch — doing so would void the Δ-atomicity bound.
+func (c *Client) NeedsRefresh() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.needsRefreshLocked(c.clk.Now())
+}
+
+func (c *Client) needsRefreshLocked(now time.Time) bool {
+	return c.snapshot == nil || now.Sub(c.snapshot.TakenAt) >= c.delta
+}
+
+// Install stores a freshly fetched snapshot. Snapshots older than the one
+// held are ignored (out-of-order fetches can happen with concurrent
+// refreshes).
+func (c *Client) Install(sn *Snapshot) {
+	if sn == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.snapshot == nil || sn.Generation >= c.snapshot.Generation {
+		c.snapshot = sn
+		c.stats.Refreshes++
+	}
+	c.mu.Unlock()
+}
+
+// Age returns how old the held snapshot is (Δ+1s if none is held, i.e.
+// definitely stale).
+func (c *Client) Age() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.snapshot == nil {
+		return c.delta + time.Second
+	}
+	return c.clk.Now().Sub(c.snapshot.TakenAt)
+}
+
+// Decision is the outcome of a client-side coherence check.
+type Decision int
+
+// Possible coherence decisions.
+const (
+	// ServeFromCache: the sketch is fresh and clears the key; any cached
+	// copy is coherent within Δ.
+	ServeFromCache Decision = iota
+	// Revalidate: the sketch flags the key (or a cached copy should be
+	// bypassed); fetch an up-to-date representation.
+	Revalidate
+	// RefreshSketch: the sketch is older than Δ; it must be refreshed
+	// before cached content may be used.
+	RefreshSketch
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case ServeFromCache:
+		return "serve-from-cache"
+	case Revalidate:
+		return "revalidate"
+	case RefreshSketch:
+		return "refresh-sketch"
+	}
+	return "unknown"
+}
+
+// Check runs the client-side coherence protocol for one key.
+func (c *Client) Check(key string) Decision {
+	now := c.clk.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.needsRefreshLocked(now) {
+		return RefreshSketch
+	}
+	if c.snapshot.MightBeStale(key) {
+		c.stats.StaleHits++
+		return Revalidate
+	}
+	c.stats.FreshPasses++
+	return ServeFromCache
+}
+
+// Stats returns a copy of the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,248 @@
+package cachesketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/clock"
+)
+
+// protocolSim wires a complete client/server protocol instance over a
+// simulated clock: an origin with versioned resources, a client-side
+// expiration cache, the sketch server, and a sketch client enforcing Δ.
+// It is the reference implementation of the request flow that the
+// higher-level proxy/core packages reproduce with real components.
+type protocolSim struct {
+	clk       *clock.Simulated
+	origin    map[string]uint64 // current version per key
+	log       *VersionLog
+	server    *Server
+	client    *Client
+	store     *cache.Store
+	ttl       time.Duration
+	useSketch bool
+
+	served      int
+	cacheHits   int
+	staleReads  int
+	maxStale    time.Duration
+	revalidates int
+}
+
+func newProtocolSim(delta, ttl time.Duration, useSketch bool) *protocolSim {
+	clk := clock.NewSimulated(time.Time{})
+	return &protocolSim{
+		clk:       clk,
+		origin:    make(map[string]uint64),
+		log:       NewVersionLog(),
+		server:    NewServer(ServerConfig{Capacity: 5000, FalsePositiveRate: 0.01, Clock: clk}),
+		client:    NewClient(clk, delta),
+		store:     cache.New(cache.Config{Clock: clk}),
+		ttl:       ttl,
+		useSketch: useSketch,
+	}
+}
+
+func (s *protocolSim) write(key string) {
+	v := s.origin[key] + 1
+	s.origin[key] = v
+	s.log.RecordWrite(key, v, s.clk.Now())
+	s.server.ReportWrite(key)
+}
+
+// fetchFromOrigin pulls the current version, caches it, and reports the
+// cache fill to the sketch server.
+func (s *protocolSim) fetchFromOrigin(key string) uint64 {
+	v := s.origin[key]
+	e := cache.TTLEntry(s.clk, key, nil, v, s.ttl)
+	s.store.Put(e)
+	s.server.ReportCachedRead(key, e.ExpiresAt)
+	return v
+}
+
+// read performs one protocol-governed read and records staleness.
+func (s *protocolSim) read(key string) {
+	now := s.clk.Now()
+	var served uint64
+	switch {
+	case !s.useSketch:
+		// TTL-only baseline: serve any unexpired copy blindly.
+		if e, ok := s.store.Get(key); ok {
+			served = e.Version
+			s.cacheHits++
+		} else {
+			served = s.fetchFromOrigin(key)
+		}
+	default:
+		decision := s.client.Check(key)
+		if decision == RefreshSketch {
+			s.client.Install(s.server.Snapshot())
+			decision = s.client.Check(key)
+		}
+		switch decision {
+		case Revalidate:
+			s.revalidates++
+			served = s.fetchFromOrigin(key)
+		case ServeFromCache:
+			if e, ok := s.store.Get(key); ok {
+				served = e.Version
+				s.cacheHits++
+			} else {
+				served = s.fetchFromOrigin(key)
+			}
+		}
+	}
+	s.served++
+	if st := s.log.Staleness(key, served, now); st > 0 {
+		s.staleReads++
+		if st > s.maxStale {
+			s.maxStale = st
+		}
+	}
+}
+
+// run drives a random workload: nKeys resources, readers and writers
+// interleaved, time advancing in small random steps.
+func (s *protocolSim) run(rng *rand.Rand, ops, nKeys int, writeFrac float64) {
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/r/%d", i)
+		s.write(keys[i]) // version 1
+	}
+	for i := 0; i < ops; i++ {
+		key := keys[rng.Intn(nKeys)]
+		if rng.Float64() < writeFrac {
+			s.write(key)
+		} else {
+			s.read(key)
+		}
+		s.clk.Advance(time.Duration(rng.Intn(500)) * time.Millisecond)
+	}
+}
+
+func TestDeltaAtomicityHoldsUnderRandomInterleavings(t *testing.T) {
+	// The central invariant: with the sketch protocol active, no read may
+	// be staler than Δ, across several seeds, deltas, and write mixes.
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		for _, delta := range []time.Duration{time.Second, 5 * time.Second, 30 * time.Second} {
+			sim := newProtocolSim(delta, 60*time.Second, true)
+			sim.run(rand.New(rand.NewSource(seed)), 4000, 50, 0.15)
+			if sim.maxStale > delta {
+				t.Errorf("seed=%d Δ=%v: max staleness %v exceeds Δ", seed, delta, sim.maxStale)
+			}
+			if sim.served == 0 || sim.cacheHits == 0 {
+				t.Errorf("seed=%d Δ=%v: vacuous run (served=%d hits=%d)", seed, delta, sim.served, sim.cacheHits)
+			}
+		}
+	}
+}
+
+func TestTTLOnlyBaselineViolatesDelta(t *testing.T) {
+	// Shape check for Table 2: with a 60 s TTL and no sketch, staleness
+	// approaches the TTL — far beyond a 1 s Δ. This is the failure mode
+	// the protocol exists to fix.
+	sim := newProtocolSim(time.Second, 60*time.Second, false)
+	sim.run(rand.New(rand.NewSource(42)), 4000, 50, 0.15)
+	if sim.maxStale <= time.Second {
+		t.Fatalf("TTL-only baseline suspiciously consistent: max stale %v", sim.maxStale)
+	}
+	if sim.staleReads == 0 {
+		t.Fatal("TTL-only baseline produced no stale reads under 15% writes")
+	}
+}
+
+func TestSketchReducesStaleReadsVsBaseline(t *testing.T) {
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	withSketch := newProtocolSim(2*time.Second, 60*time.Second, true)
+	withSketch.run(rngA, 3000, 30, 0.2)
+	baseline := newProtocolSim(2*time.Second, 60*time.Second, false)
+	baseline.run(rngB, 3000, 30, 0.2)
+
+	// The sketch should cut stale reads by a large factor while keeping a
+	// substantial share of cache hits.
+	if withSketch.staleReads*5 > baseline.staleReads {
+		t.Fatalf("sketch stale=%d vs baseline stale=%d — reduction too small",
+			withSketch.staleReads, baseline.staleReads)
+	}
+	if withSketch.cacheHits == 0 {
+		t.Fatal("sketch killed all cache hits")
+	}
+}
+
+func TestFalsePositivesOnlyCostRevalidations(t *testing.T) {
+	// With a deliberately tiny (high-FPR) sketch the protocol must still
+	// hold the Δ bound — false positives are a performance tax, never a
+	// correctness loss.
+	clk := clock.NewSimulated(time.Time{})
+	sim := &protocolSim{
+		clk:       clk,
+		origin:    make(map[string]uint64),
+		log:       NewVersionLog(),
+		server:    NewServer(ServerConfig{Capacity: 10, FalsePositiveRate: 0.5, Clock: clk}),
+		client:    NewClient(clk, 2*time.Second),
+		store:     cache.New(cache.Config{Clock: clk}),
+		ttl:       60 * time.Second,
+		useSketch: true,
+	}
+	sim.run(rand.New(rand.NewSource(11)), 3000, 200, 0.2)
+	if sim.maxStale > 2*time.Second {
+		t.Fatalf("undersized sketch broke Δ-atomicity: %v", sim.maxStale)
+	}
+	if sim.revalidates == 0 {
+		t.Fatal("expected revalidations under a high-FPR sketch")
+	}
+}
+
+func TestZeroWriteWorkloadNeverRevalidates(t *testing.T) {
+	sim := newProtocolSim(5*time.Second, time.Hour, true)
+	rng := rand.New(rand.NewSource(3))
+	// Seed one version for each key, then read-only traffic.
+	sim.run(rng, 2000, 20, 0)
+	if sim.staleReads != 0 {
+		t.Fatal("stale reads without writes")
+	}
+	// All sketch checks should pass (no writes → empty sketch → no
+	// revalidations beyond cold misses).
+	if sim.revalidates != 0 {
+		t.Fatalf("revalidates = %d in write-free run", sim.revalidates)
+	}
+	if sim.cacheHits == 0 {
+		t.Fatal("no cache hits in read-only run")
+	}
+}
+
+func BenchmarkProtocolReadPath(b *testing.B) {
+	clk := clock.NewSimulated(time.Time{})
+	srv := NewServer(ServerConfig{Capacity: 10000, Clock: clk})
+	cl := NewClient(clk, time.Minute)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("/r/%d", i)
+		srv.ReportCachedRead(key, clk.Now().Add(time.Hour))
+		if i%10 == 0 {
+			srv.ReportWrite(key)
+		}
+	}
+	cl.Install(srv.Snapshot())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Check(fmt.Sprintf("/r/%d", i%1000))
+	}
+}
+
+func BenchmarkServerSnapshot(b *testing.B) {
+	clk := clock.NewSimulated(time.Time{})
+	srv := NewServer(ServerConfig{Capacity: 50000, Clock: clk})
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("/r/%d", i)
+		srv.ReportCachedRead(key, clk.Now().Add(time.Hour))
+		srv.ReportWrite(key)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Snapshot()
+	}
+}

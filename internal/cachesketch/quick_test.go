@@ -1,0 +1,102 @@
+package cachesketch
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// quickOp is one randomly generated protocol event. testing/quick fills
+// the fields; interpretation maps them onto protocol operations.
+type quickOp struct {
+	Kind    uint8 // % 4 → cached-read, write, advance, snapshot-check
+	Key     uint8 // % 8 → one of eight resources
+	Seconds uint8 // time parameter
+}
+
+// TestQuickServerSketchInvariants drives the server sketch with random
+// op sequences and checks two invariants after every step:
+//
+//  1. No false negatives: every resource that had a write while a
+//     reported copy was unexpired must be in the sketch until that copy's
+//     expiry (tracked by a naive reference model).
+//  2. Conservative only: the sketch may track more (false positives are
+//     legal) but Contains must never be false when the model says true.
+func TestQuickServerSketchInvariants(t *testing.T) {
+	f := func(ops []quickOp) bool {
+		clk := clock.NewSimulated(time.Time{})
+		srv := NewServer(ServerConfig{Capacity: 100, FalsePositiveRate: 0.01, Clock: clk})
+
+		// Reference model: per key, the maximum reported expiry and the
+		// deadline until which the key must be tracked (set on write).
+		maxExpiry := map[string]time.Time{}
+		mustTrackUntil := map[string]time.Time{}
+
+		for _, op := range ops {
+			key := fmt.Sprintf("/r/%d", op.Key%8)
+			switch op.Kind % 4 {
+			case 0: // cached read with TTL 1..64s
+				exp := clk.Now().Add(time.Duration(op.Seconds%64+1) * time.Second)
+				srv.ReportCachedRead(key, exp)
+				if exp.After(maxExpiry[key]) {
+					maxExpiry[key] = exp
+				}
+			case 1: // write
+				srv.ReportWrite(key)
+				if exp, ok := maxExpiry[key]; ok && exp.After(clk.Now()) {
+					if exp.After(mustTrackUntil[key]) {
+						mustTrackUntil[key] = exp
+					}
+				}
+			case 2: // time passes 0..16s
+				clk.Advance(time.Duration(op.Seconds%16) * time.Second)
+			case 3: // invariant probe via snapshot
+				sn := srv.Snapshot()
+				for k, until := range mustTrackUntil {
+					if clk.Now().Before(until) && !sn.MightBeStale(k) {
+						return false // false negative — protocol broken
+					}
+				}
+			}
+			// Invariant 1 on the live server after every op.
+			for k, until := range mustTrackUntil {
+				if clk.Now().Before(until) && !srv.Contains(k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSketchDrainsWhenQuiescent: after arbitrary activity, once all
+// reported expirations have passed the sketch must be empty — no leaks.
+func TestQuickSketchDrainsWhenQuiescent(t *testing.T) {
+	f := func(ops []quickOp) bool {
+		clk := clock.NewSimulated(time.Time{})
+		srv := NewServer(ServerConfig{Capacity: 100, Clock: clk})
+		for _, op := range ops {
+			key := fmt.Sprintf("/r/%d", op.Key%8)
+			switch op.Kind % 3 {
+			case 0:
+				srv.ReportCachedRead(key, clk.Now().Add(time.Duration(op.Seconds%64+1)*time.Second))
+			case 1:
+				srv.ReportWrite(key)
+			case 2:
+				clk.Advance(time.Duration(op.Seconds%8) * time.Second)
+			}
+		}
+		clk.Advance(65 * time.Second) // beyond every possible TTL
+		st := srv.Stats()
+		return st.Tracked == 0 && st.TableSize == 0 && st.Adds == st.Removes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package cachesketch implements Speed Kit's custom cache coherence
+// protocol — the paper's primary contribution. The protocol lets
+// expiration-based caches (browser caches, service-worker caches, CDN
+// edges) serve personalized-era content without unbounded staleness:
+//
+//   - The server maintains a counting Bloom filter of resource IDs that
+//     were written while a cached copy with an unexpired TTL might still
+//     exist anywhere. An ID enters the sketch on such a write and leaves
+//     when the last possibly-live copy's TTL has passed.
+//   - Clients periodically (every Δ at most) fetch a flattened, compact
+//     Bloom filter of that set. Before using any locally cached entry, a
+//     client checks the sketch: a hit forces a revalidation, a miss
+//     permits serving from cache.
+//
+// Guarantee (Δ-atomicity): every read returns a value that was current at
+// some instant within the last Δ. Bloom false positives only cause
+// spurious revalidations — they can never cause staleness — so the bound
+// holds regardless of filter sizing; sizing only tunes the revalidation
+// overhead.
+package cachesketch
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"speedkit/internal/bloom"
+	"speedkit/internal/clock"
+)
+
+// ServerConfig sizes the server-side sketch.
+type ServerConfig struct {
+	// Capacity is the expected number of simultaneously stale-tracked
+	// resources (default 10000).
+	Capacity uint64
+	// FalsePositiveRate targets the flattened sketch's FPR at capacity
+	// (default 0.05, the value that balances sketch bytes against
+	// spurious revalidations in the paper family's deployments).
+	FalsePositiveRate float64
+	// Clock supplies time (default system clock).
+	Clock clock.Clock
+}
+
+func (c *ServerConfig) applyDefaults() {
+	if c.Capacity == 0 {
+		c.Capacity = 10000
+	}
+	if c.FalsePositiveRate <= 0 || c.FalsePositiveRate >= 1 {
+		c.FalsePositiveRate = 0.05
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+}
+
+// ServerStats counts protocol activity.
+type ServerStats struct {
+	// Adds is how many IDs entered the sketch.
+	Adds uint64
+	// Removes is how many IDs left after their last copy expired.
+	Removes uint64
+	// Extends is how many writes extended an ID already in the sketch.
+	Extends uint64
+	// WritesUncached counts writes to resources with no live cached copy
+	// (no sketch entry needed).
+	WritesUncached uint64
+	// Snapshots is how many client sketches were generated.
+	Snapshots uint64
+	// Tracked is the current number of IDs in the sketch.
+	Tracked int
+	// TableSize is the current size of the expiration table.
+	TableSize int
+}
+
+// Server is the origin-side half of the protocol. Safe for concurrent use.
+type Server struct {
+	mu  sync.Mutex
+	cfg ServerConfig
+
+	counting *bloom.Counting
+	// expiry is the expiration table: resource ID → the latest expiration
+	// instant of any cached copy reported so far.
+	expiry map[string]time.Time
+	// inSketch maps IDs currently in the sketch to their scheduled
+	// removal instant.
+	inSketch map[string]time.Time
+	// removals orders pending sketch removals and expiry-table cleanups.
+	removals expiryHeap
+
+	generation uint64
+	stats      ServerStats
+}
+
+// NewServer creates a protocol server.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.applyDefaults()
+	return &Server{
+		cfg:      cfg,
+		counting: bloom.NewCountingForCapacity(cfg.Capacity, cfg.FalsePositiveRate),
+		expiry:   make(map[string]time.Time),
+		inSketch: make(map[string]time.Time),
+	}
+}
+
+// expiryHeap is a min-heap of (when, key, kind) events.
+type expiryEvent struct {
+	when time.Time
+	key  string
+	kind eventKind
+}
+
+type eventKind int
+
+const (
+	evictSketch eventKind = iota
+	cleanTable
+)
+
+type expiryHeap []expiryEvent
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].when.Before(h[j].when) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEvent)) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// advanceLocked processes all due removal/cleanup events.
+func (s *Server) advanceLocked(now time.Time) {
+	for len(s.removals) > 0 && !s.removals[0].when.After(now) {
+		ev := heap.Pop(&s.removals).(expiryEvent)
+		switch ev.kind {
+		case evictSketch:
+			until, ok := s.inSketch[ev.key]
+			// The scheduled removal may be stale if a later write
+			// extended the ID's residency; only act on the final one.
+			if ok && !until.After(ev.when) {
+				s.counting.Remove(ev.key)
+				delete(s.inSketch, ev.key)
+				s.stats.Removes++
+			}
+		case cleanTable:
+			exp, ok := s.expiry[ev.key]
+			if ok && !exp.After(ev.when) {
+				delete(s.expiry, ev.key)
+			}
+		}
+	}
+}
+
+// ReportCachedRead records that a cache somewhere now holds a copy of the
+// resource expiring at expiresAt. Every cache fill (browser, service
+// worker, CDN edge) must be reported — the expiration table is what lets
+// the server know whether a later write can possibly be hidden by a
+// cached copy. Reports with past expirations are ignored.
+func (s *Server) ReportCachedRead(key string, expiresAt time.Time) {
+	now := s.cfg.Clock.Now()
+	if !expiresAt.After(now) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	if cur, ok := s.expiry[key]; !ok || expiresAt.After(cur) {
+		s.expiry[key] = expiresAt
+		heap.Push(&s.removals, expiryEvent{when: expiresAt, key: key, kind: cleanTable})
+	}
+}
+
+// ReportWrite records a write to the resource. If any reported cached
+// copy may still be live, the resource ID enters the sketch (or has its
+// residency extended) until that copy's expiration — after which every
+// cache has organically dropped the stale version and the ID can leave.
+// Reports whether the ID is now tracked in the sketch.
+func (s *Server) ReportWrite(key string) bool {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+
+	until, live := s.expiry[key]
+	if !live || !until.After(now) {
+		s.stats.WritesUncached++
+		return false
+	}
+	if cur, in := s.inSketch[key]; in {
+		if until.After(cur) {
+			s.inSketch[key] = until
+			heap.Push(&s.removals, expiryEvent{when: until, key: key, kind: evictSketch})
+		}
+		s.stats.Extends++
+		return true
+	}
+	s.counting.Add(key)
+	s.inSketch[key] = until
+	heap.Push(&s.removals, expiryEvent{when: until, key: key, kind: evictSketch})
+	s.stats.Adds++
+	return true
+}
+
+// Contains reports whether the resource is currently tracked as
+// potentially stale. Used for server-side revalidation decisions and
+// tests; clients use their own Snapshot.
+func (s *Server) Contains(key string) bool {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	_, ok := s.inSketch[key]
+	return ok
+}
+
+// Snapshot flattens the counting filter into the compact client sketch.
+// The snapshot is immutable and safe to share across clients; producing
+// one is the server-side cost paid once per Δ per client population (in
+// production it is CDN-cached itself with TTL Δ).
+func (s *Server) Snapshot() *Snapshot {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	s.generation++
+	s.stats.Snapshots++
+	return &Snapshot{
+		Filter:     s.counting.Flatten(),
+		Generation: s.generation,
+		TakenAt:    now,
+	}
+}
+
+// Stats returns a copy of the counters plus current sizes.
+func (s *Server) Stats() ServerStats {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	st := s.stats
+	st.Tracked = len(s.inSketch)
+	st.TableSize = len(s.expiry)
+	return st
+}
+
+// SketchBytes returns the wire size of a flattened snapshot.
+func (s *Server) SketchBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	words := (int(s.counting.Bits()) + 63) / 64
+	return words*8 + 13
+}
+
+// Snapshot is one generation of the client-facing sketch.
+type Snapshot struct {
+	Filter     *bloom.Filter
+	Generation uint64
+	TakenAt    time.Time
+}
+
+// MightBeStale reports whether the key hits the sketch. True means "a
+// cached copy of this resource could be stale — revalidate"; false means
+// every cached copy is provably coherent up to the snapshot time.
+func (sn *Snapshot) MightBeStale(key string) bool {
+	return sn.Filter.Contains(key)
+}
+
+// Marshal encodes the snapshot's filter for the wire.
+func (sn *Snapshot) Marshal() ([]byte, error) {
+	return sn.Filter.MarshalBinary()
+}

@@ -1,0 +1,217 @@
+package cachesketch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func newTestServer() (*Server, *clock.Simulated) {
+	clk := clock.NewSimulated(time.Time{})
+	s := NewServer(ServerConfig{Capacity: 1000, FalsePositiveRate: 0.01, Clock: clk})
+	return s, clk
+}
+
+func TestWriteWithoutCachedCopyNotTracked(t *testing.T) {
+	s, _ := newTestServer()
+	if s.ReportWrite("/p/1") {
+		t.Fatal("write to uncached resource entered sketch")
+	}
+	if s.Contains("/p/1") {
+		t.Fatal("uncached write tracked")
+	}
+	if st := s.Stats(); st.WritesUncached != 1 || st.Adds != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteAfterCachedReadEntersSketchUntilExpiry(t *testing.T) {
+	s, clk := newTestServer()
+	s.ReportCachedRead("/p/1", clk.Now().Add(60*time.Second))
+	clk.Advance(10 * time.Second)
+	if !s.ReportWrite("/p/1") {
+		t.Fatal("write to cached resource not tracked")
+	}
+	if !s.Contains("/p/1") {
+		t.Fatal("not in sketch after write")
+	}
+	// Still tracked just before the copy expires...
+	clk.Advance(49 * time.Second) // now = 59s
+	if !s.Contains("/p/1") {
+		t.Fatal("left sketch before copy expiry")
+	}
+	// ...and gone at/after expiry.
+	clk.Advance(time.Second) // now = 60s
+	if s.Contains("/p/1") {
+		t.Fatal("still in sketch after last copy expired")
+	}
+	st := s.Stats()
+	if st.Adds != 1 || st.Removes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteAfterCopyExpiredNotTracked(t *testing.T) {
+	s, clk := newTestServer()
+	s.ReportCachedRead("/p/1", clk.Now().Add(10*time.Second))
+	clk.Advance(11 * time.Second)
+	if s.ReportWrite("/p/1") {
+		t.Fatal("write after copy expiry entered sketch")
+	}
+}
+
+func TestMultipleCachedReadsTakeMaxExpiry(t *testing.T) {
+	s, clk := newTestServer()
+	now := clk.Now()
+	s.ReportCachedRead("/p/1", now.Add(10*time.Second))
+	s.ReportCachedRead("/p/1", now.Add(60*time.Second))
+	s.ReportCachedRead("/p/1", now.Add(30*time.Second)) // must not shrink
+	s.ReportWrite("/p/1")
+	clk.Advance(30 * time.Second)
+	if !s.Contains("/p/1") {
+		t.Fatal("sketch dropped key before the longest-lived copy expired")
+	}
+	clk.Advance(30 * time.Second)
+	if s.Contains("/p/1") {
+		t.Fatal("sketch kept key after longest copy expired")
+	}
+}
+
+func TestPastExpirationReportIgnored(t *testing.T) {
+	s, clk := newTestServer()
+	s.ReportCachedRead("/p/1", clk.Now().Add(-time.Second))
+	if s.ReportWrite("/p/1") {
+		t.Fatal("expired report enabled tracking")
+	}
+	if st := s.Stats(); st.TableSize != 0 {
+		t.Fatalf("expiry table grew on past report: %+v", st)
+	}
+}
+
+func TestSecondWriteExtendsResidency(t *testing.T) {
+	s, clk := newTestServer()
+	now := clk.Now()
+	s.ReportCachedRead("/p/1", now.Add(20*time.Second))
+	s.ReportWrite("/p/1")
+	// A fresh copy of v2 gets cached with a longer TTL, then v3 is written.
+	s.ReportCachedRead("/p/1", now.Add(90*time.Second))
+	clk.Advance(10 * time.Second)
+	s.ReportWrite("/p/1")
+	st := s.Stats()
+	if st.Adds != 1 || st.Extends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The first removal event (t=20s) must not evict the extended entry.
+	clk.Advance(15 * time.Second) // now = 25s
+	if !s.Contains("/p/1") {
+		t.Fatal("stale removal event evicted an extended entry")
+	}
+	clk.Advance(65 * time.Second) // now = 90s
+	if s.Contains("/p/1") {
+		t.Fatal("extended entry never evicted")
+	}
+	if s.Stats().Removes != 1 {
+		t.Fatalf("removes = %d, want exactly 1 (one add, one remove)", s.Stats().Removes)
+	}
+}
+
+func TestSnapshotReflectsTrackedKeys(t *testing.T) {
+	s, clk := newTestServer()
+	now := clk.Now()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("/p/%d", i)
+		s.ReportCachedRead(key, now.Add(time.Hour))
+		s.ReportWrite(key)
+	}
+	sn := s.Snapshot()
+	for i := 0; i < 50; i++ {
+		if !sn.MightBeStale(fmt.Sprintf("/p/%d", i)) {
+			t.Fatalf("snapshot missing tracked key /p/%d", i)
+		}
+	}
+	if sn.Generation != 1 {
+		t.Fatalf("generation = %d", sn.Generation)
+	}
+	sn2 := s.Snapshot()
+	if sn2.Generation != 2 {
+		t.Fatalf("generation = %d", sn2.Generation)
+	}
+	if !sn2.TakenAt.Equal(clk.Now()) {
+		t.Fatal("TakenAt wrong")
+	}
+}
+
+func TestSnapshotIsImmutableAgainstLaterWrites(t *testing.T) {
+	s, clk := newTestServer()
+	sn := s.Snapshot()
+	s.ReportCachedRead("/late", clk.Now().Add(time.Hour))
+	s.ReportWrite("/late")
+	if sn.MightBeStale("/late") {
+		t.Fatal("old snapshot sees later write")
+	}
+}
+
+func TestSnapshotMarshal(t *testing.T) {
+	s, _ := newTestServer()
+	sn := s.Snapshot()
+	data, err := sn.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != s.SketchBytes() {
+		t.Fatalf("marshal len %d != SketchBytes %d", len(data), s.SketchBytes())
+	}
+}
+
+func TestExpiryTableCleanedUp(t *testing.T) {
+	s, clk := newTestServer()
+	for i := 0; i < 100; i++ {
+		s.ReportCachedRead(fmt.Sprintf("/p/%d", i), clk.Now().Add(10*time.Second))
+	}
+	if st := s.Stats(); st.TableSize != 100 {
+		t.Fatalf("table size = %d", st.TableSize)
+	}
+	clk.Advance(11 * time.Second)
+	if st := s.Stats(); st.TableSize != 0 {
+		t.Fatalf("expiry table not cleaned: %d entries", st.TableSize)
+	}
+}
+
+func TestServerConfigDefaults(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	if s.cfg.Capacity != 10000 || s.cfg.FalsePositiveRate != 0.05 || s.cfg.Clock == nil {
+		t.Fatalf("defaults = %+v", s.cfg)
+	}
+}
+
+func TestServerConcurrent(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	s := NewServer(ServerConfig{Capacity: 10000, Clock: clk})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("/p/%d", (w*500+i)%100)
+				s.ReportCachedRead(key, clk.Now().Add(time.Minute))
+				s.ReportWrite(key)
+				if i%50 == 0 {
+					s.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Tracked == 0 {
+		t.Fatal("nothing tracked after concurrent load")
+	}
+	clk.Advance(2 * time.Minute)
+	if st := s.Stats(); st.Tracked != 0 {
+		t.Fatalf("sketch not drained after all TTLs passed: %d", st.Tracked)
+	}
+}

@@ -1,0 +1,88 @@
+package cachesketch
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// VersionLog records when each version of each resource became current.
+// It is the measurement instrument behind the consistency experiments: a
+// read that returned version v at time t is Δ-atomic iff v was the
+// current version at some instant in [t−Δ, t]; its staleness is how long
+// before t the version was superseded (zero if it was still current
+// within the window's end).
+type VersionLog struct {
+	mu       sync.RWMutex
+	versions map[string][]versionStamp
+}
+
+type versionStamp struct {
+	version   uint64
+	writtenAt time.Time
+}
+
+// NewVersionLog creates an empty log.
+func NewVersionLog() *VersionLog {
+	return &VersionLog{versions: make(map[string][]versionStamp)}
+}
+
+// RecordWrite notes that the resource's current version became v at time
+// t. Versions must be recorded in increasing order per key.
+func (l *VersionLog) RecordWrite(key string, v uint64, t time.Time) {
+	l.mu.Lock()
+	l.versions[key] = append(l.versions[key], versionStamp{version: v, writtenAt: t})
+	l.mu.Unlock()
+}
+
+// CurrentVersion returns the version current at time t (0 if the key has
+// no version written at or before t).
+func (l *VersionLog) CurrentVersion(key string, t time.Time) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	vs := l.versions[key]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].writtenAt.After(t) })
+	if i == 0 {
+		return 0
+	}
+	return vs[i-1].version
+}
+
+// Staleness returns how stale a read of (key, servedVersion) at readTime
+// was: zero if the served version was still current at readTime, else the
+// duration between the superseding write and the read. Reads of versions
+// never recorded return zero (the log cannot judge them).
+func (l *VersionLog) Staleness(key string, servedVersion uint64, readTime time.Time) time.Duration {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	vs := l.versions[key]
+	// Find the served version's successor.
+	idx := -1
+	for i, s := range vs {
+		if s.version == servedVersion {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 || idx+1 >= len(vs) {
+		return 0 // unknown or still the newest version
+	}
+	supersededAt := vs[idx+1].writtenAt
+	if supersededAt.After(readTime) {
+		return 0 // superseded only after the read
+	}
+	return readTime.Sub(supersededAt)
+}
+
+// DeltaAtomic reports whether a read of (key, servedVersion) at readTime
+// satisfies Δ-atomicity for the given delta.
+func (l *VersionLog) DeltaAtomic(key string, servedVersion uint64, readTime time.Time, delta time.Duration) bool {
+	return l.Staleness(key, servedVersion, readTime) <= delta
+}
+
+// Keys returns the number of tracked keys.
+func (l *VersionLog) Keys() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.versions)
+}

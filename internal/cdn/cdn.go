@@ -1,0 +1,222 @@
+// Package cdn simulates the content delivery network tier: one edge cache
+// per region, TTL-based expiration, and an instant purge API. It stands in
+// for the commercial CDN the production system runs on (see DESIGN.md's
+// substitution table) and reproduces the two semantics the coherence
+// protocol depends on: copies live until their TTL unless purged, and a
+// purge only affects copies stored before it was issued.
+//
+// Purges carry a configurable propagation delay (default 10 ms, matching
+// published instant-purge latencies) so that the invalidation-pipeline
+// experiments can measure end-to-end detection-to-purge latency honestly.
+package cdn
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/clock"
+	"speedkit/internal/netsim"
+)
+
+// Config parameterizes the CDN.
+type Config struct {
+	// Regions to deploy edges in (default: all canonical regions).
+	Regions []netsim.Region
+	// EdgeMaxItems bounds each edge cache's entry count (default 100000).
+	EdgeMaxItems int
+	// EdgeMaxBytes bounds each edge cache's size (0 = unlimited).
+	EdgeMaxBytes int
+	// PurgeDelay is how long a purge takes to reach the edges
+	// (default 10ms).
+	PurgeDelay time.Duration
+	// Clock supplies time (default system clock).
+	Clock clock.Clock
+}
+
+func (c *Config) applyDefaults() {
+	if len(c.Regions) == 0 {
+		c.Regions = netsim.Regions()
+	}
+	if c.EdgeMaxItems == 0 {
+		c.EdgeMaxItems = 100000
+	}
+	if c.PurgeDelay == 0 {
+		c.PurgeDelay = 10 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+}
+
+// Stats aggregates CDN activity.
+type Stats struct {
+	Hits, Misses, Fills, Purges, PurgedEntries uint64
+}
+
+// HitRatio returns hits/(hits+misses).
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// CDN is the multi-PoP edge network. Safe for concurrent use.
+type CDN struct {
+	mu     sync.Mutex
+	cfg    Config
+	edges  map[netsim.Region]*Edge
+	purges purgeHeap
+	stats  Stats
+}
+
+// Edge is one point of presence.
+type Edge struct {
+	Region netsim.Region
+	store  *cache.Store
+	cdn    *CDN
+}
+
+type purgeEvent struct {
+	key         string
+	issuedAt    time.Time
+	effectiveAt time.Time
+}
+
+type purgeHeap []purgeEvent
+
+func (h purgeHeap) Len() int           { return len(h) }
+func (h purgeHeap) Less(i, j int) bool { return h[i].effectiveAt.Before(h[j].effectiveAt) }
+func (h purgeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *purgeHeap) Push(x any)        { *h = append(*h, x.(purgeEvent)) }
+func (h *purgeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// New builds the CDN from cfg.
+func New(cfg Config) *CDN {
+	cfg.applyDefaults()
+	c := &CDN{cfg: cfg, edges: make(map[netsim.Region]*Edge, len(cfg.Regions))}
+	for _, r := range cfg.Regions {
+		c.edges[r] = &Edge{
+			Region: r,
+			store: cache.New(cache.Config{
+				MaxItems: cfg.EdgeMaxItems,
+				MaxBytes: cfg.EdgeMaxBytes,
+				Clock:    cfg.Clock,
+			}),
+			cdn: c,
+		}
+	}
+	return c
+}
+
+// Edge returns the PoP for region r (nil if not deployed).
+func (c *CDN) Edge(r netsim.Region) *Edge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.edges[r]
+}
+
+// Regions lists deployed regions, sorted for stable reports.
+func (c *CDN) Regions() []netsim.Region {
+	c.mu.Lock()
+	out := make([]netsim.Region, 0, len(c.edges))
+	for r := range c.edges {
+		out = append(out, r)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// applyDuePurgesLocked executes purges whose propagation delay has passed.
+// A purge removes an entry only if the entry was stored at or before the
+// purge was issued: copies fetched after the write are already fresh.
+func (c *CDN) applyDuePurgesLocked(now time.Time) {
+	for len(c.purges) > 0 && !c.purges[0].effectiveAt.After(now) {
+		ev := heap.Pop(&c.purges).(purgeEvent)
+		for _, e := range c.edges {
+			if entry, ok := e.store.Peek(ev.key); ok && !entry.StoredAt.After(ev.issuedAt) {
+				e.store.Delete(ev.key)
+				c.stats.PurgedEntries++
+			}
+		}
+	}
+}
+
+// Lookup serves key from the edge, honoring pending purges.
+func (e *Edge) Lookup(key string) (cache.Entry, bool) {
+	now := e.cdn.cfg.Clock.Now()
+	e.cdn.mu.Lock()
+	e.cdn.applyDuePurgesLocked(now)
+	entry, ok := e.store.Get(key)
+	if ok {
+		e.cdn.stats.Hits++
+	} else {
+		e.cdn.stats.Misses++
+	}
+	e.cdn.mu.Unlock()
+	return entry, ok
+}
+
+// Fill stores an entry at this edge (an origin fetch completing).
+func (e *Edge) Fill(entry cache.Entry) {
+	e.cdn.mu.Lock()
+	e.store.Put(entry)
+	e.cdn.stats.Fills++
+	e.cdn.mu.Unlock()
+}
+
+// Store exposes the edge's cache store for inspection in tests.
+func (e *Edge) Store() *cache.Store { return e.store }
+
+// Purge schedules removal of key from every edge after the propagation
+// delay. Returns the instant the purge becomes effective.
+func (c *CDN) Purge(key string) time.Time {
+	now := c.cfg.Clock.Now()
+	eff := now.Add(c.cfg.PurgeDelay)
+	c.mu.Lock()
+	heap.Push(&c.purges, purgeEvent{key: key, issuedAt: now, effectiveAt: eff})
+	c.stats.Purges++
+	c.mu.Unlock()
+	return eff
+}
+
+// PurgeAll drops every entry from every edge immediately.
+func (c *CDN) PurgeAll() {
+	c.mu.Lock()
+	for _, e := range c.edges {
+		e.store.Clear()
+	}
+	c.purges = c.purges[:0]
+	c.mu.Unlock()
+}
+
+// Stats returns a copy of the aggregate counters after applying due
+// purges.
+func (c *CDN) Stats() Stats {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.applyDuePurgesLocked(now)
+	return c.stats
+}
+
+// EdgeStats returns the cache-level stats of the edge in region r.
+func (c *CDN) EdgeStats(r netsim.Region) cache.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.edges[r]
+	if !ok {
+		return cache.Stats{}
+	}
+	return e.store.Stats()
+}

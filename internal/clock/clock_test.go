@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowProgresses(t *testing.T) {
+	a := System.Now()
+	b := System.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSimulatedDefaultsToFixedEpoch(t *testing.T) {
+	a := NewSimulated(time.Time{})
+	b := NewSimulated(time.Time{})
+	if !a.Now().Equal(b.Now()) {
+		t.Fatalf("default epochs differ: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	c := NewSimulated(time.Unix(100, 0))
+	c.Advance(5 * time.Second)
+	if got := c.Now(); !got.Equal(time.Unix(105, 0)) {
+		t.Fatalf("now = %v, want 105s", got)
+	}
+	c.Advance(-time.Hour) // ignored
+	if got := c.Now(); !got.Equal(time.Unix(105, 0)) {
+		t.Fatalf("negative advance moved clock: %v", got)
+	}
+}
+
+func TestSimulatedSetNeverBackwards(t *testing.T) {
+	c := NewSimulated(time.Unix(100, 0))
+	c.Set(time.Unix(50, 0))
+	if !c.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("Set moved clock backwards to %v", c.Now())
+	}
+	c.Set(time.Unix(200, 0))
+	if !c.Now().Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set failed to move forward: %v", c.Now())
+	}
+}
+
+func TestSimulatedConcurrentAdvance(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); !got.Equal(time.Unix(8, 0)) {
+		t.Fatalf("now = %v, want 8s", got)
+	}
+}

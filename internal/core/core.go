@@ -1,0 +1,507 @@
+// Package core assembles the Speed Kit service from its substrates: the
+// document store (system of record), the origin server, the CDN, the
+// Cache Sketch coherence server, the real-time invalidation engine, and
+// the adaptive TTL estimator. It implements the client proxy's Transport
+// and wires the invalidation pipeline:
+//
+//	write → change stream → { product-page version bump,
+//	                          query matching (invalidb) }
+//	      → per affected path: sketch ReportWrite + CDN purge
+//	                          + TTL-estimator write sample
+//
+// Every component shares one injectable clock, so the full stack runs
+// deterministically under simulated time.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/cdn"
+	"speedkit/internal/clock"
+	"speedkit/internal/gdpr"
+	"speedkit/internal/invalidb"
+	"speedkit/internal/netsim"
+	"speedkit/internal/origin"
+	"speedkit/internal/proxy"
+	"speedkit/internal/session"
+	"speedkit/internal/storage"
+	"speedkit/internal/ttl"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Clock drives every component (default: a fresh simulated clock).
+	Clock clock.Clock
+	// Network models latencies (default: DefaultTopology(Seed)).
+	Network *netsim.Network
+	// Seed makes service-side randomness (render jitter) deterministic.
+	Seed int64
+	// Delta is the default staleness bound handed to devices (default 60s).
+	Delta time.Duration
+	// SketchCapacity sizes the coherence server (default 10000).
+	SketchCapacity uint64
+	// SketchFPR targets the client sketch false-positive rate (default 0.05).
+	SketchFPR float64
+	// TTLSource decides per-resource TTLs. Nil installs an adaptive
+	// estimator (the paper's design); use ttl.Static for baselines.
+	TTLSource ttl.TTLSource
+	// PurgeDelay is the CDN purge propagation delay (default 10ms).
+	PurgeDelay time.Duration
+	// OriginRenderTime is the mean server-side render latency
+	// (default 25ms, jittered ±40%).
+	OriginRenderTime time.Duration
+	// InvalidationShards partitions the query matcher (default 4).
+	InvalidationShards int
+	// EdgeMaxItems bounds each CDN edge (default 100000).
+	EdgeMaxItems int
+	// DisableInvalidation turns off the server-side coherence pipeline
+	// (no sketch updates, no CDN purges): caches converge by TTL alone.
+	// This models a traditional CDN deployment and exists for the
+	// consistency baselines; staleness instrumentation stays active.
+	DisableInvalidation bool
+	// DisableSketchOnDevices makes NewDevice hand out TTL-only proxies.
+	DisableSketchOnDevices bool
+	// PrefetchLinks makes NewDevice proxies warm their caches with up to
+	// this many links per loaded page (0 disables).
+	PrefetchLinks int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.NewSimulated(time.Time{})
+	}
+	if c.Network == nil {
+		c.Network = netsim.DefaultTopology(c.Seed)
+	}
+	if c.Delta <= 0 {
+		c.Delta = 60 * time.Second
+	}
+	if c.SketchCapacity == 0 {
+		c.SketchCapacity = 10000
+	}
+	if c.SketchFPR <= 0 || c.SketchFPR >= 1 {
+		c.SketchFPR = 0.05
+	}
+	if c.PurgeDelay <= 0 {
+		c.PurgeDelay = 10 * time.Millisecond
+	}
+	if c.OriginRenderTime <= 0 {
+		c.OriginRenderTime = 25 * time.Millisecond
+	}
+	if c.InvalidationShards <= 0 {
+		c.InvalidationShards = 4
+	}
+}
+
+// Stats aggregates service-side activity.
+type Stats struct {
+	Invalidations uint64
+	SketchFetches uint64
+	OriginRenders uint64
+	BlockFetches  uint64
+}
+
+// Service is one Speed Kit deployment.
+type Service struct {
+	cfg Config
+
+	docs    *storage.DocumentStore
+	origin  *origin.Server
+	cdnNet  *cdn.CDN
+	sketch  *cachesketch.Server
+	engine  *invalidb.Engine
+	est     *ttl.Estimator // nil when a static TTLSource is installed
+	ttlSrc  ttl.TTLSource
+	verlog  *cachesketch.VersionLog
+	consent *gdpr.ConsentLedger
+	auditor *gdpr.Auditor
+
+	// The remaining polyglot stores: a Redis-style KV holding per-path
+	// hit counters, and a time-series store recording service events for
+	// the analytics that reports (and, in production, dashboards) read.
+	counters  *storage.KV
+	analytics *storage.TimeSeries
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+
+	cancels []func()
+}
+
+// NewService builds a service over an existing document store and origin.
+// The origin must already be registered with its pages; query pages are
+// wired into the invalidation engine automatically.
+func NewService(cfg Config, docs *storage.DocumentStore, org *origin.Server) *Service {
+	cfg.applyDefaults()
+	s := &Service{
+		cfg:    cfg,
+		docs:   docs,
+		origin: org,
+		cdnNet: cdn.New(cdn.Config{
+			Clock:        cfg.Clock,
+			PurgeDelay:   cfg.PurgeDelay,
+			EdgeMaxItems: cfg.EdgeMaxItems,
+		}),
+		sketch: cachesketch.NewServer(cachesketch.ServerConfig{
+			Capacity:          cfg.SketchCapacity,
+			FalsePositiveRate: cfg.SketchFPR,
+			Clock:             cfg.Clock,
+		}),
+		engine:    invalidb.New(invalidb.Config{Shards: cfg.InvalidationShards, Clock: cfg.Clock}),
+		verlog:    cachesketch.NewVersionLog(),
+		consent:   gdpr.NewConsentLedger(),
+		auditor:   gdpr.NewAuditor(),
+		counters:  storage.NewKV(cfg.Clock),
+		analytics: storage.NewTimeSeries(cfg.Clock),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
+	}
+	// Bound analytics memory: series keep a trailing 31 days, enough for
+	// the longest field simulations.
+	s.analytics.Retention = 31 * 24 * time.Hour
+
+	if cfg.TTLSource != nil {
+		s.ttlSrc = cfg.TTLSource
+	} else {
+		s.est = ttl.NewEstimator(ttl.Config{Clock: cfg.Clock})
+		s.ttlSrc = s.est
+	}
+
+	// Register the origin's listing pages as continuous queries.
+	for path, q := range org.QueryPages() {
+		s.engine.Register(path, q)
+	}
+	// Query invalidations → full pipeline. Listing pages have no owner
+	// bumping their content version (the origin only tracks product
+	// pages), so the service bumps it here before recording the write.
+	s.cancels = append(s.cancels, s.engine.OnInvalidation(func(inv invalidb.Invalidation) {
+		s.origin.Invalidate(inv.RegistrationID)
+		s.handleInvalidation(inv.RegistrationID)
+	}))
+	// Feed the matcher from the change stream, and handle direct
+	// product-page invalidations (the origin has already bumped the page
+	// version by the time this watcher runs, because it registered
+	// earlier on the same synchronous stream).
+	s.cancels = append(s.cancels, docs.Watch(func(ev storage.ChangeEvent) {
+		s.engine.Process(ev)
+		if ev.Collection == "products" {
+			s.handleInvalidation("/product/" + ev.ID)
+		}
+	}))
+	return s
+}
+
+// Close detaches the service from the change stream.
+func (s *Service) Close() {
+	for _, c := range s.cancels {
+		c()
+	}
+	s.cancels = nil
+}
+
+// handleInvalidation runs the server-side coherence pipeline for one
+// stale path.
+func (s *Service) handleInvalidation(path string) {
+	now := s.cfg.Clock.Now()
+	s.verlog.RecordWrite(path, s.origin.Version(path), now)
+	if s.est != nil {
+		s.est.RecordWrite(path)
+	}
+	if !s.cfg.DisableInvalidation {
+		s.sketch.ReportWrite(path)
+		s.cdnNet.Purge(path)
+	}
+	s.analytics.Append("invalidations", 1)
+	s.mu.Lock()
+	s.stats.Invalidations++
+	s.mu.Unlock()
+}
+
+// renderJitter samples origin processing time: mean ± 40%.
+func (s *Service) renderJitter() time.Duration {
+	s.mu.Lock()
+	f := 0.6 + s.rng.Float64()*0.8
+	s.mu.Unlock()
+	return time.Duration(float64(s.cfg.OriginRenderTime) * f)
+}
+
+// --- proxy.Transport -------------------------------------------------------
+
+// FetchSketch implements proxy.Transport: the sketch is an anonymous
+// resource served from the nearest edge.
+func (s *Service) FetchSketch(region netsim.Region) (*cachesketch.Snapshot, time.Duration) {
+	sn := s.sketch.Snapshot()
+	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), s.sketch.SketchBytes())
+	s.mu.Lock()
+	s.stats.SketchFetches++
+	s.mu.Unlock()
+	return sn, lat
+}
+
+// Fetch implements proxy.Transport: serve the anonymous page through the
+// CDN, filling the edge and reporting the cache fill to the sketch server
+// on misses.
+func (s *Service) Fetch(region netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+	s.counters.Incr("hits:"+path, 1)
+	edge := s.cdnNet.Edge(region)
+	if edge != nil {
+		if e, ok := edge.Lookup(path); ok {
+			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
+			s.analytics.Append("edge_hits", 1)
+			return e, lat, proxy.SourceCDN, nil
+		}
+	}
+	return s.fetchFromOrigin(region, path)
+}
+
+// fetchFromOrigin renders the page at the origin, fills the regional
+// edge, and reports the cache fill to the sketch server.
+func (s *Service) fetchFromOrigin(region netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+	edge := s.cdnNet.Edge(region)
+	page, err := s.origin.Render(path)
+	if err != nil {
+		return cache.Entry{}, 0, 0, err
+	}
+	s.mu.Lock()
+	s.stats.OriginRenders++
+	s.analytics.Append("origin_renders", 1)
+	s.mu.Unlock()
+	if s.est != nil {
+		s.est.RecordRead(path)
+	}
+	// Record the initial version so the staleness instrumentation can
+	// judge later reads even for never-written pages.
+	if s.verlog.CurrentVersion(path, s.cfg.Clock.Now()) == 0 {
+		s.verlog.RecordWrite(path, page.Version, s.cfg.Clock.Now())
+	}
+
+	ttlDur := s.ttlSrc.TTL(path)
+	entry := cache.TTLEntry(s.cfg.Clock, path, page.Body, page.Version, ttlDur)
+	entry.Metadata = proxy.EntryMetadata(page.Blocks, page.Links)
+	if edge != nil {
+		edge.Fill(entry)
+	}
+	// One report covers every downstream cache of this response: they all
+	// share the entry's absolute expiration.
+	s.sketch.ReportCachedRead(path, entry.ExpiresAt)
+
+	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(page.Body)) +
+		s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, len(page.Body)) +
+		s.renderJitter()
+	return entry, lat, proxy.SourceOrigin, nil
+}
+
+// revalidationHeaderBytes approximates the wire size of a 304-style
+// response: status line and caching headers, no body.
+const revalidationHeaderBytes = 256
+
+// Revalidate implements proxy.Transport: a conditional fetch carrying
+// the client's held version. The request goes through the CDN — the
+// sketch exists to govern the caches that purges cannot reach (device
+// caches); the edge itself is purge-maintained, so a strictly newer edge
+// copy is trustworthy and answers the revalidation at edge latency. Only
+// when the edge cannot prove progress (no copy, or a copy at the
+// client's own version — possibly the pre-purge body inside the
+// propagation window) does the request fall through to the origin, which
+// answers 304 when the version is still current. The residual staleness
+// an edge answer can carry is bounded by the purge propagation delay
+// (milliseconds), far inside every Δ.
+func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
+	if edge := s.cdnNet.Edge(region); edge != nil {
+		if e, ok := edge.Lookup(path); ok && e.Version > knownVersion {
+			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
+			return proxy.RevalidationResult{Entry: e, Latency: lat, Source: proxy.SourceCDN}, nil
+		}
+	}
+	current := s.origin.Version(path)
+	if current == knownVersion && s.origin.HasRoute(path) {
+		ttlDur := s.ttlSrc.TTL(path)
+		entry := cache.TTLEntry(s.cfg.Clock, path, nil, knownVersion, ttlDur)
+		s.sketch.ReportCachedRead(path, entry.ExpiresAt)
+		lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), revalidationHeaderBytes) +
+			s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, revalidationHeaderBytes)
+		return proxy.RevalidationResult{
+			NotModified: true,
+			Entry:       entry,
+			Latency:     lat,
+			Source:      proxy.SourceOrigin,
+		}, nil
+	}
+	entry, lat, src, err := s.fetchFromOrigin(region, path)
+	if err != nil {
+		return proxy.RevalidationResult{}, err
+	}
+	return proxy.RevalidationResult{Entry: entry, Latency: lat, Source: src}, nil
+}
+
+// FetchBlocks implements proxy.Transport: personalized fragments over the
+// first-party channel (client → origin directly, bypassing the CDN).
+func (s *Service) FetchBlocks(region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+	out := make(map[string][]byte, len(names))
+	size := 0
+	for _, n := range names {
+		fr := s.origin.RenderBlock(n, u)
+		out[n] = fr
+		size += len(fr)
+	}
+	s.mu.Lock()
+	s.stats.BlockFetches++
+	s.mu.Unlock()
+	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.OriginNode, size) + s.renderJitter()/2
+	return out, lat
+}
+
+var _ proxy.Transport = (*Service)(nil)
+
+// NewDevice creates a client proxy for a user in a region, bound to this
+// service with the service's Δ and shared auditor/consent ledger. The
+// user's consent choices (collected by the cookie banner in production)
+// are recorded in the ledger at enrollment — the ledger is strict
+// opt-in, so an unrecorded user is never personalized.
+func (s *Service) NewDevice(u *session.User, region netsim.Region) *proxy.Proxy {
+	if u != nil && u.LoggedIn {
+		now := s.cfg.Clock.Now()
+		if u.ConsentPersonalization {
+			s.consent.Grant(u.ID, gdpr.PurposePersonalization, now)
+		}
+		if u.ConsentAnalytics {
+			s.consent.Grant(u.ID, gdpr.PurposeAnalytics, now)
+		}
+	}
+	return proxy.New(proxy.Config{
+		User:          u,
+		Region:        region,
+		Delta:         s.cfg.Delta,
+		Clock:         s.cfg.Clock,
+		Network:       s.cfg.Network,
+		Auditor:       s.auditor,
+		Consent:       s.consent,
+		DisableSketch: s.cfg.DisableSketchOnDevices,
+		PrefetchLinks: s.cfg.PrefetchLinks,
+	}, s)
+}
+
+// EraseUser implements the right to erasure (GDPR Art. 17) for the
+// service side: the consent ledger forgets the user, and any server-side
+// personal documents keyed by the user are deleted. Device-local state
+// (cart, history) lives only on the user's device, so nothing else needs
+// erasing — the architectural point of the client proxy.
+func (s *Service) EraseUser(u *session.User) {
+	if u == nil {
+		return
+	}
+	s.consent.Erase(u.ID)
+	// Server-side personal collections, if the deployment created any.
+	for _, coll := range []string{"orders", "profiles"} {
+		_ = s.docs.Delete(coll, u.ID)
+	}
+	u.ClearCart()
+}
+
+// Warm pre-renders the given paths and fills every deployed edge, so the
+// first real visitors hit warm caches — the deploy-time bootstrap a
+// production rollout runs before shifting traffic. Unknown paths are
+// skipped and reported; rendering errors for routed paths abort.
+func (s *Service) Warm(paths []string) (warmed int, skipped []string, err error) {
+	for _, path := range paths {
+		if !s.origin.HasRoute(path) {
+			skipped = append(skipped, path)
+			continue
+		}
+		page, rerr := s.origin.Render(path)
+		if rerr != nil {
+			return warmed, skipped, fmt.Errorf("core: warm %s: %w", path, rerr)
+		}
+		entry := cache.TTLEntry(s.cfg.Clock, path, page.Body, page.Version, s.ttlSrc.TTL(path))
+		entry.Metadata = proxy.EntryMetadata(page.Blocks, page.Links)
+		for _, region := range s.cdnNet.Regions() {
+			s.cdnNet.Edge(region).Fill(entry)
+		}
+		s.sketch.ReportCachedRead(path, entry.ExpiresAt)
+		warmed++
+	}
+	return warmed, skipped, nil
+}
+
+// HotPath is one entry of the hit-count leaderboard.
+type HotPath struct {
+	Path string
+	Hits int64
+}
+
+// HotPaths returns the n most-fetched paths (by CDN-tier request count),
+// most popular first — the Redis-counter-backed dashboard view ops teams
+// watch in production.
+func (s *Service) HotPaths(n int) []HotPath {
+	keys := s.counters.Keys("hits:")
+	out := make([]HotPath, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, HotPath{Path: k[len("hits:"):], Hits: s.counters.Counter(k)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Path < out[j].Path
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Analytics returns the service-event time series ("edge_hits",
+// "origin_renders", "invalidations"), downsampled by reports.
+func (s *Service) Analytics() *storage.TimeSeries { return s.analytics }
+
+// --- component accessors ----------------------------------------------------
+
+// Docs returns the document store.
+func (s *Service) Docs() *storage.DocumentStore { return s.docs }
+
+// Origin returns the origin server.
+func (s *Service) Origin() *origin.Server { return s.origin }
+
+// CDN returns the edge network.
+func (s *Service) CDN() *cdn.CDN { return s.cdnNet }
+
+// SketchServer returns the coherence server.
+func (s *Service) SketchServer() *cachesketch.Server { return s.sketch }
+
+// Engine returns the invalidation engine.
+func (s *Service) Engine() *invalidb.Engine { return s.engine }
+
+// Estimator returns the adaptive TTL estimator (nil when a static source
+// was configured).
+func (s *Service) Estimator() *ttl.Estimator { return s.est }
+
+// VersionLog returns the staleness instrumentation.
+func (s *Service) VersionLog() *cachesketch.VersionLog { return s.verlog }
+
+// Auditor returns the shared GDPR flow auditor.
+func (s *Service) Auditor() *gdpr.Auditor { return s.auditor }
+
+// Consent returns the shared consent ledger.
+func (s *Service) Consent() *gdpr.ConsentLedger { return s.consent }
+
+// Network returns the latency model.
+func (s *Service) Network() *netsim.Network { return s.cfg.Network }
+
+// Clock returns the shared clock.
+func (s *Service) Clock() clock.Clock { return s.cfg.Clock }
+
+// Delta returns the configured staleness bound.
+func (s *Service) Delta() time.Duration { return s.cfg.Delta }
+
+// Stats returns a copy of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

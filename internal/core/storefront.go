@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"speedkit/internal/origin"
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+	"speedkit/internal/workload"
+)
+
+// StorefrontConfig sizes the canonical e-commerce deployment used by the
+// examples and every benchmark.
+type StorefrontConfig struct {
+	Config
+	// Products is the catalog size (default 1000).
+	Products int
+	// CatalogSeed seeds the deterministic catalog (default Config.Seed).
+	CatalogSeed int64
+}
+
+// NewStorefront builds the complete demo deployment: seeded catalog,
+// origin with home / category / product pages and the built-in dynamic
+// blocks, and a Service wired over it. It is the one-call entry point the
+// public API exposes.
+func NewStorefront(cfg StorefrontConfig) (*Service, error) {
+	cfg.Config.applyDefaults()
+	if cfg.Products <= 0 {
+		cfg.Products = 1000
+	}
+	if cfg.CatalogSeed == 0 {
+		cfg.CatalogSeed = cfg.Seed + 1
+	}
+
+	docs := storage.NewDocumentStore(cfg.Clock)
+	// Category listings are equality queries; index them so the
+	// invalidation-heavy workloads evaluate them from candidates instead
+	// of collection scans.
+	docs.CreateIndex("products", "category")
+	if err := workload.SeedCatalog(docs, cfg.CatalogSeed, cfg.Products); err != nil {
+		return nil, fmt.Errorf("core: storefront: %w", err)
+	}
+
+	org := origin.NewServer(docs, cfg.Clock)
+	org.RegisterStatic("/", []byte("<h1>Store</h1><p>Featured products</p>"),
+		"greeting", "cart", "reco")
+	org.RegisterProducts("/product/", "products", "cart", "reco", "tier")
+	for _, cat := range workload.Categories {
+		org.RegisterQueryPage(
+			workload.CategoryPath(cat),
+			"Category: "+cat,
+			query.New("products", query.Eq("category", cat)).OrderBy("price", false).WithLimit(24),
+			"cart", "tier",
+		)
+	}
+	org.RegisterBlock("greeting", origin.GreetingBlock)
+	org.RegisterBlock("cart", origin.CartBlock)
+	org.RegisterBlock("reco", origin.RecommendationsBlock)
+	org.RegisterBlock("tier", origin.TierPriceBlock)
+
+	return NewService(cfg.Config, docs, org), nil
+}

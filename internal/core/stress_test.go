@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speedkit/internal/netsim"
+	"speedkit/internal/workload"
+)
+
+// TestConcurrentDevicesAndWriters hammers one service with concurrent
+// device loads, catalog writers, and clock advancement. It asserts the
+// stack stays consistent under -race and that observed staleness stays
+// within 2×Δ (the extra Δ of slack covers clock advancement racing
+// between a device's sketch check and its staleness measurement — the
+// strict bound is asserted by the single-threaded property tests, where
+// reads are atomic in simulated time).
+func TestConcurrentDevicesAndWriters(t *testing.T) {
+	svc, clk := newTestStorefront(t)
+	const devicesN, opsPer = 8, 200
+
+	var wg sync.WaitGroup
+	var worstStale atomic.Int64
+	errCh := make(chan error, devicesN+2)
+
+	// Devices.
+	for d := 0; d < devicesN; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(d)))
+			region := netsim.Regions()[d%3]
+			dev := svc.NewDevice(testUser(), region)
+			for i := 0; i < opsPer; i++ {
+				path := workload.ProductPath(rng.Intn(50))
+				res, err := dev.Load(path)
+				if err != nil {
+					errCh <- fmt.Errorf("device %d: %w", d, err)
+					return
+				}
+				stale := svc.VersionLog().Staleness(path, res.Version, clk.Now())
+				for {
+					cur := worstStale.Load()
+					if int64(stale) <= cur || worstStale.CompareAndSwap(cur, int64(stale)) {
+						break
+					}
+				}
+			}
+		}(d)
+	}
+	// Writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < opsPer; i++ {
+			id := workload.ProductID(rng.Intn(50))
+			if err := svc.Docs().Patch("products", id, map[string]any{"stock": int64(i)}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Clock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < opsPer; i++ {
+			clk.Advance(100 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if worst := time.Duration(worstStale.Load()); worst > 2*svc.Delta() {
+		t.Fatalf("worst staleness %v far beyond Δ=%v under concurrency", worst, svc.Delta())
+	}
+	// The pipeline stayed live.
+	if svc.Stats().Invalidations == 0 {
+		t.Fatal("no invalidations processed")
+	}
+}

@@ -1,0 +1,141 @@
+package gdpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Boundary names a trust boundary that data can cross.
+type Boundary string
+
+// Trust boundaries in the Speed Kit deployment model.
+const (
+	// BoundaryDevice is the user's own device — PII here is fine by
+	// construction.
+	BoundaryDevice Boundary = "device"
+	// BoundaryCDN is shared multi-tenant caching infrastructure. PII must
+	// never cross it; this is the boundary regional data-protection law
+	// constrains.
+	BoundaryCDN Boundary = "cdn"
+	// BoundaryOrigin is the first-party service the user has a direct
+	// relationship with; PII may cross under the service contract.
+	BoundaryOrigin Boundary = "origin"
+)
+
+// Auditor records which fields crossed which boundary, tallied by
+// sensitivity. It is the measurement instrument for the compliance
+// experiment. Safe for concurrent use.
+type Auditor struct {
+	mu    sync.Mutex
+	flows map[Boundary]*flowTally
+}
+
+type flowTally struct {
+	requests     uint64
+	withPII      uint64
+	byField      map[string]uint64 // PII field -> occurrences
+	anonymous    uint64
+	pseudonymous uint64
+	pii          uint64
+}
+
+// NewAuditor creates an empty auditor.
+func NewAuditor() *Auditor {
+	return &Auditor{flows: make(map[Boundary]*flowTally)}
+}
+
+// RecordFlow notes one request crossing boundary carrying the named
+// fields. Returns the subset of fields classified PII (sorted), which is
+// also what a runtime enforcement hook would block.
+func (a *Auditor) RecordFlow(b Boundary, fields []string) (piiFields []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.flows[b]
+	if !ok {
+		t = &flowTally{byField: make(map[string]uint64)}
+		a.flows[b] = t
+	}
+	t.requests++
+	for _, f := range fields {
+		switch Classify(f) {
+		case PII:
+			t.pii++
+			t.byField[strings.ToLower(f)]++
+			piiFields = append(piiFields, f)
+		case Pseudonymous:
+			t.pseudonymous++
+		default:
+			t.anonymous++
+		}
+	}
+	if len(piiFields) > 0 {
+		t.withPII++
+	}
+	sort.Strings(piiFields)
+	return piiFields
+}
+
+// BoundaryReport summarizes one boundary's flows.
+type BoundaryReport struct {
+	Boundary          Boundary
+	Requests          uint64
+	RequestsWithPII   uint64
+	PIIFieldCount     uint64
+	PseudonymousCount uint64
+	AnonymousCount    uint64
+	// TopPIIFields lists the leaked PII fields by frequency, most first.
+	TopPIIFields []string
+}
+
+// Report summarizes the named boundary.
+func (a *Auditor) Report(b Boundary) BoundaryReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := BoundaryReport{Boundary: b}
+	t, ok := a.flows[b]
+	if !ok {
+		return r
+	}
+	r.Requests = t.requests
+	r.RequestsWithPII = t.withPII
+	r.PIIFieldCount = t.pii
+	r.PseudonymousCount = t.pseudonymous
+	r.AnonymousCount = t.anonymous
+	type fc struct {
+		f string
+		c uint64
+	}
+	fields := make([]fc, 0, len(t.byField))
+	for f, c := range t.byField {
+		fields = append(fields, fc{f, c})
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		if fields[i].c != fields[j].c {
+			return fields[i].c > fields[j].c
+		}
+		return fields[i].f < fields[j].f
+	})
+	for _, f := range fields {
+		r.TopPIIFields = append(r.TopPIIFields, f.f)
+	}
+	return r
+}
+
+// Compliant reports whether the CDN boundary saw zero PII — the
+// property the Speed Kit architecture guarantees by construction.
+func (a *Auditor) Compliant() bool {
+	return a.Report(BoundaryCDN).PIIFieldCount == 0
+}
+
+// String renders a multi-boundary summary for logs and the bench harness.
+func (a *Auditor) String() string {
+	var b strings.Builder
+	for _, bd := range []Boundary{BoundaryDevice, BoundaryCDN, BoundaryOrigin} {
+		r := a.Report(bd)
+		fmt.Fprintf(&b, "%-7s requests=%-8d withPII=%-8d piiFields=%-8d\n",
+			bd, r.Requests, r.RequestsWithPII, r.PIIFieldCount)
+	}
+	return b.String()
+}

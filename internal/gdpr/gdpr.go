@@ -1,0 +1,182 @@
+// Package gdpr implements the compliance substrate: classification of
+// data fields by sensitivity, a consent ledger, pseudonymization, and a
+// flow auditor that records which fields crossed which trust boundary.
+//
+// The architectural claim the paper makes — "natively GDPR-compliant
+// client proxy that handles all sensitive information within the user
+// device" — becomes a measurable property here: the auditor tallies PII
+// fields per boundary, and the Table 3 experiment shows zero PII reaching
+// the shared CDN boundary under Speed Kit versus per-request leakage
+// under a personalizing-CDN baseline.
+package gdpr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sensitivity grades a data field.
+type Sensitivity int
+
+// Sensitivity levels, ordered.
+const (
+	// Anonymous data identifies nobody (product IDs, page paths).
+	Anonymous Sensitivity = iota
+	// Pseudonymous data identifies a person only via a lookup the
+	// processor does not have (hashed IDs, session tokens).
+	Pseudonymous
+	// PII directly identifies a person (name, email, cart contents tied
+	// to an identity).
+	PII
+)
+
+// String names the sensitivity level.
+func (s Sensitivity) String() string {
+	switch s {
+	case Anonymous:
+		return "anonymous"
+	case Pseudonymous:
+		return "pseudonymous"
+	case PII:
+		return "pii"
+	}
+	return "unknown"
+}
+
+// classification maps canonical field names to sensitivity. Unknown
+// fields default to PII — the safe direction for a compliance check.
+var classification = map[string]Sensitivity{
+	// Identity
+	"user_id": PII, "name": PII, "email": PII, "address": PII,
+	"phone": PII, "ip": PII, "payment": PII,
+	// Behavioural data tied to identity
+	"cart": PII, "history": PII, "orders": PII, "wishlist": PII,
+	"tier": PII, "consent": PII,
+	// Pseudonymous
+	"session_token": Pseudonymous, "hashed_id": Pseudonymous,
+	"ab_bucket": Pseudonymous,
+	// Anonymous
+	"path": Anonymous, "product_id": Anonymous, "category": Anonymous,
+	"page": Anonymous, "query": Anonymous, "region": Anonymous,
+	"sketch": Anonymous, "asset": Anonymous, "price": Anonymous,
+	"stock": Anonymous, "sort": Anonymous, "limit": Anonymous,
+}
+
+// Classify returns the sensitivity of a field name. Names are matched
+// case-insensitively; unknown names classify as PII (fail closed).
+func Classify(field string) Sensitivity {
+	if s, ok := classification[strings.ToLower(field)]; ok {
+		return s
+	}
+	return PII
+}
+
+// Pseudonymize returns a stable, non-reversible token for an identifier,
+// suitable for analytics that must not carry raw identity. The same input
+// always yields the same token so aggregation still works.
+func Pseudonymize(id string) string {
+	sum := sha256.Sum256([]byte("speedkit-pseudo:" + id))
+	return "p_" + hex.EncodeToString(sum[:8])
+}
+
+// StripPII returns a copy of fields with every PII-classified key
+// removed, and the list of removed keys (sorted). This is the operation
+// the client proxy applies to anything leaving the device toward shared
+// infrastructure.
+func StripPII(fields map[string]string) (clean map[string]string, removed []string) {
+	clean = make(map[string]string, len(fields))
+	for k, v := range fields {
+		if Classify(k) == PII {
+			removed = append(removed, k)
+			continue
+		}
+		clean[k] = v
+	}
+	sort.Strings(removed)
+	return clean, removed
+}
+
+// Purpose is a processing purpose under consent.
+type Purpose string
+
+// Consent purposes used by the system.
+const (
+	PurposePersonalization Purpose = "personalization"
+	PurposeAnalytics       Purpose = "analytics"
+)
+
+// ConsentLedger records per-user, per-purpose consent with timestamps, as
+// required for accountability (GDPR Art. 7). Safe for concurrent use.
+type ConsentLedger struct {
+	mu      sync.RWMutex
+	records map[string]map[Purpose]consentRecord
+}
+
+type consentRecord struct {
+	granted bool
+	at      time.Time
+}
+
+// NewConsentLedger creates an empty ledger.
+func NewConsentLedger() *ConsentLedger {
+	return &ConsentLedger{records: make(map[string]map[Purpose]consentRecord)}
+}
+
+// Grant records consent by userID for purpose at time t.
+func (l *ConsentLedger) Grant(userID string, p Purpose, t time.Time) {
+	l.set(userID, p, true, t)
+}
+
+// Revoke withdraws consent.
+func (l *ConsentLedger) Revoke(userID string, p Purpose, t time.Time) {
+	l.set(userID, p, false, t)
+}
+
+func (l *ConsentLedger) set(userID string, p Purpose, granted bool, t time.Time) {
+	l.mu.Lock()
+	m, ok := l.records[userID]
+	if !ok {
+		m = make(map[Purpose]consentRecord)
+		l.records[userID] = m
+	}
+	m[p] = consentRecord{granted: granted, at: t}
+	l.mu.Unlock()
+}
+
+// Allowed reports whether the user has consented to the purpose. Absent
+// records mean no consent (opt-in, not opt-out).
+func (l *ConsentLedger) Allowed(userID string, p Purpose) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.records[userID][p]
+	return ok && rec.granted
+}
+
+// GrantedAt returns when the current consent state was set.
+func (l *ConsentLedger) GrantedAt(userID string, p Purpose) (time.Time, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, ok := l.records[userID][p]
+	if !ok {
+		return time.Time{}, false
+	}
+	return rec.at, true
+}
+
+// Erase implements the right to erasure (Art. 17) for the ledger itself.
+func (l *ConsentLedger) Erase(userID string) {
+	l.mu.Lock()
+	delete(l.records, userID)
+	l.mu.Unlock()
+}
+
+// Users returns the number of users with ledger entries.
+func (l *ConsentLedger) Users() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}

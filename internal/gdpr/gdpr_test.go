@@ -1,0 +1,182 @@
+package gdpr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		field string
+		want  Sensitivity
+	}{
+		{"email", PII},
+		{"Email", PII}, // case-insensitive
+		{"cart", PII},
+		{"session_token", Pseudonymous},
+		{"path", Anonymous},
+		{"product_id", Anonymous},
+		{"sketch", Anonymous},
+		{"some_new_field", PII}, // fail closed
+	}
+	for _, c := range cases {
+		if got := Classify(c.field); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.field, got, c.want)
+		}
+	}
+}
+
+func TestSensitivityString(t *testing.T) {
+	if Anonymous.String() != "anonymous" || Pseudonymous.String() != "pseudonymous" ||
+		PII.String() != "pii" || Sensitivity(9).String() != "unknown" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestPseudonymizeStableAndOpaque(t *testing.T) {
+	a := Pseudonymize("u123")
+	b := Pseudonymize("u123")
+	c := Pseudonymize("u124")
+	if a != b {
+		t.Fatal("pseudonymization unstable")
+	}
+	if a == c {
+		t.Fatal("distinct IDs collide")
+	}
+	if strings.Contains(a, "u123") {
+		t.Fatal("token leaks raw ID")
+	}
+	if !strings.HasPrefix(a, "p_") || len(a) != 18 {
+		t.Fatalf("token format: %q", a)
+	}
+}
+
+func TestStripPII(t *testing.T) {
+	fields := map[string]string{
+		"path":      "/products/1",
+		"email":     "a@b.c",
+		"cart":      "p1:2",
+		"region":    "eu",
+		"ab_bucket": "b",
+	}
+	clean, removed := StripPII(fields)
+	if len(removed) != 2 || removed[0] != "cart" || removed[1] != "email" {
+		t.Fatalf("removed = %v", removed)
+	}
+	if _, has := clean["email"]; has {
+		t.Fatal("PII survived strip")
+	}
+	if clean["path"] != "/products/1" || clean["ab_bucket"] != "b" {
+		t.Fatalf("clean = %v", clean)
+	}
+	// Input must not be modified.
+	if len(fields) != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestConsentLedgerLifecycle(t *testing.T) {
+	l := NewConsentLedger()
+	t0 := time.Unix(100, 0)
+	if l.Allowed("u1", PurposePersonalization) {
+		t.Fatal("consent default is opt-out, must be false")
+	}
+	l.Grant("u1", PurposePersonalization, t0)
+	if !l.Allowed("u1", PurposePersonalization) {
+		t.Fatal("granted consent not recorded")
+	}
+	if l.Allowed("u1", PurposeAnalytics) {
+		t.Fatal("consent leaked across purposes")
+	}
+	at, ok := l.GrantedAt("u1", PurposePersonalization)
+	if !ok || !at.Equal(t0) {
+		t.Fatalf("GrantedAt = %v, %v", at, ok)
+	}
+	l.Revoke("u1", PurposePersonalization, t0.Add(time.Hour))
+	if l.Allowed("u1", PurposePersonalization) {
+		t.Fatal("revocation ignored")
+	}
+	at, _ = l.GrantedAt("u1", PurposePersonalization)
+	if !at.Equal(t0.Add(time.Hour)) {
+		t.Fatal("revocation timestamp not recorded")
+	}
+}
+
+func TestConsentLedgerErase(t *testing.T) {
+	l := NewConsentLedger()
+	l.Grant("u1", PurposeAnalytics, time.Unix(0, 0))
+	if l.Users() != 1 {
+		t.Fatalf("users = %d", l.Users())
+	}
+	l.Erase("u1")
+	if l.Users() != 0 || l.Allowed("u1", PurposeAnalytics) {
+		t.Fatal("erasure incomplete")
+	}
+	if _, ok := l.GrantedAt("u1", PurposeAnalytics); ok {
+		t.Fatal("erased record still readable")
+	}
+}
+
+func TestAuditorFlowsAndReport(t *testing.T) {
+	a := NewAuditor()
+	pii := a.RecordFlow(BoundaryCDN, []string{"path", "email", "cart", "session_token"})
+	if len(pii) != 2 || pii[0] != "cart" || pii[1] != "email" {
+		t.Fatalf("pii = %v", pii)
+	}
+	a.RecordFlow(BoundaryCDN, []string{"path"})
+	a.RecordFlow(BoundaryOrigin, []string{"email"})
+
+	r := a.Report(BoundaryCDN)
+	if r.Requests != 2 || r.RequestsWithPII != 1 || r.PIIFieldCount != 2 {
+		t.Fatalf("cdn report = %+v", r)
+	}
+	if r.AnonymousCount != 2 || r.PseudonymousCount != 1 {
+		t.Fatalf("cdn counts = %+v", r)
+	}
+	if len(r.TopPIIFields) != 2 {
+		t.Fatalf("top fields = %v", r.TopPIIFields)
+	}
+	if a.Compliant() {
+		t.Fatal("auditor with CDN PII claims compliance")
+	}
+}
+
+func TestAuditorCompliantWhenCDNIsClean(t *testing.T) {
+	a := NewAuditor()
+	a.RecordFlow(BoundaryCDN, []string{"path", "product_id"})
+	a.RecordFlow(BoundaryDevice, []string{"email", "cart"}) // fine on device
+	a.RecordFlow(BoundaryOrigin, []string{"email"})         // fine first-party
+	if !a.Compliant() {
+		t.Fatal("clean CDN flagged non-compliant")
+	}
+}
+
+func TestAuditorEmptyBoundary(t *testing.T) {
+	a := NewAuditor()
+	r := a.Report(BoundaryOrigin)
+	if r.Requests != 0 || len(r.TopPIIFields) != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+func TestAuditorTopFieldsOrdered(t *testing.T) {
+	a := NewAuditor()
+	for i := 0; i < 3; i++ {
+		a.RecordFlow(BoundaryCDN, []string{"email"})
+	}
+	a.RecordFlow(BoundaryCDN, []string{"cart"})
+	r := a.Report(BoundaryCDN)
+	if r.TopPIIFields[0] != "email" || r.TopPIIFields[1] != "cart" {
+		t.Fatalf("order = %v", r.TopPIIFields)
+	}
+}
+
+func TestAuditorString(t *testing.T) {
+	a := NewAuditor()
+	a.RecordFlow(BoundaryCDN, []string{"email"})
+	s := a.String()
+	if !strings.Contains(s, "cdn") || !strings.Contains(s, "device") {
+		t.Fatalf("summary missing boundaries:\n%s", s)
+	}
+}

@@ -1,0 +1,230 @@
+// Package httpapi exposes a Speed Kit service over HTTP — the deployable
+// surface of the reproduction. Endpoints mirror what the production
+// system's client proxy talks to:
+//
+//	GET  /sketch                         the binary client sketch (cacheable for Δ)
+//	GET  /page?path=...                  anonymous page shell via the CDN path;
+//	                                     honors If-None-Match for conditional GETs
+//	GET  /blocks?names=a,b&user=...      first-party personalized fragments (JSON)
+//	POST /admin/write?product=&price=    a catalog write driving the pipeline
+//	GET  /stats                          service counters
+//	GET  /healthz                        liveness
+//
+// The package is pure net/http + encoding/json and fully testable with
+// httptest; cmd/speedkit-server is a thin wrapper around Handler.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/core"
+	"speedkit/internal/netsim"
+	"speedkit/internal/session"
+)
+
+// API serves one Speed Kit service.
+type API struct {
+	svc *core.Service
+	// users resolves the ?user= parameter for the blocks endpoint. In
+	// production this is the session/auth layer; here it is an in-memory
+	// registry.
+	users map[string]*session.User
+	// region is the edge the HTTP surface represents.
+	region netsim.Region
+}
+
+// New creates an API over svc, registering the given users.
+func New(svc *core.Service, users []*session.User) *API {
+	a := &API{svc: svc, users: make(map[string]*session.User, len(users)), region: netsim.EU}
+	for _, u := range users {
+		a.users[u.ID] = u
+	}
+	return a
+}
+
+// Handler returns the routed http.Handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /sketch", a.handleSketch)
+	mux.HandleFunc("GET /page", a.handlePage)
+	mux.HandleFunc("GET /blocks", a.handleBlocks)
+	mux.HandleFunc("POST /admin/write", a.handleWrite)
+	mux.HandleFunc("GET /stats", a.handleStats)
+	return mux
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleSketch serves the flattened client sketch. Cache-Control pins its
+// shared-cache lifetime to Δ so a CDN in front of this endpoint
+// automatically amortizes sketch generation across the client population.
+func (a *API) handleSketch(w http.ResponseWriter, _ *http.Request) {
+	sn, _ := a.svc.FetchSketch(a.region)
+	data, err := sn.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", fmt.Sprintf("public, max-age=%d", int(a.svc.Delta().Seconds())))
+	w.Header().Set("X-Sketch-Generation", strconv.FormatUint(sn.Generation, 10))
+	_, _ = w.Write(data)
+}
+
+// etagFor renders a page version as a strong ETag.
+func etagFor(version uint64) string { return fmt.Sprintf("%q", "v"+strconv.FormatUint(version, 10)) }
+
+// parseETag extracts the version from an ETag produced by etagFor.
+func parseETag(tag string) (uint64, bool) {
+	tag = strings.TrimSpace(tag)
+	tag = strings.TrimPrefix(tag, "W/")
+	tag = strings.Trim(tag, `"`)
+	if !strings.HasPrefix(tag, "v") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(tag[1:], 10, 64)
+	return v, err == nil
+}
+
+// handlePage serves the anonymous page shell. With If-None-Match it runs
+// the protocol's conditional revalidation: unchanged versions answer 304
+// with a renewed freshness lifetime.
+func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		http.Error(w, "missing ?path=", http.StatusBadRequest)
+		return
+	}
+
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if known, ok := parseETag(inm); ok {
+			rr, err := a.svc.Revalidate(a.region, path, known)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			if rr.NotModified {
+				a.setCachingHeaders(w, rr.Entry.ExpiresAt, known)
+				w.Header().Set("X-Simulated-Latency", rr.Latency.String())
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			a.writePage(w, rr.Entry, rr.Latency, rr.Source.String())
+			return
+		}
+	}
+
+	entry, simLat, src, err := a.svc.Fetch(a.region, path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	a.writePage(w, entry, simLat, src.String())
+}
+
+// setCachingHeaders derives max-age from the entry expiration relative to
+// the service clock (which may be simulated in tests).
+func (a *API) setCachingHeaders(w http.ResponseWriter, expiresAt time.Time, version uint64) {
+	ttl := int(expiresAt.Sub(a.svc.Clock().Now()).Seconds())
+	if ttl < 0 {
+		ttl = 0
+	}
+	w.Header().Set("Cache-Control", fmt.Sprintf("public, max-age=%d", ttl))
+	w.Header().Set("ETag", etagFor(version))
+}
+
+func (a *API) writePage(w http.ResponseWriter, entry cache.Entry, simLat time.Duration, src string) {
+	a.setCachingHeaders(w, entry.ExpiresAt, entry.Version)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("X-Served-By", src)
+	w.Header().Set("X-Simulated-Latency", simLat.String())
+	if blocks := entry.Metadata["blocks"]; blocks != "" {
+		w.Header().Set("X-Blocks", blocks)
+	}
+	_, _ = w.Write(entry.Body)
+}
+
+// handleBlocks is the first-party personalization API.
+func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	names := strings.Split(r.URL.Query().Get("names"), ",")
+	if len(names) == 1 && names[0] == "" {
+		http.Error(w, "missing ?names=", http.StatusBadRequest)
+		return
+	}
+	u := a.users[r.URL.Query().Get("user")] // nil → anonymous fragments
+	frs, _ := a.svc.FetchBlocks(a.region, names, u)
+	out := make(map[string]string, len(frs))
+	for name, fr := range frs {
+		out[name] = string(fr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store") // personalized: never shared-cached
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleWrite applies a catalog mutation, driving the invalidation
+// pipeline end to end.
+func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("product")
+	if id == "" {
+		http.Error(w, "missing ?product=", http.StatusBadRequest)
+		return
+	}
+	patch := map[string]any{}
+	if p := r.URL.Query().Get("price"); p != "" {
+		price, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			http.Error(w, "bad price", http.StatusBadRequest)
+			return
+		}
+		patch["price"] = price
+	}
+	if st := r.URL.Query().Get("stock"); st != "" {
+		n, err := strconv.ParseInt(st, 10, 64)
+		if err != nil {
+			http.Error(w, "bad stock", http.StatusBadRequest)
+			return
+		}
+		patch["stock"] = n
+	}
+	if len(patch) == 0 {
+		http.Error(w, "nothing to write (price= or stock=)", http.StatusBadRequest)
+		return
+	}
+	if err := a.svc.Docs().Patch("products", id, patch); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	path := "/product/" + id
+	fmt.Fprintf(w, "ok: %s now v%d, in sketch: %v\n",
+		path, a.svc.Origin().Version(path), a.svc.SketchServer().Contains(path))
+}
+
+// handleStats dumps service counters in a human-readable form.
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := a.svc.Stats()
+	sk := a.svc.SketchServer().Stats()
+	cd := a.svc.CDN().Stats()
+	fmt.Fprintf(w, "service: %+v\n", st)
+	fmt.Fprintf(w, "sketch:  %+v (bytes=%d)\n", sk, a.svc.SketchServer().SketchBytes())
+	fmt.Fprintf(w, "cdn:     %+v (hit ratio %.1f%%)\n", cd, cd.HitRatio()*100)
+	fmt.Fprintf(w, "gdpr:\n%s", a.svc.Auditor())
+	if hot := a.svc.HotPaths(5); len(hot) > 0 {
+		fmt.Fprintln(w, "hot paths:")
+		for _, h := range hot {
+			fmt.Fprintf(w, "  %6d  %s\n", h.Hits, h.Path)
+		}
+	}
+}
+
+// RegisteredUsers returns the user-registry size (primarily for tests).
+func (a *API) RegisteredUsers() int { return len(a.users) }

@@ -1,0 +1,301 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"speedkit/internal/bloom"
+	"speedkit/internal/clock"
+	"speedkit/internal/core"
+	"speedkit/internal/session"
+)
+
+func newTestAPI(t *testing.T) (*API, *httptest.Server, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config:   core.Config{Clock: clk, Seed: 1, Delta: 30 * time.Second},
+		Products: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	users := session.Population(1, 10)
+	// Force one known, logged-in, consenting user.
+	users[0].ID, users[0].Name, users[0].LoggedIn = "u-test", "Test User", true
+	users[0].ConsentPersonalization = true
+	users[0].AddToCart("p00001", 3)
+
+	api := New(svc, users)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return api, ts, clk
+}
+
+func get(t *testing.T, url string, headers ...string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(headers); i += 2 {
+		req.Header.Set(headers[i], headers[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestPageServesShellWithCachingHeaders(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, body := get(t, ts.URL+"/page?path=/product/p00007")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "<!--block:") {
+		t.Fatal("shell missing block placeholders (must be anonymous)")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.HasPrefix(cc, "public, max-age=") {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	if et := resp.Header.Get("ETag"); et != `"v1"` {
+		t.Fatalf("ETag = %q", et)
+	}
+	if xb := resp.Header.Get("X-Blocks"); !strings.Contains(xb, "cart") {
+		t.Fatalf("X-Blocks = %q", xb)
+	}
+	if resp.Header.Get("X-Served-By") != "origin" {
+		t.Fatalf("X-Served-By = %q", resp.Header.Get("X-Served-By"))
+	}
+	// Second fetch comes from the edge.
+	resp, _ = get(t, ts.URL+"/page?path=/product/p00007")
+	if resp.Header.Get("X-Served-By") != "cdn" {
+		t.Fatalf("second fetch served by %q", resp.Header.Get("X-Served-By"))
+	}
+}
+
+func TestPageMissingAndUnknown(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, _ := get(t, ts.URL+"/page")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing path: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/page?path=/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}
+
+func TestConditionalGet304(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, _ := get(t, ts.URL+"/page?path=/product/p00003")
+	etag := resp.Header.Get("ETag")
+
+	resp, body := get(t, ts.URL+"/page?path=/product/p00003", "If-None-Match", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status %d, want 304", resp.StatusCode)
+	}
+	if body != "" {
+		t.Fatalf("304 carried a body: %q", body)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatal("304 lost the ETag")
+	}
+}
+
+func TestConditionalGetAfterWriteReturnsNewVersion(t *testing.T) {
+	api, ts, _ := newTestAPI(t)
+	resp, _ := get(t, ts.URL+"/page?path=/product/p00003")
+	etag := resp.Header.Get("ETag")
+
+	if err := api.svc.Docs().Patch("products", "p00003", map[string]any{"price": 1.23}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts.URL+"/page?path=/product/p00003", "If-None-Match", etag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 after write", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") != `"v2"` {
+		t.Fatalf("ETag = %q", resp.Header.Get("ETag"))
+	}
+	if !strings.Contains(body, "1.23") {
+		t.Fatal("new body missing updated price")
+	}
+}
+
+func TestConditionalGetMalformedETagIgnored(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, _ := get(t, ts.URL+"/page?path=/product/p00004", "If-None-Match", `"garbage"`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 for unparseable ETag", resp.StatusCode)
+	}
+}
+
+func TestSketchEndpoint(t *testing.T) {
+	api, ts, _ := newTestAPI(t)
+	// Put something in the sketch first.
+	_, _ = get(t, ts.URL+"/page?path=/product/p00005")
+	if err := api.svc.Docs().Patch("products", "p00005", map[string]any{"stock": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, ts.URL+"/sketch")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "public, max-age=30" {
+		t.Fatalf("Cache-Control = %q (Δ=30s)", cc)
+	}
+	if resp.Header.Get("X-Sketch-Generation") == "" {
+		t.Fatal("generation header missing")
+	}
+	var f bloom.Filter
+	if err := f.UnmarshalBinary([]byte(body)); err != nil {
+		t.Fatalf("sketch not decodable: %v", err)
+	}
+	if !f.Contains("/product/p00005") {
+		t.Fatal("decoded sketch missing the written path")
+	}
+}
+
+func TestBlocksEndpoint(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, body := get(t, ts.URL+"/blocks?names=cart,greeting&user=u-test")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Cache-Control") != "no-store" {
+		t.Fatal("personalized response must be no-store")
+	}
+	var out map[string]string
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["cart"], "3 items") {
+		t.Fatalf("cart fragment = %q", out["cart"])
+	}
+	if !strings.Contains(out["greeting"], "Test User") {
+		t.Fatalf("greeting fragment = %q", out["greeting"])
+	}
+
+	// Unknown user → anonymous fragments, never an error.
+	_, body = get(t, ts.URL+"/blocks?names=greeting&user=ghost")
+	if !strings.Contains(body, "Welcome!") {
+		t.Fatalf("anonymous fragment = %q", body)
+	}
+
+	resp, _ = get(t, ts.URL+"/blocks")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing names: %d", resp.StatusCode)
+	}
+}
+
+func TestWriteEndpointDrivesPipeline(t *testing.T) {
+	api, ts, _ := newTestAPI(t)
+	_, _ = get(t, ts.URL+"/page?path=/product/p00009") // cache a copy
+
+	resp, err := http.Post(ts.URL+"/admin/write?product=p00009&price=7.77", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "v2") || !strings.Contains(string(body), "in sketch: true") {
+		t.Fatalf("write response: %s", body)
+	}
+	doc, _, _ := api.svc.Docs().Get("products", "p00009")
+	if doc["price"] != 7.77 {
+		t.Fatalf("price = %v", doc["price"])
+	}
+}
+
+func TestWriteEndpointValidation(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/admin/write", http.StatusBadRequest},
+		{"/admin/write?product=p00001", http.StatusBadRequest},
+		{"/admin/write?product=p00001&price=abc", http.StatusBadRequest},
+		{"/admin/write?product=p00001&stock=abc", http.StatusBadRequest},
+		{"/admin/write?product=ghost&price=1", http.StatusNotFound},
+		{"/admin/write?product=p00001&stock=5", http.StatusOK},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.url, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	_, _ = get(t, ts.URL+"/page?path=/")
+	resp, body := get(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"service:", "sketch:", "cdn:", "gdpr:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("stats missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestParseETag(t *testing.T) {
+	cases := []struct {
+		in string
+		v  uint64
+		ok bool
+	}{
+		{`"v1"`, 1, true},
+		{`"v123"`, 123, true},
+		{`W/"v7"`, 7, true},
+		{` "v2" `, 2, true},
+		{`"x1"`, 0, false},
+		{`"v"`, 0, false},
+		{`"vabc"`, 0, false},
+		{``, 0, false},
+	}
+	for _, c := range cases {
+		v, ok := parseETag(c.in)
+		if v != c.v || ok != c.ok {
+			t.Errorf("parseETag(%q) = %d,%v want %d,%v", c.in, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func TestRegisteredUsers(t *testing.T) {
+	api, _, _ := newTestAPI(t)
+	if api.RegisteredUsers() != 10 {
+		t.Fatalf("users = %d", api.RegisteredUsers())
+	}
+}

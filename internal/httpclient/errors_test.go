@@ -1,0 +1,101 @@
+package httpclient
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"speedkit/internal/netsim"
+	"speedkit/internal/proxy"
+)
+
+// brokenServer returns a server that answers every request with status
+// and body.
+func brokenServer(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestFetchServerErrorIsNotOffline(t *testing.T) {
+	ts := brokenServer(t, http.StatusInternalServerError, "boom")
+	tr := New(ts.URL, ts.Client())
+	_, _, _, err := tr.Fetch(netsim.EU, "/x")
+	if err == nil {
+		t.Fatal("500 swallowed")
+	}
+	if errors.Is(err, proxy.ErrOffline) {
+		t.Fatal("application error classified as offline")
+	}
+}
+
+func TestFetchConnectionRefusedIsOffline(t *testing.T) {
+	tr := New("http://127.0.0.1:1", nil) // nothing listens on port 1
+	_, _, _, err := tr.Fetch(netsim.EU, "/x")
+	if !errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("err = %v, want ErrOffline", err)
+	}
+	_, rerr := tr.Revalidate(netsim.EU, "/x", 1)
+	if !errors.Is(rerr, proxy.ErrOffline) {
+		t.Fatalf("revalidate err = %v, want ErrOffline", rerr)
+	}
+}
+
+func TestFetchSketchDegradesGracefully(t *testing.T) {
+	// Unreachable server → nil snapshot, no panic.
+	tr := New("http://127.0.0.1:1", nil)
+	if sn, _ := tr.FetchSketch(netsim.EU); sn != nil {
+		t.Fatal("snapshot from dead server")
+	}
+	// Server up but returning garbage → nil snapshot.
+	ts := brokenServer(t, http.StatusOK, "not-a-bloom-filter")
+	tr2 := New(ts.URL, ts.Client())
+	if sn, _ := tr2.FetchSketch(netsim.EU); sn != nil {
+		t.Fatal("snapshot decoded from garbage")
+	}
+	// Server erroring → nil snapshot.
+	ts500 := brokenServer(t, http.StatusServiceUnavailable, "")
+	tr3 := New(ts500.URL, ts500.Client())
+	if sn, _ := tr3.FetchSketch(netsim.EU); sn != nil {
+		t.Fatal("snapshot from 503")
+	}
+}
+
+func TestFetchBlocksDegradesGracefully(t *testing.T) {
+	tr := New("http://127.0.0.1:1", nil)
+	if frs, _ := tr.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
+		t.Fatal("blocks from dead server")
+	}
+	ts := brokenServer(t, http.StatusOK, "{not json")
+	tr2 := New(ts.URL, ts.Client())
+	if frs, _ := tr2.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
+		t.Fatal("blocks decoded from garbage")
+	}
+	ts400 := brokenServer(t, http.StatusBadRequest, "")
+	tr3 := New(ts400.URL, ts400.Client())
+	if frs, _ := tr3.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
+		t.Fatal("blocks from 400")
+	}
+}
+
+func TestRevalidateServerError(t *testing.T) {
+	ts := brokenServer(t, http.StatusInternalServerError, "oops")
+	tr := New(ts.URL, ts.Client())
+	if _, err := tr.Revalidate(netsim.EU, "/x", 1); err == nil {
+		t.Fatal("500 swallowed on revalidation")
+	}
+}
+
+func TestSourceFromHeader(t *testing.T) {
+	if sourceFromHeader("cdn") != proxy.SourceCDN ||
+		sourceFromHeader("device") != proxy.SourceDevice ||
+		sourceFromHeader("origin") != proxy.SourceOrigin ||
+		sourceFromHeader("") != proxy.SourceOrigin {
+		t.Fatal("source mapping wrong")
+	}
+}

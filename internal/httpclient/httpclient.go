@@ -1,0 +1,252 @@
+// Package httpclient implements the client proxy's Transport over real
+// HTTP against the endpoints served by internal/httpapi. Together with
+// cmd/speedkit-server it closes the loop: the same proxy.Proxy that runs
+// in-process inside the simulator can drive the protocol across an actual
+// network — binary sketch downloads, ETag-conditional page fetches, the
+// first-party blocks API, and offline detection on connection failure.
+//
+// Latencies reported through this transport are measured wall-clock
+// round-trip times, not simulated ones.
+package httpclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"speedkit/internal/bloom"
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/netsim"
+	"speedkit/internal/proxy"
+	"speedkit/internal/session"
+)
+
+// Transport talks to a Speed Kit HTTP API.
+type Transport struct {
+	base string
+	hc   *http.Client
+	clk  clock.Clock
+	// generation tracks sketch generations for Install ordering when the
+	// server omits the header.
+	generation uint64
+}
+
+// New creates a transport for the API at base (e.g. "http://host:8080").
+// A nil client uses a default with a 10 s timeout.
+func New(base string, hc *http.Client) *Transport {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Transport{
+		base: strings.TrimRight(base, "/"),
+		hc:   hc,
+		clk:  clock.System,
+	}
+}
+
+// asOffline maps connection-level failures to proxy.ErrOffline so the
+// proxy's offline mode engages; application-level errors pass through.
+func asOffline(err error) error {
+	var netErr net.Error
+	if errors.As(err, &netErr) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %v", proxy.ErrOffline, err)
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return fmt.Errorf("%w: %v", proxy.ErrOffline, err)
+	}
+	// url.Error wraps transport failures (connection refused, DNS, ...).
+	var urlErr *url.Error
+	if errors.As(err, &urlErr) {
+		return fmt.Errorf("%w: %v", proxy.ErrOffline, err)
+	}
+	return err
+}
+
+// FetchSketch implements proxy.Transport.
+func (t *Transport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Duration) {
+	start := t.clk.Now()
+	resp, err := t.hc.Get(t.base + "/sketch")
+	if err != nil {
+		return nil, 0 // proxy degrades to direct fetches
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, t.clk.Now().Sub(start)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, t.clk.Now().Sub(start)
+	}
+	var f bloom.Filter
+	if err := f.UnmarshalBinary(data); err != nil {
+		return nil, t.clk.Now().Sub(start)
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get("X-Sketch-Generation"), 10, 64)
+	if gen == 0 {
+		t.generation++
+		gen = t.generation
+	}
+	// TakenAt uses the client clock at receive time: conservative within
+	// one transfer time, which only shortens the effective Δ slightly.
+	return &cachesketch.Snapshot{
+		Filter:     &f,
+		Generation: gen,
+		TakenAt:    t.clk.Now(),
+	}, t.clk.Now().Sub(start)
+}
+
+// parseMaxAge extracts max-age seconds from a Cache-Control header.
+func parseMaxAge(cc string) (time.Duration, bool) {
+	for _, part := range strings.Split(cc, ",") {
+		part = strings.TrimSpace(part)
+		if rest, ok := strings.CutPrefix(part, "max-age="); ok {
+			secs, err := strconv.Atoi(rest)
+			if err != nil || secs < 0 {
+				return 0, false
+			}
+			return time.Duration(secs) * time.Second, true
+		}
+	}
+	return 0, false
+}
+
+// parseVersionETag extracts the version from the server's `"v<n>"` ETags.
+func parseVersionETag(tag string) uint64 {
+	tag = strings.Trim(strings.TrimPrefix(strings.TrimSpace(tag), "W/"), `"`)
+	if !strings.HasPrefix(tag, "v") {
+		return 0
+	}
+	v, _ := strconv.ParseUint(tag[1:], 10, 64)
+	return v
+}
+
+// entryFromResponse builds a cache entry from a 200 page response.
+func (t *Transport) entryFromResponse(path string, resp *http.Response, body []byte) cache.Entry {
+	now := t.clk.Now()
+	e := cache.Entry{
+		Key:      path,
+		Body:     body,
+		Version:  parseVersionETag(resp.Header.Get("ETag")),
+		StoredAt: now,
+	}
+	if maxAge, ok := parseMaxAge(resp.Header.Get("Cache-Control")); ok && maxAge > 0 {
+		e.ExpiresAt = now.Add(maxAge)
+	}
+	if blocks := resp.Header.Get("X-Blocks"); blocks != "" {
+		e.Metadata = map[string]string{"blocks": blocks}
+	}
+	return e
+}
+
+func sourceFromHeader(h string) proxy.Source {
+	switch h {
+	case "cdn":
+		return proxy.SourceCDN
+	case "device":
+		return proxy.SourceDevice
+	default:
+		return proxy.SourceOrigin
+	}
+}
+
+// Fetch implements proxy.Transport.
+func (t *Transport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+	start := t.clk.Now()
+	resp, err := t.hc.Get(t.base + "/page?path=" + url.QueryEscape(path))
+	if err != nil {
+		return cache.Entry{}, 0, 0, asOffline(err)
+	}
+	defer resp.Body.Close()
+	lat := t.clk.Now().Sub(start)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return cache.Entry{}, lat, 0, fmt.Errorf("httpclient: fetch %s: %d %s",
+			path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return cache.Entry{}, lat, 0, asOffline(err)
+	}
+	lat = t.clk.Now().Sub(start)
+	return t.entryFromResponse(path, resp, body), lat, sourceFromHeader(resp.Header.Get("X-Served-By")), nil
+}
+
+// Revalidate implements proxy.Transport via If-None-Match.
+func (t *Transport) Revalidate(region netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
+	start := t.clk.Now()
+	req, err := http.NewRequest(http.MethodGet, t.base+"/page?path="+url.QueryEscape(path), nil)
+	if err != nil {
+		return proxy.RevalidationResult{}, err
+	}
+	req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(knownVersion, 10)))
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return proxy.RevalidationResult{}, asOffline(err)
+	}
+	defer resp.Body.Close()
+	lat := t.clk.Now().Sub(start)
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		e := cache.Entry{Key: path, Version: knownVersion, StoredAt: t.clk.Now()}
+		if maxAge, ok := parseMaxAge(resp.Header.Get("Cache-Control")); ok && maxAge > 0 {
+			e.ExpiresAt = t.clk.Now().Add(maxAge)
+		}
+		return proxy.RevalidationResult{
+			NotModified: true, Entry: e, Latency: lat, Source: proxy.SourceOrigin,
+		}, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return proxy.RevalidationResult{}, asOffline(err)
+		}
+		return proxy.RevalidationResult{
+			Entry:   t.entryFromResponse(path, resp, body),
+			Latency: t.clk.Now().Sub(start),
+			Source:  sourceFromHeader(resp.Header.Get("X-Served-By")),
+		}, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return proxy.RevalidationResult{}, fmt.Errorf("httpclient: revalidate %s: %d %s",
+			path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// FetchBlocks implements proxy.Transport over the first-party API. Only
+// the user ID crosses the wire — the server resolves the session.
+func (t *Transport) FetchBlocks(_ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+	start := t.clk.Now()
+	q := url.Values{"names": {strings.Join(names, ",")}}
+	if u != nil {
+		q.Set("user", u.ID)
+	}
+	resp, err := t.hc.Get(t.base + "/blocks?" + q.Encode())
+	if err != nil {
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, t.clk.Now().Sub(start)
+	}
+	var decoded map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return nil, t.clk.Now().Sub(start)
+	}
+	out := make(map[string][]byte, len(decoded))
+	for k, v := range decoded {
+		out[k] = []byte(v)
+	}
+	return out, t.clk.Now().Sub(start)
+}
+
+var _ proxy.Transport = (*Transport)(nil)

@@ -1,0 +1,274 @@
+package httpclient
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"speedkit/internal/core"
+	"speedkit/internal/httpapi"
+	"speedkit/internal/netsim"
+	"speedkit/internal/proxy"
+	"speedkit/internal/session"
+)
+
+// newStack spins a full HTTP stack: storefront service (REAL clock, since
+// HTTP clients measure wall time), httpapi server, and a device proxy
+// driving the protocol over the wire.
+func newStack(t *testing.T, u *session.User) (*proxy.Proxy, *core.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config: core.Config{
+			Clock: realClock{},
+			Delta: 30 * time.Second,
+			Seed:  1,
+		},
+		Products: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	var users []*session.User
+	if u != nil {
+		users = []*session.User{u}
+	}
+	ts := httptest.NewServer(httpapi.New(svc, users).Handler())
+	t.Cleanup(ts.Close)
+
+	tr := New(ts.URL, ts.Client())
+	dev := proxy.New(proxy.Config{
+		User:   u,
+		Region: netsim.EU,
+		Delta:  30 * time.Second,
+	}, tr)
+	return dev, svc, ts
+}
+
+// realClock avoids importing clock in every call site.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func loggedInUser() *session.User {
+	u := &session.User{ID: "u-wire", Name: "Wire", LoggedIn: true,
+		Tier: "gold", ConsentPersonalization: true}
+	u.AddToCart("p00001", 4)
+	return u
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	u := loggedInUser()
+	dev, _, _ := newStack(t, u)
+
+	res, err := dev.Load("/product/p00003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SketchRefreshed {
+		t.Fatal("cold load did not pull the sketch over HTTP")
+	}
+	if res.Source != proxy.SourceOrigin {
+		t.Fatalf("cold source = %v", res.Source)
+	}
+	body := string(res.Body)
+	if !strings.Contains(body, "4 items") {
+		t.Fatalf("personalization lost over the wire: %s", body)
+	}
+	if strings.Contains(body, "<!--block:") {
+		t.Fatal("placeholders survived")
+	}
+
+	// Second load: device cache, no network.
+	res, err = dev.Load("/product/p00003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != proxy.SourceDevice {
+		t.Fatalf("warm source = %v", res.Source)
+	}
+}
+
+func TestWriteInvalidationVisibleOverHTTP(t *testing.T) {
+	dev, svc, _ := newStack(t, nil)
+	path := "/product/p00007"
+	if _, err := dev.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Docs().Patch("products", "p00007", map[string]any{"price": 2.22}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the CDN purge propagate (10 ms wall clock — this stack runs on
+	// the real clock); inside that window a revalidation may legally be
+	// answered by the pre-purge edge copy, with staleness bounded by the
+	// propagation delay.
+	time.Sleep(25 * time.Millisecond)
+
+	// A brand-new device has no sketch yet → fetches the flagged one →
+	// revalidates → sees v2 with the new price.
+	dev2 := proxy.New(proxy.Config{Region: netsim.EU, Delta: 30 * time.Second},
+		transportOf(t, svc))
+	res, err := dev2.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || !strings.Contains(string(res.Body), "2.22") {
+		t.Fatalf("post-write load over HTTP: v%d", res.Version)
+	}
+}
+
+// serverURLs memoizes one httptest server per service for helper use.
+var serverURLs = map[*core.Service]string{}
+
+func mustServerURL(t *testing.T, svc *core.Service) string {
+	t.Helper()
+	if u, ok := serverURLs[svc]; ok {
+		return u
+	}
+	ts := httptest.NewServer(httpapi.New(svc, nil).Handler())
+	t.Cleanup(ts.Close)
+	serverURLs[svc] = ts.URL
+	return ts.URL
+}
+
+func transportOf(t *testing.T, svc *core.Service) *Transport {
+	return New(mustServerURL(t, svc), nil)
+}
+
+func TestConditionalRevalidationOverHTTP(t *testing.T) {
+	u := loggedInUser()
+	dev, svc, _ := newStack(t, u)
+	path := "/product/p00009"
+	if _, err := dev.Load(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flag the page WITHOUT a version change (false-positive scenario):
+	// report + write on an unrelated colliding key is hard to force, so
+	// report a cached copy and write, then revert the version by checking
+	// the 304 directly through the transport.
+	tr := transportOf(t, svc)
+	rr, err := tr.Revalidate(netsim.EU, path, svc.Origin().Version(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.NotModified {
+		t.Fatal("matching version not answered with 304 over HTTP")
+	}
+	if rr.Entry.ExpiresAt.IsZero() {
+		t.Fatal("304 did not carry a renewed max-age")
+	}
+
+	// And a stale version gets the full new body.
+	_ = svc.Docs().Patch("products", "p00009", map[string]any{"price": 8.88})
+	rr, err = tr.Revalidate(netsim.EU, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.NotModified || rr.Entry.Version != 2 {
+		t.Fatalf("stale revalidation: %+v", rr)
+	}
+}
+
+func TestOfflineWithFreshSketchNeedsNoNetwork(t *testing.T) {
+	// Within Δ, a cached page is served entirely from the device — the
+	// network may be down without the load even noticing.
+	u := loggedInUser()
+	dev, _, ts := newStack(t, u)
+	if _, err := dev.Load("/"); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	res, err := dev.Load("/")
+	if err != nil {
+		t.Fatalf("cached load failed after server shutdown: %v", err)
+	}
+	if res.Source != proxy.SourceDevice || res.Offline {
+		t.Fatalf("expected silent device hit, got %+v", res)
+	}
+}
+
+func TestOfflineModeOverHTTP(t *testing.T) {
+	u := loggedInUser()
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config:   core.Config{Clock: realClock{}, Seed: 1},
+		Products: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(httpapi.New(svc, []*session.User{u}).Handler())
+	defer ts.Close()
+
+	// Δ of one nanosecond: every load must contact the sketch endpoint,
+	// so a dead network is always noticed.
+	dev := proxy.New(proxy.Config{
+		User: u, Region: netsim.EU, Delta: time.Nanosecond,
+	}, New(ts.URL, ts.Client()))
+
+	if _, err := dev.Load("/"); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close() // network gone
+
+	res, err := dev.Load("/")
+	if err != nil {
+		t.Fatalf("offline load failed: %v", err)
+	}
+	if !res.Offline {
+		t.Fatal("load not marked offline")
+	}
+	if !strings.Contains(string(res.Body), "Wire") {
+		t.Fatal("offline page lost personalization")
+	}
+}
+
+func TestFetchUnknownPathOverHTTP(t *testing.T) {
+	dev, _, _ := newStack(t, nil)
+	if _, err := dev.Load("/no/such/page"); err == nil {
+		t.Fatal("unknown path loaded")
+	}
+}
+
+func TestBlocksOverHTTPAnonymous(t *testing.T) {
+	_, svc, _ := newStack(t, nil)
+	tr := transportOf(t, svc)
+	frs, lat := tr.FetchBlocks(netsim.EU, []string{"greeting"}, nil)
+	if lat <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if !strings.Contains(string(frs["greeting"]), "Welcome!") {
+		t.Fatalf("greeting = %s", frs["greeting"])
+	}
+}
+
+func TestParseMaxAge(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"public, max-age=60", time.Minute, true},
+		{"max-age=0", 0, true},
+		{"no-store", 0, false},
+		{"max-age=abc", 0, false},
+		{"max-age=-5", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseMaxAge(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseMaxAge(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseVersionETag(t *testing.T) {
+	if parseVersionETag(`"v42"`) != 42 || parseVersionETag(`W/"v7"`) != 7 ||
+		parseVersionETag(`"x"`) != 0 || parseVersionETag("") != 0 {
+		t.Fatal("etag parsing wrong")
+	}
+}

@@ -1,0 +1,282 @@
+// Package invalidb implements the real-time query invalidation engine —
+// the server-side component that turns raw database change events into
+// "this cached page is now stale" signals. It reproduces the semantics of
+// the production system's stream-processing matcher: registered
+// continuous queries are partitioned across shards; every change event is
+// matched against all queries of its collection; a query is invalidated
+// when the change can alter its result set (the document entered it, left
+// it, or changed while inside it).
+package invalidb
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+// MatchKind classifies how a change affects a query result.
+type MatchKind int
+
+// Match kinds.
+const (
+	// Entered: the document now matches a query it didn't match before.
+	Entered MatchKind = iota
+	// Left: the document no longer matches.
+	Left
+	// Changed: the document matched before and after, but its content
+	// changed (ordering or displayed fields may differ).
+	Changed
+)
+
+// String names the match kind.
+func (k MatchKind) String() string {
+	switch k {
+	case Entered:
+		return "entered"
+	case Left:
+		return "left"
+	case Changed:
+		return "changed"
+	}
+	return "unknown"
+}
+
+// Invalidation is one staleness signal.
+type Invalidation struct {
+	// RegistrationID identifies the affected cached resource (typically
+	// the listing page path or the query ID).
+	RegistrationID string
+	// Kind says how the result set was affected.
+	Kind MatchKind
+	// Change is the underlying database event.
+	Change storage.ChangeEvent
+	// DetectedAt is when the engine classified the event.
+	DetectedAt time.Time
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Shards partitions registered queries for parallel matching
+	// (default 4). Matching within a shard is sequential; shards run
+	// concurrently per event.
+	Shards int
+	// Clock supplies detection timestamps (default system clock).
+	Clock clock.Clock
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	EventsProcessed uint64
+	Matches         uint64
+	Registered      int
+}
+
+// Engine matches change events against registered queries. Safe for
+// concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+
+	mu          sync.Mutex
+	subscribers map[int]func(Invalidation)
+	nextSub     int
+	events      uint64
+	matches     uint64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	regs map[string]query.Query
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	cfg.applyDefaults()
+	e := &Engine{
+		cfg:         cfg,
+		shards:      make([]*shard, cfg.Shards),
+		subscribers: make(map[int]func(Invalidation)),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{regs: make(map[string]query.Query)}
+	}
+	return e
+}
+
+// shardFor assigns a registration to a shard by FNV-1a hash.
+func (e *Engine) shardFor(id string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return e.shards[h%uint32(len(e.shards))]
+}
+
+// Register adds (or replaces) a continuous query under id.
+func (e *Engine) Register(id string, q query.Query) {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	s.regs[id] = q
+	s.mu.Unlock()
+}
+
+// Unregister removes the query under id, reporting whether it existed.
+func (e *Engine) Unregister(id string) bool {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	_, ok := s.regs[id]
+	delete(s.regs, id)
+	s.mu.Unlock()
+	return ok
+}
+
+// Registered returns the number of registered queries.
+func (e *Engine) Registered() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += len(s.regs)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// OnInvalidation subscribes fn to invalidation signals. Signals for one
+// event are delivered sorted by registration ID, synchronously from
+// Process. The returned cancel function unsubscribes.
+func (e *Engine) OnInvalidation(fn func(Invalidation)) (cancel func()) {
+	e.mu.Lock()
+	id := e.nextSub
+	e.nextSub++
+	e.subscribers[id] = fn
+	e.mu.Unlock()
+	return func() {
+		e.mu.Lock()
+		delete(e.subscribers, id)
+		e.mu.Unlock()
+	}
+}
+
+// classify decides whether a change affects a query and how. An absent
+// before/after image means the document did not exist on that side, so a
+// nil image never matches (distinct from an empty document).
+func classify(q query.Query, ev storage.ChangeEvent) (MatchKind, bool) {
+	if q.Collection != ev.Collection {
+		return 0, false
+	}
+	before := ev.Before != nil && q.Match(ev.Before)
+	after := ev.After != nil && q.Match(ev.After)
+	switch {
+	case before && after:
+		return Changed, true
+	case before:
+		return Left, true
+	case after:
+		return Entered, true
+	default:
+		return 0, false
+	}
+}
+
+// Process matches one change event against every registered query and
+// delivers invalidation signals to subscribers. Returns the signals for
+// callers that prefer pull-style use.
+func (e *Engine) Process(ev storage.ChangeEvent) []Invalidation {
+	now := e.cfg.Clock.Now()
+
+	// Fan the event out across shards concurrently, collect hits.
+	type hit struct {
+		id   string
+		kind MatchKind
+	}
+	hitCh := make(chan []hit, len(e.shards))
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			var hits []hit
+			s.mu.RLock()
+			for id, q := range s.regs {
+				if kind, ok := classify(q, ev); ok {
+					hits = append(hits, hit{id: id, kind: kind})
+				}
+			}
+			s.mu.RUnlock()
+			hitCh <- hits
+		}(s)
+	}
+	wg.Wait()
+	close(hitCh)
+
+	var all []hit
+	for hs := range hitCh {
+		all = append(all, hs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	out := make([]Invalidation, len(all))
+	for i, h := range all {
+		out[i] = Invalidation{
+			RegistrationID: h.id,
+			Kind:           h.kind,
+			Change:         ev,
+			DetectedAt:     now,
+		}
+	}
+
+	e.mu.Lock()
+	e.events++
+	e.matches += uint64(len(out))
+	subs := make([]func(Invalidation), 0, len(e.subscribers))
+	ids := make([]int, 0, len(e.subscribers))
+	for id := range e.subscribers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		subs = append(subs, e.subscribers[id])
+	}
+	e.mu.Unlock()
+
+	for _, inv := range out {
+		for _, fn := range subs {
+			fn(inv)
+		}
+	}
+	return out
+}
+
+// AttachTo subscribes the engine to a document store's change stream so
+// every committed mutation is matched automatically. Returns a cancel
+// function detaching it.
+func (e *Engine) AttachTo(docs *storage.DocumentStore) (cancel func()) {
+	return docs.Watch(func(ev storage.ChangeEvent) {
+		e.Process(ev)
+	})
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		EventsProcessed: e.events,
+		Matches:         e.matches,
+		Registered:      e.Registered(),
+	}
+}

@@ -1,0 +1,227 @@
+package invalidb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+func shoesQuery() query.Query {
+	return query.MustParse(`products WHERE category = "shoes" AND price < 100`)
+}
+
+func insertEvent(id string, doc map[string]any) storage.ChangeEvent {
+	return storage.ChangeEvent{Collection: "products", ID: id, Kind: storage.ChangeInsert, After: doc}
+}
+
+func updateEvent(id string, before, after map[string]any) storage.ChangeEvent {
+	return storage.ChangeEvent{Collection: "products", ID: id, Kind: storage.ChangeUpdate, Before: before, After: after}
+}
+
+func deleteEvent(id string, before map[string]any) storage.ChangeEvent {
+	return storage.ChangeEvent{Collection: "products", ID: id, Kind: storage.ChangeDelete, Before: before}
+}
+
+func TestClassifyKinds(t *testing.T) {
+	e := New(Config{})
+	e.Register("/category/shoes", shoesQuery())
+
+	cheapShoe := map[string]any{"category": "shoes", "price": 50.0}
+	dearShoe := map[string]any{"category": "shoes", "price": 200.0}
+	hat := map[string]any{"category": "hats", "price": 10.0}
+
+	cases := []struct {
+		name string
+		ev   storage.ChangeEvent
+		want MatchKind
+		hits int
+	}{
+		{"insert matching", insertEvent("p1", cheapShoe), Entered, 1},
+		{"insert non-matching", insertEvent("p2", hat), 0, 0},
+		{"update into result", updateEvent("p3", dearShoe, cheapShoe), Entered, 1},
+		{"update out of result", updateEvent("p4", cheapShoe, dearShoe), Left, 1},
+		{"update within result", updateEvent("p5", cheapShoe, map[string]any{"category": "shoes", "price": 60.0}), Changed, 1},
+		{"update outside result", updateEvent("p6", hat, hat), 0, 0},
+		{"delete matching", deleteEvent("p7", cheapShoe), Left, 1},
+		{"delete non-matching", deleteEvent("p8", hat), 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			invs := e.Process(c.ev)
+			if len(invs) != c.hits {
+				t.Fatalf("hits = %d, want %d", len(invs), c.hits)
+			}
+			if c.hits == 1 && invs[0].Kind != c.want {
+				t.Fatalf("kind = %v, want %v", invs[0].Kind, c.want)
+			}
+		})
+	}
+}
+
+func TestCollectionIsolation(t *testing.T) {
+	e := New(Config{})
+	e.Register("/category/shoes", shoesQuery())
+	ev := storage.ChangeEvent{Collection: "users", ID: "u1", Kind: storage.ChangeInsert,
+		After: map[string]any{"category": "shoes", "price": 1.0}}
+	if invs := e.Process(ev); len(invs) != 0 {
+		t.Fatalf("cross-collection match: %v", invs)
+	}
+}
+
+func TestMultipleRegistrationsSortedDelivery(t *testing.T) {
+	e := New(Config{})
+	e.Register("/b", query.New("products", nil))
+	e.Register("/a", query.New("products", nil))
+	e.Register("/c", query.MustParse(`products WHERE price > 1000`))
+	invs := e.Process(insertEvent("p1", map[string]any{"price": 5.0}))
+	if len(invs) != 2 {
+		t.Fatalf("hits = %d", len(invs))
+	}
+	if invs[0].RegistrationID != "/a" || invs[1].RegistrationID != "/b" {
+		t.Fatalf("order = %v, %v", invs[0].RegistrationID, invs[1].RegistrationID)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	e := New(Config{})
+	e.Register("/x", query.New("products", nil))
+	if !e.Unregister("/x") {
+		t.Fatal("unregister existing failed")
+	}
+	if e.Unregister("/x") {
+		t.Fatal("double unregister succeeded")
+	}
+	if invs := e.Process(insertEvent("p1", map[string]any{})); len(invs) != 0 {
+		t.Fatal("unregistered query still matching")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	e := New(Config{})
+	e.Register("/x", query.MustParse(`products WHERE price > 1000`))
+	e.Register("/x", query.New("products", nil)) // replace with match-all
+	invs := e.Process(insertEvent("p1", map[string]any{"price": 1.0}))
+	if len(invs) != 1 {
+		t.Fatalf("replaced registration not effective: %d hits", len(invs))
+	}
+	if e.Registered() != 1 {
+		t.Fatalf("registered = %d", e.Registered())
+	}
+}
+
+func TestSubscribersReceiveSignals(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	e := New(Config{Clock: clk})
+	e.Register("/all", query.New("products", nil))
+	var got []Invalidation
+	cancel := e.OnInvalidation(func(inv Invalidation) { got = append(got, inv) })
+	e.Process(insertEvent("p1", map[string]any{"x": 1}))
+	cancel()
+	e.Process(insertEvent("p2", map[string]any{"x": 1}))
+	if len(got) != 1 {
+		t.Fatalf("subscriber saw %d signals, want 1", len(got))
+	}
+	if !got[0].DetectedAt.Equal(clk.Now()) {
+		t.Fatal("DetectedAt wrong")
+	}
+	if got[0].Change.ID != "p1" {
+		t.Fatal("change not propagated")
+	}
+}
+
+func TestAttachToDocumentStore(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	docs := storage.NewDocumentStore(clk)
+	e := New(Config{Clock: clk})
+	e.Register("/cheap", query.MustParse(`products WHERE price < 100`))
+
+	var signals []Invalidation
+	e.OnInvalidation(func(inv Invalidation) { signals = append(signals, inv) })
+	cancel := e.AttachTo(docs)
+	defer cancel()
+
+	_ = docs.Insert("products", "p1", map[string]any{"price": 50.0})
+	_ = docs.Patch("products", "p1", map[string]any{"price": 60.0})
+	_ = docs.Patch("products", "p1", map[string]any{"price": 500.0})
+	_ = docs.Delete("products", "p1")
+
+	if len(signals) != 3 {
+		t.Fatalf("signals = %d, want 3 (enter, change, leave)", len(signals))
+	}
+	if signals[0].Kind != Entered || signals[1].Kind != Changed || signals[2].Kind != Left {
+		t.Fatalf("kinds = %v %v %v", signals[0].Kind, signals[1].Kind, signals[2].Kind)
+	}
+}
+
+func TestShardingCoversAllRegistrations(t *testing.T) {
+	e := New(Config{Shards: 8})
+	const n = 200
+	for i := 0; i < n; i++ {
+		e.Register(fmt.Sprintf("/q/%d", i), query.New("products", nil))
+	}
+	if e.Registered() != n {
+		t.Fatalf("registered = %d", e.Registered())
+	}
+	invs := e.Process(insertEvent("p1", map[string]any{"x": 1}))
+	if len(invs) != n {
+		t.Fatalf("hits = %d, want %d (every shard must match)", len(invs), n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := New(Config{})
+	e.Register("/all", query.New("products", nil))
+	e.Process(insertEvent("p1", map[string]any{}))
+	e.Process(insertEvent("p2", map[string]any{}))
+	st := e.Stats()
+	if st.EventsProcessed != 2 || st.Matches != 2 || st.Registered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMatchKindString(t *testing.T) {
+	if Entered.String() != "entered" || Left.String() != "left" ||
+		Changed.String() != "changed" || MatchKind(9).String() != "unknown" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestConcurrentProcessAndRegister(t *testing.T) {
+	e := New(Config{Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Register(fmt.Sprintf("/q/%d/%d", w, i), query.MustParse(`products WHERE price < 100`))
+				e.Process(insertEvent(fmt.Sprintf("p%d", i), map[string]any{"price": float64(i)}))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Registered() != 800 {
+		t.Fatalf("registered = %d", e.Registered())
+	}
+	if e.Stats().EventsProcessed != 800 {
+		t.Fatalf("events = %d", e.Stats().EventsProcessed)
+	}
+}
+
+func BenchmarkProcess1kQueries(b *testing.B) {
+	e := New(Config{Shards: 8})
+	for i := 0; i < 1000; i++ {
+		e.Register(fmt.Sprintf("/q/%d", i),
+			query.MustParse(fmt.Sprintf(`products WHERE price < %d`, i%500)))
+	}
+	ev := insertEvent("p1", map[string]any{"price": 250.0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(ev)
+	}
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a counter starting at zero.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas are ignored to keep the counter monotonic.
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset sets the counter back to zero. Intended for test/bench harness use
+// between runs, not for production counters.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a gauge at zero.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Ratio reports a/(a+b) as a percentage-friendly float, or 0 when both are
+// zero. It is the canonical helper for hit-ratio reporting.
+func Ratio(a, b uint64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
+
+// Meter tracks an event rate over a sliding window of fixed-width slots.
+// It answers "events per second over the last W" without unbounded memory.
+type Meter struct {
+	mu        sync.Mutex
+	slotWidth time.Duration
+	slots     []uint64
+	slotStart time.Time
+	slotIdx   int
+	now       func() time.Time
+}
+
+// NewMeter creates a meter with the given window divided into 16 slots.
+// window must be positive.
+func NewMeter(window time.Duration) *Meter {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Meter{
+		slotWidth: window / 16,
+		slots:     make([]uint64, 16),
+		now:       time.Now,
+	}
+}
+
+// newMeterAt is a test hook that injects a clock.
+func newMeterAt(window time.Duration, now func() time.Time) *Meter {
+	m := NewMeter(window)
+	m.now = now
+	return m
+}
+
+// advance rotates slots forward to the current time, zeroing expired ones.
+func (m *Meter) advance(t time.Time) {
+	if m.slotStart.IsZero() {
+		m.slotStart = t
+		return
+	}
+	for t.Sub(m.slotStart) >= m.slotWidth {
+		m.slotIdx = (m.slotIdx + 1) % len(m.slots)
+		m.slots[m.slotIdx] = 0
+		m.slotStart = m.slotStart.Add(m.slotWidth)
+		// If the caller was idle for longer than the whole window, snap the
+		// slot origin forward instead of looping thousands of times.
+		if t.Sub(m.slotStart) >= m.slotWidth*time.Duration(2*len(m.slots)) {
+			for i := range m.slots {
+				m.slots[i] = 0
+			}
+			m.slotStart = t
+			break
+		}
+	}
+}
+
+// Mark records n events at the current time.
+func (m *Meter) Mark(n uint64) {
+	t := m.now()
+	m.mu.Lock()
+	m.advance(t)
+	m.slots[m.slotIdx] += n
+	m.mu.Unlock()
+}
+
+// Rate returns events per second over the window.
+func (m *Meter) Rate() float64 {
+	t := m.now()
+	m.mu.Lock()
+	m.advance(t)
+	var total uint64
+	for _, s := range m.slots {
+		total += s
+	}
+	window := m.slotWidth * time.Duration(len(m.slots))
+	m.mu.Unlock()
+	return float64(total) / window.Seconds()
+}
+
+// Registry is a labeled collection of metrics so that subsystems can expose
+// their instruments without global state. Lookups create on first use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every registered metric sorted by name, one per line. It is
+// the human-readable output used by the bench harness.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %-40s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge   %-40s %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histo   %-40s %s", name, h.Snapshot()))
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+// Package metrics provides the measurement substrate used throughout the
+// Speed Kit reproduction: streaming histograms with percentile queries,
+// monotonic counters, rate meters, and labeled registries.
+//
+// Everything in this package is safe for concurrent use unless documented
+// otherwise, and allocation-free on the hot recording path so that the
+// instrumentation itself does not distort benchmark results.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a streaming histogram over non-negative values (typically
+// durations in microseconds or sizes in bytes). It uses logarithmically
+// sized buckets so that relative error is bounded (~5% per bucket) across
+// nine orders of magnitude, which is the precision/footprint trade-off used
+// by HdrHistogram-style recorders in production CDNs.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  []uint64
+	total   uint64
+	sum     float64
+	min     float64
+	max     float64
+	growth  float64 // bucket growth factor
+	logG    float64 // precomputed log(growth)
+	nonZero bool
+}
+
+// defaultGrowth yields ~5% relative bucket width.
+const defaultGrowth = 1.05
+
+// numBuckets covers values up to ~1e9 with growth 1.05 plus a zero bucket.
+const numBuckets = 512
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, numBuckets),
+		growth: defaultGrowth,
+		logG:   math.Log(defaultGrowth),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// bucketFor maps a value to its bucket index. Values <= 1 land in bucket 0.
+func (h *Histogram) bucketFor(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Log(v)/h.logG) + 1
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// lowerBound is the smallest value that maps to bucket i.
+func (h *Histogram) lowerBound(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return math.Pow(h.growth, float64(i-1))
+}
+
+// Observe records a single value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[h.bucketFor(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.nonZero = true
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Microseconds()))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the running sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest observed value, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.nonZero {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.nonZero {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
+// bucket lower bound with linear interpolation within the bucket. Returns 0
+// for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total-1)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) > rank {
+			lo := h.lowerBound(i)
+			hi := h.lowerBound(i + 1)
+			// Interpolate within the bucket by the fraction of rank covered.
+			frac := (rank - float64(cum)) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Quantiles returns estimates for several quantiles in one pass under one
+// lock acquisition. The qs slice need not be sorted.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.quantileLocked(q)
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy of the histogram state for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count: h.total,
+		Sum:   h.sum,
+	}
+	if h.nonZero {
+		s.Min = h.min
+		s.Max = h.max
+	}
+	if h.total > 0 {
+		s.Mean = h.sum / float64(h.total)
+		s.P50 = h.quantileLocked(0.50)
+		s.P90 = h.quantileLocked(0.90)
+		s.P95 = h.quantileLocked(0.95)
+		s.P99 = h.quantileLocked(0.99)
+	}
+	return s
+}
+
+// Merge folds other into h. Both histograms must use the same bucketing,
+// which is always true for histograms created by NewHistogram.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	// Take a consistent copy of other first to avoid holding two locks.
+	other.mu.Lock()
+	counts := make([]uint64, len(other.counts))
+	copy(counts, other.counts)
+	total, sum := other.total, other.sum
+	omin, omax, ok := other.min, other.max, other.nonZero
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if ok {
+		if omin < h.min {
+			h.min = omin
+		}
+		if omax > h.max {
+			h.max = omax
+		}
+		h.nonZero = true
+	}
+	h.mu.Unlock()
+}
+
+// Reset clears all recorded state.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+	h.nonZero = false
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count               uint64
+	Sum, Mean, Min, Max float64
+	P50, P90, P95, P99  float64
+}
+
+// String renders the snapshot as a compact single line, with values assumed
+// to be microseconds (the convention used across the benchmark harness).
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.0fµs p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// ExactQuantile computes the exact q-quantile of a sample slice. It is used
+// by tests to bound the histogram's estimation error and by small-sample
+// reports where exactness is cheap. The input slice is not modified.
+func ExactQuantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + (s[lo+1]-s[lo])*frac
+}

@@ -1,0 +1,249 @@
+package origin
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/netsim"
+	"speedkit/internal/query"
+	"speedkit/internal/session"
+	"speedkit/internal/storage"
+)
+
+func newTestOrigin(t *testing.T) (*Server, *storage.DocumentStore, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	docs := storage.NewDocumentStore(clk)
+	for _, p := range []struct {
+		id    string
+		price float64
+		cat   string
+	}{
+		{"p1", 89.9, "shoes"}, {"p2", 120, "shoes"}, {"p3", 25, "hats"},
+	} {
+		if err := docs.Insert("products", p.id, map[string]any{"price": p.price, "category": p.cat, "name": "Item " + p.id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(docs, clk)
+	t.Cleanup(srv.Close)
+	srv.RegisterStatic("/", []byte("<h1>Home</h1>"), "greeting", "cart")
+	srv.RegisterProducts("/product/", "products", "cart", "reco")
+	srv.RegisterQueryPage("/category/shoes", "Shoes",
+		query.MustParse(`products WHERE category = "shoes" ORDER BY price`), "cart")
+	srv.RegisterBlock("greeting", GreetingBlock)
+	srv.RegisterBlock("cart", CartBlock)
+	srv.RegisterBlock("reco", RecommendationsBlock)
+	return srv, docs, clk
+}
+
+func TestRenderStatic(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	p, err := srv.Render("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(p.Body)
+	if !strings.Contains(body, "<h1>Home</h1>") {
+		t.Fatalf("body missing content: %s", body)
+	}
+	for _, b := range []string{"greeting", "cart"} {
+		if !strings.Contains(body, BlockPlaceholder(b)) {
+			t.Fatalf("missing placeholder %s", b)
+		}
+	}
+	if len(p.Blocks) != 2 || p.Blocks[0] != "cart" {
+		t.Fatalf("blocks = %v", p.Blocks)
+	}
+	if p.Version != 1 || p.ContentType != "text/html" {
+		t.Fatalf("page meta = %+v", p)
+	}
+}
+
+func TestRenderProductPage(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	p, err := srv.Render("/product/p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(p.Body)
+	if !strings.Contains(body, "89.9") || !strings.Contains(body, "Item p1") {
+		t.Fatalf("product fields missing: %s", body)
+	}
+	if !strings.Contains(body, BlockPlaceholder("reco")) {
+		t.Fatal("reco placeholder missing")
+	}
+}
+
+func TestRenderProductMissingDoc(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	if _, err := srv.Render("/product/ghost"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderQueryPage(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	p, err := srv.Render("/category/shoes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(p.Body)
+	// Ascending price: p1 (89.9) before p2 (120); p3 (hat) absent.
+	i1, i2 := strings.Index(body, `data-id="p1"`), strings.Index(body, `data-id="p2"`)
+	if i1 == -1 || i2 == -1 || i1 > i2 {
+		t.Fatalf("listing order wrong: %s", body)
+	}
+	if strings.Contains(body, "p3") {
+		t.Fatal("hat leaked into shoes listing")
+	}
+}
+
+func TestRenderNoRoute(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	if _, err := srv.Render("/nope"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+	// A bare product prefix (no ID) is not a route either.
+	if _, err := srv.Render("/product/"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProductChangeBumpsVersion(t *testing.T) {
+	srv, docs, _ := newTestOrigin(t)
+	if v := srv.Version("/product/p1"); v != 1 {
+		t.Fatalf("initial version = %d", v)
+	}
+	if err := docs.Patch("products", "p1", map[string]any{"price": 79.9}); err != nil {
+		t.Fatal(err)
+	}
+	if v := srv.Version("/product/p1"); v != 2 {
+		t.Fatalf("version after write = %d", v)
+	}
+	// Unrelated product unaffected.
+	if v := srv.Version("/product/p2"); v != 1 {
+		t.Fatalf("unrelated version = %d", v)
+	}
+	// Rendered page carries the new version and content.
+	p, _ := srv.Render("/product/p1")
+	if p.Version != 2 || !strings.Contains(string(p.Body), "79.9") {
+		t.Fatalf("render after write: v=%d", p.Version)
+	}
+}
+
+func TestManualInvalidate(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	srv.Invalidate("/category/shoes")
+	if v := srv.Version("/category/shoes"); v != 2 {
+		t.Fatalf("version = %d", v)
+	}
+	if srv.Stats().Invalidations == 0 {
+		t.Fatal("invalidation not counted")
+	}
+}
+
+func TestQueryPagesExport(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	qp := srv.QueryPages()
+	if len(qp) != 1 {
+		t.Fatalf("query pages = %v", qp)
+	}
+	if _, ok := qp["/category/shoes"]; !ok {
+		t.Fatal("shoes page missing")
+	}
+}
+
+func TestCloseStopsVersionBumps(t *testing.T) {
+	srv, docs, _ := newTestOrigin(t)
+	srv.Close()
+	_ = docs.Patch("products", "p1", map[string]any{"price": 1.0})
+	if v := srv.Version("/product/p1"); v != 1 {
+		t.Fatalf("closed server still bumping versions: %d", v)
+	}
+}
+
+func TestRenderBlockUnknownIsEmpty(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	if b := srv.RenderBlock("ghost", nil); b != nil {
+		t.Fatalf("unknown block rendered %q", b)
+	}
+}
+
+func TestBuiltinBlocks(t *testing.T) {
+	u := &session.User{ID: "u1", Name: "Ada", LoggedIn: true, Tier: "gold"}
+	u.AddToCart("p1", 3)
+	u.RecordView("p9")
+
+	if s := string(GreetingBlock(u)); !strings.Contains(s, "Ada") {
+		t.Errorf("greeting = %s", s)
+	}
+	if s := string(GreetingBlock(nil)); !strings.Contains(s, "Welcome!") {
+		t.Errorf("anon greeting = %s", s)
+	}
+	if s := string(CartBlock(u)); !strings.Contains(s, "3 items") {
+		t.Errorf("cart = %s", s)
+	}
+	if s := string(CartBlock(nil)); !strings.Contains(s, "0 items") {
+		t.Errorf("anon cart = %s", s)
+	}
+	if s := string(RecommendationsBlock(u)); !strings.Contains(s, "p9") {
+		t.Errorf("reco = %s", s)
+	}
+	if s := string(RecommendationsBlock(nil)); !strings.Contains(s, "Popular") {
+		t.Errorf("anon reco = %s", s)
+	}
+	if s := string(TierPriceBlock(u)); !strings.Contains(s, "gold: 10% off") {
+		t.Errorf("tier = %s", s)
+	}
+	if s := string(TierPriceBlock(nil)); !strings.Contains(s, "standard: 0% off") {
+		t.Errorf("anon tier = %s", s)
+	}
+}
+
+func TestRecommendationsBlockLimitsToFour(t *testing.T) {
+	u := session.Generate(newRand(), 1, netsim.EU)
+	for i := 0; i < 10; i++ {
+		u.RecordView("px")
+	}
+	s := string(RecommendationsBlock(u))
+	if strings.Count(s, "px") != 4 {
+		t.Fatalf("reco shows %d items: %s", strings.Count(s, "px"), s)
+	}
+}
+
+func TestHasRoute(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/", true},
+		{"/category/shoes", true},
+		{"/product/p1", true},
+		{"/product/ghost", true}, // routed; document existence is Render's job
+		{"/product/", false},     // bare prefix
+		{"/nope", false},
+	}
+	for _, c := range cases {
+		if got := srv.HasRoute(c.path); got != c.want {
+			t.Errorf("HasRoute(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	srv, _, _ := newTestOrigin(t)
+	_, _ = srv.Render("/")
+	srv.RenderBlock("cart", nil)
+	st := srv.Stats()
+	if st.Renders != 1 || st.BlockRenders != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

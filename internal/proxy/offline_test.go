@@ -1,0 +1,114 @@
+package proxy
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// goOffline makes the fake transport unreachable, including the sketch
+// endpoint (nil snapshot).
+func goOffline(tr *fakeTransport) {
+	tr.fetchErr = ErrOffline
+	tr.sketchDown = true
+}
+
+func TestOfflineServesHeldCopy(t *testing.T) {
+	p, tr, clk := newTestProxy(t, loggedInUser())
+	if _, err := p.Load("/"); err != nil {
+		t.Fatal(err)
+	}
+
+	goOffline(tr)
+	clk.Advance(31 * time.Second) // sketch stale too — everything is down
+
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatalf("offline load failed despite held copy: %v", err)
+	}
+	if !res.Offline || res.Source != SourceDevice {
+		t.Fatalf("offline result: %+v", res)
+	}
+	if len(res.Body) == 0 || res.BlocksPersonalized == 0 {
+		t.Fatal("offline page not assembled/personalized")
+	}
+	if p.Stats().OfflineServes != 1 {
+		t.Fatalf("OfflineServes = %d", p.Stats().OfflineServes)
+	}
+}
+
+func TestOfflineServesExpiredCopy(t *testing.T) {
+	p, tr, clk := newTestProxy(t, nil)
+	// Cache a short-lived page, then let it expire while offline.
+	e := tr.pages["/"]
+	e.ExpiresAt = clk.Now().Add(5 * time.Second)
+	tr.pages["/"] = e
+	_, _ = p.Load("/")
+
+	goOffline(tr)
+	clk.Advance(time.Hour)
+
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatalf("offline load of expired copy failed: %v", err)
+	}
+	if !res.Offline {
+		t.Fatal("expired-copy serve not marked offline")
+	}
+}
+
+func TestOfflineWithoutCopyFails(t *testing.T) {
+	p, tr, _ := newTestProxy(t, nil)
+	goOffline(tr)
+	_, err := p.Load("/never-cached")
+	if !errors.Is(err, ErrOffline) {
+		t.Fatalf("err = %v, want ErrOffline", err)
+	}
+}
+
+func TestOfflineNonNetworkErrorsPropagate(t *testing.T) {
+	p, tr, _ := newTestProxy(t, nil)
+	_, _ = p.Load("/")
+	tr.fetchErr = errors.New("500 internal server error")
+	tr.sketchDown = false
+	// Force a refetch by flagging the page.
+	tr.sketchSrv.ReportCachedRead("/", tr.clk.Now().Add(time.Hour))
+	tr.sketchSrv.ReportWrite("/")
+	p.sketch.Install(tr.sketchSrv.Snapshot())
+
+	if _, err := p.Load("/"); err == nil {
+		t.Fatal("application error masked by offline fallback")
+	}
+}
+
+func TestOfflineRecoveryRestoresProtocol(t *testing.T) {
+	p, tr, clk := newTestProxy(t, nil)
+	_, _ = p.Load("/")
+
+	goOffline(tr)
+	clk.Advance(31 * time.Second)
+	res, _ := p.Load("/")
+	if !res.Offline {
+		t.Fatal("not offline")
+	}
+
+	// Connectivity returns; the write made while offline must become
+	// visible within Δ of recovery.
+	tr.fetchErr = nil
+	tr.sketchDown = false
+	tr.sketchSrv.ReportWrite("/") // copy reported during first load
+	e := tr.pages["/"]
+	e.Version = 2
+	tr.pages["/"] = e
+
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offline {
+		t.Fatal("still offline after recovery")
+	}
+	if !res.SketchRefreshed || res.Version != 2 {
+		t.Fatalf("post-recovery load: %+v", res)
+	}
+}

@@ -1,0 +1,114 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/netsim"
+)
+
+// newPrefetchProxy builds a proxy over a fake transport where the listing
+// page "/list" links three detail pages.
+func newPrefetchProxy(t *testing.T, k int) (*Proxy, *fakeTransport, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	tr := &fakeTransport{
+		clk:       clk,
+		sketchSrv: cachesketch.NewServer(cachesketch.ServerConfig{Clock: clk}),
+		pages:     make(map[string]cache.Entry),
+		fetchSrc:  SourceCDN,
+		fetchLat:  20 * time.Millisecond,
+	}
+	listing := cache.TTLEntry(clk, "/list", []byte("<ul>items</ul>"), 1, time.Hour)
+	listing.Metadata = EntryMetadata(nil, []string{"/item/1", "/item/2", "/item/3"})
+	tr.pages["/list"] = listing
+	for _, p := range []string{"/item/1", "/item/2", "/item/3"} {
+		tr.pages[p] = cache.TTLEntry(clk, p, []byte("<item>"+p+"</item>"), 1, time.Hour)
+	}
+	p := New(Config{Region: netsim.EU, Clock: clk, PrefetchLinks: k}, tr)
+	return p, tr, clk
+}
+
+func TestPrefetchWarmsLinkedPages(t *testing.T) {
+	p, _, _ := newPrefetchProxy(t, 2)
+	res, err := p.Load("/list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Prefetches != 2 {
+		t.Fatalf("prefetches = %d, want 2 (K cap)", st.Prefetches)
+	}
+	if st.PrefetchTime == 0 {
+		t.Fatal("prefetch cost not accounted")
+	}
+	// Prefetch cost is NOT part of the page latency.
+	if res.Latency > 100*time.Millisecond {
+		t.Fatalf("page latency %v includes prefetch cost", res.Latency)
+	}
+	// The next click is a device hit.
+	r2, _ := p.Load("/item/1")
+	if r2.Source != SourceDevice {
+		t.Fatalf("prefetched page served from %v", r2.Source)
+	}
+	// The third link was beyond K and stays cold.
+	r3, _ := p.Load("/item/3")
+	if r3.Source == SourceDevice {
+		t.Fatal("link beyond K was prefetched")
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	p, _, _ := newPrefetchProxy(t, 0)
+	_, _ = p.Load("/list")
+	if p.Stats().Prefetches != 0 {
+		t.Fatal("prefetch ran despite K=0")
+	}
+}
+
+func TestPrefetchSkipsHeldPages(t *testing.T) {
+	p, _, _ := newPrefetchProxy(t, 3)
+	_, _ = p.Load("/item/2") // warm one link by visiting it
+	_, _ = p.Load("/list")
+	// 3 links, one already held → only 2 prefetches.
+	if got := p.Stats().Prefetches; got != 2 {
+		t.Fatalf("prefetches = %d, want 2", got)
+	}
+}
+
+func TestPrefetchStopsWhenOffline(t *testing.T) {
+	p, tr, _ := newPrefetchProxy(t, 3)
+	_, _ = p.Load("/list") // caches the listing itself
+	p.store.Delete("/item/1")
+	p.store.Delete("/item/2")
+	p.store.Delete("/item/3")
+	before := p.Stats().Prefetches
+
+	goOffline(tr)
+	res, err := p.Load("/list") // offline: listing from device cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Offline && res.Source != SourceDevice {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if p.Stats().Prefetches != before {
+		t.Fatal("prefetch attempted while offline")
+	}
+}
+
+func TestEntryMetadata(t *testing.T) {
+	if EntryMetadata(nil, nil) != nil {
+		t.Fatal("empty metadata not nil")
+	}
+	m := EntryMetadata([]string{"cart"}, []string{"/a", "/b"})
+	if m["blocks"] != "cart" || m["links"] != "/a,/b" {
+		t.Fatalf("metadata = %v", m)
+	}
+	if m := EntryMetadata(nil, []string{"/a"}); m["links"] != "/a" || m["blocks"] != "" {
+		t.Fatalf("links-only metadata = %v", m)
+	}
+}

@@ -1,0 +1,533 @@
+// Package proxy implements the client-side half of Speed Kit: the
+// service-worker-style proxy installed in the user's device. It
+// intercepts page requests and enforces two disciplines at once:
+//
+//   - Coherence: before serving anything from the device cache it
+//     consults the Cache Sketch client (refreshing the sketch when older
+//     than Δ), so every load is Δ-atomic.
+//   - Compliance: requests toward shared infrastructure (the CDN) carry
+//     only anonymous fields; all personalization happens on-device by
+//     swapping dynamic-block placeholders for fragments rendered from
+//     device-local session state, or fetched over the first-party origin
+//     channel when the user has consented.
+//
+// The proxy accumulates simulated latency for every step so that the
+// page-load experiments measure the full pipeline.
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/gdpr"
+	"speedkit/internal/netsim"
+	"speedkit/internal/origin"
+	"speedkit/internal/session"
+)
+
+// ErrOffline is returned by Transport implementations when the network is
+// unreachable. The proxy answers it with its offline mode: any held
+// device copy is served rather than failing the page load.
+var ErrOffline = errors.New("proxy: network unreachable")
+
+// Source identifies which tier served a page body.
+type Source int
+
+// Serving tiers.
+const (
+	// SourceDevice: the service-worker cache on the user's device.
+	SourceDevice Source = iota
+	// SourceCDN: a CDN edge.
+	SourceCDN
+	// SourceOrigin: a full origin fetch (CDN miss or revalidation).
+	SourceOrigin
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceDevice:
+		return "device"
+	case SourceCDN:
+		return "cdn"
+	case SourceOrigin:
+		return "origin"
+	}
+	return "unknown"
+}
+
+// Transport is the proxy's view of the Speed Kit service. The core
+// package implements it over the CDN, sketch server, and origin.
+type Transport interface {
+	// FetchSketch returns the current sketch snapshot and the simulated
+	// latency of transferring it from the nearest edge.
+	FetchSketch(region netsim.Region) (*cachesketch.Snapshot, time.Duration)
+	// Fetch returns the anonymous page representation via the CDN path,
+	// the simulated latency, and whether the edge or the origin served it.
+	Fetch(region netsim.Region, path string) (cache.Entry, time.Duration, Source, error)
+	// Revalidate is the conditional variant of Fetch: the client holds a
+	// copy at knownVersion. If that version is still current the
+	// transport returns notModified=true with a fresh expiration and only
+	// a header-sized transfer cost; otherwise it behaves like Fetch.
+	Revalidate(region netsim.Region, path string, knownVersion uint64) (RevalidationResult, error)
+	// FetchBlocks returns origin-rendered personalized fragments over the
+	// first-party channel, with the simulated latency of that round trip.
+	FetchBlocks(region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration)
+}
+
+// RevalidationResult is the outcome of a conditional fetch.
+type RevalidationResult struct {
+	// NotModified reports that the client's copy is still current; Entry
+	// then carries only the refreshed expiration (no body).
+	NotModified bool
+	// Entry is the new representation (full on modification, expiry-only
+	// on a 304-equivalent).
+	Entry   cache.Entry
+	Latency time.Duration
+	Source  Source
+}
+
+// Config parameterizes a device proxy.
+type Config struct {
+	// User owns the device (nil for an anonymous visitor).
+	User *session.User
+	// Region locates the device.
+	Region netsim.Region
+	// Delta is the staleness bound Δ enforced via sketch refreshes
+	// (default 60s).
+	Delta time.Duration
+	// CacheItems bounds the service-worker cache (default 500 entries —
+	// device caches are small).
+	CacheItems int
+	// Clock supplies time (default system).
+	Clock clock.Clock
+	// Network models device-local latencies.
+	Network *netsim.Network
+	// Auditor records data flows across trust boundaries (optional).
+	Auditor *gdpr.Auditor
+	// Consent is the consent ledger consulted before any personalized
+	// origin fetch (optional; nil means rely on User.ConsentPersonalization).
+	Consent *gdpr.ConsentLedger
+	// OriginBlocks names the dynamic blocks whose fragments must be
+	// fetched from the origin (server-side data). All other blocks render
+	// on-device.
+	OriginBlocks map[string]bool
+	// LocalBlocks maps block names to on-device renderers. Defaults to
+	// the origin package's built-ins for greeting/cart/reco/tier.
+	LocalBlocks map[string]origin.BlockRenderer
+	// DisableSketch turns off the coherence protocol: cached entries are
+	// served purely by TTL. This is the "traditional expiration-based
+	// caching" baseline of the consistency experiments — never use it in
+	// production configurations.
+	DisableSketch bool
+	// PrefetchLinks warms the device cache with up to this many of each
+	// loaded page's links (0 disables prefetching).
+	PrefetchLinks int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Delta <= 0 {
+		c.Delta = 60 * time.Second
+	}
+	if c.CacheItems <= 0 {
+		c.CacheItems = 500
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	if c.Network == nil {
+		c.Network = netsim.DefaultTopology(1)
+	}
+	if c.LocalBlocks == nil {
+		c.LocalBlocks = map[string]origin.BlockRenderer{
+			"greeting": origin.GreetingBlock,
+			"cart":     origin.CartBlock,
+			"reco":     origin.RecommendationsBlock,
+			"tier":     origin.TierPriceBlock,
+		}
+	}
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Loads, DeviceHits, CDNHits, OriginFetches uint64
+	SketchRefreshes, Revalidations            uint64
+	// NotModified counts revalidations answered by a 304-equivalent
+	// (version unchanged, no body transferred).
+	NotModified uint64
+	// OfflineServes counts loads answered from the device cache because
+	// the network was unreachable.
+	OfflineServes             uint64
+	BlocksLocal, BlocksOrigin uint64
+	// Prefetches counts background link fetches; PrefetchTime is their
+	// accumulated (simulated) cost, accounted apart from page latency.
+	Prefetches   uint64
+	PrefetchTime time.Duration
+}
+
+// Proxy is one device's service worker. Safe for concurrent use, though
+// a device issues requests sequentially in practice.
+type Proxy struct {
+	cfg    Config
+	sketch *cachesketch.Client
+	store  *cache.Store
+	tr     Transport
+	stats  Stats
+}
+
+// New creates a proxy bound to a transport.
+func New(cfg Config, tr Transport) *Proxy {
+	cfg.applyDefaults()
+	return &Proxy{
+		cfg:    cfg,
+		sketch: cachesketch.NewClient(cfg.Clock, cfg.Delta),
+		store: cache.New(cache.Config{
+			MaxItems: cfg.CacheItems,
+			Clock:    cfg.Clock,
+		}),
+		tr: tr,
+	}
+}
+
+// PageLoad is the result of one intercepted page request.
+type PageLoad struct {
+	Path string
+	// Body is the fully assembled, personalized page.
+	Body []byte
+	// Version is the content version of the anonymous shell served.
+	Version uint64
+	// Latency is the simulated end-to-end load time.
+	Latency time.Duration
+	// Source is the tier that served the shell.
+	Source Source
+	// Revalidated reports whether the sketch forced a revalidation.
+	Revalidated bool
+	// SketchRefreshed reports whether this load had to refresh the sketch.
+	SketchRefreshed bool
+	// BlocksPersonalized counts dynamic blocks filled for this load.
+	BlocksPersonalized int
+	// Offline reports that the network was unreachable and the page was
+	// served from the device cache regardless of freshness or sketch
+	// state. Offline responses may be arbitrarily stale — the Δ bound
+	// resumes once connectivity returns.
+	Offline bool
+}
+
+// auditCDN records an anonymous-only flow to the CDN boundary.
+func (p *Proxy) auditCDN(fields ...string) {
+	if p.cfg.Auditor != nil {
+		p.cfg.Auditor.RecordFlow(gdpr.BoundaryCDN, fields)
+	}
+}
+
+// Load intercepts one page request and runs the full pipeline.
+func (p *Proxy) Load(path string) (PageLoad, error) {
+	res := PageLoad{Path: path}
+	p.stats.Loads++
+
+	// 1. Sketch freshness: refresh if older than Δ. The sketch itself is
+	// an anonymous resource fetched from the edge.
+	if !p.cfg.DisableSketch && p.sketch.NeedsRefresh() {
+		sn, lat := p.tr.FetchSketch(p.cfg.Region)
+		p.sketch.Install(sn)
+		res.Latency += lat
+		res.SketchRefreshed = true
+		p.stats.SketchRefreshes++
+		p.auditCDN("sketch")
+	}
+
+	// 2. Coherence decision for the shell. With the sketch disabled,
+	// every unexpired cached copy is served blindly (TTL-only baseline).
+	decision := cachesketch.ServeFromCache
+	if !p.cfg.DisableSketch {
+		decision = p.sketch.Check(path)
+	}
+	// orOffline wraps a network fetch with the offline fallback: when the
+	// transport reports unreachability, any held device copy — fresh,
+	// flagged, or expired — beats a failed page load.
+	orOffline := func(e cache.Entry, err error) (cache.Entry, error) {
+		if err == nil || !errors.Is(err, ErrOffline) {
+			return e, err
+		}
+		held, ok := p.store.PeekAny(path)
+		if !ok {
+			return cache.Entry{}, err
+		}
+		res.Offline = true
+		res.Source = SourceDevice
+		res.Latency += p.cfg.Network.DeviceLatency()
+		p.stats.OfflineServes++
+		return held, nil
+	}
+
+	var entry cache.Entry
+	var err error
+	switch decision {
+	case cachesketch.ServeFromCache:
+		if e, ok := p.store.Get(path); ok {
+			entry = e
+			res.Source = SourceDevice
+			res.Latency += p.cfg.Network.DeviceLatency()
+			p.stats.DeviceHits++
+		} else {
+			entry, err = orOffline(p.fetchShell(path, &res))
+			if err != nil {
+				return PageLoad{}, err
+			}
+		}
+	case cachesketch.Revalidate:
+		res.Revalidated = true
+		p.stats.Revalidations++
+		entry, err = orOffline(p.revalidateShell(path, &res))
+		if err != nil {
+			return PageLoad{}, err
+		}
+	default:
+		// The sketch was refreshed above, so RefreshSketch can only recur
+		// if the transport returned a nil snapshot; degrade to a direct
+		// fetch, which is always safe.
+		res.Revalidated = true
+		entry, err = orOffline(p.fetchShell(path, &res))
+		if err != nil {
+			return PageLoad{}, err
+		}
+	}
+
+	// 3. On-device personalization: swap placeholders for fragments.
+	body, blocks, err := p.personalize(entry, &res)
+	if err != nil {
+		return PageLoad{}, err
+	}
+	res.Body = body
+	res.Version = entry.Version
+	res.BlocksPersonalized = blocks
+
+	// 4. Background prefetch of linked pages (never while offline).
+	if !res.Offline {
+		p.prefetch(entry)
+	}
+	return res, nil
+}
+
+// fetchShell pulls the anonymous page via the CDN path and fills the
+// device cache.
+func (p *Proxy) fetchShell(path string, res *PageLoad) (cache.Entry, error) {
+	p.auditCDN("path")
+	entry, lat, src, err := p.tr.Fetch(p.cfg.Region, path)
+	if err != nil {
+		return cache.Entry{}, fmt.Errorf("proxy: fetch %s: %w", path, err)
+	}
+	res.Latency += lat
+	res.Source = src
+	switch src {
+	case SourceCDN:
+		p.stats.CDNHits++
+	default:
+		p.stats.OriginFetches++
+	}
+	// The entry's ExpiresAt is absolute, so the device copy expires in
+	// lockstep with every other cache of the same response — exactly the
+	// assumption the server's expiration table depends on.
+	p.store.Put(entry)
+	return entry, nil
+}
+
+// revalidateShell refreshes a sketch-flagged page. When the device still
+// holds a copy (even an expired one), it issues a conditional fetch with
+// the held version: if the origin's version is unchanged, only the
+// expiration is renewed and no body travels — the protocol's
+// 304-equivalent. Without a held copy it degrades to a plain fetch.
+func (p *Proxy) revalidateShell(path string, res *PageLoad) (cache.Entry, error) {
+	// Without a held copy there is no version to condition on, but the
+	// request must still travel the revalidation path (version 0 never
+	// matches): a plain fetch could be answered by an edge still holding
+	// the pre-purge copy inside the purge-propagation window.
+	var knownVersion uint64
+	held, ok := p.store.PeekAny(path)
+	if ok {
+		knownVersion = held.Version
+	}
+	p.auditCDN("path")
+	rr, err := p.tr.Revalidate(p.cfg.Region, path, knownVersion)
+	if err != nil {
+		return cache.Entry{}, fmt.Errorf("proxy: revalidate %s: %w", path, err)
+	}
+	res.Latency += rr.Latency
+	res.Source = rr.Source
+	switch rr.Source {
+	case SourceCDN:
+		p.stats.CDNHits++
+	default:
+		p.stats.OriginFetches++
+	}
+	if rr.NotModified && ok {
+		p.stats.NotModified++
+		held.ExpiresAt = rr.Entry.ExpiresAt
+		held.StoredAt = rr.Entry.StoredAt
+		p.store.Put(held)
+		return held, nil
+	}
+	p.store.Put(rr.Entry)
+	return rr.Entry, nil
+}
+
+// personalize replaces each block placeholder with its fragment.
+func (p *Proxy) personalize(entry cache.Entry, res *PageLoad) ([]byte, int, error) {
+	names := blockNames(entry)
+	if len(names) == 0 {
+		return entry.Body, 0, nil
+	}
+
+	consented := p.consented()
+	var originNames []string
+	fragments := make(map[string][]byte, len(names))
+	for _, name := range names {
+		if p.cfg.OriginBlocks[name] && consented {
+			originNames = append(originNames, name)
+			continue
+		}
+		// On-device rendering from local session state. Without consent,
+		// render the anonymous variant by passing a nil user.
+		r := p.cfg.LocalBlocks[name]
+		if r == nil {
+			fragments[name] = nil
+			continue
+		}
+		u := p.cfg.User
+		if !consented {
+			u = nil
+		}
+		fragments[name] = r(u)
+		p.stats.BlocksLocal++
+	}
+
+	// Origin-sourced fragments travel over the first-party channel, one
+	// batched round trip per page. PII crossing this boundary is lawful
+	// (first-party, consented) but still audited.
+	if len(originNames) > 0 {
+		if p.cfg.Auditor != nil {
+			p.cfg.Auditor.RecordFlow(gdpr.BoundaryOrigin, []string{"user_id", "path"})
+		}
+		frs, lat := p.tr.FetchBlocks(p.cfg.Region, originNames, p.cfg.User)
+		res.Latency += lat
+		for name, fr := range frs {
+			fragments[name] = fr
+			p.stats.BlocksOrigin++
+		}
+	}
+
+	res.Latency += p.cfg.Network.DeviceLatency() // assembly cost
+	body := entry.Body
+	count := 0
+	for name, fr := range fragments {
+		ph := []byte(origin.BlockPlaceholder(name))
+		if bytes.Contains(body, ph) {
+			body = bytes.ReplaceAll(body, ph, fr)
+			count++
+		}
+	}
+	return body, count, nil
+}
+
+// consented reports whether personalization is permitted for this device.
+func (p *Proxy) consented() bool {
+	u := p.cfg.User
+	if u == nil || !u.LoggedIn {
+		return false
+	}
+	if p.cfg.Consent != nil {
+		return p.cfg.Consent.Allowed(u.ID, gdpr.PurposePersonalization)
+	}
+	return u.ConsentPersonalization
+}
+
+// blockNames extracts the dynamic block list from the entry metadata.
+func blockNames(e cache.Entry) []string {
+	raw := e.Metadata["blocks"]
+	if raw == "" {
+		return nil
+	}
+	return strings.Split(raw, ",")
+}
+
+// BlocksMetadata renders a page's block list into cache-entry metadata.
+func BlocksMetadata(blocks []string) map[string]string {
+	if len(blocks) == 0 {
+		return nil
+	}
+	return map[string]string{"blocks": strings.Join(blocks, ",")}
+}
+
+// EntryMetadata renders a page's blocks and links into cache-entry
+// metadata understood by the proxy (personalization and prefetching).
+func EntryMetadata(blocks, links []string) map[string]string {
+	if len(blocks) == 0 && len(links) == 0 {
+		return nil
+	}
+	m := make(map[string]string, 2)
+	if len(blocks) > 0 {
+		m["blocks"] = strings.Join(blocks, ",")
+	}
+	if len(links) > 0 {
+		m["links"] = strings.Join(links, ",")
+	}
+	return m
+}
+
+// linkNames extracts the prefetchable link list from entry metadata.
+func linkNames(e cache.Entry) []string {
+	raw := e.Metadata["links"]
+	if raw == "" {
+		return nil
+	}
+	return strings.Split(raw, ",")
+}
+
+// prefetch warms the device cache with the page's first K links that are
+// not already held. In production this runs asynchronously after the
+// page is displayed, so its cost is accounted separately from the page
+// load; the simulated latency is accumulated in Stats.PrefetchTime.
+func (p *Proxy) prefetch(entry cache.Entry) {
+	k := p.cfg.PrefetchLinks
+	if k <= 0 {
+		return
+	}
+	for _, link := range linkNames(entry) {
+		if k == 0 {
+			break
+		}
+		if _, held := p.store.Peek(link); held {
+			continue
+		}
+		p.auditCDN("path")
+		fetched, lat, _, err := p.tr.Fetch(p.cfg.Region, link)
+		if err != nil {
+			return // offline or server trouble: stop prefetching quietly
+		}
+		p.store.Put(fetched)
+		p.stats.Prefetches++
+		p.stats.PrefetchTime += lat
+		k--
+	}
+}
+
+// Stats returns a copy of the proxy counters.
+func (p *Proxy) Stats() Stats { return p.stats }
+
+// CacheStats exposes the device cache counters.
+func (p *Proxy) CacheStats() cache.Stats { return p.store.Stats() }
+
+// SketchStats exposes the sketch client counters.
+func (p *Proxy) SketchStats() cachesketch.ClientStats { return p.sketch.Stats() }
+
+// User returns the device owner (may be nil).
+func (p *Proxy) User() *session.User { return p.cfg.User }
+
+// Region returns the device region.
+func (p *Proxy) Region() netsim.Region { return p.cfg.Region }

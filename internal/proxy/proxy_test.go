@@ -1,0 +1,371 @@
+package proxy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/gdpr"
+	"speedkit/internal/netsim"
+	"speedkit/internal/origin"
+	"speedkit/internal/session"
+)
+
+// fakeTransport is a controllable Transport for proxy unit tests.
+type fakeTransport struct {
+	clk        *clock.Simulated
+	sketchSrv  *cachesketch.Server
+	pages      map[string]cache.Entry
+	fetchSrc   Source
+	fetchErr   error
+	fetchLat   time.Duration
+	sketchLat  time.Duration
+	sketchDown bool
+	blockCalls int
+	lastBlocks []string
+	lastUser   *session.User
+}
+
+func (f *fakeTransport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Duration) {
+	if f.sketchDown {
+		return nil, 0
+	}
+	return f.sketchSrv.Snapshot(), f.sketchLat
+}
+
+func (f *fakeTransport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Duration, Source, error) {
+	if f.fetchErr != nil {
+		return cache.Entry{}, 0, 0, f.fetchErr
+	}
+	e, ok := f.pages[path]
+	if !ok {
+		return cache.Entry{}, 0, 0, errors.New("no such page")
+	}
+	// Mimic the service: report the cache fill to the sketch server.
+	f.sketchSrv.ReportCachedRead(path, e.ExpiresAt)
+	return e, f.fetchLat, f.fetchSrc, nil
+}
+
+func (f *fakeTransport) Revalidate(region netsim.Region, path string, knownVersion uint64) (RevalidationResult, error) {
+	if f.fetchErr != nil {
+		return RevalidationResult{}, f.fetchErr
+	}
+	e, ok := f.pages[path]
+	if !ok {
+		return RevalidationResult{}, errors.New("no such page")
+	}
+	if e.Version == knownVersion {
+		fresh := cache.TTLEntry(f.clk, path, nil, knownVersion, time.Hour)
+		f.sketchSrv.ReportCachedRead(path, fresh.ExpiresAt)
+		return RevalidationResult{NotModified: true, Entry: fresh,
+			Latency: 5 * time.Millisecond, Source: SourceOrigin}, nil
+	}
+	f.sketchSrv.ReportCachedRead(path, e.ExpiresAt)
+	return RevalidationResult{Entry: e, Latency: f.fetchLat, Source: f.fetchSrc}, nil
+}
+
+func (f *fakeTransport) FetchBlocks(_ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+	f.blockCalls++
+	f.lastBlocks = names
+	f.lastUser = u
+	out := make(map[string][]byte, len(names))
+	for _, n := range names {
+		out[n] = []byte("<origin:" + n + ">")
+	}
+	return out, 30 * time.Millisecond
+}
+
+func newTestProxy(t *testing.T, user *session.User) (*Proxy, *fakeTransport, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	tr := &fakeTransport{
+		clk:       clk,
+		sketchSrv: cachesketch.NewServer(cachesketch.ServerConfig{Clock: clk}),
+		pages:     make(map[string]cache.Entry),
+		fetchSrc:  SourceCDN,
+		fetchLat:  40 * time.Millisecond,
+		sketchLat: 15 * time.Millisecond,
+	}
+	body := []byte("<html>shell " + origin.BlockPlaceholder("greeting") + origin.BlockPlaceholder("cart") + "</html>")
+	e := cache.TTLEntry(clk, "/", body, 1, time.Hour)
+	e.Metadata = BlocksMetadata([]string{"greeting", "cart"})
+	tr.pages["/"] = e
+
+	plain := cache.TTLEntry(clk, "/plain", []byte("<html>no blocks</html>"), 1, time.Hour)
+	tr.pages["/plain"] = plain
+
+	p := New(Config{
+		User:    user,
+		Region:  netsim.EU,
+		Delta:   30 * time.Second,
+		Clock:   clk,
+		Network: netsim.DefaultTopology(1),
+		Auditor: gdpr.NewAuditor(),
+	}, tr)
+	return p, tr, clk
+}
+
+func loggedInUser() *session.User {
+	return &session.User{ID: "u1", Name: "Ada", Email: "ada@example.com",
+		LoggedIn: true, Tier: "gold", ConsentPersonalization: true}
+}
+
+func TestLoadColdFetchesSketchAndShell(t *testing.T) {
+	p, _, _ := newTestProxy(t, loggedInUser())
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SketchRefreshed {
+		t.Fatal("cold load did not refresh sketch")
+	}
+	if res.Source != SourceCDN {
+		t.Fatalf("source = %v", res.Source)
+	}
+	if res.Latency < 55*time.Millisecond {
+		t.Fatalf("latency %v missing sketch+fetch costs", res.Latency)
+	}
+	if res.Version != 1 {
+		t.Fatalf("version = %d", res.Version)
+	}
+}
+
+func TestLoadSecondHitServedFromDevice(t *testing.T) {
+	p, _, _ := newTestProxy(t, loggedInUser())
+	_, _ = p.Load("/")
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDevice {
+		t.Fatalf("source = %v, want device", res.Source)
+	}
+	if res.SketchRefreshed {
+		t.Fatal("fresh sketch refreshed again")
+	}
+	if res.Latency > 5*time.Millisecond {
+		t.Fatalf("device hit latency %v too high", res.Latency)
+	}
+	st := p.Stats()
+	if st.DeviceHits != 1 || st.CDNHits != 1 || st.Loads != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadPersonalizesBlocksOnDevice(t *testing.T) {
+	u := loggedInUser()
+	u.AddToCart("p1", 2)
+	p, _, _ := newTestProxy(t, u)
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(res.Body)
+	if !strings.Contains(body, "Welcome back, Ada!") {
+		t.Fatalf("greeting not personalized: %s", body)
+	}
+	if !strings.Contains(body, "2 items") {
+		t.Fatalf("cart not personalized: %s", body)
+	}
+	if strings.Contains(body, "<!--block:") {
+		t.Fatalf("placeholder survived: %s", body)
+	}
+	if res.BlocksPersonalized != 2 {
+		t.Fatalf("blocks = %d", res.BlocksPersonalized)
+	}
+}
+
+func TestLoadWithoutConsentRendersAnonymous(t *testing.T) {
+	u := loggedInUser()
+	u.ConsentPersonalization = false
+	p, _, _ := newTestProxy(t, u)
+	res, _ := p.Load("/")
+	body := string(res.Body)
+	if strings.Contains(body, "Ada") {
+		t.Fatalf("non-consented user personalized: %s", body)
+	}
+	if !strings.Contains(body, "Welcome!") {
+		t.Fatalf("anonymous fragment missing: %s", body)
+	}
+}
+
+func TestLoadAnonymousVisitor(t *testing.T) {
+	p, _, _ := newTestProxy(t, nil)
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Body), "Welcome!") {
+		t.Fatal("anonymous visitor body wrong")
+	}
+}
+
+func TestConsentLedgerOverridesUserFlag(t *testing.T) {
+	u := loggedInUser() // flag says consented...
+	ledger := gdpr.NewConsentLedger()
+	clk := clock.NewSimulated(time.Time{})
+	tr := &fakeTransport{
+		clk:       clk,
+		sketchSrv: cachesketch.NewServer(cachesketch.ServerConfig{Clock: clk}),
+		pages:     make(map[string]cache.Entry),
+		fetchSrc:  SourceCDN,
+	}
+	body := []byte(origin.BlockPlaceholder("greeting"))
+	e := cache.TTLEntry(clk, "/", body, 1, time.Hour)
+	e.Metadata = BlocksMetadata([]string{"greeting"})
+	tr.pages["/"] = e
+	p := New(Config{User: u, Region: netsim.EU, Clock: clk, Consent: ledger}, tr)
+
+	res, _ := p.Load("/")
+	if strings.Contains(string(res.Body), "Ada") {
+		t.Fatal("ledger denial ignored")
+	}
+	ledger.Grant(u.ID, gdpr.PurposePersonalization, clk.Now())
+	res, _ = p.Load("/")
+	if !strings.Contains(string(res.Body), "Ada") {
+		t.Fatal("ledger grant ignored")
+	}
+}
+
+func TestOriginBlocksFetchedOverFirstPartyChannel(t *testing.T) {
+	u := loggedInUser()
+	p, tr, _ := newTestProxy(t, u)
+	p.cfg.OriginBlocks = map[string]bool{"cart": true}
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.blockCalls != 1 || len(tr.lastBlocks) != 1 || tr.lastBlocks[0] != "cart" {
+		t.Fatalf("origin block fetch: calls=%d names=%v", tr.blockCalls, tr.lastBlocks)
+	}
+	if tr.lastUser != u {
+		t.Fatal("user not passed over first-party channel")
+	}
+	if !strings.Contains(string(res.Body), "<origin:cart>") {
+		t.Fatalf("origin fragment not assembled: %s", res.Body)
+	}
+	// Greeting still rendered locally.
+	if !strings.Contains(string(res.Body), "Ada") {
+		t.Fatal("local block lost")
+	}
+	st := p.Stats()
+	if st.BlocksOrigin != 1 || st.BlocksLocal != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOriginBlocksSkippedWithoutConsent(t *testing.T) {
+	u := loggedInUser()
+	u.ConsentPersonalization = false
+	p, tr, _ := newTestProxy(t, u)
+	p.cfg.OriginBlocks = map[string]bool{"cart": true}
+	_, _ = p.Load("/")
+	if tr.blockCalls != 0 {
+		t.Fatal("origin blocks fetched without consent")
+	}
+}
+
+func TestNoPIICrossesCDNBoundary(t *testing.T) {
+	u := loggedInUser()
+	u.AddToCart("p1", 5)
+	p, _, clk := newTestProxy(t, u)
+	for i := 0; i < 20; i++ {
+		_, _ = p.Load("/")
+		clk.Advance(10 * time.Second)
+	}
+	auditor := p.cfg.Auditor
+	if !auditor.Compliant() {
+		t.Fatalf("PII leaked to CDN:\n%s", auditor)
+	}
+	r := auditor.Report(gdpr.BoundaryCDN)
+	if r.Requests == 0 {
+		t.Fatal("no CDN flows audited")
+	}
+}
+
+func TestSketchGovernsDeviceCache(t *testing.T) {
+	p, tr, clk := newTestProxy(t, nil)
+	_, _ = p.Load("/") // cold: caches shell v1
+
+	// Origin writes the page; server sketch flags it.
+	tr.sketchSrv.ReportWrite("/")
+	e := tr.pages["/"]
+	e.Version = 2
+	tr.pages["/"] = e
+
+	// Within Δ the device still serves v1 (bounded staleness)...
+	res, _ := p.Load("/")
+	if res.Source != SourceDevice || res.Version != 1 {
+		t.Fatalf("within Δ: source=%v version=%d", res.Source, res.Version)
+	}
+	// ...after Δ the refreshed sketch forces revalidation to v2.
+	clk.Advance(31 * time.Second)
+	res, _ = p.Load("/")
+	if !res.SketchRefreshed || !res.Revalidated {
+		t.Fatalf("post-Δ load: %+v", res)
+	}
+	if res.Version != 2 {
+		t.Fatalf("served version = %d, want 2", res.Version)
+	}
+	if p.Stats().Revalidations != 1 {
+		t.Fatalf("revalidations = %d", p.Stats().Revalidations)
+	}
+}
+
+func TestLoadPlainPageNoBlocks(t *testing.T) {
+	p, _, _ := newTestProxy(t, loggedInUser())
+	res, err := p.Load("/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksPersonalized != 0 {
+		t.Fatalf("blocks = %d", res.BlocksPersonalized)
+	}
+	if string(res.Body) != "<html>no blocks</html>" {
+		t.Fatalf("body = %s", res.Body)
+	}
+}
+
+func TestLoadFetchError(t *testing.T) {
+	p, tr, _ := newTestProxy(t, nil)
+	tr.fetchErr = errors.New("edge down")
+	if _, err := p.Load("/"); err == nil {
+		t.Fatal("fetch error swallowed")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceDevice.String() != "device" || SourceCDN.String() != "cdn" ||
+		SourceOrigin.String() != "origin" || Source(9).String() != "unknown" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestBlocksMetadata(t *testing.T) {
+	if BlocksMetadata(nil) != nil {
+		t.Fatal("empty metadata not nil")
+	}
+	m := BlocksMetadata([]string{"a", "b"})
+	if m["blocks"] != "a,b" {
+		t.Fatalf("metadata = %v", m)
+	}
+}
+
+func TestUnknownLocalBlockRendersEmpty(t *testing.T) {
+	p, tr, _ := newTestProxy(t, loggedInUser())
+	body := []byte("x" + origin.BlockPlaceholder("mystery") + "y")
+	e := cache.TTLEntry(tr.clk, "/m", body, 1, time.Hour)
+	e.Metadata = BlocksMetadata([]string{"mystery"})
+	tr.pages["/m"] = e
+	res, err := p.Load("/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "xy" {
+		t.Fatalf("body = %q", res.Body)
+	}
+}

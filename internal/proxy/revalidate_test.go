@@ -1,0 +1,109 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/origin"
+)
+
+// TestRevalidationNotModifiedKeepsBody: a sketch-flagged page whose
+// version is unchanged (a false positive, or a flagged-but-refetched-
+// elsewhere resource) must be refreshed via the 304 path — cheap, and the
+// held body survives.
+func TestRevalidationNotModifiedKeepsBody(t *testing.T) {
+	p, tr, _ := newTestProxy(t, nil)
+	_, _ = p.Load("/") // cold fill at v1
+
+	// Flag the page in the sketch WITHOUT changing its version — exactly
+	// what a Bloom false positive looks like to the client.
+	tr.sketchSrv.ReportCachedRead("/", tr.clk.Now().Add(time.Hour))
+	tr.sketchSrv.ReportWrite("/")
+	// Force a sketch refresh so the flag is visible.
+	p.sketch.Install(tr.sketchSrv.Snapshot())
+
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Revalidated {
+		t.Fatal("flagged page not revalidated")
+	}
+	if len(res.Body) == 0 {
+		t.Fatal("304 path lost the held body")
+	}
+	if res.Version != 1 {
+		t.Fatalf("version = %d", res.Version)
+	}
+	st := p.Stats()
+	if st.NotModified != 1 {
+		t.Fatalf("NotModified = %d", st.NotModified)
+	}
+	// Cheap: the 5ms conditional beats the 40ms full fetch.
+	if res.Latency > 20*time.Millisecond {
+		t.Fatalf("304 latency %v too high", res.Latency)
+	}
+}
+
+// TestRevalidationModifiedFetchesNewBody: a flagged page whose version
+// advanced must come back with the new representation.
+func TestRevalidationModifiedFetchesNewBody(t *testing.T) {
+	p, tr, _ := newTestProxy(t, nil)
+	_, _ = p.Load("/")
+
+	tr.sketchSrv.ReportWrite("/") // cached copy exists from the load above
+	e := tr.pages["/"]
+	e.Version = 2
+	e.Body = []byte("<html>v2</html>")
+	e.Metadata = nil
+	tr.pages["/"] = e
+	p.sketch.Install(tr.sketchSrv.Snapshot())
+
+	res, err := p.Load("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || string(res.Body) != "<html>v2</html>" {
+		t.Fatalf("got v%d %q", res.Version, res.Body)
+	}
+	if p.Stats().NotModified != 0 {
+		t.Fatal("modified page counted as 304")
+	}
+	// The device cache now holds v2.
+	held, ok := p.store.Peek("/")
+	if !ok || held.Version != 2 {
+		t.Fatalf("device cache not updated: %+v %v", held, ok)
+	}
+}
+
+// TestRevalidationExpiredCopyStillConditional: an expired device copy
+// cannot be served, but its version still enables a conditional request.
+func TestRevalidationExpiredCopyStillConditional(t *testing.T) {
+	p, tr, clk := newTestProxy(t, nil)
+	// Short-lived page.
+	body := []byte("short " + origin.BlockPlaceholder("cart"))
+	e := cache.TTLEntry(clk, "/short", body, 1, 10*time.Second)
+	e.Metadata = BlocksMetadata([]string{"cart"})
+	tr.pages["/short"] = e
+	_, _ = p.Load("/short")
+
+	// Another client elsewhere caches a long-lived copy, then a write
+	// flags the page — the flag outlives our device copy's short TTL.
+	tr.sketchSrv.ReportCachedRead("/short", clk.Now().Add(time.Hour))
+	tr.sketchSrv.ReportWrite("/short")
+	clk.Advance(11 * time.Second) // device copy expires; flag persists
+	p.sketch.Install(tr.sketchSrv.Snapshot())
+
+	res, err := p.Load("/short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version unchanged → 304 path even though the copy had expired.
+	if p.Stats().NotModified != 1 {
+		t.Fatalf("expired copy not conditionally revalidated: %+v", p.Stats())
+	}
+	if len(res.Body) == 0 {
+		t.Fatal("body lost across expired-copy revalidation")
+	}
+}

@@ -1,0 +1,425 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a Query from the compact text syntax used by the CLI tools
+// and examples:
+//
+//	products WHERE category = "shoes" AND price < 100 ORDER BY price LIMIT 10
+//	articles WHERE tags CONTAINS "sports" OR NOT (published = true)
+//	users WHERE id IN ["u1", "u2"] AND EXISTS(email)
+//
+// Keywords are case-insensitive; field names may be dotted paths. The WHERE
+// clause is optional (its absence scans the whole collection).
+func Parse(src string) (Query, error) {
+	p := &parser{lex: newLexer(src)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, fmt.Errorf("query: parse %q: %w", src, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse for trusted, test, and example inputs; it panics on
+// error.
+func MustParse(src string) Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// --- lexer ---------------------------------------------------------------
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // = != > >= < <= ( ) [ ] ,
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	err  error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '"':
+			l.lexString()
+		case c == '-' || (c >= '0' && c <= '9'):
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			l.lexSymbol()
+		}
+		if l.err != nil {
+			return
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-' || r == '/'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if text == "-" {
+		l.err = fmt.Errorf("bare '-' at offset %d", start)
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+}
+
+func (l *lexer) lexString() {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	l.err = fmt.Errorf("unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexSymbol() {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", ">=", "<=":
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+		return
+	}
+	switch c := l.src[l.pos]; c {
+	case '=', '>', '<', '(', ')', '[', ']', ',':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+	default:
+		l.err = fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+// --- parser --------------------------------------------------------------
+
+type parser struct {
+	lex *lexer
+	idx int
+}
+
+func (p *parser) peek() token {
+	if p.idx >= len(p.lex.toks) {
+		return token{kind: tokEOF}
+	}
+	return p.lex.toks[p.idx]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.idx++
+	return t
+}
+
+// keywordIs reports whether t is the given case-insensitive keyword.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	if p.lex.err != nil {
+		return Query{}, p.lex.err
+	}
+	coll := p.next()
+	if coll.kind != tokIdent {
+		return Query{}, fmt.Errorf("expected collection name, got %q", coll.text)
+	}
+	q := New(coll.text, nil)
+
+	if keywordIs(p.peek(), "WHERE") {
+		p.next()
+		pred, err := p.parseOr()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Filter = pred
+	}
+	if keywordIs(p.peek(), "ORDER") {
+		p.next()
+		if !keywordIs(p.peek(), "BY") {
+			return Query{}, fmt.Errorf("expected BY after ORDER, got %q", p.peek().text)
+		}
+		p.next()
+		field := p.next()
+		if field.kind != tokIdent {
+			return Query{}, fmt.Errorf("expected sort field, got %q", field.text)
+		}
+		desc := false
+		if keywordIs(p.peek(), "DESC") {
+			desc = true
+			p.next()
+		} else if keywordIs(p.peek(), "ASC") {
+			p.next()
+		}
+		q = q.OrderBy(field.text, desc)
+	}
+	if keywordIs(p.peek(), "LIMIT") {
+		p.next()
+		n := p.next()
+		if n.kind != tokNumber {
+			return Query{}, fmt.Errorf("expected limit count, got %q", n.text)
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return Query{}, fmt.Errorf("invalid limit %q", n.text)
+		}
+		q = q.WithLimit(lim)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return Query{}, fmt.Errorf("trailing input at %q", t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	operands := []Predicate{left}
+	for keywordIs(p.peek(), "OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, right)
+	}
+	if len(operands) == 1 {
+		return operands[0], nil
+	}
+	return Or(operands), nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	operands := []Predicate{left}
+	for keywordIs(p.peek(), "AND") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, right)
+	}
+	if len(operands) == 1 {
+		return operands[0], nil
+	}
+	return And(operands), nil
+}
+
+func (p *parser) parseFactor() (Predicate, error) {
+	t := p.peek()
+	switch {
+	case keywordIs(t, "NOT"):
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if cl := p.next(); cl.text != ")" {
+			return nil, fmt.Errorf("expected ), got %q", cl.text)
+		}
+		return inner, nil
+	case keywordIs(t, "EXISTS"):
+		p.next()
+		if op := p.next(); op.text != "(" {
+			return nil, fmt.Errorf("expected ( after EXISTS, got %q", op.text)
+		}
+		field := p.next()
+		if field.kind != tokIdent {
+			return nil, fmt.Errorf("expected field in EXISTS, got %q", field.text)
+		}
+		if cl := p.next(); cl.text != ")" {
+			return nil, fmt.Errorf("expected ) after EXISTS field, got %q", cl.text)
+		}
+		return Exists(field.text), nil
+	case keywordIs(t, "TRUE"):
+		p.next()
+		return True{}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Predicate, error) {
+	field := p.next()
+	if field.kind != tokIdent {
+		return nil, fmt.Errorf("expected field name, got %q", field.text)
+	}
+	op := p.next()
+	switch {
+	case keywordIs(op, "IN"):
+		if br := p.next(); br.text != "[" {
+			return nil, fmt.Errorf("expected [ after IN, got %q", br.text)
+		}
+		var vals []any
+		for {
+			if p.peek().text == "]" {
+				p.next()
+				break
+			}
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.peek().text == "," {
+				p.next()
+			}
+		}
+		return In(field.text, vals...), nil
+	case keywordIs(op, "PREFIX"), keywordIs(op, "CONTAINS"):
+		v := p.next()
+		if v.kind != tokString {
+			return nil, fmt.Errorf("%s requires a string, got %q", strings.ToUpper(op.text), v.text)
+		}
+		if strings.EqualFold(op.text, "PREFIX") {
+			return Prefix(field.text, v.text), nil
+		}
+		return Contains(field.text, v.text), nil
+	case op.kind == tokSymbol:
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		switch op.text {
+		case "=":
+			return Eq(field.text, v), nil
+		case "!=":
+			return Ne(field.text, v), nil
+		case ">":
+			return Gt(field.text, v), nil
+		case ">=":
+			return Gte(field.text, v), nil
+		case "<":
+			return Lt(field.text, v), nil
+		case "<=":
+			return Lte(field.text, v), nil
+		}
+	}
+	return nil, fmt.Errorf("expected comparison operator, got %q", op.text)
+}
+
+func (p *parser) parseValue() (any, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return t.text, nil
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid number %q", t.text)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", t.text)
+		}
+		return n, nil
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "true"):
+			return true, nil
+		case strings.EqualFold(t.text, "false"):
+			return false, nil
+		case strings.EqualFold(t.text, "null"):
+			return nil, nil
+		}
+	}
+	return nil, fmt.Errorf("expected value, got %q", t.text)
+}

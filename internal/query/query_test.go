@@ -1,0 +1,151 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleDocs() []map[string]any {
+	return []map[string]any{
+		{"id": "p1", "category": "shoes", "price": 89.9, "stock": int64(12)},
+		{"id": "p2", "category": "shoes", "price": 120.0, "stock": int64(0)},
+		{"id": "p3", "category": "hats", "price": 25.0, "stock": int64(7)},
+		{"id": "p4", "category": "shoes", "price": 45.0, "stock": int64(3)},
+		{"id": "p5", "category": "belts", "price": 35.0},
+	}
+}
+
+func TestQueryApplyFilterSortLimit(t *testing.T) {
+	q := New("products", Eq("category", "shoes")).OrderBy("price", false).WithLimit(2)
+	got := q.Apply(sampleDocs())
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0]["id"] != "p4" || got[1]["id"] != "p1" {
+		t.Fatalf("order = %v,%v, want p4,p1", got[0]["id"], got[1]["id"])
+	}
+}
+
+func TestQueryApplyDescending(t *testing.T) {
+	q := New("products", nil).OrderBy("price", true)
+	got := q.Apply(sampleDocs())
+	if got[0]["id"] != "p2" {
+		t.Fatalf("desc first = %v, want p2", got[0]["id"])
+	}
+}
+
+func TestQueryApplyMissingSortKeyOrdersLast(t *testing.T) {
+	q := New("products", nil).OrderBy("stock", false)
+	got := q.Apply(sampleDocs())
+	if got[len(got)-1]["id"] != "p5" {
+		t.Fatalf("missing-key doc not last: %v", got[len(got)-1]["id"])
+	}
+}
+
+func TestQueryNilFilterMatchesAll(t *testing.T) {
+	q := New("products", nil)
+	if len(q.Apply(sampleDocs())) != 5 {
+		t.Fatal("nil filter did not match all")
+	}
+	if !q.Match(map[string]any{"anything": 1}) {
+		t.Fatal("nil filter Match failed")
+	}
+}
+
+func TestQueryNegativeLimitClamped(t *testing.T) {
+	q := New("c", nil).WithLimit(-5)
+	if q.Limit != 0 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestQueryIDStability(t *testing.T) {
+	a := New("products", And{Eq("category", "shoes"), Lt("price", 100)}).OrderBy("price", false).WithLimit(10)
+	b := New("products", And{Lt("price", 100), Eq("category", "shoes")}).OrderBy("price", false).WithLimit(10)
+	if a.ID() != b.ID() {
+		t.Fatalf("equivalent queries have different IDs:\n%s\n%s", a.ID(), b.ID())
+	}
+	c := New("products", And{Eq("category", "shoes"), Lt("price", 100)}).OrderBy("price", true).WithLimit(10)
+	if a.ID() == c.ID() {
+		t.Fatal("different sort direction shares ID")
+	}
+	d := New("other", a.Filter)
+	if a.ID() == d.ID() {
+		t.Fatal("different collection shares ID")
+	}
+}
+
+func TestQueryReadsField(t *testing.T) {
+	q := New("p", And{Eq("category", "shoes"), Gt("price", 10)}).OrderBy("rank", false)
+	for _, f := range []string{"category", "price", "rank"} {
+		if !q.ReadsField(f) {
+			t.Errorf("ReadsField(%s) = false", f)
+		}
+	}
+	if q.ReadsField("stock") {
+		t.Error("ReadsField(stock) = true")
+	}
+	empty := New("p", nil)
+	if empty.ReadsField("x") {
+		t.Error("nil filter reads field")
+	}
+}
+
+func TestQueryApplyDoesNotMutateInput(t *testing.T) {
+	docs := sampleDocs()
+	q := New("p", nil).OrderBy("price", true)
+	q.Apply(docs)
+	if docs[0]["id"] != "p1" {
+		t.Fatal("Apply reordered the input slice")
+	}
+}
+
+func TestEqualityLookups(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Predicate
+		want map[string]any
+	}{
+		{"bare eq", Eq("a", 1), map[string]any{"a": 1}},
+		{"and of eqs", And{Eq("a", 1), Eq("b", "x")}, map[string]any{"a": 1, "b": "x"}},
+		{"and mixed", And{Eq("a", 1), Gt("b", 2)}, map[string]any{"a": 1}},
+		{"no eq", Gt("a", 1), nil},
+		{"or not extracted", Or{Eq("a", 1), Eq("a", 2)}, nil},
+		{"nested and not extracted", And{Or{Eq("a", 1)}}, nil},
+		{"ne not extracted", Ne("a", 1), nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := EqualityLookups(c.p)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for k, v := range c.want {
+				if got[k] != v {
+					t.Fatalf("got %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryMatch(b *testing.B) {
+	q := MustParse(`products WHERE category = "shoes" AND price < 100 AND stock > 0`)
+	doc := map[string]any{"category": "shoes", "price": 50.0, "stock": int64(5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Match(doc)
+	}
+}
+
+func BenchmarkQueryApply1k(b *testing.B) {
+	docs := make([]map[string]any, 1000)
+	for i := range docs {
+		docs[i] = map[string]any{"id": fmt.Sprintf("p%d", i), "price": float64(i % 200), "category": "shoes"}
+	}
+	q := MustParse(`products WHERE price < 100 ORDER BY price LIMIT 20`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Apply(docs)
+	}
+}

@@ -1,0 +1,126 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+
+	"speedkit/internal/netsim"
+)
+
+func TestCartOperations(t *testing.T) {
+	u := &User{ID: "u1"}
+	u.AddToCart("p1", 2)
+	u.AddToCart("p2", 1)
+	u.AddToCart("p1", 3) // merges
+	u.AddToCart("p3", 0) // ignored
+	u.AddToCart("p3", -1)
+
+	cart := u.Cart()
+	if len(cart) != 2 {
+		t.Fatalf("cart lines = %d, want 2", len(cart))
+	}
+	if cart[0].ProductID != "p1" || cart[0].Quantity != 5 {
+		t.Fatalf("p1 line = %+v", cart[0])
+	}
+	if u.CartSize() != 6 {
+		t.Fatalf("cart size = %d", u.CartSize())
+	}
+	u.ClearCart()
+	if u.CartSize() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestCartCopyIsolation(t *testing.T) {
+	u := &User{ID: "u1"}
+	u.AddToCart("p1", 1)
+	c := u.Cart()
+	c[0].Quantity = 99
+	if u.Cart()[0].Quantity != 1 {
+		t.Fatal("Cart returns aliased slice")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	u := &User{ID: "u1"}
+	for i := 0; i < 30; i++ {
+		u.RecordView("p")
+	}
+	if len(u.History()) != 20 {
+		t.Fatalf("history len = %d, want 20", len(u.History()))
+	}
+}
+
+func TestHistoryOrder(t *testing.T) {
+	u := &User{ID: "u1"}
+	u.RecordView("a")
+	u.RecordView("b")
+	h := u.History()
+	if h[0] != "a" || h[1] != "b" {
+		t.Fatalf("history = %v", h)
+	}
+	h[0] = "mutated"
+	if u.History()[0] != "a" {
+		t.Fatal("History returns aliased slice")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(1)), 7, netsim.EU)
+	b := Generate(rand.New(rand.NewSource(1)), 7, netsim.EU)
+	if a.ID != b.ID || a.LoggedIn != b.LoggedIn || a.Tier != b.Tier ||
+		a.ConsentPersonalization != b.ConsentPersonalization {
+		t.Fatal("same-seed generation diverged")
+	}
+}
+
+func TestGenerateAnonymousUsersHaveNoPII(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		u := Generate(rng, i, netsim.US)
+		if !u.LoggedIn && (u.Name != "" || u.Email != "" || u.ConsentPersonalization) {
+			t.Fatalf("anonymous user %d carries identity: %+v", i, u)
+		}
+		if u.LoggedIn && (u.Name == "" || u.Email == "") {
+			t.Fatalf("logged-in user %d missing identity", i)
+		}
+	}
+}
+
+func TestPopulationDistribution(t *testing.T) {
+	users := Population(1, 3000)
+	if len(users) != 3000 {
+		t.Fatalf("len = %d", len(users))
+	}
+	loggedIn, consent := 0, 0
+	regions := map[netsim.Region]int{}
+	for _, u := range users {
+		if u.LoggedIn {
+			loggedIn++
+			if u.ConsentPersonalization {
+				consent++
+			}
+		}
+		regions[u.Region]++
+	}
+	// ~60% logged in, ~80% of those consenting.
+	if loggedIn < 1600 || loggedIn > 2000 {
+		t.Fatalf("logged in = %d, want ~1800", loggedIn)
+	}
+	if ratio := float64(consent) / float64(loggedIn); ratio < 0.7 || ratio > 0.9 {
+		t.Fatalf("consent ratio = %v, want ~0.8", ratio)
+	}
+	for _, r := range netsim.Regions() {
+		if regions[r] != 1000 {
+			t.Fatalf("region %s count = %d", r, regions[r])
+		}
+	}
+	// IDs must be unique.
+	seen := map[string]bool{}
+	for _, u := range users {
+		if seen[u.ID] {
+			t.Fatalf("duplicate ID %s", u.ID)
+		}
+		seen[u.ID] = true
+	}
+}

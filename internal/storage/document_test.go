@@ -1,0 +1,281 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/query"
+)
+
+func newTestDocs() (*DocumentStore, *clock.Simulated) {
+	clk := clock.NewSimulated(time.Time{})
+	return NewDocumentStore(clk), clk
+}
+
+func TestDocInsertGet(t *testing.T) {
+	s, _ := newTestDocs()
+	if err := s.Insert("products", "p1", map[string]any{"price": 10}); err != nil {
+		t.Fatal(err)
+	}
+	doc, ver, err := s.Get("products", "p1")
+	if err != nil || ver != 1 || doc["price"] != 10 {
+		t.Fatalf("Get = %v v%d err=%v", doc, ver, err)
+	}
+	if err := s.Insert("products", "p1", nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate insert err = %v", err)
+	}
+	if _, _, err := s.Get("products", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing get err = %v", err)
+	}
+}
+
+func TestDocUpdateVersions(t *testing.T) {
+	s, _ := newTestDocs()
+	_ = s.Insert("c", "d", map[string]any{"v": 1})
+	if err := s.Update("c", "d", map[string]any{"v": 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, _ := s.Get("c", "d")
+	if ver != 2 {
+		t.Fatalf("version = %d", ver)
+	}
+	if err := s.Update("c", "missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing err = %v", err)
+	}
+}
+
+func TestDocUpsert(t *testing.T) {
+	s, _ := newTestDocs()
+	s.Upsert("c", "d", map[string]any{"v": 1})
+	s.Upsert("c", "d", map[string]any{"v": 2})
+	doc, ver, _ := s.Get("c", "d")
+	if doc["v"] != 2 || ver != 2 {
+		t.Fatalf("upsert result = %v v%d", doc, ver)
+	}
+}
+
+func TestDocPatch(t *testing.T) {
+	s, _ := newTestDocs()
+	_ = s.Insert("c", "d", map[string]any{"keep": 1, "drop": 2, "change": 3})
+	if err := s.Patch("c", "d", map[string]any{"change": 30, "drop": nil, "add": 4}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _, _ := s.Get("c", "d")
+	if doc["keep"] != 1 || doc["change"] != 30 || doc["add"] != 4 {
+		t.Fatalf("patched doc = %v", doc)
+	}
+	if _, has := doc["drop"]; has {
+		t.Fatal("nil patch did not remove field")
+	}
+	if err := s.Patch("c", "missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("patch missing err = %v", err)
+	}
+}
+
+func TestDocDelete(t *testing.T) {
+	s, _ := newTestDocs()
+	_ = s.Insert("c", "d", nil)
+	if err := s.Delete("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("c", "d"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted doc still readable")
+	}
+	if err := s.Delete("c", "d"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDocIsolationFromCallerMutation(t *testing.T) {
+	s, _ := newTestDocs()
+	doc := map[string]any{"a": 1, "meta": map[string]any{"x": 1}}
+	_ = s.Insert("c", "d", doc)
+	doc["a"] = 999
+	doc["meta"].(map[string]any)["x"] = 999
+	got, _, _ := s.Get("c", "d")
+	if got["a"] != 1 || got["meta"].(map[string]any)["x"] != 1 {
+		t.Fatal("store aliases caller document")
+	}
+	got["a"] = 777
+	got2, _, _ := s.Get("c", "d")
+	if got2["a"] != 1 {
+		t.Fatal("returned doc aliases stored document")
+	}
+}
+
+func TestDocQuery(t *testing.T) {
+	s, _ := newTestDocs()
+	for i := 0; i < 10; i++ {
+		_ = s.Insert("products", fmt.Sprintf("p%02d", i), map[string]any{
+			"price":    float64(i * 10),
+			"category": map[bool]string{true: "shoes", false: "hats"}[i%2 == 0],
+		})
+	}
+	q := query.MustParse(`products WHERE category = "shoes" AND price < 50 ORDER BY price DESC`)
+	res := s.Query(q)
+	if len(res) != 3 {
+		t.Fatalf("result count = %d, want 3", len(res))
+	}
+	if res[0]["price"] != 40.0 {
+		t.Fatalf("first price = %v", res[0]["price"])
+	}
+	if res[0]["id"] != "p04" {
+		t.Fatalf("id not injected: %v", res[0]["id"])
+	}
+}
+
+func TestDocQueryEmptyCollection(t *testing.T) {
+	s, _ := newTestDocs()
+	res := s.Query(query.New("ghost", nil))
+	if len(res) != 0 {
+		t.Fatalf("got %d docs from ghost collection", len(res))
+	}
+}
+
+func TestDocQueryStableOrderWithoutSort(t *testing.T) {
+	s, _ := newTestDocs()
+	for _, id := range []string{"c", "a", "b"} {
+		_ = s.Insert("x", id, map[string]any{"v": 1})
+	}
+	q := query.New("x", nil).WithLimit(2)
+	r1 := s.Query(q)
+	r2 := s.Query(q)
+	if r1[0]["id"] != "a" || r1[1]["id"] != "b" {
+		t.Fatalf("unsorted query not in id order: %v,%v", r1[0]["id"], r1[1]["id"])
+	}
+	if r1[0]["id"] != r2[0]["id"] || r1[1]["id"] != r2[1]["id"] {
+		t.Fatal("repeated query unstable")
+	}
+}
+
+func TestDocChangeStreamOrderAndImages(t *testing.T) {
+	s, clk := newTestDocs()
+	var events []ChangeEvent
+	cancel := s.Watch(func(ev ChangeEvent) { events = append(events, ev) })
+	defer cancel()
+
+	_ = s.Insert("c", "d", map[string]any{"v": 1})
+	clk.Advance(time.Second)
+	_ = s.Update("c", "d", map[string]any{"v": 2})
+	_ = s.Delete("c", "d")
+
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Kind != ChangeInsert || events[0].Before != nil || events[0].After["v"] != 1 {
+		t.Fatalf("insert event wrong: %+v", events[0])
+	}
+	if events[1].Kind != ChangeUpdate || events[1].Before["v"] != 1 || events[1].After["v"] != 2 {
+		t.Fatalf("update event wrong: %+v", events[1])
+	}
+	if events[2].Kind != ChangeDelete || events[2].Before["v"] != 2 || events[2].After != nil {
+		t.Fatalf("delete event wrong: %+v", events[2])
+	}
+	if !events[1].Time.After(events[0].Time) {
+		t.Fatal("event times not advancing with clock")
+	}
+	if events[0].Version != 1 || events[1].Version != 2 {
+		t.Fatalf("versions = %d,%d", events[0].Version, events[1].Version)
+	}
+}
+
+func TestDocWatchCancel(t *testing.T) {
+	s, _ := newTestDocs()
+	n := 0
+	cancel := s.Watch(func(ChangeEvent) { n++ })
+	_ = s.Insert("c", "1", nil)
+	cancel()
+	_ = s.Insert("c", "2", nil)
+	if n != 1 {
+		t.Fatalf("watcher saw %d events after cancel, want 1", n)
+	}
+}
+
+func TestDocChangeEventImagesAreCopies(t *testing.T) {
+	s, _ := newTestDocs()
+	var captured map[string]any
+	cancel := s.Watch(func(ev ChangeEvent) { captured = ev.After })
+	defer cancel()
+	_ = s.Insert("c", "d", map[string]any{"v": 1})
+	captured["v"] = 999
+	doc, _, _ := s.Get("c", "d")
+	if doc["v"] != 1 {
+		t.Fatal("change event aliases stored document")
+	}
+}
+
+func TestDocChangeKindString(t *testing.T) {
+	if ChangeInsert.String() != "insert" || ChangeUpdate.String() != "update" || ChangeDelete.String() != "delete" {
+		t.Fatal("kind names wrong")
+	}
+	if ChangeKind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestDocCollectionsAndCount(t *testing.T) {
+	s, _ := newTestDocs()
+	_ = s.Insert("b", "1", nil)
+	_ = s.Insert("a", "1", nil)
+	_ = s.Insert("a", "2", nil)
+	colls := s.Collections()
+	if len(colls) != 2 || colls[0] != "a" || colls[1] != "b" {
+		t.Fatalf("collections = %v", colls)
+	}
+	if s.Count("a") != 2 || s.Count("ghost") != 0 {
+		t.Fatalf("counts = %d,%d", s.Count("a"), s.Count("ghost"))
+	}
+}
+
+func TestDocStats(t *testing.T) {
+	s, _ := newTestDocs()
+	_ = s.Insert("c", "1", nil)
+	_ = s.Update("c", "1", nil)
+	_ = s.Delete("c", "1")
+	_, _, _ = s.Get("c", "1")
+	s.Query(query.New("c", nil))
+	st := s.Stats()
+	if st.Inserts != 1 || st.Updates != 1 || st.Deletes != 1 || st.Reads != 1 || st.Queries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDocConcurrentWritersKeepStreamOrdered(t *testing.T) {
+	s, _ := newTestDocs()
+	var mu sync.Mutex
+	versions := map[string][]uint64{}
+	cancel := s.Watch(func(ev ChangeEvent) {
+		mu.Lock()
+		versions[ev.ID] = append(versions[ev.ID], ev.Version)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("doc-%d", w)
+			_ = s.Insert("c", id, map[string]any{"v": 0})
+			for i := 1; i <= 50; i++ {
+				_ = s.Update("c", id, map[string]any{"v": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for id, vs := range versions {
+		if len(vs) != 51 {
+			t.Fatalf("%s: %d events", id, len(vs))
+		}
+		for i, v := range vs {
+			if v != uint64(i+1) {
+				t.Fatalf("%s: version %d at position %d — stream out of order", id, v, i)
+			}
+		}
+	}
+}

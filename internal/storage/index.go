@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"speedkit/internal/query"
+)
+
+// This file adds hash-based secondary indexes to the document store.
+// Listing pages are equality queries ("category = shoes"), and the
+// invalidation-heavy workloads re-evaluate them constantly; an equality
+// index turns those from collection scans into candidate lookups.
+//
+// Index maintenance is synchronous with the mutation (inside the same
+// critical section), so an index is never stale relative to a read.
+
+// fieldIndex maps canonical value keys to the set of document IDs
+// carrying that value.
+type fieldIndex map[string]map[string]struct{}
+
+// indexKey canonicalizes a value for index lookup with the same numeric
+// coercion the query engine applies: int64(5), 5, and 5.0 share a key,
+// while "5" (a string) does not.
+func indexKey(v any) (string, bool) {
+	switch n := v.(type) {
+	case nil:
+		return "z:null", true
+	case bool:
+		return "b:" + strconv.FormatBool(n), true
+	case string:
+		return "s:" + n, true
+	}
+	if f, ok := toFloatIndex(v); ok {
+		return "n:" + strconv.FormatFloat(f, 'g', -1, 64), true
+	}
+	return "", false // unindexable type (maps, slices)
+}
+
+func toFloatIndex(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int8:
+		return float64(n), true
+	case int16:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint8:
+		return float64(n), true
+	case uint16:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+// IndexStats counts index usage.
+type IndexStats struct {
+	// Lookups counts queries answered through an index.
+	Lookups uint64
+	// Scans counts queries that fell back to a full collection scan.
+	Scans uint64
+}
+
+// CreateIndex builds an equality index on collection.field, backfilling
+// from existing documents. Creating an existing index is a no-op.
+// Indexes only cover top-level scalar fields (no dotted paths).
+func (s *DocumentStore) CreateIndex(collection, field string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexes == nil {
+		s.indexes = make(map[string]map[string]fieldIndex)
+	}
+	byField, ok := s.indexes[collection]
+	if !ok {
+		byField = make(map[string]fieldIndex)
+		s.indexes[collection] = byField
+	}
+	if _, exists := byField[field]; exists {
+		return
+	}
+	idx := make(fieldIndex)
+	for id, v := range s.collections[collection] {
+		indexAdd(idx, field, id, v.doc)
+	}
+	byField[field] = idx
+}
+
+// DropIndex removes an index, reporting whether it existed.
+func (s *DocumentStore) DropIndex(collection, field string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byField := s.indexes[collection]
+	if _, ok := byField[field]; !ok {
+		return false
+	}
+	delete(byField, field)
+	return true
+}
+
+// Indexes lists the indexed fields of a collection, sorted.
+func (s *DocumentStore) Indexes(collection string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.indexes[collection]))
+	for f := range s.indexes[collection] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndexStats returns the usage counters.
+func (s *DocumentStore) IndexStats() IndexStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idxStats
+}
+
+// indexAdd registers doc's field value under id. Callers hold s.mu.
+func indexAdd(idx fieldIndex, field, id string, doc map[string]any) {
+	v, ok := doc[field]
+	if !ok {
+		return
+	}
+	key, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	set, ok := idx[key]
+	if !ok {
+		set = make(map[string]struct{})
+		idx[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+// indexRemove unregisters doc's field value. Callers hold s.mu.
+func indexRemove(idx fieldIndex, field, id string, doc map[string]any) {
+	v, ok := doc[field]
+	if !ok {
+		return
+	}
+	key, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	if set, ok := idx[key]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+// updateIndexesLocked maintains every index of the collection across one
+// document transition. Callers hold s.mu.
+func (s *DocumentStore) updateIndexesLocked(collection, id string, before, after map[string]any) {
+	for field, idx := range s.indexes[collection] {
+		if before != nil {
+			indexRemove(idx, field, id, before)
+		}
+		if after != nil {
+			indexAdd(idx, field, id, after)
+		}
+	}
+}
+
+// lookupIndexLocked returns the candidate ID set for an equality lookup,
+// and whether an index on the field exists. Callers hold s.mu (read).
+func (s *DocumentStore) lookupIndexLocked(collection, field string, value any) (map[string]struct{}, bool) {
+	idx, ok := s.indexes[collection][field]
+	if !ok {
+		return nil, false
+	}
+	key, ok := indexKey(value)
+	if !ok {
+		return nil, false
+	}
+	return idx[key], true
+}
+
+// queryCandidates snapshots the documents a query must evaluate: the
+// smallest indexed equality leg's candidates when available, else the
+// whole collection. The returned docs are copies with "id" injected.
+func (s *DocumentStore) queryCandidates(q query.Query) []map[string]any {
+	lookups := query.EqualityLookups(q.Filter)
+
+	s.mu.RLock()
+	coll := s.collections[q.Collection]
+
+	var best map[string]struct{}
+	usedIndex := false
+	for field, value := range lookups {
+		if set, ok := s.lookupIndexLocked(q.Collection, field, value); ok {
+			usedIndex = true
+			if best == nil || len(set) < len(best) {
+				best = set
+			}
+		}
+	}
+
+	var snapshot []map[string]any
+	appendDoc := func(id string, v versionedDoc) {
+		d := cloneDoc(v.doc)
+		if _, has := d["id"]; !has {
+			d["id"] = id
+		}
+		snapshot = append(snapshot, d)
+	}
+	if usedIndex {
+		snapshot = make([]map[string]any, 0, len(best))
+		for id := range best {
+			if v, ok := coll[id]; ok {
+				appendDoc(id, v)
+			}
+		}
+	} else {
+		snapshot = make([]map[string]any, 0, len(coll))
+		for id, v := range coll {
+			appendDoc(id, v)
+		}
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	if usedIndex {
+		s.idxStats.Lookups++
+	} else {
+		s.idxStats.Scans++
+	}
+	s.mu.Unlock()
+
+	sort.Slice(snapshot, func(i, j int) bool {
+		return fmt.Sprint(snapshot[i]["id"]) < fmt.Sprint(snapshot[j]["id"])
+	})
+	return snapshot
+}

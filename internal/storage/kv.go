@@ -1,0 +1,227 @@
+// Package storage implements the polyglot persistence layer of the Speed
+// Kit reproduction. The production system combines several specialized
+// stores — a key-value store for counters and sketch state, a document
+// database as the system of record, and a time-series store for the
+// analytics that drive TTL estimation. Each store here reproduces the API
+// surface and semantics the coherence protocol depends on (TTL keys,
+// change streams, range queries) as an embedded, deterministic Go
+// implementation driven by an injectable clock.
+package storage
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// KV is a Redis-style key-value store with per-key expiry and atomic
+// counters. Expired keys are reaped lazily on access and eagerly by Sweep,
+// mirroring Redis' hybrid strategy. Safe for concurrent use.
+type KV struct {
+	mu    sync.RWMutex
+	data  map[string]kvEntry
+	clk   clock.Clock
+	stats KVStats
+}
+
+type kvEntry struct {
+	value     []byte
+	counter   int64
+	isCounter bool
+	expiresAt time.Time // zero means no expiry
+}
+
+// KVStats counts store operations for the polyglot cost accounting.
+type KVStats struct {
+	Gets, Hits, Sets, Dels, Expirations uint64
+}
+
+// NewKV creates a store using clk for expiry decisions. A nil clock uses
+// the system clock.
+func NewKV(clk clock.Clock) *KV {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &KV{data: make(map[string]kvEntry), clk: clk}
+}
+
+func (kv *KV) expired(e kvEntry, now time.Time) bool {
+	return !e.expiresAt.IsZero() && !now.Before(e.expiresAt)
+}
+
+// Set stores value under key with the given TTL; ttl <= 0 means no expiry.
+// A copy of value is stored, so callers may reuse their buffer.
+func (kv *KV) Set(key string, value []byte, ttl time.Duration) {
+	e := kvEntry{value: append([]byte(nil), value...)}
+	if ttl > 0 {
+		e.expiresAt = kv.clk.Now().Add(ttl)
+	}
+	kv.mu.Lock()
+	kv.data[key] = e
+	kv.stats.Sets++
+	kv.mu.Unlock()
+}
+
+// Get returns the value stored under key and whether it was present and
+// unexpired. The returned slice is a copy.
+func (kv *KV) Get(key string) ([]byte, bool) {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.stats.Gets++
+	e, ok := kv.data[key]
+	if !ok {
+		return nil, false
+	}
+	if kv.expired(e, now) {
+		delete(kv.data, key)
+		kv.stats.Expirations++
+		return nil, false
+	}
+	if e.isCounter {
+		return nil, false
+	}
+	kv.stats.Hits++
+	return append([]byte(nil), e.value...), true
+}
+
+// Del removes key, reporting whether it was present (expired keys count as
+// absent).
+func (kv *KV) Del(key string) bool {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	e, ok := kv.data[key]
+	if !ok {
+		return false
+	}
+	delete(kv.data, key)
+	kv.stats.Dels++
+	if kv.expired(e, now) {
+		kv.stats.Expirations++
+		return false
+	}
+	return true
+}
+
+// TTL returns the remaining lifetime of key: (d, true) with d > 0 for a
+// key that expires, (0, true) for a key with no expiry, and (0, false) for
+// an absent or expired key.
+func (kv *KV) TTL(key string) (time.Duration, bool) {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	e, ok := kv.data[key]
+	if !ok {
+		return 0, false
+	}
+	if kv.expired(e, now) {
+		delete(kv.data, key)
+		kv.stats.Expirations++
+		return 0, false
+	}
+	if e.expiresAt.IsZero() {
+		return 0, true
+	}
+	return e.expiresAt.Sub(now), true
+}
+
+// Expire updates the TTL of an existing key, reporting whether it existed.
+func (kv *KV) Expire(key string, ttl time.Duration) bool {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	e, ok := kv.data[key]
+	if !ok || kv.expired(e, now) {
+		return false
+	}
+	if ttl > 0 {
+		e.expiresAt = now.Add(ttl)
+	} else {
+		e.expiresAt = time.Time{}
+	}
+	kv.data[key] = e
+	return true
+}
+
+// Incr atomically adds delta to the counter stored at key (creating it at
+// zero) and returns the new value. Counters never expire unless Expire is
+// called on them. Calling Incr on a key holding a plain value converts it
+// to a counter starting from zero, matching the "last writer wins the
+// type" semantics the sketch bookkeeping relies on.
+func (kv *KV) Incr(key string, delta int64) int64 {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	e, ok := kv.data[key]
+	if !ok || kv.expired(e, now) || !e.isCounter {
+		e = kvEntry{isCounter: true}
+	}
+	e.counter += delta
+	kv.data[key] = e
+	kv.stats.Sets++
+	return e.counter
+}
+
+// Counter returns the current counter value at key (0 if absent).
+func (kv *KV) Counter(key string) int64 {
+	now := kv.clk.Now()
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	e, ok := kv.data[key]
+	if !ok || kv.expired(e, now) || !e.isCounter {
+		return 0
+	}
+	return e.counter
+}
+
+// Keys returns all live keys with the given prefix, sorted.
+func (kv *KV) Keys(prefix string) []string {
+	now := kv.clk.Now()
+	kv.mu.RLock()
+	out := make([]string, 0, 16)
+	for k, e := range kv.data {
+		if kv.expired(e, now) {
+			continue
+		}
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	kv.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Sweep eagerly removes expired entries and returns how many were reaped.
+func (kv *KV) Sweep() int {
+	now := kv.clk.Now()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	n := 0
+	for k, e := range kv.data {
+		if kv.expired(e, now) {
+			delete(kv.data, k)
+			n++
+		}
+	}
+	kv.stats.Expirations += uint64(n)
+	return n
+}
+
+// Len returns the number of entries currently held, including entries that
+// have expired but not yet been reaped.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// Stats returns a copy of the operation counters.
+func (kv *KV) Stats() KVStats {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.stats
+}

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func newTestKV() (*KV, *clock.Simulated) {
+	clk := clock.NewSimulated(time.Time{})
+	return NewKV(clk), clk
+}
+
+func TestKVSetGet(t *testing.T) {
+	kv, _ := newTestKV()
+	kv.Set("a", []byte("hello"), 0)
+	got, ok := kv.Get("a")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestKVValueIsolation(t *testing.T) {
+	kv, _ := newTestKV()
+	buf := []byte("abc")
+	kv.Set("k", buf, 0)
+	buf[0] = 'X'
+	got, _ := kv.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("stored value aliases caller buffer")
+	}
+	got[0] = 'Y'
+	got2, _ := kv.Get("k")
+	if string(got2) != "abc" {
+		t.Fatal("returned value aliases stored buffer")
+	}
+}
+
+func TestKVTTLExpiry(t *testing.T) {
+	kv, clk := newTestKV()
+	kv.Set("k", []byte("v"), 10*time.Second)
+	if _, ok := kv.Get("k"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	clk.Advance(9 * time.Second)
+	if _, ok := kv.Get("k"); !ok {
+		t.Fatal("key expired early")
+	}
+	clk.Advance(time.Second)
+	if _, ok := kv.Get("k"); ok {
+		t.Fatal("key survived its TTL")
+	}
+	if kv.Stats().Expirations == 0 {
+		t.Fatal("expiration not counted")
+	}
+}
+
+func TestKVTTLQuery(t *testing.T) {
+	kv, clk := newTestKV()
+	kv.Set("e", []byte("v"), 30*time.Second)
+	kv.Set("p", []byte("v"), 0)
+	if d, ok := kv.TTL("e"); !ok || d != 30*time.Second {
+		t.Fatalf("TTL(e) = %v, %v", d, ok)
+	}
+	if d, ok := kv.TTL("p"); !ok || d != 0 {
+		t.Fatalf("TTL(p) = %v, %v", d, ok)
+	}
+	if _, ok := kv.TTL("missing"); ok {
+		t.Fatal("TTL of missing key ok")
+	}
+	clk.Advance(31 * time.Second)
+	if _, ok := kv.TTL("e"); ok {
+		t.Fatal("TTL of expired key ok")
+	}
+}
+
+func TestKVExpire(t *testing.T) {
+	kv, clk := newTestKV()
+	kv.Set("k", []byte("v"), 0)
+	if !kv.Expire("k", 5*time.Second) {
+		t.Fatal("Expire on live key failed")
+	}
+	clk.Advance(6 * time.Second)
+	if _, ok := kv.Get("k"); ok {
+		t.Fatal("key survived updated TTL")
+	}
+	if kv.Expire("k", time.Second) {
+		t.Fatal("Expire on dead key succeeded")
+	}
+	// Expire with ttl<=0 clears expiry.
+	kv.Set("k2", []byte("v"), time.Second)
+	kv.Expire("k2", 0)
+	clk.Advance(time.Hour)
+	if _, ok := kv.Get("k2"); !ok {
+		t.Fatal("cleared expiry still expired")
+	}
+}
+
+func TestKVDel(t *testing.T) {
+	kv, clk := newTestKV()
+	kv.Set("k", []byte("v"), 0)
+	if !kv.Del("k") {
+		t.Fatal("Del of live key reported absent")
+	}
+	if kv.Del("k") {
+		t.Fatal("Del of missing key reported present")
+	}
+	kv.Set("e", []byte("v"), time.Second)
+	clk.Advance(2 * time.Second)
+	if kv.Del("e") {
+		t.Fatal("Del of expired key reported present")
+	}
+}
+
+func TestKVIncr(t *testing.T) {
+	kv, _ := newTestKV()
+	if v := kv.Incr("c", 1); v != 1 {
+		t.Fatalf("Incr = %d", v)
+	}
+	if v := kv.Incr("c", 4); v != 5 {
+		t.Fatalf("Incr = %d", v)
+	}
+	if v := kv.Incr("c", -2); v != 3 {
+		t.Fatalf("Incr = %d", v)
+	}
+	if v := kv.Counter("c"); v != 3 {
+		t.Fatalf("Counter = %d", v)
+	}
+	if v := kv.Counter("absent"); v != 0 {
+		t.Fatalf("Counter(absent) = %d", v)
+	}
+}
+
+func TestKVIncrOverwritesValueType(t *testing.T) {
+	kv, _ := newTestKV()
+	kv.Set("k", []byte("text"), 0)
+	if v := kv.Incr("k", 2); v != 2 {
+		t.Fatalf("Incr over value = %d, want 2 (restart from zero)", v)
+	}
+	if _, ok := kv.Get("k"); ok {
+		t.Fatal("counter key readable as value")
+	}
+}
+
+func TestKVKeysPrefix(t *testing.T) {
+	kv, clk := newTestKV()
+	kv.Set("user:1", []byte("a"), 0)
+	kv.Set("user:2", []byte("b"), time.Second)
+	kv.Set("cart:1", []byte("c"), 0)
+	clk.Advance(2 * time.Second)
+	keys := kv.Keys("user:")
+	if len(keys) != 1 || keys[0] != "user:1" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	all := kv.Keys("")
+	if len(all) != 2 {
+		t.Fatalf("all keys = %v", all)
+	}
+}
+
+func TestKVSweep(t *testing.T) {
+	kv, clk := newTestKV()
+	for i := 0; i < 10; i++ {
+		kv.Set(fmt.Sprintf("k%d", i), []byte("v"), time.Duration(i+1)*time.Second)
+	}
+	clk.Advance(5 * time.Second)
+	if n := kv.Sweep(); n != 5 {
+		t.Fatalf("Sweep reaped %d, want 5", n)
+	}
+	if kv.Len() != 5 {
+		t.Fatalf("Len = %d", kv.Len())
+	}
+}
+
+func TestKVStats(t *testing.T) {
+	kv, _ := newTestKV()
+	kv.Set("a", []byte("v"), 0)
+	kv.Get("a")
+	kv.Get("miss")
+	kv.Del("a")
+	s := kv.Stats()
+	if s.Sets != 1 || s.Gets != 2 || s.Hits != 1 || s.Dels != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestKVConcurrent(t *testing.T) {
+	kv := NewKV(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d-%d", w, i)
+				kv.Set(k, []byte("v"), time.Minute)
+				kv.Get(k)
+				kv.Incr("shared", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := kv.Counter("shared"); v != 4000 {
+		t.Fatalf("shared counter = %d, want 4000", v)
+	}
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Point is one time-series sample.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// TimeSeries is an append-mostly store of named series, the analytics
+// substrate behind the TTL estimator: per-resource read and write events
+// are recorded as points and the estimator queries rates over trailing
+// windows. Points may arrive slightly out of order (bounded reordering is
+// tolerated by sorting lazily on read), matching how a real ingest
+// pipeline behaves.
+type TimeSeries struct {
+	mu     sync.RWMutex
+	series map[string]*seriesData
+	clk    clock.Clock
+	// Retention bounds memory: points older than Retention relative to the
+	// newest point in a series are dropped during compaction. Zero disables
+	// retention.
+	Retention time.Duration
+}
+
+type seriesData struct {
+	points []Point
+	sorted bool
+}
+
+// NewTimeSeries creates a store using clk (nil means system clock).
+func NewTimeSeries(clk clock.Clock) *TimeSeries {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &TimeSeries{series: make(map[string]*seriesData), clk: clk}
+}
+
+// Append records value at the current clock time.
+func (ts *TimeSeries) Append(name string, value float64) {
+	ts.AppendAt(name, ts.clk.Now(), value)
+}
+
+// AppendAt records value at an explicit time.
+func (ts *TimeSeries) AppendAt(name string, t time.Time, value float64) {
+	ts.mu.Lock()
+	s, ok := ts.series[name]
+	if !ok {
+		s = &seriesData{sorted: true}
+		ts.series[name] = s
+	}
+	if n := len(s.points); n > 0 && t.Before(s.points[n-1].Time) {
+		s.sorted = false
+	}
+	s.points = append(s.points, Point{Time: t, Value: value})
+	ts.mu.Unlock()
+}
+
+// ensureSorted sorts and compacts a series in place. Callers hold ts.mu.
+func (ts *TimeSeries) ensureSorted(s *seriesData) {
+	if !s.sorted {
+		sort.Slice(s.points, func(i, j int) bool {
+			return s.points[i].Time.Before(s.points[j].Time)
+		})
+		s.sorted = true
+	}
+	if ts.Retention > 0 && len(s.points) > 0 {
+		cutoff := s.points[len(s.points)-1].Time.Add(-ts.Retention)
+		i := sort.Search(len(s.points), func(i int) bool {
+			return !s.points[i].Time.Before(cutoff)
+		})
+		if i > 0 {
+			s.points = append(s.points[:0], s.points[i:]...)
+		}
+	}
+}
+
+// Range returns a copy of the points in [from, to], sorted by time.
+func (ts *TimeSeries) Range(name string, from, to time.Time) []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	s, ok := ts.series[name]
+	if !ok {
+		return nil
+	}
+	ts.ensureSorted(s)
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].Time.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+// CountSince returns how many points in the series fall in the trailing
+// window [now-window, now]. This is the estimator's rate primitive.
+func (ts *TimeSeries) CountSince(name string, window time.Duration) int {
+	now := ts.clk.Now()
+	return len(ts.Range(name, now.Add(-window), now))
+}
+
+// RatePerSecond returns the event rate over the trailing window.
+func (ts *TimeSeries) RatePerSecond(name string, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(ts.CountSince(name, window)) / window.Seconds()
+}
+
+// Last returns the most recent point and whether the series is nonempty.
+func (ts *TimeSeries) Last(name string) (Point, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	s, ok := ts.series[name]
+	if !ok || len(s.points) == 0 {
+		return Point{}, false
+	}
+	ts.ensureSorted(s)
+	return s.points[len(s.points)-1], true
+}
+
+// Downsample buckets the series into fixed-width windows over [from, to]
+// and returns one averaged point per non-empty bucket, stamped at the
+// bucket start.
+func (ts *TimeSeries) Downsample(name string, from, to time.Time, width time.Duration) []Point {
+	if width <= 0 {
+		return nil
+	}
+	pts := ts.Range(name, from, to)
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]Point, 0, 16)
+	bucketStart := from
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{Time: bucketStart, Value: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range pts {
+		for p.Time.Sub(bucketStart) >= width {
+			flush()
+			bucketStart = bucketStart.Add(width)
+		}
+		sum += p.Value
+		n++
+	}
+	flush()
+	return out
+}
+
+// Series lists the stored series names, sorted.
+func (ts *TimeSeries) Series() []string {
+	ts.mu.RLock()
+	out := make([]string, 0, len(ts.series))
+	for name := range ts.series {
+		out = append(out, name)
+	}
+	ts.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of points currently stored in the named series.
+func (ts *TimeSeries) Len(name string) int {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	s, ok := ts.series[name]
+	if !ok {
+		return 0
+	}
+	return len(s.points)
+}

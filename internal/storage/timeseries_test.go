@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func newTestTS() (*TimeSeries, *clock.Simulated) {
+	clk := clock.NewSimulated(time.Time{})
+	return NewTimeSeries(clk), clk
+}
+
+func TestTSAppendRange(t *testing.T) {
+	ts, clk := newTestTS()
+	start := clk.Now()
+	for i := 0; i < 10; i++ {
+		ts.Append("reads", float64(i))
+		clk.Advance(time.Second)
+	}
+	pts := ts.Range("reads", start.Add(2*time.Second), start.Add(5*time.Second))
+	if len(pts) != 4 {
+		t.Fatalf("range len = %d, want 4", len(pts))
+	}
+	if pts[0].Value != 2 || pts[3].Value != 5 {
+		t.Fatalf("range values = %v..%v", pts[0].Value, pts[3].Value)
+	}
+}
+
+func TestTSRangeMissingSeries(t *testing.T) {
+	ts, _ := newTestTS()
+	if pts := ts.Range("ghost", time.Unix(0, 0), time.Unix(100, 0)); pts != nil {
+		t.Fatalf("ghost range = %v", pts)
+	}
+	if ts.Len("ghost") != 0 {
+		t.Fatal("ghost len nonzero")
+	}
+}
+
+func TestTSOutOfOrderAppends(t *testing.T) {
+	ts, clk := newTestTS()
+	base := clk.Now()
+	ts.AppendAt("s", base.Add(3*time.Second), 3)
+	ts.AppendAt("s", base.Add(1*time.Second), 1)
+	ts.AppendAt("s", base.Add(2*time.Second), 2)
+	pts := ts.Range("s", base, base.Add(10*time.Second))
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != float64(i+1) {
+			t.Fatalf("point %d = %v, not sorted", i, p.Value)
+		}
+	}
+}
+
+func TestTSCountSinceAndRate(t *testing.T) {
+	ts, clk := newTestTS()
+	for i := 0; i < 60; i++ {
+		ts.Append("writes", 1)
+		clk.Advance(time.Second)
+	}
+	// Window [now-30s, now]: appends at seconds 30..59 fall inside.
+	if n := ts.CountSince("writes", 30*time.Second); n != 30 {
+		t.Fatalf("CountSince = %d, want 30", n)
+	}
+	if r := ts.RatePerSecond("writes", 30*time.Second); r != 1 {
+		t.Fatalf("rate = %v, want 1", r)
+	}
+	if r := ts.RatePerSecond("writes", 0); r != 0 {
+		t.Fatalf("zero-window rate = %v", r)
+	}
+}
+
+func TestTSLast(t *testing.T) {
+	ts, clk := newTestTS()
+	if _, ok := ts.Last("s"); ok {
+		t.Fatal("Last on empty series ok")
+	}
+	ts.Append("s", 1)
+	clk.Advance(time.Second)
+	ts.Append("s", 2)
+	p, ok := ts.Last("s")
+	if !ok || p.Value != 2 {
+		t.Fatalf("Last = %v, %v", p, ok)
+	}
+}
+
+func TestTSDownsample(t *testing.T) {
+	ts, clk := newTestTS()
+	start := clk.Now()
+	// 1 point per second, values 0..59
+	for i := 0; i < 60; i++ {
+		ts.Append("s", float64(i))
+		clk.Advance(time.Second)
+	}
+	buckets := ts.Downsample("s", start, start.Add(59*time.Second), 10*time.Second)
+	if len(buckets) != 6 {
+		t.Fatalf("buckets = %d, want 6", len(buckets))
+	}
+	// First bucket covers values 0..9, mean 4.5.
+	if buckets[0].Value != 4.5 {
+		t.Fatalf("bucket 0 mean = %v, want 4.5", buckets[0].Value)
+	}
+	if !buckets[1].Time.Equal(start.Add(10 * time.Second)) {
+		t.Fatalf("bucket 1 time = %v", buckets[1].Time)
+	}
+}
+
+func TestTSDownsampleSparse(t *testing.T) {
+	ts, clk := newTestTS()
+	start := clk.Now()
+	ts.AppendAt("s", start, 10)
+	ts.AppendAt("s", start.Add(35*time.Second), 20)
+	buckets := ts.Downsample("s", start, start.Add(60*time.Second), 10*time.Second)
+	// Only two non-empty buckets expected.
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(buckets))
+	}
+	if buckets[1].Value != 20 {
+		t.Fatalf("bucket values = %v", buckets)
+	}
+}
+
+func TestTSDownsampleDegenerate(t *testing.T) {
+	ts, _ := newTestTS()
+	if b := ts.Downsample("s", time.Unix(0, 0), time.Unix(10, 0), 0); b != nil {
+		t.Fatal("zero width accepted")
+	}
+	if b := ts.Downsample("ghost", time.Unix(0, 0), time.Unix(10, 0), time.Second); b != nil {
+		t.Fatal("ghost series downsampled")
+	}
+}
+
+func TestTSRetention(t *testing.T) {
+	ts, clk := newTestTS()
+	ts.Retention = 10 * time.Second
+	start := clk.Now()
+	for i := 0; i < 100; i++ {
+		ts.Append("s", float64(i))
+		clk.Advance(time.Second)
+	}
+	// Trigger compaction via a read.
+	ts.Range("s", start, clk.Now())
+	if n := ts.Len("s"); n > 12 {
+		t.Fatalf("retention kept %d points, want ~11", n)
+	}
+	// Recent points survive.
+	if n := ts.CountSince("s", 5*time.Second); n == 0 {
+		t.Fatal("retention dropped recent points")
+	}
+}
+
+func TestTSSeriesList(t *testing.T) {
+	ts, _ := newTestTS()
+	ts.Append("b", 1)
+	ts.Append("a", 1)
+	names := ts.Series()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("series = %v", names)
+	}
+}

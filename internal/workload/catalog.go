@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"speedkit/internal/storage"
+)
+
+// SeedCatalog populates the document store with a deterministic product
+// catalog of the given size: prices in [5, 205), stock in [0, 100),
+// categories round-robin over Categories. Shared by examples, tests, and
+// every benchmark.
+func SeedCatalog(docs *storage.DocumentStore, seed int64, products int) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < products; i++ {
+		doc := map[string]any{
+			"name":     fmt.Sprintf("Product %d", i),
+			"category": CategoryOf(i),
+			"price":    5 + rng.Float64()*200,
+			"stock":    int64(rng.Intn(100)),
+		}
+		if err := docs.Insert("products", ProductID(i), doc); err != nil {
+			return fmt.Errorf("workload: seed catalog: %w", err)
+		}
+	}
+	return nil
+}
+
+// ApplyWrite executes a write op against the document store, returning
+// the product page path it invalidates. AddToCart/Checkout ops are
+// device-local and return an empty path.
+func ApplyWrite(docs *storage.DocumentStore, rng *rand.Rand, op Op) (string, error) {
+	switch op.Kind {
+	case UpdatePrice:
+		err := docs.Patch("products", op.ProductID, map[string]any{
+			"price": 5 + rng.Float64()*200,
+		})
+		return "/product/" + op.ProductID, err
+	case UpdateStock:
+		err := docs.Patch("products", op.ProductID, map[string]any{
+			"stock": int64(rng.Intn(100)),
+		})
+		return "/product/" + op.ProductID, err
+	default:
+		return "", nil
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trace export/replay: generated op streams can be serialized as JSON
+// Lines and replayed later, so an interesting workload (a burst that
+// exposed a bug, a field-captured session mix) becomes a fixed artifact
+// that every system variant replays identically.
+
+// traceRecord is the wire form of one Op.
+type traceRecord struct {
+	Kind      string `json:"kind"`
+	UserIdx   int    `json:"user,omitempty"`
+	Path      string `json:"path,omitempty"`
+	ProductID string `json:"product,omitempty"`
+	Category  string `json:"category,omitempty"`
+	GapMicros int64  `json:"gap_us"`
+}
+
+var kindNames = map[OpKind]string{
+	ViewHome: "view-home", ViewCategory: "view-category", ViewProduct: "view-product",
+	AddToCart: "add-to-cart", Checkout: "checkout",
+	UpdatePrice: "update-price", UpdateStock: "update-stock",
+}
+
+var kindsByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteTrace serializes ops as JSON Lines.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, op := range ops {
+		name, ok := kindNames[op.Kind]
+		if !ok {
+			return fmt.Errorf("workload: trace op %d: unknown kind %d", i, int(op.Kind))
+		}
+		rec := traceRecord{
+			Kind:      name,
+			UserIdx:   op.UserIdx,
+			Path:      op.Path,
+			ProductID: op.ProductID,
+			Category:  op.Category,
+			GapMicros: op.Gap.Microseconds(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("workload: trace op %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a JSON Lines trace produced by WriteTrace.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	dec := json.NewDecoder(r)
+	for i := 0; ; i++ {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return ops, nil
+			}
+			return nil, fmt.Errorf("workload: trace line %d: %w", i, err)
+		}
+		kind, ok := kindsByName[rec.Kind]
+		if !ok {
+			return nil, fmt.Errorf("workload: trace line %d: unknown kind %q", i, rec.Kind)
+		}
+		if rec.GapMicros < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative gap", i)
+		}
+		ops = append(ops, Op{
+			Kind:      kind,
+			UserIdx:   rec.UserIdx,
+			Path:      rec.Path,
+			ProductID: rec.ProductID,
+			Category:  rec.Category,
+			Gap:       time.Duration(rec.GapMicros) * time.Microsecond,
+		})
+	}
+}

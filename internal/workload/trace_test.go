@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := NewGenerator(Config{Seed: 5, Users: 10})
+	ops := gen.Take(500)
+	// Gaps round-trip at microsecond resolution; truncate first so
+	// equality below is exact.
+	for i := range ops {
+		ops[i].Gap = ops[i].Gap.Truncate(time.Microsecond)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len = %d, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %v", got, err)
+	}
+}
+
+func TestTraceIsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, []Op{{Kind: ViewProduct, UserIdx: 3, Path: "/product/p1", ProductID: "p1", Gap: time.Second}})
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("one op spans multiple lines: %q", line)
+	}
+	for _, want := range []string{`"kind":"view-product"`, `"user":3`, `"gap_us":1000000`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %s: %s", want, line)
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"kind":"no-such-op","gap_us":1}`,
+		`{"kind":"view-home","gap_us":-5}`,
+		`not json at all`,
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage accepted: %s", c)
+		}
+	}
+}
+
+func TestTraceRejectsUnknownKindOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Op{{Kind: OpKind(99)}}); err == nil {
+		t.Fatal("unknown kind written")
+	}
+}

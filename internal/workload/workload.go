@@ -1,0 +1,280 @@
+// Package workload generates the e-commerce traffic that drives every
+// experiment: browsing sessions with a home → category → product →
+// cart → checkout funnel, Zipf-distributed product popularity, a
+// configurable write mix (price/stock updates), optional catalog-import
+// write bursts, and a diurnal load curve for the multi-day field
+// simulations. Generation is deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// OpKind classifies one workload operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	// ViewHome is a hit on the home page.
+	ViewHome OpKind = iota
+	// ViewCategory is a hit on a category listing page.
+	ViewCategory
+	// ViewProduct is a hit on a product detail page.
+	ViewProduct
+	// AddToCart mutates on-device cart state (no origin write).
+	AddToCart
+	// Checkout clears the cart and writes an order.
+	Checkout
+	// UpdatePrice writes a product's price field.
+	UpdatePrice
+	// UpdateStock writes a product's stock field.
+	UpdateStock
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case ViewHome:
+		return "view-home"
+	case ViewCategory:
+		return "view-category"
+	case ViewProduct:
+		return "view-product"
+	case AddToCart:
+		return "add-to-cart"
+	case Checkout:
+		return "checkout"
+	case UpdatePrice:
+		return "update-price"
+	case UpdateStock:
+		return "update-stock"
+	}
+	return "unknown"
+}
+
+// IsWrite reports whether the op mutates origin data.
+func (k OpKind) IsWrite() bool { return k == UpdatePrice || k == UpdateStock || k == Checkout }
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	// UserIdx selects the acting user for view/cart ops (-1 for backend
+	// writes, which no user performs).
+	UserIdx int
+	// Path is the page hit for view ops.
+	Path string
+	// ProductID is the affected product for product/cart/write ops.
+	ProductID string
+	// Category is set for category views.
+	Category string
+	// Gap is the simulated time since the previous op.
+	Gap time.Duration
+}
+
+// Categories used by the synthetic catalog.
+var Categories = []string{
+	"shoes", "shirts", "pants", "hats", "jackets",
+	"bags", "watches", "belts", "socks", "scarves",
+}
+
+// ProductID renders the canonical product identifier for index i.
+func ProductID(i int) string { return fmt.Sprintf("p%05d", i) }
+
+// ProductPath renders the page path for product index i.
+func ProductPath(i int) string { return "/product/" + ProductID(i) }
+
+// CategoryPath renders the listing path for a category.
+func CategoryPath(cat string) string { return "/category/" + cat }
+
+// CategoryOf assigns product index i to its category.
+func CategoryOf(i int) string { return Categories[i%len(Categories)] }
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Products is the catalog size (default 1000).
+	Products int
+	// Users is the population size (default 100).
+	Users int
+	// ZipfS is the popularity skew exponent (>1; default 1.07, matching
+	// measured web object popularity).
+	ZipfS float64
+	// WriteFraction is the share of backend write ops (default 0.02 — a
+	// few percent of operations are catalog updates, as in production).
+	WriteFraction float64
+	// MeanOpsPerSecond sets overall load (default 50 ops/s).
+	MeanOpsPerSecond float64
+	// Diurnal modulates the load with a day/night curve when true.
+	Diurnal bool
+	// BurstEvery injects a catalog-import burst (BurstSize rapid writes)
+	// at this interval. Zero disables bursts.
+	BurstEvery time.Duration
+	// BurstSize is the number of writes per burst (default 50).
+	BurstSize int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Products <= 0 {
+		c.Products = 1000
+	}
+	if c.Users <= 0 {
+		c.Users = 100
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.07
+	}
+	if c.WriteFraction < 0 || c.WriteFraction >= 1 {
+		c.WriteFraction = 0.02
+	}
+	if c.MeanOpsPerSecond <= 0 {
+		c.MeanOpsPerSecond = 50
+	}
+	if c.BurstSize <= 0 {
+		c.BurstSize = 50
+	}
+}
+
+// funnel stages per user.
+type stage int
+
+const (
+	stageIdle stage = iota
+	stageBrowsing
+	stageProduct
+	stageCart
+)
+
+// Generator produces a deterministic op stream. Not safe for concurrent
+// use — each load generator owns one.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	stages  []stage
+	lastCat []string // last category each user browsed
+	lastPid []int    // last product each user viewed
+	elapsed time.Duration
+	burst   int // remaining burst writes to emit
+}
+
+// NewGenerator creates a generator from cfg.
+func NewGenerator(cfg Config) *Generator {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Generator{
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Products-1)),
+		stages:  make([]stage, cfg.Users),
+		lastCat: make([]string, cfg.Users),
+		lastPid: make([]int, cfg.Users),
+	}
+}
+
+// loadFactor returns the diurnal multiplier at the generator's elapsed
+// time: a sinusoid between 0.25 (midnight) and 1.75 (noon).
+func (g *Generator) loadFactor() float64 {
+	if !g.cfg.Diurnal {
+		return 1
+	}
+	dayFrac := math.Mod(g.elapsed.Hours(), 24) / 24
+	return 1 + 0.75*math.Sin(2*math.Pi*(dayFrac-0.25))
+}
+
+// nextGap samples the exponential inter-arrival gap at current load.
+func (g *Generator) nextGap() time.Duration {
+	rate := g.cfg.MeanOpsPerSecond * g.loadFactor()
+	gap := g.rng.ExpFloat64() / rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// pickProduct draws a Zipf-popular product index.
+func (g *Generator) pickProduct() int { return int(g.zipf.Uint64()) }
+
+// Next produces the next operation in the stream.
+func (g *Generator) Next() Op {
+	gap := g.nextGap()
+	g.elapsed += gap
+
+	// Burst mode: emit pending catalog-import writes back to back.
+	if g.burst > 0 {
+		g.burst--
+		return g.writeOp(time.Millisecond)
+	}
+	if g.cfg.BurstEvery > 0 {
+		prev := g.elapsed - gap
+		if prev/g.cfg.BurstEvery != g.elapsed/g.cfg.BurstEvery {
+			g.burst = g.cfg.BurstSize - 1
+			return g.writeOp(gap)
+		}
+	}
+
+	if g.rng.Float64() < g.cfg.WriteFraction {
+		return g.writeOp(gap)
+	}
+	return g.sessionOp(gap)
+}
+
+func (g *Generator) writeOp(gap time.Duration) Op {
+	pid := g.pickProduct()
+	kind := UpdatePrice
+	if g.rng.Float64() < 0.4 {
+		kind = UpdateStock
+	}
+	return Op{Kind: kind, UserIdx: -1, ProductID: ProductID(pid), Gap: gap}
+}
+
+// sessionOp advances one user's funnel state machine.
+func (g *Generator) sessionOp(gap time.Duration) Op {
+	u := g.rng.Intn(g.cfg.Users)
+	switch g.stages[u] {
+	case stageIdle:
+		g.stages[u] = stageBrowsing
+		return Op{Kind: ViewHome, UserIdx: u, Path: "/", Gap: gap}
+	case stageBrowsing:
+		// Mostly proceed to a category; sometimes bounce back to idle.
+		if g.rng.Float64() < 0.15 {
+			g.stages[u] = stageIdle
+			return Op{Kind: ViewHome, UserIdx: u, Path: "/", Gap: gap}
+		}
+		cat := CategoryOf(g.pickProduct())
+		g.lastCat[u] = cat
+		g.stages[u] = stageProduct
+		return Op{Kind: ViewCategory, UserIdx: u, Path: CategoryPath(cat), Category: cat, Gap: gap}
+	case stageProduct:
+		pid := g.pickProduct()
+		g.lastPid[u] = pid
+		// 30% of product views lead toward the cart.
+		if g.rng.Float64() < 0.3 {
+			g.stages[u] = stageCart
+		} else if g.rng.Float64() < 0.4 {
+			g.stages[u] = stageBrowsing
+		}
+		return Op{Kind: ViewProduct, UserIdx: u, Path: ProductPath(pid),
+			ProductID: ProductID(pid), Category: CategoryOf(pid), Gap: gap}
+	default: // stageCart
+		if g.rng.Float64() < 0.35 {
+			g.stages[u] = stageIdle
+			return Op{Kind: Checkout, UserIdx: u, Gap: gap}
+		}
+		g.stages[u] = stageProduct
+		return Op{Kind: AddToCart, UserIdx: u,
+			ProductID: ProductID(g.lastPid[u]), Gap: gap}
+	}
+}
+
+// Elapsed returns the simulated time the stream has covered so far.
+func (g *Generator) Elapsed() time.Duration { return g.elapsed }
+
+// Take returns the next n ops as a slice.
+func (g *Generator) Take(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package speedkit is the public API of the Speed Kit reproduction: a
+// polyglot, GDPR-compliant architecture for caching personalized web
+// content with bounded staleness (Δ-atomicity), as described in
+// Wingerath et al., "Speed Kit: A Polyglot & GDPR-Compliant Approach For
+// Caching Personalized Content", ICDE 2020.
+//
+// # Quick start
+//
+//	svc, err := speedkit.New(speedkit.Config{Products: 1000})
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	user := speedkit.NewUsers(1, 1)[0]
+//	device := svc.NewDevice(user, speedkit.RegionEU)
+//	page, err := device.Load("/product/p00042")
+//	fmt.Printf("served from %s in %v\n", page.Source, page.Latency)
+//
+// The Service bundles the document store (system of record), origin
+// server, CDN edges, the Cache Sketch coherence server, the real-time
+// invalidation engine, and the adaptive TTL estimator — all driven by one
+// injectable clock, so whole deployments run deterministically under
+// simulated time. Devices are client proxies (the service-worker
+// equivalent) that keep all personal data on-device: pages are cached as
+// anonymous shells and personalized locally via dynamic blocks.
+//
+// For custom deployments (your own collections, pages, and continuous
+// queries) build the pieces directly with NewDocumentStore, NewOrigin,
+// ParseQuery, and NewService. The internal packages behind these aliases
+// contain the full implementation and its documentation.
+package speedkit
+
+import (
+	"speedkit/internal/core"
+	"speedkit/internal/netsim"
+	"speedkit/internal/origin"
+	"speedkit/internal/proxy"
+	"speedkit/internal/query"
+	"speedkit/internal/session"
+	"speedkit/internal/storage"
+	"speedkit/internal/ttl"
+)
+
+// Service is one Speed Kit deployment: origin, CDN, coherence server,
+// invalidation pipeline, and TTL estimation behind a single handle.
+type Service = core.Service
+
+// Config parameterizes New. The zero value is a working simulated
+// deployment: 1000 products, Δ = 60 s, adaptive TTLs, three CDN regions.
+type Config = core.StorefrontConfig
+
+// ServiceConfig is the lower-level configuration embedded in Config, for
+// callers assembling custom deployments with NewService.
+type ServiceConfig = core.Config
+
+// Device is the client proxy installed in a user's device (the
+// service-worker equivalent).
+type Device = proxy.Proxy
+
+// PageLoad is the result of one device page load.
+type PageLoad = proxy.PageLoad
+
+// Source identifies the tier that served a load (device, CDN, origin).
+type Source = proxy.Source
+
+// Serving tiers.
+const (
+	SourceDevice = proxy.SourceDevice
+	SourceCDN    = proxy.SourceCDN
+	SourceOrigin = proxy.SourceOrigin
+)
+
+// User is the on-device session state personalization runs on.
+type User = session.User
+
+// Region locates clients and edges.
+type Region = netsim.Region
+
+// Canonical regions.
+const (
+	RegionEU   = netsim.EU
+	RegionUS   = netsim.US
+	RegionAPAC = netsim.APAC
+)
+
+// DocumentStore is the system of record backing an origin.
+type DocumentStore = storage.DocumentStore
+
+// Origin is the first-party web server Speed Kit accelerates.
+type Origin = origin.Server
+
+// Query is a declarative read whose result set is cacheable and
+// invalidation-tracked.
+type Query = query.Query
+
+// StaticTTL is a fixed TTL policy for baseline configurations; leave
+// Config.TTLSource nil for the adaptive estimator.
+type StaticTTL = ttl.Static
+
+// New builds the canonical storefront deployment: seeded catalog, home /
+// category / product pages, the built-in dynamic blocks, and a fully
+// wired Service. Close it when done.
+func New(cfg Config) (*Service, error) { return core.NewStorefront(cfg) }
+
+// NewService assembles a Service over a custom document store and origin.
+// Register the origin's pages before calling this so its listing queries
+// are wired into the invalidation engine.
+func NewService(cfg ServiceConfig, docs *DocumentStore, org *Origin) *Service {
+	return core.NewService(cfg, docs, org)
+}
+
+// NewDocumentStore creates an empty document store on the system clock.
+// Pass the service's clock instead when running under simulated time.
+func NewDocumentStore() *DocumentStore { return storage.NewDocumentStore(nil) }
+
+// NewOrigin creates an origin server over a document store.
+func NewOrigin(docs *DocumentStore) *Origin { return origin.NewServer(docs, nil) }
+
+// ParseQuery parses the query syntax used for listing pages, e.g.
+//
+//	products WHERE category = "shoes" AND price < 100 ORDER BY price LIMIT 24
+func ParseQuery(src string) (Query, error) { return query.Parse(src) }
+
+// NewUsers generates a deterministic user population of size n spread
+// across the canonical regions: ~60% logged in, ~80% of those consenting
+// to personalization.
+func NewUsers(seed int64, n int) []*User { return session.Population(seed, n) }

@@ -1,0 +1,89 @@
+package speedkit_test
+
+import (
+	"strings"
+	"testing"
+
+	"speedkit"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	svc, err := speedkit.New(speedkit.Config{Products: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	users := speedkit.NewUsers(1, 3)
+	device := svc.NewDevice(users[0], speedkit.RegionEU)
+
+	page, err := device.Load("/product/p00007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Source != speedkit.SourceOrigin {
+		t.Fatalf("cold load source = %v", page.Source)
+	}
+	page, err = device.Load("/product/p00007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Source != speedkit.SourceDevice {
+		t.Fatalf("warm load source = %v", page.Source)
+	}
+	if len(page.Body) == 0 || page.Latency <= 0 {
+		t.Fatalf("page = %+v", page)
+	}
+}
+
+func TestPublicAPICustomDeployment(t *testing.T) {
+	docs := speedkit.NewDocumentStore()
+	if err := docs.Insert("articles", "a1", map[string]any{
+		"title": "Hello", "section": "news",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	org := speedkit.NewOrigin(docs)
+	defer org.Close()
+	org.RegisterProducts("/article/", "articles")
+	q, err := speedkit.ParseQuery(`articles WHERE section = "news"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org.RegisterQueryPage("/news", "News", q)
+
+	svc := speedkit.NewService(speedkit.ServiceConfig{Seed: 3}, docs, org)
+	defer svc.Close()
+
+	device := svc.NewDevice(nil, speedkit.RegionUS)
+	page, err := device.Load("/news")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page.Body), "Hello") {
+		t.Fatalf("custom listing body: %s", page.Body)
+	}
+
+	// The custom query page participates in invalidation.
+	if err := docs.Patch("articles", "a1", map[string]any{"title": "Updated"}); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.SketchServer().Contains("/news") {
+		t.Fatal("custom listing not invalidation-tracked")
+	}
+}
+
+func TestPublicAPIUsersDistribution(t *testing.T) {
+	users := speedkit.NewUsers(2, 30)
+	if len(users) != 30 {
+		t.Fatalf("users = %d", len(users))
+	}
+	regions := map[speedkit.Region]bool{}
+	for _, u := range users {
+		regions[u.Region] = true
+	}
+	if len(regions) != 3 {
+		t.Fatalf("regions covered = %d", len(regions))
+	}
+}
