@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fmt vet clean
+.PHONY: all build test lint race cover bench experiments fmt vet clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Repo-specific static analysis: GDPR boundary, clock/lock/rand discipline.
+lint:
+	$(GO) run ./cmd/speedkit-lint ./...
+
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

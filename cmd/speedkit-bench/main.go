@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"speedkit/internal/bench"
+	"speedkit/internal/clock"
 )
 
 type experiment struct {
@@ -97,7 +98,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("=== %s: %s (seed=%d scale=%.2f)\n", e.id, e.desc, *seed, *scale)
-		start := time.Now()
+		sw := clock.NewStopwatch(clock.System)
 		res, err := e.run(*seed, bench.Scale(*scale))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
@@ -105,7 +106,7 @@ func main() {
 			continue
 		}
 		fmt.Print(res.String())
-		fmt.Printf("--- %s done in %v\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("--- %s done in %v\n\n", e.id, sw.Elapsed().Round(time.Millisecond))
 	}
 	if failed {
 		os.Exit(1)

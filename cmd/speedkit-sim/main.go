@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"speedkit/internal/bench"
+	"speedkit/internal/clock"
 	"speedkit/internal/netsim"
 	"speedkit/internal/proxy"
 	"speedkit/internal/workload"
@@ -98,7 +99,7 @@ func main() {
 		cfg.Trace = trace // run what was recorded
 	}
 
-	start := time.Now()
+	sw := clock.NewStopwatch(clock.System)
 	res, err := bench.RunField(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,7 +109,7 @@ func main() {
 	fmt.Printf("mode=%s ops=%d users=%d products=%d writes=%.1f%% Δ=%v\n",
 		m, *ops, *users, *products, *writes*100, *delta)
 	fmt.Printf("simulated %v of traffic in %v wall-clock\n\n",
-		res.SimulatedDuration.Round(time.Second), time.Since(start).Round(time.Millisecond))
+		res.SimulatedDuration.Round(time.Second), sw.Elapsed().Round(time.Millisecond))
 
 	fmt.Printf("loads            %d\n", res.Loads)
 	fmt.Printf("hit ratio        %.1f%%\n", res.HitRatio()*100)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"speedkit/internal/bench"
+	"speedkit/internal/clock"
 )
 
 func main() {
@@ -20,7 +21,7 @@ func main() {
 	arms := []bench.ClientMode{bench.ModeDirect, bench.ModeSpeedKit}
 	results := make([]*bench.FieldResult, len(arms))
 	for i, mode := range arms {
-		start := time.Now()
+		sw := clock.NewStopwatch(clock.System)
 		r, err := bench.RunField(bench.FieldConfig{
 			Mode: mode, Seed: 42, Ops: ops,
 			Diurnal: true, BounceModel: true, MeanOpsPerSecond: 20,
@@ -36,7 +37,7 @@ func main() {
 			r.HitRatio()*100,
 			float64(r.Bounces)/float64(r.Loads)*100, r.Checkouts)
 		fmt.Printf("  simulated %v in %v wall-clock\n\n",
-			r.SimulatedDuration.Round(time.Minute), time.Since(start).Round(time.Millisecond))
+			r.SimulatedDuration.Round(time.Minute), sw.Elapsed().Round(time.Millisecond))
 	}
 
 	control, treated := results[0], results[1]

@@ -117,11 +117,11 @@ func RunFigure8(scale Scale) *Figure8Result {
 			Before: map[string]any{"category": "shoes", "price": 40.0},
 			After:  map[string]any{"category": "shoes", "price": 60.0},
 		}
-		start := time.Now()
+		sw := clock.NewStopwatch(clock.System)
 		for i := 0; i < events; i++ {
 			eng.Process(ev)
 		}
-		elapsed := time.Since(start)
+		elapsed := sw.Elapsed()
 		out.Points = append(out.Points, Figure8Point{
 			Queries:     nq,
 			EventsPerS:  float64(events) / elapsed.Seconds(),
@@ -292,7 +292,7 @@ func RunAblationA2(scale Scale) *AblationA2Result {
 	for _, k := range keys {
 		cf.Add(k)
 	}
-	start := time.Now()
+	sw := clock.NewStopwatch(clock.System)
 	for i := 0; i < churn; i++ {
 		k := keys[i%live]
 		cf.Remove(k)
@@ -300,14 +300,14 @@ func RunAblationA2(scale Scale) *AblationA2Result {
 	}
 	out.Rows = append(out.Rows, AblationA2Row{
 		Strategy: "counting-filter",
-		NsPerOp:  float64(time.Since(start).Nanoseconds()) / float64(churn),
+		NsPerOp:  float64(sw.Elapsed().Nanoseconds()) / float64(churn),
 		Bytes:    cf.SizeBytes(),
 	})
 
 	// Strategy 2: plain filter rebuilt from the full live set on every
 	// removal batch (batched 1000 ops per rebuild to be charitable).
 	pf := bloom.NewFilterForCapacity(live, 0.05)
-	start = time.Now()
+	sw.Reset()
 	rebuilds := churn / 1000
 	if rebuilds == 0 {
 		rebuilds = 1
@@ -320,7 +320,7 @@ func RunAblationA2(scale Scale) *AblationA2Result {
 	}
 	out.Rows = append(out.Rows, AblationA2Row{
 		Strategy: "rebuild-per-1k-ops",
-		NsPerOp:  float64(time.Since(start).Nanoseconds()) / float64(churn),
+		NsPerOp:  float64(sw.Elapsed().Nanoseconds()) / float64(churn),
 		Bytes:    pf.SizeBytes(),
 	})
 	return out
@@ -379,13 +379,13 @@ func RunAblationA3(scale Scale) *AblationA3Result {
 	q := query.New("products", query.Eq("category", "shoes")).OrderBy("price", false).WithLimit(24)
 
 	run := func(name string) {
-		start := time.Now()
+		sw := clock.NewStopwatch(clock.System)
 		for i := 0; i < evals; i++ {
 			store.Query(q)
 		}
 		out.Rows = append(out.Rows, AblationA3Row{
 			Strategy:  name,
-			NsPerEval: float64(time.Since(start).Nanoseconds()) / float64(evals),
+			NsPerEval: float64(sw.Elapsed().Nanoseconds()) / float64(evals),
 		})
 	}
 	run("full-scan")

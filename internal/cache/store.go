@@ -14,8 +14,8 @@ import (
 // concurrent use.
 type Store struct {
 	mu       sync.Mutex
-	entries  map[string]*list.Element
-	order    *list.List // front = next eviction candidate
+	entries  map[string]*list.Element // guarded by mu
+	order    *list.List               // front = next eviction candidate
 	clk      clock.Clock
 	policy   Policy
 	maxItems int

@@ -14,7 +14,7 @@ import (
 // within the window's end).
 type VersionLog struct {
 	mu       sync.RWMutex
-	versions map[string][]versionStamp
+	versions map[string][]versionStamp // guarded by mu
 }
 
 type versionStamp struct {

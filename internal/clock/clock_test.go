@@ -46,6 +46,39 @@ func TestSimulatedSetNeverBackwards(t *testing.T) {
 	}
 }
 
+func TestSince(t *testing.T) {
+	c := NewSimulated(time.Unix(100, 0))
+	start := c.Now()
+	c.Advance(90 * time.Second)
+	if got := Since(c, start); got != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", got)
+	}
+}
+
+func TestStopwatchElapsedAndReset(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	sw := NewStopwatch(c)
+	c.Advance(3 * time.Second)
+	if got := sw.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s", got)
+	}
+	sw.Reset()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed after Reset = %v, want 0", got)
+	}
+	c.Advance(time.Second)
+	if got := sw.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed after Reset+Advance = %v, want 1s", got)
+	}
+}
+
+func TestStopwatchNilClockDefaultsToSystem(t *testing.T) {
+	sw := NewStopwatch(nil)
+	if sw.Elapsed() < 0 {
+		t.Fatal("system stopwatch ran backwards")
+	}
+}
+
 func TestSimulatedConcurrentAdvance(t *testing.T) {
 	c := NewSimulated(time.Unix(0, 0))
 	var wg sync.WaitGroup

@@ -29,7 +29,7 @@ const (
 // experiment. Safe for concurrent use.
 type Auditor struct {
 	mu    sync.Mutex
-	flows map[Boundary]*flowTally
+	flows map[Boundary]*flowTally // guarded by mu
 }
 
 type flowTally struct {

@@ -75,6 +75,22 @@ func Classify(field string) Sensitivity {
 	return PII
 }
 
+// PIIFields returns the canonical field names classified as PII, sorted.
+// The static-analysis suite in internal/lint uses this list to reject
+// PII-bearing types from shared-infrastructure APIs at build time, so the
+// runtime auditor and the compile-time check can never disagree about
+// what counts as PII.
+func PIIFields() []string {
+	out := make([]string, 0, len(classification))
+	for name, s := range classification {
+		if s == PII {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Pseudonymize returns a stable, non-reversible token for an identifier,
 // suitable for analytics that must not carry raw identity. The same input
 // always yields the same token so aggregation still works.
@@ -113,7 +129,7 @@ const (
 // required for accountability (GDPR Art. 7). Safe for concurrent use.
 type ConsentLedger struct {
 	mu      sync.RWMutex
-	records map[string]map[Purpose]consentRecord
+	records map[string]map[Purpose]consentRecord // guarded by mu
 }
 
 type consentRecord struct {

@@ -99,7 +99,7 @@ type Engine struct {
 
 type shard struct {
 	mu   sync.RWMutex
-	regs map[string]query.Query
+	regs map[string]query.Query // guarded by mu
 }
 
 // New creates an engine.

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockBanned are the package time functions that read or schedule against
+// the wall clock. Timer/ticker constructors are included: anything built on
+// them escapes the injected clock just as surely as a bare Now.
+var clockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// ClockDiscipline bans direct wall-clock access outside internal/clock.
+// Every TTL, Δ-bound, and experiment in the reproduction depends on time
+// arriving through an injected clock.Clock; one stray time.Now in a hot
+// path silently decouples a subsystem from simulated time and invalidates
+// the Δ-atomicity measurements.
+var ClockDiscipline = &Analyzer{
+	Name: "clockdiscipline",
+	Doc: "direct time.Now/Sleep/After/Since/timer calls are banned outside " +
+		"internal/clock and _test.go files; inject a clock.Clock instead",
+	Run: runClockDiscipline,
+}
+
+func runClockDiscipline(pass *Pass) {
+	if pathHasSegment(pass.Path, "internal/clock") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockBanned[fn.Name()] {
+				return true
+			}
+			// Package-level functions only: t.After(u) on a time.Time value
+			// is pure arithmetic, not a wall-clock read.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			// Uses, not calls: `now: time.Now` stored as a field default is
+			// the same leak as calling it.
+			pass.Reportf(sel.Pos(),
+				"direct time.%s outside internal/clock; route through an injected clock.Clock",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// expectation is one "// want" annotation: the fixture author's claim that
+// an analyzer reports a matching diagnostic on that line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	// raw preserves the annotation text for error messages.
+	raw string
+}
+
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// expectations extracts the want annotations from a loaded package. The
+// annotation syntax is a trailing comment holding a Go-quoted regexp:
+//
+//	time.Now() // want "time\\.Now"
+func expectations(pkg *Package) ([]expectation, error) {
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				match := wantRe.FindStringSubmatch(c.Text)
+				if match == nil {
+					if strings.Contains(c.Text, "// want") {
+						pos := pkg.Fset.Position(c.Pos())
+						return nil, fmt.Errorf("%s:%d: malformed want annotation %q", pos.Filename, pos.Line, c.Text)
+					}
+					continue
+				}
+				pattern, err := strconv.Unquote(match[1])
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s:%d: unquoting want pattern: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s:%d: compiling want pattern: %v", pos.Filename, pos.Line, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   re,
+					raw:  c.Text,
+				})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture runs the analyzers over a fixture package and compares the
+// diagnostics against its want annotations. Every want must be matched by
+// a diagnostic on the same line, and every diagnostic must be claimed by a
+// want — so clean declarations in a fixture double as negative cases.
+// It returns one error string per mismatch.
+func CheckFixture(pkg *Package, analyzers ...*Analyzer) ([]string, error) {
+	wants, err := expectations(pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+
+	var problems []string
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// newTestModule opens the enclosing module (the repo itself), so fixture
+// packages can import real speedkit packages.
+func newTestModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return m
+}
+
+// checkFixture loads testdata/<dir> under the given synthetic import path
+// and asserts the analyzers' findings match its want annotations exactly.
+func checkFixture(t *testing.T, dir, path string, analyzers ...*Analyzer) {
+	t.Helper()
+	m := newTestModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", dir), path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	problems, err := CheckFixture(pkg, analyzers...)
+	if err != nil {
+		t.Fatalf("CheckFixture: %v", err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestClockDisciplineFixture(t *testing.T) {
+	checkFixture(t, "clockuse", "fixture/clockuse", ClockDiscipline)
+}
+
+func TestClockDisciplineExemptsClockPackage(t *testing.T) {
+	// Same kind of wall-clock read, but under internal/clock: clean.
+	checkFixture(t, "clockexempt", "fixture/internal/clock/impl", ClockDiscipline)
+}
+
+func TestGDPRBoundaryFixture(t *testing.T) {
+	checkFixture(t, "cdnfixture", "fixture/internal/cdn", GDPRBoundary)
+}
+
+func TestGDPRBoundaryIgnoresDeviceSide(t *testing.T) {
+	// PII and session imports outside shared infrastructure: clean.
+	checkFixture(t, "deviceside", "fixture/internal/device", GDPRBoundary)
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	checkFixture(t, "locks", "fixture/locks", LockCheck)
+}
+
+func TestRandDisciplineFixture(t *testing.T) {
+	checkFixture(t, "randuse", "fixture/randuse", RandDiscipline)
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"unicode"
+
+	"speedkit/internal/gdpr"
+)
+
+// sharedInfraSegments lists the packages that model shared infrastructure:
+// code whose deployed equivalent runs outside the user's device and outside
+// the first-party origin (the CDN, the caches, the sketches, the
+// invalidation pipeline). The paper's compliance claim is precisely that
+// these components never see identity.
+var sharedInfraSegments = []string{
+	"internal/cdn",
+	"internal/cache",
+	"internal/bloom",
+	"internal/invalidb",
+	"internal/cachesketch",
+}
+
+// identityBearingSegments are the packages whose types carry identity:
+// session (users, carts, histories) and gdpr (consent records).
+var identityBearingSegments = []string{
+	"internal/session",
+	"internal/gdpr",
+}
+
+// GDPRBoundary enforces the trust boundary statically: shared-infrastructure
+// packages must not import identity-bearing packages, and their exported
+// APIs must not carry struct fields that classify as PII under the same
+// field classification the runtime flow auditor uses.
+var GDPRBoundary = &Analyzer{
+	Name: "gdprboundary",
+	Doc: "shared-infrastructure packages (cdn, cache, bloom, invalidb, " +
+		"cachesketch) must not import internal/session or internal/gdpr and " +
+		"must not expose PII-classified fields in their exported APIs",
+	Run: runGDPRBoundary,
+}
+
+func isSharedInfra(path string) bool {
+	for _, seg := range sharedInfraSegments {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGDPRBoundary(pass *Pass) {
+	if !isSharedInfra(pass.Path) {
+		return
+	}
+
+	// Import side: no edge from shared infrastructure to identity-bearing
+	// packages, not even from test files — a test importing session into
+	// the CDN package is one refactor away from a production import.
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, seg := range identityBearingSegments {
+				if pathHasSegment(path, seg) {
+					pass.Reportf(imp.Pos(),
+						"shared-infrastructure package %s imports identity-bearing package %s",
+						pass.Path, path)
+				}
+			}
+		}
+	}
+
+	// API side: no exported symbol may reach a struct field whose name
+	// classifies as PII. The field list comes from the gdpr package itself
+	// so the static gate and the runtime auditor share one source of truth.
+	pii := map[string]bool{}
+	for _, name := range gdpr.PIIFields() {
+		pii[name] = true
+	}
+	w := &piiWalker{pass: pass, pii: pii, seen: map[types.Type]bool{}, reported: map[*types.Var]bool{}}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		w.walk(obj.Type())
+	}
+}
+
+// piiWalker traverses the type graph reachable from exported symbols,
+// staying within the package under analysis (foreign packages are either
+// shared infrastructure themselves — analyzed separately — or unreachable
+// thanks to the import check).
+type piiWalker struct {
+	pass     *Pass
+	pii      map[string]bool
+	seen     map[types.Type]bool
+	reported map[*types.Var]bool
+}
+
+func (w *piiWalker) walk(t types.Type) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if t.Obj().Pkg() != nil && t.Obj().Pkg() != w.pass.Pkg {
+			return
+		}
+		w.walk(t.Underlying())
+	case *types.Pointer:
+		w.walk(t.Elem())
+	case *types.Slice:
+		w.walk(t.Elem())
+	case *types.Array:
+		w.walk(t.Elem())
+	case *types.Chan:
+		w.walk(t.Elem())
+	case *types.Map:
+		w.walk(t.Key())
+		w.walk(t.Elem())
+	case *types.Signature:
+		w.walk(t.Params())
+		w.walk(t.Results())
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			w.walk(t.At(i).Type())
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumMethods(); i++ {
+			w.walk(t.Method(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			field := t.Field(i)
+			if field.Exported() {
+				if canon := fieldToCanonical(field.Name()); w.pii[canon] && !w.reported[field] {
+					w.reported[field] = true
+					w.pass.Reportf(field.Pos(),
+						"exported API of shared-infrastructure package %s carries PII field %q (classifies as %q)",
+						w.pass.Path, field.Name(), canon)
+				}
+			}
+			w.walk(field.Type())
+		}
+	}
+}
+
+// fieldToCanonical converts a Go field name to the snake_case canonical
+// form the gdpr classification uses: "UserID" → "user_id", "Email" →
+// "email".
+func fieldToCanonical(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && !unicode.IsUpper(runes[i-1])
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

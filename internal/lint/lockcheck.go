@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces "// guarded by <mu>" field annotations: inside the
+// struct's methods, an annotated field may only be touched while the named
+// sibling mutex is held, and every Lock()/RLock() in non-test code needs a
+// matching Unlock()/RUnlock() in the same function.
+//
+// The lock-state tracking is a source-order scan of each method body — a
+// deliberate approximation that is exact for the lock idioms this repo
+// uses (Lock…Unlock brackets and defer Unlock). Helper methods that are
+// documented with "must hold" in their doc comment are assumed to run
+// under the lock, mirroring the caller-holds convention in the runtime's
+// own lock annotations.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated '// guarded by <mu>' may only be accessed while " +
+		"<mu> is held in the enclosing method, and every Lock needs a " +
+		"matching Unlock in the same function",
+	Run: runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotation: struct S's field F is guarded by
+// sibling mutex M.
+type guardedSet map[string]map[string]string // struct name -> field -> mutex
+
+func runLockCheck(pass *Pass) {
+	guarded := collectGuarded(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPairing(pass, fd)
+			if fields := guarded[receiverTypeName(fd)]; len(fields) > 0 {
+				checkGuardedAccess(pass, fd, fields)
+			}
+		}
+	}
+}
+
+// collectGuarded scans struct declarations for "// guarded by <mu>"
+// annotations on fields (doc comment or trailing line comment).
+func collectGuarded(pass *Pass) guardedSet {
+	guarded := guardedSet{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					m := guarded[ts.Name.Name]
+					if m == nil {
+						m = map[string]string{}
+						guarded[ts.Name.Name] = m
+					}
+					m[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverTypeName returns the base type name of fd's receiver, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkLockPairing reports X.Lock() calls with no X.Unlock() anywhere in
+// the same function (deferred or direct), and likewise for RLock/RUnlock.
+// "All paths" is approximated by presence: a function that locks and never
+// unlocks is wrong on every path.
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	type tally struct {
+		lockPos, rlockPos ast.Node
+		unlock, runlock   bool
+	}
+	tallies := map[string]*tally{}
+	get := func(recv string) *tally {
+		t := tallies[recv]
+		if t == nil {
+			t = &tally{}
+			tallies[recv] = t
+		}
+		return t
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Lock":
+			if t := get(recv); t.lockPos == nil {
+				t.lockPos = sel
+			}
+		case "RLock":
+			if t := get(recv); t.rlockPos == nil {
+				t.rlockPos = sel
+			}
+		case "Unlock":
+			get(recv).unlock = true
+		case "RUnlock":
+			get(recv).runlock = true
+		}
+		return true
+	})
+	for recv, t := range tallies {
+		if t.lockPos != nil && !t.unlock {
+			pass.Reportf(t.lockPos.Pos(),
+				"%s.Lock() in %s has no matching Unlock (defer %s.Unlock() or unlock on every path)",
+				recv, fd.Name.Name, recv)
+		}
+		if t.rlockPos != nil && !t.runlock {
+			pass.Reportf(t.rlockPos.Pos(),
+				"%s.RLock() in %s has no matching RUnlock (defer %s.RUnlock() or unlock on every path)",
+				recv, fd.Name.Name, recv)
+		}
+	}
+}
+
+// checkGuardedAccess walks fd's body in source order, tracking which
+// mutexes are held, and reports guarded-field accesses made while the
+// field's mutex is not held.
+func checkGuardedAccess(pass *Pass, fd *ast.FuncDecl, fields map[string]string) {
+	if len(fd.Recv.List[0].Names) == 0 {
+		return // anonymous receiver: the method cannot touch fields
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return
+	}
+
+	held := map[string]bool{}
+	// Helper methods that run under the caller's lock start with every
+	// referenced mutex held. Two spellings mark that contract: a "Locked"
+	// name suffix (the runtime's convention) or a doc comment saying the
+	// caller must hold the lock.
+	callerHolds := strings.HasSuffix(fd.Name.Name, "Locked") ||
+		(fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "must hold"))
+	if callerHolds {
+		for _, mu := range fields {
+			held[mu] = true
+		}
+	}
+	// heldToReturn marks mutexes released only by a deferred unlock: held
+	// for the rest of the function.
+	heldToReturn := map[string]bool{}
+
+	// Deferred unlock calls must not be treated as releasing at their
+	// syntactic position.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	muOf := func(sel *ast.SelectorExpr) (string, bool) {
+		// Matches recv.<mu>.Lock() shapes: sel.X must print as "recv.mu"
+		// for some mutex guarding one of the annotated fields.
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return "", false
+		}
+		for _, mu := range fields {
+			if inner.Sel.Name == mu {
+				return mu, true
+			}
+		}
+		return "", false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok {
+				if mu, ok := muOf(sel); ok && (sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+					heldToReturn[mu] = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			mu, ok := muOf(sel)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				if !deferred[n] {
+					held[mu] = false
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || id.Name != recvName {
+				return true
+			}
+			mu, guarded := fields[n.Sel.Name]
+			if !guarded {
+				return true
+			}
+			if !held[mu] && !heldToReturn[mu] {
+				pass.Reportf(n.Pos(),
+					"%s.%s is guarded by %s but accessed in %s without holding it",
+					recvName, n.Sel.Name, mu, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

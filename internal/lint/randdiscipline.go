@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand top-level functions that draw from the
+// package-global source. Constructors (New, NewSource, NewZipf) and
+// methods on an injected *rand.Rand are fine — they are exactly the
+// replacement this analyzer pushes callers toward.
+var globalRandFuncs = map[string]bool{
+	"Seed":        true,
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+}
+
+// RandDiscipline bans the global math/rand source in library code. The
+// experiments' headline numbers (hit ratios, Δ-violation counts, user
+// populations) are only comparable across runs because every random draw
+// comes from a seeded, injected *rand.Rand; the global source is shared
+// mutable state that any import can silently perturb.
+var RandDiscipline = &Analyzer{
+	Name: "randdiscipline",
+	Doc: "global math/rand top-level functions are banned in non-test " +
+		"library code; inject a seeded *rand.Rand for reproducibility",
+	Run: runRandDiscipline,
+}
+
+func runRandDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil || !globalRandFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand.%s in library code; inject a seeded *rand.Rand",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the gate speedkit-lint enforces, run in-process:
+// the whole module must produce zero findings, so `go run
+// ./cmd/speedkit-lint ./...` exits 0 on the tree as committed.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	m := newTestModule(t)
+	pkgs, err := m.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

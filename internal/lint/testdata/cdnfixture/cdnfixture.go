@@ -1,0 +1,31 @@
+// Package cdnfixture seeds gdprboundary violations. The fixture test
+// loads it under the synthetic import path "fixture/internal/cdn", so the
+// analyzer treats it as shared infrastructure.
+package cdnfixture
+
+import (
+	"speedkit/internal/session" // want "identity-bearing package"
+)
+
+// Edge exposes a PII-classified field in a shared-infrastructure API.
+type Edge struct {
+	Email string // want "PII field"
+	Path  string
+}
+
+// Profile shows the canonical-name mapping: UserID matches the "user_id"
+// classification.
+type Profile struct {
+	UserID string // want "PII field"
+}
+
+// Serve handles anonymous content only: no finding.
+func Serve(path string) string { return path }
+
+// Asset is an anonymous record: no finding.
+type Asset struct {
+	Path  string
+	Bytes int
+}
+
+var _ *session.User

@@ -1,0 +1,9 @@
+// Package clockexempt is loaded under a synthetic import path inside
+// internal/clock; direct wall-clock reads are allowed there, so the
+// fixture test asserts zero findings.
+package clockexempt
+
+import "time"
+
+// Wall reads time.Now directly; this package plays the clock itself.
+func Wall() time.Time { return time.Now() }

@@ -1,0 +1,37 @@
+// Package clockuse seeds clockdiscipline violations for the analyzer's
+// fixture test.
+package clockuse
+
+import (
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Bad reads the wall clock directly.
+func Bad() time.Time {
+	return time.Now() // want "time\\.Now"
+}
+
+// BadSleep blocks against the wall clock.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want "time\\.Sleep"
+}
+
+// BadElapsed measures against the wall clock.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time\\.Since"
+}
+
+// storedNow leaks the wall clock as a value, not a call.
+var storedNow = time.Now // want "time\\.Now"
+
+// Good reads through an injected clock: no finding.
+func Good(c clock.Clock) time.Time {
+	return c.Now()
+}
+
+// GoodArithmetic uses time.Time methods, which are pure: no finding.
+func GoodArithmetic(a, b time.Time) bool {
+	return a.After(b)
+}

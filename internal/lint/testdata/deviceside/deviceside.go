@@ -1,0 +1,13 @@
+// Package deviceside holds the gdprboundary negative case: identity and
+// PII are fine outside shared infrastructure. The fixture test loads it
+// under "fixture/internal/device" and asserts zero findings.
+package deviceside
+
+import "speedkit/internal/session"
+
+// Profile is on-device state; the boundary analyzer only polices shared
+// infrastructure, so this PII surface is allowed.
+type Profile struct {
+	Email string
+	Cart  []session.CartItem
+}

@@ -1,0 +1,64 @@
+// Package locks seeds lockcheck violations for the analyzer's fixture
+// test.
+package locks
+
+import "sync"
+
+// Box is a mutex-guarded counter.
+type Box struct {
+	mu   sync.Mutex
+	data int // guarded by mu
+}
+
+// Bad reads the guarded field without the lock.
+func (b *Box) Bad() int {
+	return b.data // want "guarded by mu"
+}
+
+// Good brackets the access: no finding.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.data
+}
+
+// GoodExplicit unlocks explicitly: no finding.
+func (b *Box) GoodExplicit(v int) {
+	b.mu.Lock()
+	b.data = v
+	b.mu.Unlock()
+}
+
+// Leak locks without ever unlocking.
+func (b *Box) Leak(v int) {
+	b.mu.Lock() // want "no matching Unlock"
+	b.data = v
+}
+
+// bumpLocked runs under the caller's lock per the Locked-suffix
+// convention: no finding.
+func (b *Box) bumpLocked() { b.data++ }
+
+// merge also runs under the caller's lock, marked by doc comment. The
+// caller must hold b.mu.
+func (b *Box) merge(v int) { b.data += v }
+
+// RBox exercises the read-lock path.
+type RBox struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+// Read holds the read lock: no finding.
+func (r *RBox) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+// Stale releases the read lock before the access.
+func (r *RBox) Stale() int {
+	r.mu.RLock()
+	r.mu.RUnlock()
+	return r.val // want "guarded by mu"
+}

@@ -1,0 +1,26 @@
+// Package randuse seeds randdiscipline violations for the analyzer's
+// fixture test.
+package randuse
+
+import "math/rand"
+
+// Global draws from the shared global source.
+func Global() int {
+	return rand.Intn(10) // want "math/rand\\.Intn"
+}
+
+// GlobalFloat draws a float from the global source.
+func GlobalFloat() float64 {
+	return rand.Float64() // want "math/rand\\.Float64"
+}
+
+// Injected draws from an injected seeded source: no finding.
+func Injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Construct builds a seeded source; constructors are the fix, not the
+// offense: no finding.
+func Construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

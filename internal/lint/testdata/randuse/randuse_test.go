@@ -1,0 +1,13 @@
+package randuse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Test files are exempt from rand discipline: no findings expected here.
+func TestGlobalRandAllowedInTests(t *testing.T) {
+	if n := rand.Intn(10); n < 0 || n > 9 {
+		t.Fatalf("rand.Intn(10) = %d", n)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"speedkit/internal/clock"
 )
 
 // Counter is a monotonically increasing counter safe for concurrent use.
@@ -64,9 +66,9 @@ func Ratio(a, b uint64) float64 {
 type Meter struct {
 	mu        sync.Mutex
 	slotWidth time.Duration
-	slots     []uint64
-	slotStart time.Time
-	slotIdx   int
+	slots     []uint64  // guarded by mu
+	slotStart time.Time // guarded by mu
+	slotIdx   int       // guarded by mu
 	now       func() time.Time
 }
 
@@ -79,7 +81,7 @@ func NewMeter(window time.Duration) *Meter {
 	return &Meter{
 		slotWidth: window / 16,
 		slots:     make([]uint64, 16),
-		now:       time.Now,
+		now:       clock.System.Now,
 	}
 }
 
@@ -91,6 +93,7 @@ func newMeterAt(window time.Duration, now func() time.Time) *Meter {
 }
 
 // advance rotates slots forward to the current time, zeroing expired ones.
+// The caller must hold m.mu.
 func (m *Meter) advance(t time.Time) {
 	if m.slotStart.IsZero() {
 		m.slotStart = t
@@ -139,9 +142,9 @@ func (m *Meter) Rate() float64 {
 // their instruments without global state. Lookups create on first use.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

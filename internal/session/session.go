@@ -35,8 +35,8 @@ type User struct {
 	ConsentAnalytics bool
 
 	mu      sync.Mutex
-	cart    []CartItem
-	history []string
+	cart    []CartItem // guarded by mu
+	history []string   // guarded by mu
 }
 
 // Cart returns a copy of the user's cart.
@@ -125,13 +125,22 @@ func Generate(rng *rand.Rand, i int, region netsim.Region) *User {
 	return u
 }
 
-// Population generates n users spread across the canonical regions.
-func Population(seed int64, n int) []*User {
-	rng := rand.New(rand.NewSource(seed))
+// PopulationRNG generates n users spread across the canonical regions,
+// drawing every random decision from the injected source. Callers that
+// need several deterministic populations inside one experiment share a
+// single seeded *rand.Rand across calls.
+func PopulationRNG(rng *rand.Rand, n int) []*User {
 	regions := netsim.Regions()
 	users := make([]*User, n)
 	for i := range users {
 		users[i] = Generate(rng, i, regions[i%len(regions)])
 	}
 	return users
+}
+
+// Population generates n users deterministically from seed. It is
+// PopulationRNG with a freshly seeded source, so the populations are
+// byte-identical for a given seed no matter which entry point is used.
+func Population(seed int64, n int) []*User {
+	return PopulationRNG(rand.New(rand.NewSource(seed)), n)
 }

@@ -1,6 +1,9 @@
 package session
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -84,6 +87,44 @@ func TestGenerateAnonymousUsersHaveNoPII(t *testing.T) {
 		if u.LoggedIn && (u.Name == "" || u.Email == "") {
 			t.Fatalf("logged-in user %d missing identity", i)
 		}
+	}
+}
+
+// renderUser flattens every generated field so population comparisons are
+// byte-exact, not just field-subset checks.
+func renderUser(u *User) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%t|%t|%t",
+		u.ID, u.Name, u.Email, u.Region, u.Tier,
+		u.LoggedIn, u.ConsentPersonalization, u.ConsentAnalytics)
+}
+
+func TestPopulationByteIdenticalForSeed(t *testing.T) {
+	const seed, n = 7, 120
+	a := Population(seed, n)
+	b := PopulationRNG(rand.New(rand.NewSource(seed)), n)
+	c := Population(seed, n)
+	for i := range a {
+		ra, rb, rc := renderUser(a[i]), renderUser(b[i]), renderUser(c[i])
+		if ra != rb {
+			t.Fatalf("user %d differs between Population and PopulationRNG:\n %s\n %s", i, ra, rb)
+		}
+		if ra != rc {
+			t.Fatalf("user %d differs across Population runs:\n %s\n %s", i, ra, rc)
+		}
+	}
+}
+
+// TestPopulationGolden pins the generated population against a recorded
+// digest so that refactors of the generator cannot silently reshuffle the
+// user base every experiment is seeded with.
+func TestPopulationGolden(t *testing.T) {
+	h := sha256.New()
+	for _, u := range Population(42, 50) {
+		fmt.Fprintln(h, renderUser(u))
+	}
+	const want = "08ed1400199b92197ff9f76a3bc5d4a9b9873e33657a326726771347a33c74e6"
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("population digest for seed 42 = %s, want %s", got, want)
 	}
 }
 

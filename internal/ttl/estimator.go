@@ -65,7 +65,7 @@ func (c *Config) applyDefaults() {
 type Estimator struct {
 	mu  sync.Mutex
 	cfg Config
-	res map[string]*resourceStats
+	res map[string]*resourceStats // guarded by mu
 }
 
 type resourceStats struct {
@@ -83,6 +83,8 @@ func NewEstimator(cfg Config) *Estimator {
 	return &Estimator{cfg: cfg, res: make(map[string]*resourceStats)}
 }
 
+// stats returns the per-resource record, creating it on first sight. The
+// caller must hold e.mu.
 func (e *Estimator) stats(id string) *resourceStats {
 	s, ok := e.res[id]
 	if !ok {
