@@ -1,10 +1,23 @@
 # Convenience targets; plain `go build ./...` / `go test ./...` work too.
+# `make help` lists them.
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench experiments fmt vet clean
+.PHONY: all help build test lint race cover bench bench-hotpath experiments fmt vet clean
 
 all: build test lint
+
+help:
+	@echo "Targets:"
+	@echo "  build          go build ./..."
+	@echo "  test           go test ./..."
+	@echo "  lint           repo-specific static analysis (speedkit-lint)"
+	@echo "  race           go test -race ./..."
+	@echo "  cover          coverage for internal/..."
+	@echo "  bench          one benchmark per table/figure (reduced scale)"
+	@echo "  bench-hotpath  parallel hot-path microbenchmarks -> BENCH_hotpath.json"
+	@echo "  experiments    regenerate every experiment at full scale"
+	@echo "  fmt / vet / clean"
 
 build:
 	$(GO) build ./...
@@ -25,6 +38,21 @@ cover:
 # One testing.B benchmark per table/figure (reduced scale).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Hot-path concurrency microbenchmarks, recorded as BENCH_hotpath.json so
+# the perf trajectory is tracked in version control. The baseline ns/op
+# values were measured with this same harness on the pre-sharding tree
+# (single-mutex Store/CDN/Client, commit 0a35725) at GOMAXPROCS=4; they
+# are passed to the converter so the artifact records speedups explicitly.
+HOTPATH_BENCHES = BenchmarkParallelCacheGet|BenchmarkParallelSketchCheck|BenchmarkSnapshotReuse|BenchmarkFilterContains|BenchmarkSnapshotMightBeStale
+HOTPATH_BASELINE = BenchmarkParallelCacheGet=126.4,BenchmarkParallelSketchCheck=124.8,BenchmarkSnapshotReuse=1558958
+
+bench-hotpath:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCHES)' -benchmem -cpu 4 . | \
+		$(GO) run ./cmd/speedkit-benchjson -out BENCH_hotpath.json \
+		-baseline '$(HOTPATH_BASELINE)' \
+		-note 'baseline = pre-sharding tree (commit 0a35725) at GOMAXPROCS=4 on the same host'
+	@cat BENCH_hotpath.json
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

@@ -1,0 +1,186 @@
+// Command speedkit-benchjson converts `go test -bench` text output into
+// a stable JSON artifact so that hot-path performance can be tracked in
+// version control (BENCH_hotpath.json) and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkParallel' -benchmem . | \
+//	    go run ./cmd/speedkit-benchjson -out BENCH_hotpath.json \
+//	    -baseline 'BenchmarkParallelCacheGet=126.4'
+//
+// The tool is a pure text transformer: stdlib only, no clock reads, no
+// network. Baselines are passed explicitly by the caller (typically the
+// Makefile, which documents where its numbers were measured) so that the
+// recorded speedups are reproducible rather than baked into the tool.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (0 if unsuffixed).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the final run.
+	Iterations uint64 `json:"iterations"`
+	// NsPerOp is the headline latency.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp come from -benchmem; nil when absent.
+	BytesPerOp  *uint64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *uint64 `json:"allocs_per_op,omitempty"`
+	// BaselineNsPerOp and Speedup are filled when a -baseline entry
+	// matches Name.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// report is the emitted document.
+type report struct {
+	// Note describes the provenance of the baseline numbers.
+	Note string `json:"note,omitempty"`
+	// Goos/Goarch/CPU/Pkg echo the context lines go test prints.
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "comma-separated Name=ns_per_op baseline pairs")
+	note := flag.String("note", "", "free-form provenance note stored in the artifact")
+	flag.Parse()
+
+	baselines, err := parseBaselines(*baseline)
+	if err != nil {
+		fatalf("bad -baseline: %v", err)
+	}
+	rep, err := parse(os.Stdin, baselines)
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	rep.Note = *note
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmark lines found on stdin")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "speedkit-benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseBaselines reads "Name=ns,Name=ns" into a lookup map.
+func parseBaselines(s string) (map[string]float64, error) {
+	m := map[string]float64{}
+	if s == "" {
+		return m, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not Name=ns_per_op", pair)
+		}
+		ns, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %v", pair, err)
+		}
+		m[name] = ns
+	}
+	return m, nil
+}
+
+// parse consumes go test -bench output and extracts context plus results.
+func parse(r io.Reader, baselines map[string]float64) (report, error) {
+	var rep report
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if base, has := baselines[res.Name]; has && res.NsPerOp > 0 {
+				res.BaselineNsPerOp = base
+				res.Speedup = base / res.NsPerOp
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkParallelCacheGet-4  35077526  35.50 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	var res benchResult
+	res.Name = fields[0]
+	if name, procs, ok := strings.Cut(fields[0], "-"); ok {
+		if p, err := strconv.Atoi(procs); err == nil {
+			res.Name, res.Procs = name, p
+		}
+	}
+	iter, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res.Iterations = iter
+	// Remaining fields are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseUint(val, 10, 64); err == nil {
+				res.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseUint(val, 10, 64); err == nil {
+				res.AllocsPerOp = &v
+			}
+		}
+	}
+	return res, res.NsPerOp > 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: speedkit
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelCacheGet-4      	35077526	        35.50 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshotReuse-4         	12955170	        95.37 ns/op	      48 B/op	       1 allocs/op
+BenchmarkNoMem-2                 	 1000000	      1200 ns/op
+PASS
+ok  	speedkit	3.962s
+`
+
+func TestParse(t *testing.T) {
+	baselines := map[string]float64{"BenchmarkParallelCacheGet": 126.4}
+	rep, err := parse(strings.NewReader(sampleOutput), baselines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "speedkit" {
+		t.Fatalf("context = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	get := rep.Benchmarks[0]
+	if get.Name != "BenchmarkParallelCacheGet" || get.Procs != 4 {
+		t.Fatalf("first = %+v", get)
+	}
+	if get.Iterations != 35077526 || get.NsPerOp != 35.50 {
+		t.Fatalf("first = %+v", get)
+	}
+	if get.BytesPerOp == nil || *get.BytesPerOp != 0 || get.AllocsPerOp == nil || *get.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields = %+v", get)
+	}
+	if get.BaselineNsPerOp != 126.4 {
+		t.Fatalf("baseline not attached: %+v", get)
+	}
+	if want := 126.4 / 35.50; get.Speedup < want-0.001 || get.Speedup > want+0.001 {
+		t.Fatalf("speedup = %v, want %v", get.Speedup, want)
+	}
+
+	reuse := rep.Benchmarks[1]
+	if reuse.AllocsPerOp == nil || *reuse.AllocsPerOp != 1 || reuse.Speedup != 0 {
+		t.Fatalf("second = %+v", reuse)
+	}
+
+	// A line without -benchmem fields still parses.
+	nomem := rep.Benchmarks[2]
+	if nomem.Name != "BenchmarkNoMem" || nomem.Procs != 2 || nomem.NsPerOp != 1200 {
+		t.Fatalf("third = %+v", nomem)
+	}
+	if nomem.BytesPerOp != nil || nomem.AllocsPerOp != nil {
+		t.Fatalf("third has phantom benchmem fields: %+v", nomem)
+	}
+}
+
+func TestParseBaselines(t *testing.T) {
+	m, err := parseBaselines("A=1.5, B=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["A"] != 1.5 || m["B"] != 200 {
+		t.Fatalf("m = %v", m)
+	}
+	if m, err := parseBaselines(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty baseline: %v %v", m, err)
+	}
+	if _, err := parseBaselines("garbage"); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	if _, err := parseBaselines("A=notanumber"); err == nil {
+		t.Fatal("non-numeric baseline accepted")
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",               // too few fields
+		"BenchmarkBroken-4 abc 1 ns/op", // bad iteration count
+		"BenchmarkNoNs-4 100 5 MB/s",    // no ns/op measurement
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

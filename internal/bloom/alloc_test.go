@@ -1,0 +1,67 @@
+package bloom
+
+import "testing"
+
+// The sketch probe sits on every request of the client protocol, so the
+// Bloom hot paths are required to be allocation-free: one escaped digest
+// or hash.Hash64 per probe would turn the per-request cost from "a few
+// bit tests" into GC pressure proportional to traffic. These tests pin
+// that property so a refactor cannot silently reintroduce allocation.
+
+func TestProbesForZeroAlloc(t *testing.T) {
+	var p Probes
+	if n := testing.AllocsPerRun(1000, func() {
+		p = ProbesFor("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("ProbesFor allocates %.1f per run, want 0", n)
+	}
+	_ = p
+}
+
+func TestFilterAddContainsZeroAlloc(t *testing.T) {
+	f := NewFilterForCapacity(1024, 0.01)
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Add("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("Filter.Add allocates %.1f per run, want 0", n)
+	}
+	var hit bool
+	if n := testing.AllocsPerRun(1000, func() {
+		hit = f.Contains("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("Filter.Contains allocates %.1f per run, want 0", n)
+	}
+	if !hit {
+		t.Fatal("added key not contained")
+	}
+	// The miss path probes fewer bits but must be just as clean.
+	if n := testing.AllocsPerRun(1000, func() {
+		hit = f.Contains("/absent/key")
+	}); n != 0 {
+		t.Fatalf("Filter.Contains (miss) allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestCountingOpsZeroAlloc(t *testing.T) {
+	c := NewCountingForCapacity(1024, 0.01)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("Counting.Add allocates %.1f per run, want 0", n)
+	}
+	var hit bool
+	if n := testing.AllocsPerRun(1000, func() {
+		hit = c.Contains("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("Counting.Contains allocates %.1f per run, want 0", n)
+	}
+	if !hit {
+		t.Fatal("added key not contained")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add("/product/p01234")
+		c.Remove("/product/p01234")
+	}); n != 0 {
+		t.Fatalf("Counting.Add+Remove allocates %.1f per run, want 0", n)
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 )
 
@@ -80,18 +79,46 @@ func OptimalParams(n uint64, p float64) (m, k uint32) {
 	return m, k
 }
 
-// hash derives the two base hashes for a key.
-func hashKey(key string) (h1, h2 uint32) {
-	h := fnv.New64a()
-	// hash.Hash64.Write never returns an error.
-	_, _ = h.Write([]byte(key))
-	sum := h.Sum64()
-	h1 = uint32(sum)
-	h2 = uint32(sum >> 32)
+// FNV-1a parameters (64-bit variant). The digest is computed inline so
+// that a probe costs no heap allocation: hash/fnv's New64a forces a
+// hash.Hash64 allocation plus a string→[]byte conversion, which is pure
+// overhead for a loop the compiler can keep entirely in registers.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Probes is the precomputed Kirsch–Mitzenmacher probe pair for one key:
+// the two independent 32-bit base hashes h1, h2 from which all k probe
+// positions g_i = h1 + i·h2 (mod m) derive. Computing it once per key and
+// sharing it between Filter, Counting, and the Cache Sketch's
+// Snapshot.MightBeStale is what makes a sketch check a zero-allocation
+// operation.
+type Probes struct {
+	h1, h2 uint32
+}
+
+// ProbesFor derives the probe pair for key with one inline FNV-1a pass.
+// It allocates nothing and is identical in distribution to the previous
+// hash/fnv-based derivation (same algorithm, same digest).
+func ProbesFor(key string) Probes {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
 	// h2 must be odd so probe positions cycle through all residues when m
 	// is a power of two, and nonzero in general.
 	h2 |= 1
-	return h1, h2
+	return Probes{h1: h1, h2: h2}
+}
+
+// hashKey derives the two base hashes for a key.
+func hashKey(key string) (h1, h2 uint32) {
+	p := ProbesFor(key)
+	return p.h1, p.h2
 }
 
 // probe returns the bit index of the i-th probe for the given base hashes.
@@ -99,23 +126,36 @@ func probe(h1, h2, i, m uint32) uint32 {
 	return (h1 + i*h2) % m
 }
 
+// bit returns the i-th probe position for p in a filter of m bits.
+func (p Probes) bit(i, m uint32) uint32 { return probe(p.h1, p.h2, i, m) }
+
 // Add inserts key.
 func (f *Filter) Add(key string) {
-	h1, h2 := hashKey(key)
+	f.AddProbes(ProbesFor(key))
+}
+
+// AddProbes inserts the key whose precomputed probe pair is p. Callers
+// that touch several filters for the same key derive the pair once and
+// share it.
+func (f *Filter) AddProbes(p Probes) {
 	for i := uint32(0); i < f.k; i++ {
-		p := probe(h1, h2, i, f.m)
-		f.bits[p/64] |= 1 << (p % 64)
+		b := p.bit(i, f.m)
+		f.bits[b/64] |= 1 << (b % 64)
 	}
 	f.n++
 }
 
 // Contains reports whether key may be in the set. False positives are
-// possible; false negatives are not.
+// possible; false negatives are not. Allocates nothing.
 func (f *Filter) Contains(key string) bool {
-	h1, h2 := hashKey(key)
+	return f.ContainsProbes(ProbesFor(key))
+}
+
+// ContainsProbes is Contains for a precomputed probe pair.
+func (f *Filter) ContainsProbes(p Probes) bool {
 	for i := uint32(0); i < f.k; i++ {
-		p := probe(h1, h2, i, f.m)
-		if f.bits[p/64]&(1<<(p%64)) == 0 {
+		b := p.bit(i, f.m)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
 			return false
 		}
 	}

@@ -56,14 +56,18 @@ func NewCountingForCapacity(n uint64, p float64) *Counting {
 
 // Add inserts key, incrementing its k cells.
 func (c *Counting) Add(key string) {
-	h1, h2 := hashKey(key)
+	c.AddProbes(ProbesFor(key))
+}
+
+// AddProbes is Add for a precomputed probe pair.
+func (c *Counting) AddProbes(p Probes) {
 	for i := uint32(0); i < c.k; i++ {
-		p := probe(h1, h2, i, c.m)
-		if c.cells[p] == maxCell {
+		b := p.bit(i, c.m)
+		if c.cells[b] == maxCell {
 			c.Saturations++
 			continue
 		}
-		c.cells[p]++
+		c.cells[b]++
 	}
 	c.n++
 }
@@ -74,17 +78,17 @@ func (c *Counting) Add(key string) {
 // defensive measure, cells already at zero are left at zero and the call
 // reports whether every probed cell was decrementable.
 func (c *Counting) Remove(key string) bool {
-	h1, h2 := hashKey(key)
+	p := ProbesFor(key)
 	clean := true
 	for i := uint32(0); i < c.k; i++ {
-		p := probe(h1, h2, i, c.m)
-		switch c.cells[p] {
+		b := p.bit(i, c.m)
+		switch c.cells[b] {
 		case 0:
 			clean = false
 		case maxCell:
 			// Saturated cells are sticky; see type comment.
 		default:
-			c.cells[p]--
+			c.cells[b]--
 		}
 	}
 	if c.n > 0 {
@@ -93,11 +97,11 @@ func (c *Counting) Remove(key string) bool {
 	return clean
 }
 
-// Contains reports whether key may be in the set.
+// Contains reports whether key may be in the set. Allocates nothing.
 func (c *Counting) Contains(key string) bool {
-	h1, h2 := hashKey(key)
+	p := ProbesFor(key)
 	for i := uint32(0); i < c.k; i++ {
-		if c.cells[probe(h1, h2, i, c.m)] == 0 {
+		if c.cells[p.bit(i, c.m)] == 0 {
 			return false
 		}
 	}

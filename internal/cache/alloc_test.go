@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// TestStoreGetZeroAlloc pins the allocation-free Get hit path for both
+// store flavors: the lock-free mirror of an unbounded store and the
+// locked LRU path of a bounded one.
+func TestStoreGetZeroAlloc(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"unbounded-lockfree", Config{Clock: clk}},
+		{"bounded-locked", Config{MaxItems: 16, Clock: clk}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.cfg)
+			s.Put(TTLEntry(clk, "/a", []byte("body"), 1, time.Hour))
+			var ok bool
+			if n := testing.AllocsPerRun(1000, func() {
+				_, ok = s.Get("/a")
+			}); n != 0 {
+				t.Fatalf("Get (hit) allocates %.1f per run, want 0", n)
+			}
+			if !ok {
+				t.Fatal("hit path missed")
+			}
+			if n := testing.AllocsPerRun(1000, func() {
+				_, ok = s.Get("/absent")
+			}); n != 0 {
+				t.Fatalf("Get (miss) allocates %.1f per run, want 0", n)
+			}
+		})
+	}
+}
+
+// TestStoreStatsMonotoneUnderConcurrency samples Stats while readers and
+// writers hammer the store and checks the documented guarantee: because
+// every per-shard snapshot is taken under that shard's lock (and the
+// lock-free read counters are monotone atomics), Hits, Misses, and their
+// sum must never move backwards between successive Stats calls.
+func TestStoreStatsMonotoneUnderConcurrency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"unbounded-lockfree", Config{}},
+		{"sharded-bounded", Config{MaxItems: 1024, Shards: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.cfg)
+			keys := make([]string, 256)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("/k/%d", i)
+				s.Put(TTLEntry(s.clk, keys[i], nil, 1, time.Hour))
+			}
+			var wg sync.WaitGroup
+			var running atomic.Int32
+			const opsPerWorker = 4000
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				running.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					defer running.Add(-1)
+					for i := seed; i < seed+opsPerWorker; i++ {
+						s.Get(keys[i%len(keys)])
+						s.Get("/missing") // exercise the miss counter too
+						if i%17 == 0 {
+							s.Put(TTLEntry(s.clk, keys[i%len(keys)], nil, 2, time.Hour))
+						}
+					}
+				}(w * 13)
+			}
+			// Sample while the workers run; Gosched keeps the single-P case
+			// from starving the workers behind this loop.
+			var prev Stats
+			for running.Load() > 0 {
+				st := s.Stats()
+				if st.Hits < prev.Hits || st.Misses < prev.Misses {
+					t.Errorf("counter regressed: %+v -> %+v", prev, st)
+					break
+				}
+				if st.Hits+st.Misses < prev.Hits+prev.Misses {
+					t.Errorf("hits+misses regressed: %+v -> %+v", prev, st)
+					break
+				}
+				prev = st
+				runtime.Gosched()
+			}
+			wg.Wait()
+			if final := s.Stats(); final.Hits == 0 || final.Misses == 0 {
+				t.Fatalf("load generated no traffic: %+v", final)
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lfTable is the lock-free read mirror behind unbounded stores: an
+// open-addressed hash table whose slots are atomic entry pointers, read
+// with no lock and mutated only under a single writer mutex (RCU style).
+// It exists because the per-request Get path cannot afford sync.Map's
+// interface-key hashing or a mutex: a load here is one inline FNV-1a
+// hash, an atomic index load, and a short linear probe.
+//
+// Concurrency contract:
+//   - load is safe from any goroutine with no lock and never allocates.
+//   - store/delete serialize on wmu. Per-key ordering is already total
+//     (the owning shard's lock is held around every mirror write), so
+//     wmu only coordinates cross-key writers sharing one table.
+//   - A published index is immutable in shape; writers mutate slots of
+//     the current index atomically and publish a rebuilt index on
+//     resize. Readers caught on a superseded index during a rebuild
+//     linearize just before the writes they miss, which is exactly the
+//     guarantee a racy cache read has anyway.
+type lfTable struct {
+	wmu  sync.Mutex
+	idx  atomic.Pointer[lfIndex]
+	live int // occupied minus tombstones; guarded by wmu
+	used int // occupied including tombstones; guarded by wmu
+}
+
+// lfIndex is one published generation of the table. The slice header and
+// mask never change after publication; slot contents are atomic.
+type lfIndex struct {
+	mask  uint64
+	slots []atomic.Pointer[Entry]
+}
+
+// lfTombstone marks a deleted slot. Probes skip it; rebuilds drop it.
+var lfTombstone = new(Entry)
+
+// lfMinSlots is the smallest table size (power of two).
+const lfMinSlots = 64
+
+func newLFTable() *lfTable {
+	t := &lfTable{}
+	t.idx.Store(&lfIndex{
+		mask:  lfMinSlots - 1,
+		slots: make([]atomic.Pointer[Entry], lfMinSlots),
+	})
+	return t
+}
+
+// lfHash is inline FNV-1a with the high half folded in, matching the
+// store's shard router (see shardFor for why the fold matters).
+func lfHash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h ^ h>>32
+}
+
+// load returns the entry stored under key, or nil. Lock-free; the probe
+// always terminates because writers keep at least a quarter of every
+// published index's slots nil.
+func (t *lfTable) load(key string) *Entry {
+	idx := t.idx.Load()
+	for i := lfHash(key) & idx.mask; ; i = (i + 1) & idx.mask {
+		e := idx.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e != lfTombstone && e.Key == key {
+			return e
+		}
+	}
+}
+
+// store inserts or replaces the entry under key.
+func (t *lfTable) store(key string, e *Entry) {
+	t.wmu.Lock()
+	idx := t.idx.Load()
+	firstTomb := -1
+	for i := lfHash(key) & idx.mask; ; i = (i + 1) & idx.mask {
+		cur := idx.slots[i].Load()
+		if cur == nil {
+			// New key: reuse the earliest tombstone on the probe path if
+			// one exists, otherwise claim this empty slot.
+			if firstTomb >= 0 {
+				idx.slots[firstTomb].Store(e)
+			} else {
+				idx.slots[i].Store(e)
+				t.used++
+			}
+			t.live++
+			break
+		}
+		if cur == lfTombstone {
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+			continue
+		}
+		if cur.Key == key {
+			idx.slots[i].Store(e)
+			break
+		}
+	}
+	if t.used*4 >= len(idx.slots)*3 {
+		t.rebuildLocked(idx)
+	}
+	t.wmu.Unlock()
+}
+
+// delete removes key if present, reporting whether it was.
+func (t *lfTable) delete(key string) bool {
+	t.wmu.Lock()
+	idx := t.idx.Load()
+	deleted := false
+	for i := lfHash(key) & idx.mask; ; i = (i + 1) & idx.mask {
+		cur := idx.slots[i].Load()
+		if cur == nil {
+			break
+		}
+		if cur != lfTombstone && cur.Key == key {
+			idx.slots[i].Store(lfTombstone)
+			t.live--
+			deleted = true
+			break
+		}
+	}
+	t.wmu.Unlock()
+	return deleted
+}
+
+// rebuildLocked publishes a fresh index sized for the live count with all
+// tombstones dropped. The caller must hold t.wmu.
+func (t *lfTable) rebuildLocked(old *lfIndex) {
+	n := lfMinSlots
+	// Size for a ≤ 1/4 load factor so probes stay short and every
+	// published index keeps nil slots (the load termination guarantee).
+	for n < t.live*4 {
+		n <<= 1
+	}
+	next := &lfIndex{mask: uint64(n - 1), slots: make([]atomic.Pointer[Entry], n)}
+	for i := range old.slots {
+		e := old.slots[i].Load()
+		if e == nil || e == lfTombstone {
+			continue
+		}
+		for j := lfHash(e.Key) & next.mask; ; j = (j + 1) & next.mask {
+			if next.slots[j].Load() == nil {
+				next.slots[j].Store(e)
+				break
+			}
+		}
+	}
+	t.used = t.live
+	t.idx.Store(next)
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func lfEntry(key string, version uint64) *Entry {
+	return &Entry{Key: key, Version: version}
+}
+
+func TestLFTableStoreLoadDelete(t *testing.T) {
+	tb := newLFTable()
+	if tb.load("/a") != nil {
+		t.Fatal("empty table returned an entry")
+	}
+	tb.store("/a", lfEntry("/a", 1))
+	tb.store("/b", lfEntry("/b", 1))
+	if e := tb.load("/a"); e == nil || e.Version != 1 {
+		t.Fatalf("load(/a) = %+v", e)
+	}
+	// Replacement is visible and does not grow the live count.
+	tb.store("/a", lfEntry("/a", 2))
+	if e := tb.load("/a"); e == nil || e.Version != 2 {
+		t.Fatalf("replace not visible: %+v", e)
+	}
+	if tb.live != 2 {
+		t.Fatalf("live = %d, want 2", tb.live)
+	}
+	if !tb.delete("/a") {
+		t.Fatal("delete existing returned false")
+	}
+	if tb.delete("/a") {
+		t.Fatal("delete missing returned true")
+	}
+	if tb.load("/a") != nil {
+		t.Fatal("deleted key still loads")
+	}
+	if e := tb.load("/b"); e == nil {
+		t.Fatal("unrelated key lost by delete")
+	}
+}
+
+func TestLFTableTombstoneReuse(t *testing.T) {
+	tb := newLFTable()
+	tb.store("/a", lfEntry("/a", 1))
+	used := tb.used
+	tb.delete("/a")
+	// Re-inserting after a delete must reuse the tombstone, not consume a
+	// fresh slot (otherwise churn would force rebuilds with a static set).
+	tb.store("/a", lfEntry("/a", 2))
+	if tb.used != used {
+		t.Fatalf("used = %d after reinsert, want %d (tombstone reuse)", tb.used, used)
+	}
+	if e := tb.load("/a"); e == nil || e.Version != 2 {
+		t.Fatalf("reinserted entry wrong: %+v", e)
+	}
+}
+
+func TestLFTableGrowthKeepsAllEntries(t *testing.T) {
+	tb := newLFTable()
+	const n = 10 * lfMinSlots
+	for i := 0; i < n; i++ {
+		tb.store(fmt.Sprintf("/k/%d", i), lfEntry(fmt.Sprintf("/k/%d", i), uint64(i)))
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("/k/%d", i)
+		e := tb.load(key)
+		if e == nil || e.Version != uint64(i) {
+			t.Fatalf("lost %s across rebuilds: %+v", key, e)
+		}
+	}
+	idx := tb.idx.Load()
+	// The published index must keep nil slots so probes terminate.
+	if tb.used*4 >= len(idx.slots)*3 {
+		t.Fatalf("load factor too high after growth: used=%d slots=%d", tb.used, len(idx.slots))
+	}
+}
+
+func TestLFTableRebuildDropsTombstones(t *testing.T) {
+	tb := newLFTable()
+	// Churn the same working set so tombstones accumulate and trigger
+	// rebuilds; the live set must survive every one of them.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < lfMinSlots; i++ {
+			key := fmt.Sprintf("/churn/%d", i)
+			tb.store(key, lfEntry(key, uint64(round)))
+			if round%2 == 1 && i%2 == 0 {
+				tb.delete(key)
+			}
+		}
+	}
+	if tb.used < tb.live {
+		t.Fatalf("used=%d < live=%d", tb.used, tb.live)
+	}
+	for i := 1; i < lfMinSlots; i += 2 {
+		key := fmt.Sprintf("/churn/%d", i)
+		if e := tb.load(key); e == nil || e.Version != 19 {
+			t.Fatalf("surviving key %s wrong after churn: %+v", key, e)
+		}
+	}
+}
+
+// TestLFTableConcurrent hammers lock-free loads against stores, deletes,
+// and rebuilds. Run under -race this checks the published-index protocol:
+// readers must only ever see nil, a tombstone, or a fully formed entry.
+func TestLFTableConcurrent(t *testing.T) {
+	tb := newLFTable()
+	const keys = 256
+	keyOf := func(i int) string { return fmt.Sprintf("/c/%d", i) }
+	for i := 0; i < keys; i++ {
+		tb.store(keyOf(i), lfEntry(keyOf(i), 1))
+	}
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int) {
+			defer readers.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keyOf(i % keys)
+				if e := tb.load(key); e != nil && e.Key != key {
+					t.Errorf("load(%s) returned entry for %s", key, e.Key)
+					return
+				}
+				i++
+			}
+		}(r * 31)
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				key := keyOf((seed + i) % keys)
+				if i%5 == 0 {
+					tb.delete(key)
+				} else {
+					tb.store(key, lfEntry(key, uint64(i)))
+				}
+			}
+		}(w * 128)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}

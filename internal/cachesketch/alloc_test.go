@@ -1,0 +1,60 @@
+package cachesketch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The client-side sketch probe gates every cached read, so the protocol
+// hot paths — Snapshot.MightBeStale and Client.Check — must not allocate.
+// These regression tests keep the zero-alloc property from eroding.
+
+func TestSnapshotMightBeStaleZeroAlloc(t *testing.T) {
+	s, clk := newTestServer()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("/p/%d", i)
+		s.ReportCachedRead(key, clk.Now().Add(time.Hour))
+		s.ReportWrite(key)
+	}
+	sn := s.Snapshot()
+	var stale bool
+	if n := testing.AllocsPerRun(1000, func() {
+		stale = sn.MightBeStale("/p/42")
+	}); n != 0 {
+		t.Fatalf("MightBeStale allocates %.1f per run, want 0", n)
+	}
+	if !stale {
+		t.Fatal("tracked key not flagged")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		stale = sn.MightBeStale("/absent")
+	}); n != 0 {
+		t.Fatalf("MightBeStale (miss) allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestClientCheckZeroAlloc(t *testing.T) {
+	s, clk := newTestServer()
+	s.ReportCachedRead("/p/1", clk.Now().Add(time.Hour))
+	s.ReportWrite("/p/1")
+	cl := NewClient(clk, time.Hour)
+	cl.Install(s.Snapshot())
+	var d Decision
+	if n := testing.AllocsPerRun(1000, func() {
+		d = cl.Check("/p/1")
+	}); n != 0 {
+		t.Fatalf("Check (stale hit) allocates %.1f per run, want 0", n)
+	}
+	if d != Revalidate {
+		t.Fatalf("decision = %v, want Revalidate", d)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		d = cl.Check("/fresh")
+	}); n != 0 {
+		t.Fatalf("Check (fresh pass) allocates %.1f per run, want 0", n)
+	}
+	if d != ServeFromCache {
+		t.Fatalf("decision = %v, want ServeFromCache", d)
+	}
+}

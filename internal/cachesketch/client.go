@@ -1,7 +1,7 @@
 package cachesketch
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"speedkit/internal/clock"
@@ -11,17 +11,26 @@ import (
 // recently fetched sketch snapshot and enforces the Δ refresh discipline.
 // The client proxy consults it before serving anything from a local
 // cache. Safe for concurrent use.
+//
+// The held snapshot lives behind an atomic pointer and the counters are
+// atomics, so the per-request Check path — the sketch probe that gates
+// every cached read — takes no lock and allocates nothing. Install
+// publishes a new snapshot with a compare-and-swap that keeps the newest
+// (generation, TakenAt) pair, so racing refreshes can never regress the
+// held sketch.
 type Client struct {
-	mu       sync.Mutex
-	clk      clock.Clock
-	delta    time.Duration
-	snapshot *Snapshot
-	stats    ClientStats
+	clk   clock.Clock
+	delta time.Duration
+	snap  atomic.Pointer[Snapshot]
+
+	refreshes   atomic.Uint64
+	staleHits   atomic.Uint64
+	freshPasses atomic.Uint64
 }
 
 // ClientStats counts client-side protocol decisions.
 type ClientStats struct {
-	// Refreshes counts sketch fetches.
+	// Refreshes counts installed sketch fetches.
 	Refreshes uint64
 	// StaleHits counts lookups where the sketch flagged the key.
 	StaleHits uint64
@@ -33,7 +42,7 @@ type ClientStats struct {
 // delta defaults to 60 s, a common production refresh interval.
 func NewClient(clk clock.Clock, delta time.Duration) *Client {
 	if clk == nil {
-		clk = clock.System
+		clk = clock.CoarseSystem
 	}
 	if delta <= 0 {
 		delta = 60 * time.Second
@@ -48,39 +57,41 @@ func (c *Client) Delta() time.Duration { return c.delta }
 // Δ. While this is true the client MUST NOT serve cached content based on
 // the sketch — doing so would void the Δ-atomicity bound.
 func (c *Client) NeedsRefresh() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.needsRefreshLocked(c.clk.Now())
+	return c.stale(c.snap.Load(), c.clk.Now())
 }
 
-func (c *Client) needsRefreshLocked(now time.Time) bool {
-	return c.snapshot == nil || now.Sub(c.snapshot.TakenAt) >= c.delta
+func (c *Client) stale(sn *Snapshot, now time.Time) bool {
+	return sn == nil || now.Sub(sn.TakenAt) >= c.delta
 }
 
 // Install stores a freshly fetched snapshot. Snapshots older than the one
-// held are ignored (out-of-order fetches can happen with concurrent
-// refreshes).
+// held — lower generation, or same generation but an older TakenAt — are
+// ignored (out-of-order fetches can happen with concurrent refreshes).
 func (c *Client) Install(sn *Snapshot) {
 	if sn == nil {
 		return
 	}
-	c.mu.Lock()
-	if c.snapshot == nil || sn.Generation >= c.snapshot.Generation {
-		c.snapshot = sn
-		c.stats.Refreshes++
+	for {
+		cur := c.snap.Load()
+		if cur != nil && (sn.Generation < cur.Generation ||
+			(sn.Generation == cur.Generation && !sn.TakenAt.After(cur.TakenAt))) {
+			return
+		}
+		if c.snap.CompareAndSwap(cur, sn) {
+			c.refreshes.Add(1)
+			return
+		}
 	}
-	c.mu.Unlock()
 }
 
 // Age returns how old the held snapshot is (Δ+1s if none is held, i.e.
 // definitely stale).
 func (c *Client) Age() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.snapshot == nil {
+	sn := c.snap.Load()
+	if sn == nil {
 		return c.delta + time.Second
 	}
-	return c.clk.Now().Sub(c.snapshot.TakenAt)
+	return c.clk.Now().Sub(sn.TakenAt)
 }
 
 // Decision is the outcome of a client-side coherence check.
@@ -112,25 +123,29 @@ func (d Decision) String() string {
 	return "unknown"
 }
 
-// Check runs the client-side coherence protocol for one key.
+// Check runs the client-side coherence protocol for one key. It is
+// lock-free and allocation-free: one atomic snapshot load, one clock
+// read, and an inline Bloom probe.
 func (c *Client) Check(key string) Decision {
-	now := c.clk.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.needsRefreshLocked(now) {
+	sn := c.snap.Load()
+	if c.stale(sn, c.clk.Now()) {
 		return RefreshSketch
 	}
-	if c.snapshot.MightBeStale(key) {
-		c.stats.StaleHits++
+	if sn.MightBeStale(key) {
+		c.staleHits.Add(1)
 		return Revalidate
 	}
-	c.stats.FreshPasses++
+	c.freshPasses.Add(1)
 	return ServeFromCache
 }
 
-// Stats returns a copy of the client counters.
+// Stats returns a copy of the client counters. Each counter is read
+// atomically; the triple is not a single consistent cut, which is fine
+// for the monotone monitoring counters it feeds.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Refreshes:   c.refreshes.Load(),
+		StaleHits:   c.staleHits.Load(),
+		FreshPasses: c.freshPasses.Load(),
+	}
 }

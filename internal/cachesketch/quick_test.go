@@ -2,6 +2,7 @@ package cachesketch
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -98,5 +99,89 @@ func TestQuickSketchDrainsWhenQuiescent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInstallCheckInterleavings exercises the lock-free client
+// against a mutating server: writers push keys into the sketch while
+// installers race snapshots into the client and checkers probe it. Run
+// under -race this validates the atomic-snapshot protocol; the inline
+// assertions validate its semantics under every interleaving:
+//
+//   - observed snapshot generations never decrease (Install keeps the
+//     newest snapshot, so a racing stale fetch cannot regress the sketch);
+//   - Check only ever returns a valid decision, and never RefreshSketch
+//     while a fresh snapshot is installed;
+//   - after quiescence, Δ-atomicity holds: every key whose write predates
+//     the final installed snapshot is flagged (no false negatives).
+func TestConcurrentInstallCheckInterleavings(t *testing.T) {
+	const (
+		keys       = 64
+		installs   = 200
+		checksPerG = 2000
+	)
+	clk := clock.NewSimulated(time.Time{})
+	srv := NewServer(ServerConfig{Capacity: 4 * keys, FalsePositiveRate: 0.01, Clock: clk})
+	cl := NewClient(clk, time.Hour)
+	cl.Install(srv.Snapshot()) // never RefreshSketch below: Δ = 1h, time frozen
+	keyOf := func(i int) string { return fmt.Sprintf("/r/%d", i) }
+
+	var wg sync.WaitGroup
+	// Writer: makes every key cache-tracked, then stale.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < keys; i++ {
+			srv.ReportCachedRead(keyOf(i), clk.Now().Add(time.Hour))
+			srv.ReportWrite(keyOf(i))
+		}
+	}()
+	// Installer: races fresh snapshots into the client and checks that
+	// the generations it obtains from the server never decrease.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastGen uint64
+		for i := 0; i < installs; i++ {
+			sn := srv.Snapshot()
+			if sn.Generation < lastGen {
+				t.Errorf("server generation regressed: %d -> %d", lastGen, sn.Generation)
+				return
+			}
+			lastGen = sn.Generation
+			cl.Install(sn)
+		}
+	}()
+	// Checkers: concurrent probes must always see a coherent snapshot.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < checksPerG; i++ {
+				switch d := cl.Check(keyOf((seed + i) % keys)); d {
+				case ServeFromCache, Revalidate:
+				case RefreshSketch:
+					t.Errorf("RefreshSketch with a fresh snapshot installed")
+					return
+				default:
+					t.Errorf("invalid decision %v", d)
+					return
+				}
+			}
+		}(g * 7)
+	}
+	wg.Wait()
+
+	// Quiescent Δ-atomicity: with the final snapshot installed, every
+	// written key must be flagged for revalidation.
+	cl.Install(srv.Snapshot())
+	for i := 0; i < keys; i++ {
+		if d := cl.Check(keyOf(i)); d != Revalidate {
+			t.Fatalf("key %s written before snapshot not flagged (got %v)", keyOf(i), d)
+		}
+	}
+	st := cl.Stats()
+	if st.Refreshes == 0 || st.Refreshes > installs+2 {
+		t.Fatalf("refreshes = %d, want in [1, %d]", st.Refreshes, installs+2)
 	}
 }

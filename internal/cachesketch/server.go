@@ -22,6 +22,7 @@ package cachesketch
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speedkit/internal/bloom"
@@ -49,7 +50,7 @@ func (c *ServerConfig) applyDefaults() {
 		c.FalsePositiveRate = 0.05
 	}
 	if c.Clock == nil {
-		c.Clock = clock.System
+		c.Clock = clock.CoarseSystem
 	}
 }
 
@@ -64,8 +65,13 @@ type ServerStats struct {
 	// WritesUncached counts writes to resources with no live cached copy
 	// (no sketch entry needed).
 	WritesUncached uint64
-	// Snapshots is how many client sketches were generated.
+	// Snapshots is how many client sketches were served.
 	Snapshots uint64
+	// Flattens is how many times a snapshot actually flattened the
+	// counting filter. Snapshots taken while the sketch's generation is
+	// unchanged reuse the previously flattened filter, so under steady
+	// read load Flattens stays far below Snapshots.
+	Flattens uint64
 	// Tracked is the current number of IDs in the sketch.
 	Tracked int
 	// TableSize is the current size of the expiration table.
@@ -77,18 +83,33 @@ type Server struct {
 	mu  sync.Mutex
 	cfg ServerConfig
 
-	counting *bloom.Counting
+	counting *bloom.Counting // guarded by mu
 	// expiry is the expiration table: resource ID → the latest expiration
 	// instant of any cached copy reported so far.
-	expiry map[string]time.Time
+	expiry map[string]time.Time // guarded by mu
 	// inSketch maps IDs currently in the sketch to their scheduled
 	// removal instant.
-	inSketch map[string]time.Time
+	inSketch map[string]time.Time // guarded by mu
 	// removals orders pending sketch removals and expiry-table cleanups.
-	removals expiryHeap
+	removals expiryHeap // guarded by mu
 
-	generation uint64
-	stats      ServerStats
+	// generation versions the counting filter's *contents*: it advances
+	// whenever a key enters or leaves the sketch, and only then. Two
+	// snapshots with equal generations are interchangeable.
+	generation uint64      // guarded by mu
+	stats      ServerStats // guarded by mu
+
+	// flat caches the most recent flatten of the counting filter, keyed
+	// by generation. While the generation is unchanged, Snapshot() reuses
+	// it — a pointer load instead of an O(m) projection.
+	flat atomic.Pointer[flatCache]
+}
+
+// flatCache pairs a flattened client filter with the generation it was
+// projected from.
+type flatCache struct {
+	gen    uint64
+	filter *bloom.Filter
 }
 
 // NewServer creates a protocol server.
@@ -142,6 +163,7 @@ func (s *Server) advanceLocked(now time.Time) {
 			if ok && !until.After(ev.when) {
 				s.counting.Remove(ev.key)
 				delete(s.inSketch, ev.key)
+				s.generation++
 				s.stats.Removes++
 			}
 		case cleanTable:
@@ -198,6 +220,7 @@ func (s *Server) ReportWrite(key string) bool {
 	}
 	s.counting.Add(key)
 	s.inSketch[key] = until
+	s.generation++
 	heap.Push(&s.removals, expiryEvent{when: until, key: key, kind: evictSketch})
 	s.stats.Adds++
 	return true
@@ -215,20 +238,29 @@ func (s *Server) Contains(key string) bool {
 	return ok
 }
 
-// Snapshot flattens the counting filter into the compact client sketch.
-// The snapshot is immutable and safe to share across clients; producing
-// one is the server-side cost paid once per Δ per client population (in
-// production it is CDN-cached itself with TTL Δ).
+// Snapshot returns the compact client sketch for the counting filter's
+// current state. The snapshot is immutable and safe to share across
+// clients. The O(m) flatten is generation-cached: it runs only when the
+// sketch's contents changed since the previous snapshot; otherwise the
+// cached filter is reused and the call is a pointer load plus a fresh
+// TakenAt stamp — sound because an unchanged generation means no key
+// entered or left the sketch, so the old projection still describes the
+// state at `now` exactly.
 func (s *Server) Snapshot() *Snapshot {
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
-	s.generation++
 	s.stats.Snapshots++
+	fc := s.flat.Load()
+	if fc == nil || fc.gen != s.generation {
+		fc = &flatCache{gen: s.generation, filter: s.counting.Flatten()}
+		s.flat.Store(fc)
+		s.stats.Flattens++
+	}
 	return &Snapshot{
-		Filter:     s.counting.Flatten(),
-		Generation: s.generation,
+		Filter:     fc.filter,
+		Generation: fc.gen,
 		TakenAt:    now,
 	}
 }

@@ -132,15 +132,34 @@ func TestSnapshotReflectsTrackedKeys(t *testing.T) {
 			t.Fatalf("snapshot missing tracked key /p/%d", i)
 		}
 	}
-	if sn.Generation != 1 {
-		t.Fatalf("generation = %d", sn.Generation)
+	// Generation versions the sketch contents: 50 adds happened.
+	if sn.Generation != 50 {
+		t.Fatalf("generation = %d, want 50 (one per add)", sn.Generation)
 	}
+	// A second snapshot with no intervening mutation shares the
+	// generation and reuses the flattened filter (no second Flatten).
 	sn2 := s.Snapshot()
-	if sn2.Generation != 2 {
-		t.Fatalf("generation = %d", sn2.Generation)
+	if sn2.Generation != sn.Generation {
+		t.Fatalf("generation changed without mutation: %d -> %d", sn.Generation, sn2.Generation)
+	}
+	if sn2.Filter != sn.Filter {
+		t.Fatal("unchanged generation did not reuse the flattened filter")
+	}
+	if st := s.Stats(); st.Flattens != 1 || st.Snapshots != 2 {
+		t.Fatalf("flattens = %d snapshots = %d, want 1 flatten for 2 snapshots", st.Flattens, st.Snapshots)
 	}
 	if !sn2.TakenAt.Equal(clk.Now()) {
 		t.Fatal("TakenAt wrong")
+	}
+	// A new write invalidates the cached flatten.
+	s.ReportCachedRead("/p/new", clk.Now().Add(time.Hour))
+	s.ReportWrite("/p/new")
+	sn3 := s.Snapshot()
+	if sn3.Generation != sn.Generation+1 || sn3.Filter == sn.Filter {
+		t.Fatalf("mutation did not advance generation / re-flatten (gen %d -> %d)", sn.Generation, sn3.Generation)
+	}
+	if st := s.Stats(); st.Flattens != 2 {
+		t.Fatalf("flattens = %d, want 2", st.Flattens)
 	}
 }
 

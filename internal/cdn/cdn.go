@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speedkit/internal/cache"
@@ -32,8 +33,12 @@ type Config struct {
 	// PurgeDelay is how long a purge takes to reach the edges
 	// (default 10ms).
 	PurgeDelay time.Duration
-	// Clock supplies time (default system clock).
+	// Clock supplies time (default coarse system clock).
 	Clock clock.Clock
+	// EdgeShards is the lock-stripe count for each edge's cache store
+	// (default 16; see cache.Config.Shards). Set to 1 for the exact
+	// global eviction order of the pre-sharded CDN.
+	EdgeShards int
 }
 
 func (c *Config) applyDefaults() {
@@ -47,7 +52,10 @@ func (c *Config) applyDefaults() {
 		c.PurgeDelay = 10 * time.Millisecond
 	}
 	if c.Clock == nil {
-		c.Clock = clock.System
+		c.Clock = clock.CoarseSystem
+	}
+	if c.EdgeShards == 0 {
+		c.EdgeShards = 16
 	}
 }
 
@@ -65,12 +73,23 @@ func (s Stats) HitRatio() float64 {
 }
 
 // CDN is the multi-PoP edge network. Safe for concurrent use.
+//
+// Concurrency layout: the edge map is immutable after New, each PoP's
+// cache store synchronizes itself (lock-striped internally), the
+// aggregate counters are atomics, and only the pending-purge heap sits
+// behind a mutex — with an atomic length fast path so the common case
+// (no purge in flight) costs a single load on every Lookup. A Lookup on
+// one PoP therefore never contends with traffic on another PoP.
 type CDN struct {
-	mu     sync.Mutex
-	cfg    Config
-	edges  map[netsim.Region]*Edge
-	purges purgeHeap
-	stats  Stats
+	cfg   Config
+	edges map[netsim.Region]*Edge // immutable after New
+
+	pmu     sync.Mutex
+	purges  purgeHeap    // guarded by pmu
+	pending atomic.Int64 // len(purges), for the lock-free fast path
+
+	hits, misses, fills         atomic.Uint64
+	purgesIssued, purgedEntries atomic.Uint64
 }
 
 // Edge is one point of presence.
@@ -111,6 +130,7 @@ func New(cfg Config) *CDN {
 				MaxItems: cfg.EdgeMaxItems,
 				MaxBytes: cfg.EdgeMaxBytes,
 				Clock:    cfg.Clock,
+				Shards:   cfg.EdgeShards,
 			}),
 			cdn: c,
 		}
@@ -118,61 +138,63 @@ func New(cfg Config) *CDN {
 	return c
 }
 
-// Edge returns the PoP for region r (nil if not deployed).
+// Edge returns the PoP for region r (nil if not deployed). The edge map
+// is immutable after New, so no lock is needed.
 func (c *CDN) Edge(r netsim.Region) *Edge {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.edges[r]
 }
 
 // Regions lists deployed regions, sorted for stable reports.
 func (c *CDN) Regions() []netsim.Region {
-	c.mu.Lock()
 	out := make([]netsim.Region, 0, len(c.edges))
 	for r := range c.edges {
 		out = append(out, r)
 	}
-	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// applyDuePurgesLocked executes purges whose propagation delay has passed.
-// A purge removes an entry only if the entry was stored at or before the
+// applyDuePurges executes purges whose propagation delay has passed. A
+// purge removes an entry only if the entry was stored at or before the
 // purge was issued: copies fetched after the write are already fresh.
-func (c *CDN) applyDuePurgesLocked(now time.Time) {
+// The fast path — no purge in flight — is a single atomic load.
+func (c *CDN) applyDuePurges(now time.Time) {
+	if c.pending.Load() == 0 {
+		return
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
 	for len(c.purges) > 0 && !c.purges[0].effectiveAt.After(now) {
 		ev := heap.Pop(&c.purges).(purgeEvent)
+		c.pending.Add(-1)
 		for _, e := range c.edges {
 			if entry, ok := e.store.Peek(ev.key); ok && !entry.StoredAt.After(ev.issuedAt) {
 				e.store.Delete(ev.key)
-				c.stats.PurgedEntries++
+				c.purgedEntries.Add(1)
 			}
 		}
 	}
 }
 
-// Lookup serves key from the edge, honoring pending purges.
+// Lookup serves key from the edge, honoring pending purges. Lookups on
+// different PoPs (or different keys of one PoP's striped store) proceed
+// in parallel; only the key's own cache stripe is locked.
 func (e *Edge) Lookup(key string) (cache.Entry, bool) {
 	now := e.cdn.cfg.Clock.Now()
-	e.cdn.mu.Lock()
-	e.cdn.applyDuePurgesLocked(now)
+	e.cdn.applyDuePurges(now)
 	entry, ok := e.store.Get(key)
 	if ok {
-		e.cdn.stats.Hits++
+		e.cdn.hits.Add(1)
 	} else {
-		e.cdn.stats.Misses++
+		e.cdn.misses.Add(1)
 	}
-	e.cdn.mu.Unlock()
 	return entry, ok
 }
 
 // Fill stores an entry at this edge (an origin fetch completing).
 func (e *Edge) Fill(entry cache.Entry) {
-	e.cdn.mu.Lock()
 	e.store.Put(entry)
-	e.cdn.stats.Fills++
-	e.cdn.mu.Unlock()
+	e.cdn.fills.Add(1)
 }
 
 // Store exposes the edge's cache store for inspection in tests.
@@ -183,37 +205,41 @@ func (e *Edge) Store() *cache.Store { return e.store }
 func (c *CDN) Purge(key string) time.Time {
 	now := c.cfg.Clock.Now()
 	eff := now.Add(c.cfg.PurgeDelay)
-	c.mu.Lock()
+	c.pmu.Lock()
 	heap.Push(&c.purges, purgeEvent{key: key, issuedAt: now, effectiveAt: eff})
-	c.stats.Purges++
-	c.mu.Unlock()
+	c.pending.Add(1)
+	c.pmu.Unlock()
+	c.purgesIssued.Add(1)
 	return eff
 }
 
 // PurgeAll drops every entry from every edge immediately.
 func (c *CDN) PurgeAll() {
-	c.mu.Lock()
+	c.pmu.Lock()
+	c.purges = c.purges[:0]
+	c.pending.Store(0)
+	c.pmu.Unlock()
 	for _, e := range c.edges {
 		e.store.Clear()
 	}
-	c.purges = c.purges[:0]
-	c.mu.Unlock()
 }
 
 // Stats returns a copy of the aggregate counters after applying due
 // purges.
 func (c *CDN) Stats() Stats {
 	now := c.cfg.Clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.applyDuePurgesLocked(now)
-	return c.stats
+	c.applyDuePurges(now)
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Fills:         c.fills.Load(),
+		Purges:        c.purgesIssued.Load(),
+		PurgedEntries: c.purgedEntries.Load(),
+	}
 }
 
 // EdgeStats returns the cache-level stats of the edge in region r.
 func (c *CDN) EdgeStats(r netsim.Region) cache.Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.edges[r]
 	if !ok {
 		return cache.Stats{}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,15 +21,42 @@ import (
 // sized buckets so that relative error is bounded (~5% per bucket) across
 // nine orders of magnitude, which is the precision/footprint trade-off used
 // by HdrHistogram-style recorders in production CDNs.
+//
+// Recording is lock-striped: each Observe locks one of histStripes
+// sub-recorders chosen round-robin, so concurrent recorders contend on a
+// mutex only 1/histStripes of the time. Readers (quantiles, snapshots)
+// fold the stripes together, taking each stripe's lock in turn — the
+// read side is the cold path and pays for the write side's scalability.
 type Histogram struct {
+	growth  float64 // bucket growth factor (immutable)
+	logG    float64 // precomputed log(growth) (immutable)
+	rr      atomic.Uint32
+	stripes [histStripes]histStripe
+}
+
+// histStripes is the lock-stripe count (power of two).
+const histStripes = 8
+
+// histStripe is one independently locked sub-recorder. Padded so that
+// adjacent stripes do not share a cache line.
+type histStripe struct {
 	mu      sync.Mutex
+	counts  []uint64 // guarded by mu
+	total   uint64   // guarded by mu
+	sum     float64  // guarded by mu
+	min     float64  // guarded by mu
+	max     float64  // guarded by mu
+	nonZero bool     // guarded by mu
+	_       [48]byte
+}
+
+// histState is a consistent fold of all stripes, used by readers.
+type histState struct {
 	counts  []uint64
 	total   uint64
 	sum     float64
 	min     float64
 	max     float64
-	growth  float64 // bucket growth factor
-	logG    float64 // precomputed log(growth)
 	nonZero bool
 }
 
@@ -40,13 +68,17 @@ const numBuckets = 512
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{
-		counts: make([]uint64, numBuckets),
+	h := &Histogram{
 		growth: defaultGrowth,
 		logG:   math.Log(defaultGrowth),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
 	}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.counts = make([]uint64, numBuckets)
+		st.min = math.Inf(1)
+		st.max = math.Inf(-1)
+	}
+	return h
 }
 
 // bucketFor maps a value to its bucket index. Values <= 1 land in bucket 0.
@@ -74,18 +106,20 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
-	h.mu.Lock()
-	h.counts[h.bucketFor(v)]++
-	h.total++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	b := h.bucketFor(v)
+	st := &h.stripes[h.rr.Add(1)&(histStripes-1)]
+	st.mu.Lock()
+	st.counts[b]++
+	st.total++
+	st.sum += v
+	if v < st.min {
+		st.min = v
 	}
-	if v > h.max {
-		h.max = v
+	if v > st.max {
+		st.max = v
 	}
-	h.nonZero = true
-	h.mu.Unlock()
+	st.nonZero = true
+	st.mu.Unlock()
 }
 
 // ObserveDuration records a duration in microseconds.
@@ -93,61 +127,97 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d.Microseconds()))
 }
 
+// merged folds every stripe into one consistent-per-stripe state. Stripe
+// locks are taken one at a time, so concurrent recording continues on the
+// other stripes while a reader folds.
+func (h *Histogram) merged() histState {
+	out := histState{
+		counts: make([]uint64, numBuckets),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for j, c := range st.counts {
+			out.counts[j] += c
+		}
+		out.total += st.total
+		out.sum += st.sum
+		if st.nonZero {
+			if st.min < out.min {
+				out.min = st.min
+			}
+			if st.max > out.max {
+				out.max = st.max
+			}
+			out.nonZero = true
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	var total uint64
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		total += st.total
+		st.mu.Unlock()
+	}
+	return total
 }
 
 // Sum returns the running sum of all observations.
 func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	var sum float64
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		sum += st.sum
+		st.mu.Unlock()
+	}
+	return sum
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	m := h.merged()
+	if m.total == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return m.sum / float64(m.total)
 }
 
 // Min returns the smallest observed value, or 0 for an empty histogram.
 func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.nonZero {
+	m := h.merged()
+	if !m.nonZero {
 		return 0
 	}
-	return h.min
+	return m.min
 }
 
 // Max returns the largest observed value, or 0 for an empty histogram.
 func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.nonZero {
+	m := h.merged()
+	if !m.nonZero {
 		return 0
 	}
-	return h.max
+	return m.max
 }
 
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
 // bucket lower bound with linear interpolation within the bucket. Returns 0
 // for an empty histogram.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.quantileLocked(q)
+	return h.quantileOf(h.merged(), q)
 }
 
-func (h *Histogram) quantileLocked(q float64) float64 {
-	if h.total == 0 {
+func (h *Histogram) quantileOf(m histState, q float64) float64 {
+	if m.total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -156,9 +226,9 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.total-1)
+	rank := q * float64(m.total-1)
 	var cum uint64
-	for i, c := range h.counts {
+	for i, c := range m.counts {
 		if c == 0 {
 			continue
 		}
@@ -168,49 +238,47 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 			// Interpolate within the bucket by the fraction of rank covered.
 			frac := (rank - float64(cum)) / float64(c)
 			v := lo + (hi-lo)*frac
-			if v < h.min {
-				v = h.min
+			if v < m.min {
+				v = m.min
 			}
-			if v > h.max {
-				v = h.max
+			if v > m.max {
+				v = m.max
 			}
 			return v
 		}
 		cum += c
 	}
-	return h.max
+	return m.max
 }
 
-// Quantiles returns estimates for several quantiles in one pass under one
-// lock acquisition. The qs slice need not be sorted.
+// Quantiles returns estimates for several quantiles over one consistent
+// fold of the stripes. The qs slice need not be sorted.
 func (h *Histogram) Quantiles(qs ...float64) []float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	m := h.merged()
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		out[i] = h.quantileLocked(q)
+		out[i] = h.quantileOf(m, q)
 	}
 	return out
 }
 
 // Snapshot returns an immutable copy of the histogram state for reporting.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	m := h.merged()
 	s := HistogramSnapshot{
-		Count: h.total,
-		Sum:   h.sum,
+		Count: m.total,
+		Sum:   m.sum,
 	}
-	if h.nonZero {
-		s.Min = h.min
-		s.Max = h.max
+	if m.nonZero {
+		s.Min = m.min
+		s.Max = m.max
 	}
-	if h.total > 0 {
-		s.Mean = h.sum / float64(h.total)
-		s.P50 = h.quantileLocked(0.50)
-		s.P90 = h.quantileLocked(0.90)
-		s.P95 = h.quantileLocked(0.95)
-		s.P99 = h.quantileLocked(0.99)
+	if m.total > 0 {
+		s.Mean = m.sum / float64(m.total)
+		s.P50 = h.quantileOf(m, 0.50)
+		s.P90 = h.quantileOf(m, 0.90)
+		s.P95 = h.quantileOf(m, 0.95)
+		s.P99 = h.quantileOf(m, 0.99)
 	}
 	return s
 }
@@ -221,44 +289,43 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other == h {
 		return
 	}
-	// Take a consistent copy of other first to avoid holding two locks.
-	other.mu.Lock()
-	counts := make([]uint64, len(other.counts))
-	copy(counts, other.counts)
-	total, sum := other.total, other.sum
-	omin, omax, ok := other.min, other.max, other.nonZero
-	other.mu.Unlock()
-
-	h.mu.Lock()
-	for i, c := range counts {
-		h.counts[i] += c
+	// Fold other into a consistent copy first, then add it to one of our
+	// stripes; no two locks are ever held at once.
+	m := other.merged()
+	st := &h.stripes[0]
+	st.mu.Lock()
+	for i, c := range m.counts {
+		st.counts[i] += c
 	}
-	h.total += total
-	h.sum += sum
-	if ok {
-		if omin < h.min {
-			h.min = omin
+	st.total += m.total
+	st.sum += m.sum
+	if m.nonZero {
+		if m.min < st.min {
+			st.min = m.min
 		}
-		if omax > h.max {
-			h.max = omax
+		if m.max > st.max {
+			st.max = m.max
 		}
-		h.nonZero = true
+		st.nonZero = true
 	}
-	h.mu.Unlock()
+	st.mu.Unlock()
 }
 
 // Reset clears all recorded state.
 func (h *Histogram) Reset() {
-	h.mu.Lock()
-	for i := range h.counts {
-		h.counts[i] = 0
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for j := range st.counts {
+			st.counts[j] = 0
+		}
+		st.total = 0
+		st.sum = 0
+		st.min = math.Inf(1)
+		st.max = math.Inf(-1)
+		st.nonZero = false
+		st.mu.Unlock()
 	}
-	h.total = 0
-	h.sum = 0
-	h.min = math.Inf(1)
-	h.max = math.Inf(-1)
-	h.nonZero = false
-	h.mu.Unlock()
 }
 
 // HistogramSnapshot is a point-in-time summary of a Histogram.
