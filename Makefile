@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint race cover bench bench-hotpath experiments fmt vet clean
+.PHONY: all help build test lint race cover bench bench-hotpath bench-obs experiments fmt vet clean
 
 all: build test lint
 
@@ -16,6 +16,7 @@ help:
 	@echo "  cover          coverage for internal/..."
 	@echo "  bench          one benchmark per table/figure (reduced scale)"
 	@echo "  bench-hotpath  parallel hot-path microbenchmarks -> BENCH_hotpath.json"
+	@echo "  bench-obs      observability overhead benchmarks (0 allocs/op bar)"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -53,6 +54,12 @@ bench-hotpath:
 		-baseline '$(HOTPATH_BASELINE)' \
 		-note 'baseline = pre-sharding tree (commit 0a35725) at GOMAXPROCS=4 on the same host'
 	@cat BENCH_hotpath.json
+
+# Observability overhead microbenchmarks: disabled/unsampled tracing and
+# pre-resolved counter increments must hold 0 allocs/op (the hard gates
+# live in internal/obs/alloc_test.go; this target shows the ns/op).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem -cpu 4 .
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

@@ -18,6 +18,7 @@ import (
 
 	"speedkit/internal/bench"
 	"speedkit/internal/clock"
+	"speedkit/internal/obs"
 )
 
 type experiment struct {
@@ -75,6 +76,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "scale factor for op counts (0.05 = quick)")
 	only := flag.String("only", "", "comma-separated experiment ids (t1,t2,t3,f4..f9,a1,a2)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	obsOut := flag.String("obs-out", "", "write the accumulated metrics registry to this file ('-' for stdout)")
 	flag.Parse()
 
 	exps := experiments()
@@ -110,5 +112,27 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+
+	// Every experiment's service registers its instruments in obs.Default,
+	// so one dump covers the whole suite — a registry snapshot rides along
+	// with the experiment output for offline comparison.
+	if *obsOut != "" {
+		w := os.Stdout
+		if *obsOut != "-" {
+			f, err := os.Create(*obsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		} else {
+			fmt.Println("=== metrics registry (Prometheus text exposition)")
+		}
+		if err := obs.Default.WriteText(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -13,6 +13,13 @@
 //	curl 'localhost:8080/blocks?names=cart,greeting&user=u000001'
 //	curl -X POST 'localhost:8080/admin/write?product=p00042&price=9.99'
 //	curl localhost:8080/stats
+//
+// Observability surface:
+//
+//	curl localhost:8080/healthz                        # liveness + deployment shape (JSON)
+//	curl localhost:8080/metrics                        # Prometheus-style text exposition
+//	curl 'localhost:8080/debug/traces?n=10'            # recent sampled request traces (JSON)
+//	go tool pprof localhost:8080/debug/pprof/profile   # CPU profile (pprof is mounted)
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
 	"speedkit/internal/httpapi"
+	"speedkit/internal/obs"
 	"speedkit/internal/workload"
 )
 
@@ -33,12 +41,15 @@ func main() {
 	products := flag.Int("products", 1000, "catalog size")
 	delta := flag.Duration("delta", 60*time.Second, "staleness bound Δ")
 	warm := flag.Bool("warm", false, "pre-fill every edge with the home and category pages")
+	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (0 disables tracing)")
+	traceRing := flag.Int("trace-ring", 256, "how many recent traces /debug/traces retains")
 	flag.Parse()
 
 	svc, err := core.NewStorefront(core.StorefrontConfig{
 		Config: core.Config{
-			Clock: clock.System, // real time for a real server
-			Delta: *delta,
+			Clock:  clock.System, // real time for a real server
+			Delta:  *delta,
+			Tracer: obs.NewTracer(clock.System, *traceSample, *traceRing),
 		},
 		Products: *products,
 	})

@@ -50,6 +50,7 @@ func main() {
 	bounce := flag.Bool("bounce", false, "bounce model (slow loads abort sessions)")
 	record := flag.String("record", "", "write the generated workload trace to this file (JSON Lines)")
 	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating one")
+	obsDump := flag.Bool("obs", true, "dump the metrics registry after the report")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -151,6 +152,14 @@ func main() {
 	}
 	fmt.Printf("\nGDPR audit:\n%s", res.Service.Auditor())
 	fmt.Printf("compliant: %v\n", res.Service.Auditor().Compliant())
+
+	if *obsDump {
+		fmt.Println("\nmetrics registry (Prometheus text exposition):")
+		if err := res.Service.Obs().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // printHourlyCurve renders the origin-render rate per simulated hour as

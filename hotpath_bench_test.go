@@ -22,6 +22,7 @@ import (
 	"speedkit/internal/cache"
 	"speedkit/internal/cachesketch"
 	"speedkit/internal/clock"
+	"speedkit/internal/obs"
 )
 
 const hotpathKeys = 1024 // power of two so key selection is a mask
@@ -153,6 +154,58 @@ func BenchmarkSnapshotMightBeStale(b *testing.B) {
 		for pb.Next() {
 			sn.MightBeStale(keys[i&(hotpathKeys-1)])
 			i++
+		}
+	})
+}
+
+// --- observability overhead -------------------------------------------------
+//
+// The telemetry acceptance bar (see internal/obs/alloc_test.go for the
+// hard AllocsPerRun gates): disabled or unsampled tracing and a
+// pre-resolved counter increment must stay 0 allocs/op and single-digit
+// nanoseconds, so instrumentation can ride every request unconditionally.
+
+// BenchmarkObsTracerDisabled measures the per-request cost of tracing
+// when the tracer is off (sample rate 0): Start returns nil and every
+// nil-trace method is a no-op.
+func BenchmarkObsTracerDisabled(b *testing.B) {
+	tr := obs.NewTracer(clock.CoarseSystem, 0, 16)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t := tr.Start("page_load", "/product/p00001")
+			t.SetSource("device")
+			t.SetTotal(0)
+			tr.Finish(t)
+		}
+	})
+}
+
+// BenchmarkObsTracerUnsampled measures the same path with tracing on but
+// at a 1-in-2^20 sample rate — the steady-state cost almost every
+// request pays: one atomic increment and a modulo.
+func BenchmarkObsTracerUnsampled(b *testing.B) {
+	tr := obs.NewTracer(clock.CoarseSystem, 1<<20, 16)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t := tr.Start("page_load", "/product/p00001")
+			t.SetSource("device")
+			tr.Finish(t)
+		}
+	})
+}
+
+// BenchmarkObsCounterInc measures a pre-resolved labeled counter — the
+// handle pattern every instrumented hot path uses (resolve at
+// construction, atomic add per event).
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("speedkit.bench.loads.total", obs.L("source", "device"))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
 		}
 	})
 }

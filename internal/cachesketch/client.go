@@ -84,6 +84,17 @@ func (c *Client) Install(sn *Snapshot) {
 	}
 }
 
+// Generation returns the generation of the held snapshot (0 if none is
+// held). Like Check, it is one atomic load — cheap enough for
+// per-request trace stamping.
+func (c *Client) Generation() uint64 {
+	sn := c.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return sn.Generation
+}
+
 // Age returns how old the held snapshot is (Δ+1s if none is held, i.e.
 // definitely stale).
 func (c *Client) Age() time.Duration {

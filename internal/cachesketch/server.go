@@ -265,6 +265,17 @@ func (s *Server) Snapshot() *Snapshot {
 	}
 }
 
+// Generation returns the current sketch-content generation: it advances
+// exactly when a key enters or leaves the sketch. Monitoring reads it to
+// tell whether the coherence state moved between two observations.
+func (s *Server) Generation() uint64 {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	return s.generation
+}
+
 // Stats returns a copy of the counters plus current sizes.
 func (s *Server) Stats() ServerStats {
 	now := s.cfg.Clock.Now()

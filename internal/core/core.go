@@ -26,7 +26,9 @@ import (
 	"speedkit/internal/clock"
 	"speedkit/internal/gdpr"
 	"speedkit/internal/invalidb"
+	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
+	"speedkit/internal/obs"
 	"speedkit/internal/origin"
 	"speedkit/internal/proxy"
 	"speedkit/internal/session"
@@ -70,6 +72,14 @@ type Config struct {
 	// PrefetchLinks makes NewDevice proxies warm their caches with up to
 	// this many links per loaded page (0 disables).
 	PrefetchLinks int
+	// Obs is the metrics registry service-side instruments register under
+	// and NewDevice hands to proxies (default obs.Default, so one scrape
+	// sees the whole process; tests that assert on values inject a fresh
+	// registry).
+	Obs *obs.Registry
+	// Tracer samples request and invalidation-pipeline traces, shared
+	// with devices created by NewDevice (nil disables tracing).
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -96,6 +106,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.InvalidationShards <= 0 {
 		c.InvalidationShards = 4
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default
 	}
 }
 
@@ -132,7 +145,54 @@ type Service struct {
 	rng   *rand.Rand
 	stats Stats
 
+	// m holds the service-side metric handles, resolved once from
+	// cfg.Obs (see the metric catalog in DESIGN.md).
+	m *serviceMetrics
+
 	cancels []func()
+}
+
+// serviceMetrics are the service-side instruments.
+type serviceMetrics struct {
+	fetches       [2]*metrics.Counter // 0 = cdn edge hit, 1 = origin render
+	fetchLatency  [2]*metrics.Histogram
+	sketchFetches *metrics.Counter
+	revalidations [3]*metrics.Counter // by outcome: not_modified, edge, full
+	blockFetches  *metrics.Counter
+	invalidations *metrics.Counter
+	purges        *metrics.Counter
+	pipelineLat   *metrics.Histogram
+}
+
+// Serve-source indices for serviceMetrics.fetches / fetchLatency.
+const (
+	fetchCDN = iota
+	fetchOrigin
+)
+
+// Revalidation outcome indices for serviceMetrics.revalidations.
+const (
+	revalNotModified = iota
+	revalEdge
+	revalFull
+)
+
+func newServiceMetrics(r *obs.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		sketchFetches: r.Counter("speedkit.service.sketch_fetches.total"),
+		blockFetches:  r.Counter("speedkit.service.block_fetches.total"),
+		invalidations: r.Counter("speedkit.invalidation.total"),
+		purges:        r.Counter("speedkit.cdn.purges.total"),
+		pipelineLat:   r.Histogram("speedkit.invalidation.pipeline_latency_us"),
+	}
+	for i, src := range []string{"cdn", "origin"} {
+		m.fetches[i] = r.Counter("speedkit.service.fetch.total", obs.L("source", src))
+		m.fetchLatency[i] = r.Histogram("speedkit.service.fetch_latency_us", obs.L("source", src))
+	}
+	for i, outcome := range []string{"not_modified", "edge", "full"} {
+		m.revalidations[i] = r.Counter("speedkit.service.revalidations.total", obs.L("result", outcome))
+	}
+	return m
 }
 
 // NewService builds a service over an existing document store and origin.
@@ -162,6 +222,7 @@ func NewService(cfg Config, docs *storage.DocumentStore, org *origin.Server) *Se
 		analytics: storage.NewTimeSeries(cfg.Clock),
 		rng:       rand.New(rand.NewSource(cfg.Seed + 7)),
 	}
+	s.m = newServiceMetrics(cfg.Obs)
 	// Bound analytics memory: series keep a trailing 31 days, enough for
 	// the longest field simulations.
 	s.analytics.Retention = 31 * 24 * time.Hour
@@ -208,6 +269,11 @@ func (s *Service) Close() {
 // handleInvalidation runs the server-side coherence pipeline for one
 // stale path.
 func (s *Service) handleInvalidation(path string) {
+	tr := s.cfg.Tracer.Start("invalidation", path)
+	var sw *clock.Stopwatch
+	if tr != nil {
+		sw = clock.NewStopwatch(s.cfg.Clock)
+	}
 	now := s.cfg.Clock.Now()
 	s.verlog.RecordWrite(path, s.origin.Version(path), now)
 	if s.est != nil {
@@ -215,12 +281,31 @@ func (s *Service) handleInvalidation(path string) {
 	}
 	if !s.cfg.DisableInvalidation {
 		s.sketch.ReportWrite(path)
+		if tr != nil {
+			tr.AddSpan("sketch.report", "pipeline", sw.Elapsed())
+			sw.Reset()
+		}
 		s.cdnNet.Purge(path)
+		if tr != nil {
+			tr.AddSpan("cdn.purge", "pipeline", sw.Elapsed())
+		}
+		s.m.purges.Inc()
 	}
 	s.analytics.Append("invalidations", 1)
+	s.m.invalidations.Inc()
 	s.mu.Lock()
 	s.stats.Invalidations++
 	s.mu.Unlock()
+	if tr != nil {
+		tr.SetSketch(s.sketch.Generation(), 0, 0)
+		var total time.Duration
+		for _, sp := range tr.Spans {
+			total += sp.Duration
+		}
+		tr.SetTotal(total)
+		s.m.pipelineLat.ObserveDuration(total)
+		s.cfg.Tracer.Finish(tr)
+	}
 }
 
 // renderJitter samples origin processing time: mean ± 40%.
@@ -241,6 +326,7 @@ func (s *Service) FetchSketch(region netsim.Region) (*cachesketch.Snapshot, time
 	s.mu.Lock()
 	s.stats.SketchFetches++
 	s.mu.Unlock()
+	s.m.sketchFetches.Inc()
 	return sn, lat
 }
 
@@ -254,6 +340,8 @@ func (s *Service) Fetch(region netsim.Region, path string) (cache.Entry, time.Du
 		if e, ok := edge.Lookup(path); ok {
 			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
 			s.analytics.Append("edge_hits", 1)
+			s.m.fetches[fetchCDN].Inc()
+			s.m.fetchLatency[fetchCDN].ObserveDuration(lat)
 			return e, lat, proxy.SourceCDN, nil
 		}
 	}
@@ -294,6 +382,8 @@ func (s *Service) fetchFromOrigin(region netsim.Region, path string) (cache.Entr
 	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(page.Body)) +
 		s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, len(page.Body)) +
 		s.renderJitter()
+	s.m.fetches[fetchOrigin].Inc()
+	s.m.fetchLatency[fetchOrigin].ObserveDuration(lat)
 	return entry, lat, proxy.SourceOrigin, nil
 }
 
@@ -316,6 +406,7 @@ func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uin
 	if edge := s.cdnNet.Edge(region); edge != nil {
 		if e, ok := edge.Lookup(path); ok && e.Version > knownVersion {
 			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
+			s.m.revalidations[revalEdge].Inc()
 			return proxy.RevalidationResult{Entry: e, Latency: lat, Source: proxy.SourceCDN}, nil
 		}
 	}
@@ -326,6 +417,7 @@ func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uin
 		s.sketch.ReportCachedRead(path, entry.ExpiresAt)
 		lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), revalidationHeaderBytes) +
 			s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, revalidationHeaderBytes)
+		s.m.revalidations[revalNotModified].Inc()
 		return proxy.RevalidationResult{
 			NotModified: true,
 			Entry:       entry,
@@ -337,6 +429,7 @@ func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uin
 	if err != nil {
 		return proxy.RevalidationResult{}, err
 	}
+	s.m.revalidations[revalFull].Inc()
 	return proxy.RevalidationResult{Entry: entry, Latency: lat, Source: src}, nil
 }
 
@@ -353,6 +446,7 @@ func (s *Service) FetchBlocks(region netsim.Region, names []string, u *session.U
 	s.mu.Lock()
 	s.stats.BlockFetches++
 	s.mu.Unlock()
+	s.m.blockFetches.Inc()
 	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.OriginNode, size) + s.renderJitter()/2
 	return out, lat
 }
@@ -384,6 +478,8 @@ func (s *Service) NewDevice(u *session.User, region netsim.Region) *proxy.Proxy 
 		Consent:       s.consent,
 		DisableSketch: s.cfg.DisableSketchOnDevices,
 		PrefetchLinks: s.cfg.PrefetchLinks,
+		Obs:           s.cfg.Obs,
+		Tracer:        s.cfg.Tracer,
 	}, s)
 }
 
@@ -498,6 +594,13 @@ func (s *Service) Clock() clock.Clock { return s.cfg.Clock }
 
 // Delta returns the configured staleness bound.
 func (s *Service) Delta() time.Duration { return s.cfg.Delta }
+
+// Obs returns the metrics registry the deployment's instruments register
+// under (never nil after NewService).
+func (s *Service) Obs() *obs.Registry { return s.cfg.Obs }
+
+// Tracer returns the shared request tracer (nil when tracing is off).
+func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // Stats returns a copy of the service counters.
 func (s *Service) Stats() Stats {

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/netsim"
+	"speedkit/internal/obs"
+)
+
+// newObservedStorefront builds a storefront with a private registry and
+// an always-sample tracer, so assertions see exactly this test's events.
+func newObservedStorefront(t *testing.T) (*Service, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(clk, 1, 64)
+	svc, err := NewStorefront(StorefrontConfig{
+		Config: Config{
+			Clock: clk, Seed: 1, Delta: 30 * time.Second,
+			Obs: reg, Tracer: tracer,
+		},
+		Products: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, reg, tracer
+}
+
+// counterValue reads one series out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string, labels ...obs.Label) float64 {
+	t.Helper()
+	// Resolving through the registry returns the same handle the
+	// instrumented code uses, so reading it observes the live value.
+	return float64(reg.Counter(name, labels...).Value())
+}
+
+func TestDeviceLoadInstrumentsRegistryAndTracer(t *testing.T) {
+	svc, reg, tracer := newObservedStorefront(t)
+	dev := svc.NewDevice(testUser(), netsim.EU)
+
+	if _, err := dev.Load("/product/p00042"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := counterValue(t, reg, "speedkit.device.loads.total", obs.L("source", "origin")); got != 1 {
+		t.Fatalf("device origin loads = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, "speedkit.service.fetch.total", obs.L("source", "origin")); got != 1 {
+		t.Fatalf("service origin fetches = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, "speedkit.device.sketch_refreshes.total"); got != 1 {
+		t.Fatalf("sketch refreshes = %v, want 1 (cold client)", got)
+	}
+
+	// The cold load must have produced exactly one sampled page_load trace
+	// carrying the serve source, the sketch stamp, and the span chain.
+	var page *obs.Trace
+	for _, tr := range tracer.Recent(16) {
+		if tr.Kind == "page_load" {
+			page = tr
+			break
+		}
+	}
+	if page == nil {
+		t.Fatal("no page_load trace sampled")
+	}
+	if page.Path != "/product/p00042" || page.Source != "origin" {
+		t.Fatalf("trace = %+v", page)
+	}
+	if !page.SketchRefreshed {
+		t.Fatal("cold load should mark the sketch refresh")
+	}
+	if page.Blocks == 0 {
+		t.Fatal("personalized load recorded no blocks")
+	}
+	names := map[string]bool{}
+	for _, sp := range page.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"sketch.fetch", "shell.fetch", "personalize"} {
+		if !names[want] {
+			t.Fatalf("span %q missing from %+v", want, page.Spans)
+		}
+	}
+	if page.Total <= 0 {
+		t.Fatalf("trace total = %v", page.Total)
+	}
+}
+
+func TestInvalidationPipelineTracedAndCounted(t *testing.T) {
+	svc, reg, tracer := newObservedStorefront(t)
+	dev := svc.NewDevice(nil, netsim.EU)
+
+	// Cache a copy so the write has a live copy to track, then write.
+	if _, err := dev.Load("/product/p00007"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Docs().Patch("products", "p00007", map[string]any{"price": 9.99}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := counterValue(t, reg, "speedkit.invalidation.total"); got < 1 {
+		t.Fatalf("invalidations = %v, want >= 1", got)
+	}
+	if got := counterValue(t, reg, "speedkit.cdn.purges.total"); got < 1 {
+		t.Fatalf("purges = %v, want >= 1", got)
+	}
+
+	var inv *obs.Trace
+	for _, tr := range tracer.Recent(64) {
+		if tr.Kind == "invalidation" && tr.Path == "/product/p00007" {
+			inv = tr
+			break
+		}
+	}
+	if inv == nil {
+		t.Fatal("no invalidation trace for the written path")
+	}
+	if inv.SketchGeneration == 0 {
+		t.Fatal("invalidation trace missing the post-write sketch generation")
+	}
+	names := map[string]bool{}
+	for _, sp := range inv.Spans {
+		names[sp.Name] = true
+	}
+	if !names["sketch.report"] || !names["cdn.purge"] {
+		t.Fatalf("pipeline spans = %+v", inv.Spans)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	svc, _ := newTestStorefront(t)
+	dev := svc.NewDevice(nil, netsim.EU)
+	if _, err := dev.Load("/"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Tracer() != nil {
+		t.Fatal("tracer should default to nil (tracing off)")
+	}
+}

@@ -8,7 +8,10 @@
 //	GET  /blocks?names=a,b&user=...      first-party personalized fragments (JSON)
 //	POST /admin/write?product=&price=    a catalog write driving the pipeline
 //	GET  /stats                          service counters
-//	GET  /healthz                        liveness
+//	GET  /healthz                        liveness + deployment shape (JSON)
+//	GET  /metrics                        Prometheus-style text exposition
+//	GET  /debug/traces?n=...             recent sampled request traces (JSON)
+//	GET  /debug/pprof/...                standard Go profiling endpoints
 //
 // The package is pure net/http + encoding/json and fully testable with
 // httptest; cmd/speedkit-server is a thin wrapper around Handler.
@@ -18,13 +21,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"speedkit/internal/cache"
 	"speedkit/internal/core"
+	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
+	"speedkit/internal/obs"
 	"speedkit/internal/session"
 )
 
@@ -37,11 +43,29 @@ type API struct {
 	users map[string]*session.User
 	// region is the edge the HTTP surface represents.
 	region netsim.Region
+	// started is the service-clock instant the API was built, the zero
+	// point for the uptime /healthz reports.
+	started time.Time
+
+	// Sketch-state gauges, refreshed at every /metrics scrape so the
+	// exposition reflects the coherence state at observation time.
+	sketchGen     *metrics.Gauge
+	sketchTracked *metrics.Gauge
+	sketchBytes   *metrics.Gauge
 }
 
 // New creates an API over svc, registering the given users.
 func New(svc *core.Service, users []*session.User) *API {
-	a := &API{svc: svc, users: make(map[string]*session.User, len(users)), region: netsim.EU}
+	a := &API{
+		svc:     svc,
+		users:   make(map[string]*session.User, len(users)),
+		region:  netsim.EU,
+		started: svc.Clock().Now(),
+	}
+	r := svc.Obs()
+	a.sketchGen = r.Gauge("speedkit.sketch.generation")
+	a.sketchTracked = r.Gauge("speedkit.sketch.tracked")
+	a.sketchBytes = r.Gauge("speedkit.sketch.bytes")
 	for _, u := range users {
 		a.users[u.ID] = u
 	}
@@ -57,11 +81,72 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /blocks", a.handleBlocks)
 	mux.HandleFunc("POST /admin/write", a.handleWrite)
 	mux.HandleFunc("GET /stats", a.handleStats)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
+// Health is the /healthz response body.
+type Health struct {
+	Status string `json:"status"`
+	// Uptime is time served since construction, on the service clock.
+	Uptime string `json:"uptime"`
+	// SketchGeneration is the coherence server's content generation.
+	SketchGeneration uint64 `json:"sketch_generation"`
+	// SketchTracked is how many resource IDs the sketch currently tracks.
+	SketchTracked int `json:"sketch_tracked"`
+	// InvalidationShards is the query matcher's shard count.
+	InvalidationShards int `json:"invalidation_shards"`
+}
+
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	fmt.Fprintln(w, "ok")
+	h := Health{
+		Status:             "ok",
+		Uptime:             a.svc.Clock().Now().Sub(a.started).String(),
+		SketchGeneration:   a.svc.SketchServer().Generation(),
+		SketchTracked:      a.svc.SketchServer().Stats().Tracked,
+		InvalidationShards: a.svc.Engine().Shards(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// handleMetrics is the scrape endpoint. Sketch-state gauges are refreshed
+// here, at observation time, instead of on every protocol operation.
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	srv := a.svc.SketchServer()
+	a.sketchGen.Set(int64(srv.Generation()))
+	a.sketchTracked.Set(int64(srv.Stats().Tracked))
+	a.sketchBytes.Set(int64(srv.SketchBytes()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.svc.Obs().WriteText(w)
+}
+
+// handleTraces dumps the tracer's ring of recent sampled traces, newest
+// first. ?n= bounds the count (default 32).
+func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad ?n=", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := a.svc.Tracer().Recent(n)
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(traces)
 }
 
 // handleSketch serves the flattened client sketch. Cache-Control pins its
@@ -127,6 +212,13 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
+	}
+	if tr := a.svc.Tracer().Start("http.page", path); tr != nil {
+		tr.SetSource(src.String())
+		tr.SetSketch(a.svc.SketchServer().Generation(), 0, 0)
+		tr.AddSpan("shell.fetch", src.String(), simLat)
+		tr.SetTotal(simLat)
+		a.svc.Tracer().Finish(tr)
 	}
 	a.writePage(w, entry, simLat, src.String())
 }

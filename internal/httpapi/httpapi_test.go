@@ -12,6 +12,7 @@ import (
 	"speedkit/internal/bloom"
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
+	"speedkit/internal/obs"
 	"speedkit/internal/session"
 )
 
@@ -19,7 +20,13 @@ func newTestAPI(t *testing.T) (*API, *httptest.Server, *clock.Simulated) {
 	t.Helper()
 	clk := clock.NewSimulated(time.Time{})
 	svc, err := core.NewStorefront(core.StorefrontConfig{
-		Config:   core.Config{Clock: clk, Seed: 1, Delta: 30 * time.Second},
+		Config: core.Config{
+			Clock: clk, Seed: 1, Delta: 30 * time.Second,
+			// A private registry and an always-sample tracer, so tests can
+			// assert on exact values without cross-test interference.
+			Obs:    obs.NewRegistry(),
+			Tracer: obs.NewTracer(clk, 1, 16),
+		},
 		Products: 50,
 	})
 	if err != nil {
@@ -58,10 +65,108 @@ func get(t *testing.T, url string, headers ...string) (*http.Response, string) {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts, _ := newTestAPI(t)
+	api, ts, clk := newTestAPI(t)
+	clk.Advance(90 * time.Second)
+
+	// Put a key into the sketch so the generation is visibly non-zero.
+	_, _ = get(t, ts.URL+"/page?path=/product/p00002")
+	if err := api.svc.Docs().Patch("products", "p00002", map[string]any{"stock": int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+
 	resp, body := get(t, ts.URL+"/healthz")
-	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Uptime != "1m30s" {
+		t.Fatalf("uptime = %q, want 1m30s on the simulated clock", h.Uptime)
+	}
+	if h.SketchGeneration == 0 {
+		t.Fatal("sketch_generation = 0 after a tracked write")
+	}
+	if h.SketchTracked != 1 {
+		t.Fatalf("sketch_tracked = %d, want 1", h.SketchTracked)
+	}
+	if h.InvalidationShards != 4 {
+		t.Fatalf("invalidation_shards = %d, want default 4", h.InvalidationShards)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	_, _ = get(t, ts.URL+"/page?path=/product/p00001") // origin render
+	_, _ = get(t, ts.URL+"/page?path=/product/p00001") // edge hit
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE speedkit_service_fetch_total counter",
+		`speedkit_service_fetch_total{source="cdn"} 1`,
+		`speedkit_service_fetch_total{source="origin"} 1`,
+		"# TYPE speedkit_sketch_generation gauge",
+		"# TYPE speedkit_sketch_bytes gauge",
+		"# TYPE speedkit_service_fetch_latency_us summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	_, _ = get(t, ts.URL+"/page?path=/product/p00006")
+
+	resp, body := get(t, ts.URL+"/debug/traces?n=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, body)
+	}
+	var page *obs.Trace
+	for i := range traces {
+		if traces[i].Kind == "http.page" {
+			page = &traces[i]
+		}
+	}
+	if page == nil {
+		t.Fatalf("no http.page trace in %s", body)
+	}
+	if page.Path != "/product/p00006" || page.Source != "origin" {
+		t.Fatalf("trace = %+v", page)
+	}
+	if len(page.Spans) == 0 || page.Spans[0].Name != "shell.fetch" {
+		t.Fatalf("spans = %+v", page.Spans)
+	}
+
+	resp, _ = get(t, ts.URL+"/debug/traces?n=zero")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d", resp.StatusCode)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	resp, body := get(t, ts.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
 	}
 }
 

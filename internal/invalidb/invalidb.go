@@ -155,6 +155,10 @@ func (e *Engine) Registered() int {
 	return n
 }
 
+// Shards returns the matcher's shard count — a deployment-shape fact
+// health endpoints report so operators can see how the engine was sized.
+func (e *Engine) Shards() int { return len(e.shards) }
+
 // OnInvalidation subscribes fn to invalidation signals. Signals for one
 // event are delivered sorted by registration ID, synchronously from
 // Process. The returned cancel function unsubscribes.

@@ -59,3 +59,11 @@ func TestLockCheckFixture(t *testing.T) {
 func TestRandDisciplineFixture(t *testing.T) {
 	checkFixture(t, "randuse", "fixture/randuse", RandDiscipline)
 }
+
+func TestObsLabelsFixture(t *testing.T) {
+	checkFixture(t, "obsuse", "fixture/obsuse", ObsLabels)
+}
+
+func TestObsLabelsRejectsObsInSharedInfra(t *testing.T) {
+	checkFixture(t, "obsinfra", "fixture/internal/cache", ObsLabels)
+}

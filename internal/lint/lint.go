@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		ClockDiscipline,
 		LockCheck,
 		RandDiscipline,
+		ObsLabels,
 	}
 }
 

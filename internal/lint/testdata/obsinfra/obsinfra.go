@@ -1,0 +1,17 @@
+// Package obsinfra seeds the shared-infrastructure side of obslabels.
+// The fixture test loads it under "fixture/internal/cache", so the
+// analyzer treats it as shared infrastructure — where importing the
+// telemetry package at all crosses the GDPR boundary (obs depends on
+// internal/gdpr for its PII classification).
+package obsinfra
+
+import (
+	"speedkit/internal/obs" // want "imports telemetry package"
+)
+
+// Hits is instrumented through a registry the caller injects; even that
+// is illegal here — shared infrastructure exposes counters via its own
+// Stats types and lets the service layer translate them.
+func Hits(r *obs.Registry) {
+	r.Counter("fixture.cache.hits.total").Inc()
+}

@@ -1,0 +1,35 @@
+// Package obsuse seeds obslabels violations. The fixture test loads it
+// under the synthetic import path "fixture/obsuse" — device-side code,
+// where importing obs and session together is legal but labeling
+// telemetry with identity is not.
+package obsuse
+
+import (
+	"speedkit/internal/obs"
+	"speedkit/internal/session"
+)
+
+const tierKey = "tier" // PII-classified: loyalty tier reveals account state
+
+// Instrument shows every shape the analyzer must catch — and the clean
+// forms it must leave alone.
+func Instrument(r *obs.Registry, u *session.User, source string) {
+	// Clean: a bounded, anonymous label.
+	r.Counter("fixture.loads.total", obs.L("source", source)).Inc()
+
+	// PII-classified constant keys, literal and via a named constant.
+	r.Counter("fixture.bad.total", obs.L("email", "x")).Inc()   // want "PII-classified field name"
+	r.Counter("fixture.bad.total", obs.L(tierKey, "x")).Inc()   // want "PII-classified field name"
+	r.Counter("fixture.bad.total", obs.L("user_id", "x")).Inc() // want "PII-classified field name"
+
+	// Identity-derived label values behind a clean key.
+	r.Counter("fixture.bad.total", obs.L("segment", u.ID)).Inc()     // want "identity-bearing type"
+	r.Counter("fixture.bad.total", obs.L("segment", ident(u))).Inc() // want "identity-bearing value"
+
+	// The composite-literal spelling gets the same scrutiny.
+	_ = obs.Label{Key: "email", Value: "x"}      // want "PII-classified field name"
+	_ = obs.Label{Key: "segment", Value: u.Name} // want "identity-bearing type"
+	_ = obs.Label{Key: "region", Value: source}
+}
+
+func ident(u *session.User) string { return u.ID }

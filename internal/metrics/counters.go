@@ -21,11 +21,16 @@ func NewCounter() *Counter { return &Counter{} }
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds n. Negative deltas are ignored to keep the counter monotonic.
+// Add adds n to the counter. Counters are monotonic by contract: a zero
+// or negative delta is dropped silently — never applied, never an error
+// — so a miscomputed negative adjustment cannot make a counter run
+// backwards (which would corrupt rates derived from it). Callers that
+// need a value that can go down want a Gauge instead.
 func (c *Counter) Add(n int) {
-	if n > 0 {
-		c.v.Add(uint64(n))
+	if n <= 0 {
+		return
 	}
+	c.v.Add(uint64(n))
 }
 
 // Value returns the current count.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +19,25 @@ func TestCounterBasics(t *testing.T) {
 	c.Reset()
 	if c.Value() != 0 {
 		t.Fatalf("reset value = %d", c.Value())
+	}
+}
+
+// TestCounterAddDropsNonPositiveDeltas pins the monotonicity contract:
+// zero and negative deltas are dropped outright, including the edge
+// cases that would corrupt the counter if the delta were cast to uint64
+// before the sign check (math.MinInt would add 2^63).
+func TestCounterAddDropsNonPositiveDeltas(t *testing.T) {
+	c := NewCounter()
+	c.Add(10)
+	for _, n := range []int{0, -1, -10, math.MinInt} {
+		c.Add(n)
+		if c.Value() != 10 {
+			t.Fatalf("after Add(%d): value = %d, want 10 (non-positive deltas must be dropped)", n, c.Value())
+		}
+	}
+	c.Add(1)
+	if c.Value() != 11 {
+		t.Fatalf("positive delta after dropped ones: value = %d, want 11", c.Value())
 	}
 }
 

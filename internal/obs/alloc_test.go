@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// The acceptance bar for telemetry on the request path: tracing that is
+// disabled, nil, or simply did not draw this request allocates nothing,
+// and pre-resolved metric handles record without allocating. These tests
+// are the hard gate behind the hot-path obs benchmarks.
+
+func TestDisabledTracerStartAllocsFree(t *testing.T) {
+	off := NewTracer(clock.NewSimulated(time.Time{}), 0, 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr := off.Start("page_load", "/p"); tr != nil {
+			t.Fatal("disabled tracer sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled Start allocates %v per run, want 0", n)
+	}
+}
+
+func TestNilTracerStartAllocsFree(t *testing.T) {
+	var nilT *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr := nilT.Start("page_load", "/p"); tr != nil {
+			t.Fatal("nil tracer sampled")
+		}
+		nilT.Finish(nil)
+	}); n != 0 {
+		t.Fatalf("nil tracer path allocates %v per run, want 0", n)
+	}
+}
+
+func TestUnsampledStartAllocsFree(t *testing.T) {
+	// Sampling enabled but this request never drawn: 1-in-2^30.
+	tcr := NewTracer(clock.NewSimulated(time.Time{}), 1<<30, 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr := tcr.Start("page_load", "/p"); tr != nil {
+			t.Fatal("unexpected sample")
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled Start allocates %v per run, want 0", n)
+	}
+}
+
+func TestNilTraceMethodsAllocFree(t *testing.T) {
+	var tr *Trace
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.AddSpan("shell.fetch", "cdn", time.Millisecond)
+		tr.SetSource("cdn")
+		tr.SetSketch(1, time.Second, time.Minute)
+		tr.SetBlocks(1, time.Millisecond)
+		tr.SetTotal(time.Millisecond)
+		tr.MarkRevalidated()
+	}); n != 0 {
+		t.Fatalf("nil trace methods allocate %v per run, want 0", n)
+	}
+}
+
+func TestResolvedHandlesRecordAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("speedkit.test.total", L("source", "cdn"))
+	g := r.Gauge("speedkit.test.inflight")
+	h := r.Histogram("speedkit.test.lat_us")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(125)
+	}); n != 0 {
+		t.Fatalf("pre-resolved handles allocate %v per run, want 0", n)
+	}
+}

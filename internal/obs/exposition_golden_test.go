@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the text exposition format byte for byte: a
+// fixed registry state must render exactly this output — families sorted
+// by name, series sorted by label signature, label values escaped,
+// integral values without exponents. Any format drift breaks scrapers,
+// so it must show up as a diff here first.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("speedkit.fetch.total", L("source", "cdn")).Add(42)
+	r.Counter("speedkit.fetch.total", L("source", "origin")).Add(7)
+	r.Counter("speedkit.invalidation.total").Inc()
+	r.Gauge("speedkit.sketch.generation").Set(13)
+	r.Gauge("speedkit.sketch.bytes").Set(12045)
+	// A label value exercising every escape rule.
+	r.Counter("speedkit.weird.total", L("path", "a\\b\"c\nd")).Add(3)
+	h := r.Histogram("speedkit.load.latency_us", L("source", "device"))
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+
+	const golden = `# TYPE speedkit_fetch_total counter
+speedkit_fetch_total{source="cdn"} 42
+speedkit_fetch_total{source="origin"} 7
+# TYPE speedkit_invalidation_total counter
+speedkit_invalidation_total 1
+# TYPE speedkit_load_latency_us summary
+speedkit_load_latency_us{source="device",quantile="0.5"} 100
+speedkit_load_latency_us{source="device",quantile="0.9"} 100
+speedkit_load_latency_us{source="device",quantile="0.95"} 100
+speedkit_load_latency_us{source="device",quantile="0.99"} 100
+speedkit_load_latency_us_sum{source="device"} 1000
+speedkit_load_latency_us_count{source="device"} 10
+# TYPE speedkit_sketch_bytes gauge
+speedkit_sketch_bytes 12045
+# TYPE speedkit_sketch_generation gauge
+speedkit_sketch_generation 13
+# TYPE speedkit_weird_total counter
+speedkit_weird_total{path="a\\b\"c\nd"} 3
+`
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if b.String() != golden {
+		t.Errorf("exposition output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", b.String(), golden)
+	}
+
+	// Rendering twice is byte-identical: the writer has no hidden state.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatalf("WriteText (second render): %v", err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of the same registry state differ")
+	}
+}

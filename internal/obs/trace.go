@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Span is one timed step inside a trace: a sketch fetch, the shell
+// fetch, the personalized-block round trip, a CDN purge. Durations are
+// whatever the injected clock measures — simulated latency in the
+// experiment harness, wall time on a real server.
+type Span struct {
+	// Name identifies the step ("sketch.fetch", "shell.fetch",
+	// "blocks.fetch", "cdn.purge", ...).
+	Name string `json:"name"`
+	// Tier is the infrastructure layer the step ran against:
+	// "device", "cdn", "origin", or "pipeline".
+	Tier string `json:"tier"`
+	// Duration is the step's cost in nanoseconds.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Trace is one sampled request (a page load, an HTTP page fetch, or an
+// invalidation-pipeline run). A nil *Trace is the unsampled case: every
+// method is a nil-safe no-op, so instrumented code records
+// unconditionally and pays nothing when its request was not drawn.
+//
+// A trace is owned by the single request goroutine until Finish hands it
+// to the ring buffer, after which it must not be mutated.
+//
+// Traces deliberately have nowhere to put identity: no user field, no
+// session, no cookie. Paths and serve sources are anonymous under the
+// gdpr field classification, which is what makes /debug/traces safe to
+// expose.
+type Trace struct {
+	// ID orders traces; it is the sampling sequence number that drew them.
+	ID uint64 `json:"id"`
+	// Kind is the request class: "page_load", "http.page", "invalidation".
+	Kind string `json:"kind"`
+	// Path is the (anonymous) resource the request was for.
+	Path string `json:"path"`
+	// Start is the clock reading when the trace began.
+	Start time.Time `json:"start"`
+	// Source is the tier that served the shell ("device", "cdn",
+	// "origin"), empty for non-serving traces.
+	Source string `json:"source,omitempty"`
+	// SketchGeneration is the generation of the sketch snapshot consulted
+	// at decision time.
+	SketchGeneration uint64 `json:"sketch_generation"`
+	// SketchAge is how old that snapshot was at decision time.
+	SketchAge time.Duration `json:"sketch_age_ns"`
+	// DeltaBudget is the fraction of the Δ staleness budget the snapshot
+	// had consumed at decision time (SketchAge/Δ; 0 when Δ is unknown).
+	DeltaBudget float64 `json:"delta_budget"`
+	// SketchRefreshed, Revalidated, Offline mirror the per-load protocol
+	// outcomes.
+	SketchRefreshed bool `json:"sketch_refreshed,omitempty"`
+	Revalidated     bool `json:"revalidated,omitempty"`
+	Offline         bool `json:"offline,omitempty"`
+	// Blocks is the number of dynamic blocks personalized for the load;
+	// BlockLatency is the cost of producing them (block-level
+	// personalization latency).
+	Blocks       int           `json:"blocks,omitempty"`
+	BlockLatency time.Duration `json:"block_latency_ns,omitempty"`
+	// Total is the end-to-end request cost.
+	Total time.Duration `json:"total_ns"`
+	// Spans are the timed steps, in recording order.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// AddSpan appends a timed step. No-op on a nil (unsampled) trace.
+func (tr *Trace) AddSpan(name, tier string, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Spans = append(tr.Spans, Span{Name: name, Tier: tier, Duration: d})
+}
+
+// SetSource records the serving tier.
+func (tr *Trace) SetSource(source string) {
+	if tr == nil {
+		return
+	}
+	tr.Source = source
+}
+
+// SetSketch records the sketch snapshot state consulted at decision
+// time: its generation, its age, and the Δ it is budgeted against.
+func (tr *Trace) SetSketch(generation uint64, age, delta time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.SketchGeneration = generation
+	tr.SketchAge = age
+	if delta > 0 {
+		tr.DeltaBudget = float64(age) / float64(delta)
+	}
+}
+
+// SetBlocks records the personalization outcome.
+func (tr *Trace) SetBlocks(n int, latency time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Blocks = n
+	tr.BlockLatency = latency
+}
+
+// SetTotal records the end-to-end cost.
+func (tr *Trace) SetTotal(d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Total = d
+}
+
+// MarkSketchRefreshed notes that the load refreshed the sketch.
+func (tr *Trace) MarkSketchRefreshed() {
+	if tr == nil {
+		return
+	}
+	tr.SketchRefreshed = true
+}
+
+// MarkRevalidated notes that the sketch forced a revalidation.
+func (tr *Trace) MarkRevalidated() {
+	if tr == nil {
+		return
+	}
+	tr.Revalidated = true
+}
+
+// MarkOffline notes that the load was served from the device cache with
+// the network unreachable.
+func (tr *Trace) MarkOffline() {
+	if tr == nil {
+		return
+	}
+	tr.Offline = true
+}
+
+// TracerStats counts tracer activity.
+type TracerStats struct {
+	// Started counts requests that consulted the sampler while sampling
+	// was enabled.
+	Started uint64
+	// Sampled counts requests that were drawn and allocated a Trace.
+	Sampled uint64
+}
+
+// Tracer draws a deterministic 1-in-N sample of requests and keeps the
+// most recent finished traces in a fixed ring buffer. A nil *Tracer is
+// fully disabled: Start returns nil at the cost of a nil check, and every
+// other method is a no-op, so components take a *Tracer without caring
+// whether tracing is deployed.
+//
+// Start on a live tracer is one atomic add and a modulo; the unsampled
+// outcome allocates nothing. The AllocsPerRun tests pin this.
+type Tracer struct {
+	clk clock.Clock
+	// sampleEvery is the sampling knob: 0 disables, 1 traces every
+	// request, N traces one in N. Mutable at runtime via SetSampleEvery.
+	sampleEvery atomic.Uint64
+	seq         atomic.Uint64
+	sampled     atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace // guarded by mu
+	next int      // guarded by mu
+}
+
+// NewTracer creates a tracer reading time from clk (default the coarse
+// system clock), sampling one request in sampleEvery (0 disables), and
+// retaining the last ringSize finished traces (default 256).
+func NewTracer(clk clock.Clock, sampleEvery int, ringSize int) *Tracer {
+	if clk == nil {
+		clk = clock.CoarseSystem
+	}
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	t := &Tracer{clk: clk, ring: make([]*Trace, 0, ringSize)}
+	if sampleEvery > 0 {
+		t.sampleEvery.Store(uint64(sampleEvery))
+	}
+	return t
+}
+
+// SetSampleEvery changes the sampling rate: 0 disables, 1 traces
+// everything, N traces one request in N. Safe to call while serving.
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sampleEvery.Store(uint64(n))
+}
+
+// SampleEvery returns the current sampling knob (0 = disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleEvery.Load())
+}
+
+// Start draws the sampling decision for one request. It returns nil —
+// the free, allocation-less outcome — when the tracer is nil, disabled,
+// or the request was not drawn; otherwise it allocates and stamps a
+// Trace the caller populates and hands to Finish.
+func (t *Tracer) Start(kind, path string) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.sampleEvery.Load()
+	if n == 0 {
+		return nil
+	}
+	id := t.seq.Add(1)
+	if id%n != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Trace{ID: id, Kind: kind, Path: path, Start: t.clk.Now()}
+}
+
+// Finish publishes a populated trace into the ring buffer. The trace
+// must not be mutated afterwards. No-op when either side is nil.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.mu.Unlock()
+}
+
+// Recent returns up to n finished traces, newest first (all retained
+// traces for n <= 0). The slice is a fresh copy; the traces themselves
+// are shared and immutable once finished.
+func (t *Tracer) Recent(n int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := len(t.ring)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]*Trace, 0, n)
+	// t.next is the slot the *next* finish will take, so the newest
+	// finished trace sits just behind it.
+	for i := 1; i <= n; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += total
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Stats returns a copy of the tracer counters.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{Started: t.seq.Load(), Sampled: t.sampled.Load()}
+}

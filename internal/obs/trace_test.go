@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func TestTracerSamplesOneInN(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tr := NewTracer(clk, 4, 16)
+	var sampled int
+	for i := 0; i < 100; i++ {
+		if s := tr.Start("page_load", "/p"); s != nil {
+			sampled++
+			tr.Finish(s)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at 1-in-4, want 25", sampled)
+	}
+	st := tr.Stats()
+	if st.Started != 100 || st.Sampled != 25 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Start("k", "/p") != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	nilT.Finish(&Trace{})
+	nilT.SetSampleEvery(1)
+	if nilT.Recent(10) != nil || nilT.SampleEvery() != 0 {
+		t.Fatal("nil tracer is not inert")
+	}
+
+	off := NewTracer(clock.NewSimulated(time.Time{}), 0, 4)
+	if off.Start("k", "/p") != nil {
+		t.Fatal("disabled tracer sampled")
+	}
+	off.SetSampleEvery(1)
+	if off.Start("k", "/p") == nil {
+		t.Fatal("re-enabled tracer did not sample")
+	}
+}
+
+func TestNilTraceMethodsAreNoOps(t *testing.T) {
+	var tr *Trace
+	tr.AddSpan("s", "cdn", time.Second)
+	tr.SetSource("cdn")
+	tr.SetSketch(3, time.Second, time.Minute)
+	tr.SetBlocks(2, time.Millisecond)
+	tr.SetTotal(time.Second)
+	tr.MarkSketchRefreshed()
+	tr.MarkRevalidated()
+	tr.MarkOffline()
+	// Reaching here without a panic is the assertion.
+}
+
+func TestTraceRecordsProtocolOutcomes(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracer(clk, 1, 8)
+	tr := tcr.Start("page_load", "/product/p1")
+	tr.SetSketch(7, 30*time.Second, 60*time.Second)
+	tr.AddSpan("sketch.fetch", "cdn", 5*time.Millisecond)
+	tr.AddSpan("shell.fetch", "origin", 40*time.Millisecond)
+	tr.SetSource("origin")
+	tr.SetBlocks(3, 12*time.Millisecond)
+	tr.MarkRevalidated()
+	tr.SetTotal(57 * time.Millisecond)
+	tcr.Finish(tr)
+
+	got := tcr.Recent(1)
+	if len(got) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(got))
+	}
+	g := got[0]
+	if g.SketchGeneration != 7 || g.DeltaBudget != 0.5 {
+		t.Fatalf("sketch state = gen %d budget %v, want 7, 0.5", g.SketchGeneration, g.DeltaBudget)
+	}
+	if g.Source != "origin" || !g.Revalidated || g.Blocks != 3 {
+		t.Fatalf("outcomes = %+v", g)
+	}
+	if len(g.Spans) != 2 || g.Spans[0].Name != "sketch.fetch" || g.Spans[1].Tier != "origin" {
+		t.Fatalf("spans = %+v", g.Spans)
+	}
+}
+
+func TestTracerRingKeepsNewestFirst(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracer(clk, 1, 4)
+	for i := 0; i < 10; i++ {
+		tr := tcr.Start("page_load", "/p")
+		tcr.Finish(tr)
+	}
+	got := tcr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	// IDs 7,8,9,10 survive; newest first.
+	want := []uint64{10, 9, 8, 7}
+	for i, tr := range got {
+		if tr.ID != want[i] {
+			t.Fatalf("recent[%d].ID = %d, want %d (full: %v)", i, tr.ID, want[i], ids(got))
+		}
+	}
+	if got2 := tcr.Recent(2); len(got2) != 2 || got2[0].ID != 10 || got2[1].ID != 9 {
+		t.Fatalf("Recent(2) = %v", ids(got2))
+	}
+}
+
+func ids(trs []*Trace) []uint64 {
+	out := make([]uint64, len(trs))
+	for i, tr := range trs {
+		out[i] = tr.ID
+	}
+	return out
+}

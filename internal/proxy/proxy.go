@@ -26,7 +26,9 @@ import (
 	"speedkit/internal/cachesketch"
 	"speedkit/internal/clock"
 	"speedkit/internal/gdpr"
+	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
+	"speedkit/internal/obs"
 	"speedkit/internal/origin"
 	"speedkit/internal/session"
 )
@@ -129,6 +131,13 @@ type Config struct {
 	// PrefetchLinks warms the device cache with up to this many of each
 	// loaded page's links (0 disables prefetching).
 	PrefetchLinks int
+	// Tracer samples page-load traces (nil disables tracing at zero
+	// per-load cost).
+	Tracer *obs.Tracer
+	// Obs registers device-side metrics — loads by serving tier, load and
+	// block-personalization latency — under the shared registry (nil
+	// disables).
+	Obs *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -179,12 +188,40 @@ type Proxy struct {
 	store  *cache.Store
 	tr     Transport
 	stats  Stats
+	// m holds metric handles resolved once at construction, so the load
+	// path never does a registry lookup; nil when no registry is wired.
+	m *proxyMetrics
+}
+
+// proxyMetrics are the device-side instruments, pre-resolved from the
+// registry (see the metric catalog in DESIGN.md).
+type proxyMetrics struct {
+	loads           [3]*metrics.Counter // indexed by Source
+	offlineServes   *metrics.Counter
+	sketchRefreshes *metrics.Counter
+	revalidations   *metrics.Counter
+	loadLatency     *metrics.Histogram
+	blockLatency    *metrics.Histogram
+}
+
+func newProxyMetrics(r *obs.Registry) *proxyMetrics {
+	m := &proxyMetrics{
+		offlineServes:   r.Counter("speedkit.device.offline_serves.total"),
+		sketchRefreshes: r.Counter("speedkit.device.sketch_refreshes.total"),
+		revalidations:   r.Counter("speedkit.device.revalidations.total"),
+		loadLatency:     r.Histogram("speedkit.device.load_latency_us"),
+		blockLatency:    r.Histogram("speedkit.device.block_latency_us"),
+	}
+	for _, src := range []Source{SourceDevice, SourceCDN, SourceOrigin} {
+		m.loads[src] = r.Counter("speedkit.device.loads.total", obs.L("source", src.String()))
+	}
+	return m
 }
 
 // New creates a proxy bound to a transport.
 func New(cfg Config, tr Transport) *Proxy {
 	cfg.applyDefaults()
-	return &Proxy{
+	p := &Proxy{
 		cfg:    cfg,
 		sketch: cachesketch.NewClient(cfg.Clock, cfg.Delta),
 		store: cache.New(cache.Config{
@@ -193,6 +230,10 @@ func New(cfg Config, tr Transport) *Proxy {
 		}),
 		tr: tr,
 	}
+	if cfg.Obs != nil {
+		p.m = newProxyMetrics(cfg.Obs)
+	}
+	return p
 }
 
 // PageLoad is the result of one intercepted page request.
@@ -230,6 +271,10 @@ func (p *Proxy) auditCDN(fields ...string) {
 func (p *Proxy) Load(path string) (PageLoad, error) {
 	res := PageLoad{Path: path}
 	p.stats.Loads++
+	// Unsampled and disabled tracing both yield a nil trace; every trace
+	// method below is a nil-safe no-op, so the untraced load pays one
+	// atomic load here and nothing else.
+	trace := p.cfg.Tracer.Start("page_load", path)
 
 	// 1. Sketch freshness: refresh if older than Δ. The sketch itself is
 	// an anonymous resource fetched from the edge.
@@ -240,6 +285,13 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 		res.SketchRefreshed = true
 		p.stats.SketchRefreshes++
 		p.auditCDN("sketch")
+		trace.MarkSketchRefreshed()
+		trace.AddSpan("sketch.fetch", "cdn", lat)
+	}
+	if trace != nil && !p.cfg.DisableSketch {
+		// Sketch state at decision time: how much of the Δ budget the
+		// held snapshot had consumed when it vouched for this load.
+		trace.SetSketch(p.sketch.Generation(), p.sketch.Age(), p.cfg.Delta)
 	}
 
 	// 2. Coherence decision for the shell. With the sketch disabled,
@@ -268,6 +320,7 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 
 	var entry cache.Entry
 	var err error
+	shellStart := res.Latency
 	switch decision {
 	case cachesketch.ServeFromCache:
 		if e, ok := p.store.Get(path); ok {
@@ -299,7 +352,16 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 		}
 	}
 
+	trace.AddSpan("shell.fetch", res.Source.String(), res.Latency-shellStart)
+	if res.Revalidated {
+		trace.MarkRevalidated()
+	}
+	if res.Offline {
+		trace.MarkOffline()
+	}
+
 	// 3. On-device personalization: swap placeholders for fragments.
+	blockStart := res.Latency
 	body, blocks, err := p.personalize(entry, &res)
 	if err != nil {
 		return PageLoad{}, err
@@ -307,10 +369,35 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 	res.Body = body
 	res.Version = entry.Version
 	res.BlocksPersonalized = blocks
+	blockLatency := res.Latency - blockStart
+	if blocks > 0 {
+		trace.AddSpan("personalize", "device", blockLatency)
+	}
+	trace.SetBlocks(blocks, blockLatency)
 
 	// 4. Background prefetch of linked pages (never while offline).
 	if !res.Offline {
 		p.prefetch(entry)
+	}
+
+	trace.SetSource(res.Source.String())
+	trace.SetTotal(res.Latency)
+	p.cfg.Tracer.Finish(trace)
+	if p.m != nil {
+		p.m.loads[res.Source].Inc()
+		p.m.loadLatency.ObserveDuration(res.Latency)
+		if blocks > 0 {
+			p.m.blockLatency.ObserveDuration(blockLatency)
+		}
+		if res.SketchRefreshed {
+			p.m.sketchRefreshes.Inc()
+		}
+		if res.Revalidated {
+			p.m.revalidations.Inc()
+		}
+		if res.Offline {
+			p.m.offlineServes.Inc()
+		}
 	}
 	return res, nil
 }
