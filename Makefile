@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint race cover bench bench-hotpath bench-obs experiments fmt vet clean
+.PHONY: all help build test lint race cover bench bench-hotpath bench-obs chaos experiments fmt vet clean
 
 all: build test lint
 
@@ -17,6 +17,7 @@ help:
 	@echo "  bench          one benchmark per table/figure (reduced scale)"
 	@echo "  bench-hotpath  parallel hot-path microbenchmarks -> BENCH_hotpath.json"
 	@echo "  bench-obs      observability overhead benchmarks (0 allocs/op bar)"
+	@echo "  chaos          seed-pinned fault-injection run asserting the resilience invariants"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -60,6 +61,16 @@ bench-hotpath:
 # live in internal/obs/alloc_test.go; this target shows the ns/op).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem -cpu 4 .
+
+# Chaos gate: deterministic fault injection over a seed-pinned field run,
+# executed twice and checked for identical fault schedules, Δ-atomicity of
+# every connected load, ≥10% injected fault rates on the sketch and origin
+# paths, and zero goroutine leaks. Non-zero exit on any violation.
+CHAOS_SEED ?= 7
+CHAOS_OPS ?= 20000
+
+chaos:
+	$(GO) run ./cmd/speedkit-sim -chaos -seed $(CHAOS_SEED) -ops $(CHAOS_OPS)
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 			if path == "" {
 				continue
 			}
-			res, err := dev.Load(path)
+			res, err := dev.Load(context.Background(), path)
 			if err != nil {
 				fmt.Printf("  %-28s ERROR: %v\n", path, err)
 				failures++

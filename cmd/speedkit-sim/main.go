@@ -7,17 +7,28 @@
 //	speedkit-sim -mode speedkit -ops 50000 -writes 0.05 -delta 30s
 //	speedkit-sim -mode ttl-only -ops 50000 -writes 0.05
 //	speedkit-sim -mode direct -diurnal -ops 100000
+//	speedkit-sim -chaos -ops 30000 -seed 7
+//
+// -chaos installs the deterministic fault-injection profile over every
+// transport and pipeline hop, runs the deployment twice on the same
+// seed, and asserts the resilience invariants: identical fault
+// schedules across runs, every served page Δ-atomic, injected fault
+// rates on the sketch and origin paths at or above the profile floor,
+// and no leaked goroutines. Violations exit non-zero, so `make chaos`
+// is a CI gate, not a demo.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"speedkit/internal/bench"
 	"speedkit/internal/clock"
+	"speedkit/internal/faults"
 	"speedkit/internal/netsim"
 	"speedkit/internal/proxy"
 	"speedkit/internal/workload"
@@ -51,6 +62,8 @@ func main() {
 	record := flag.String("record", "", "write the generated workload trace to this file (JSON Lines)")
 	replay := flag.String("replay", "", "replay a recorded workload trace instead of generating one")
 	obsDump := flag.Bool("obs", true, "dump the metrics registry after the report")
+	chaos := flag.Bool("chaos", false, "chaos mode: inject faults, run twice, assert resilience invariants")
+	chaosRate := flag.Float64("chaosrate", 0.15, "chaos profile base fault rate")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -63,6 +76,10 @@ func main() {
 		Mode: m, Seed: *seed, Ops: *ops, Users: *users, Products: *products,
 		WriteFraction: *writes, Delta: *delta, Diurnal: *diurnal, BounceModel: *bounce,
 		MeanOpsPerSecond: *rate,
+	}
+	if *chaos {
+		runChaos(cfg, *chaosRate)
+		return
 	}
 
 	if *replay != "" {
@@ -160,6 +177,104 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos executes the chaos-mode gate: two seed-identical runs under
+// the fault profile, then the invariant assertions. Any violation exits 1.
+func runChaos(cfg bench.FieldConfig, rate float64) {
+	if cfg.Mode != bench.ModeSpeedKit {
+		fmt.Fprintln(os.Stderr, "chaos mode requires -mode speedkit")
+		os.Exit(2)
+	}
+	cfg.FaultRules = faults.ChaosRules(rate)
+
+	// Baseline the goroutine count after priming the lazy background
+	// machinery (the coarse clock starts its ticker on first use), so the
+	// leak check measures the runs, not library initialization.
+	_ = clock.CoarseSystem.Now()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	sw := clock.NewStopwatch(clock.System)
+	run1, err := bench.RunField(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos run 1:", err)
+		os.Exit(1)
+	}
+	run2, err := bench.RunField(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos run 2:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("chaos: seed=%d ops=%d rate=%.0f%% Δ=%v (%v wall-clock, 2 runs)\n",
+		cfg.Seed, cfg.Ops, rate*100, cfg.Delta, sw.Elapsed().Round(time.Millisecond))
+	fmt.Printf("loads=%d failed=%d staleMax=%v offline=%d (offline staleMax=%v, unbounded by design)\n",
+		run1.Loads, run1.FailedLoads, run1.MaxStaleness.Round(time.Millisecond),
+		run1.OfflineServes, run1.OfflineMaxStaleness.Round(time.Millisecond))
+	fmt.Print(run1.Faults.String())
+	if len(run1.DegradedLoads) > 0 {
+		fmt.Println("degraded loads by rung:")
+		for reason, n := range run1.DegradedLoads {
+			fmt.Printf("  %-18s %d\n", reason, n)
+		}
+	}
+
+	violations := 0
+	fail := func(format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "CHAOS VIOLATION: "+format+"\n", args...)
+	}
+
+	// 1. Determinism: two identical seeds → byte-identical fault schedules.
+	h1, h2 := run1.Faults.ScheduleHash(), run2.Faults.ScheduleHash()
+	if h1 != h2 {
+		fail("fault schedules diverged across seed-identical runs: %x vs %x", h1, h2)
+	} else {
+		fmt.Printf("schedule hash    %x (identical across runs)\n", h1)
+	}
+
+	// 2. Δ-atomicity: no connected load exceeded the staleness bound.
+	// Offline-shell serves are the explicit partition fallback — staleness
+	// there is unbounded by design (and flagged to the caller via
+	// PageLoad.Offline), so they are reported above but not gated on.
+	if run1.MaxStaleness > cfg.Delta {
+		fail("max staleness %v exceeds Δ=%v", run1.MaxStaleness, cfg.Delta)
+	}
+
+	// 3. The chaos actually bit: ≥10%% of sketch and origin calls faulted.
+	st := run1.Faults.Stats()
+	for _, c := range []faults.Component{faults.SketchFetch, faults.OriginFetch} {
+		cs := st[c]
+		if cs.Decisions == 0 {
+			fail("component %s was never exercised", c)
+		} else if cs.Rate() < 0.10 {
+			fail("component %s fault rate %.1f%% below the 10%% floor", c, cs.Rate()*100)
+		} else {
+			fmt.Printf("fault rate       %-13s %.1f%% of %d calls\n", c, cs.Rate()*100, cs.Decisions)
+		}
+	}
+
+	// 4. Something was actually served despite the chaos.
+	if run1.Loads == 0 {
+		fail("no loads served")
+	}
+
+	// 5. No goroutine leaks from either run.
+	runtime.GC()
+	leakWatch := clock.NewStopwatch(clock.System)
+	for runtime.NumGoroutine() > baseline && leakWatch.Elapsed() < 2*time.Second {
+		clock.Sleep(clock.System, 10*time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		fail("goroutine leak: %d before, %d after", baseline, n)
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d invariant violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("chaos: all invariants hold")
 }
 
 // printHourlyCurve renders the origin-render rate per simulated hour as

@@ -1,6 +1,7 @@
 package speedkit_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,10 +21,10 @@ func Example() {
 	user := speedkit.NewUsers(1, 1)[0]
 	device := svc.NewDevice(user, speedkit.RegionEU)
 
-	page, _ := device.Load("/product/p00042")
+	page, _ := device.Load(context.Background(), "/product/p00042")
 	fmt.Println("first load served by:", page.Source)
 
-	page, _ = device.Load("/product/p00042")
+	page, _ = device.Load(context.Background(), "/product/p00042")
 	fmt.Println("second load served by:", page.Source)
 
 	_ = svc.Docs().Patch("products", "p00042", map[string]any{"price": 1.99})
@@ -65,7 +66,7 @@ func ExampleNewService() {
 	defer svc.Close()
 
 	device := svc.NewDevice(nil, speedkit.RegionUS)
-	page, _ := device.Load("/news")
+	page, _ := device.Load(context.Background(), "/news")
 	fmt.Println("loaded /news, version", page.Version)
 	// Output:
 	// loaded /news, version 1

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -74,7 +75,7 @@ func main() {
 }
 
 func mustLoad(d *speedkit.Device, path string) speedkit.PageLoad {
-	page, err := d.Load(path)
+	page, err := d.Load(context.Background(), path)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,7 @@ func main() {
 	reader := svc.NewDevice(nil, speedkit.RegionEU) // anonymous reader
 
 	fmt.Println("== reader opens the breaking-news page")
-	page, err := reader.Load("/breaking")
+	page, err := reader.Load(context.Background(), "/breaking")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 
 	fmt.Println("== 6 seconds later (past Δ) the reader reloads")
 	clk.Advance(6 * time.Second)
-	page, err = reader.Load("/breaking")
+	page, err = reader.Load(context.Background(), "/breaking")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,8 +68,8 @@ func main() {
 	fmt.Printf("   story visible: %v\n", contains(page.Body, "Quantum breakthrough"))
 
 	fmt.Println("== archive reads stay cached: two loads of /article/a1")
-	p1, _ := reader.Load("/article/a1")
-	p2, _ := reader.Load("/article/a1")
+	p1, _ := reader.Load(context.Background(), "/article/a1")
+	p2, _ := reader.Load(context.Background(), "/article/a1")
 	fmt.Printf("   first: %s %v, second: %s %v\n",
 		p1.Source, p1.Latency.Round(time.Millisecond), p2.Source, p2.Latency.Round(time.Millisecond))
 

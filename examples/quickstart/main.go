@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	fmt.Println("three loads of", path)
 
 	for i, dev := range []*speedkit.Device{alice, alice, bob} {
-		page, err := dev.Load(path)
+		page, err := dev.Load(context.Background(), path)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"speedkit/internal/faults"
+)
+
+func chaosConfig(seed int64) FieldConfig {
+	return FieldConfig{
+		Mode:       ModeSpeedKit,
+		Seed:       seed,
+		Ops:        4000,
+		Users:      30,
+		Products:   100,
+		Delta:      30 * time.Second,
+		FaultRules: faults.ChaosRules(0.15),
+	}
+}
+
+// Two chaos runs on the same seed must produce byte-identical fault
+// schedules — the determinism the whole injector exists for.
+func TestChaosRunsAreSeedDeterministic(t *testing.T) {
+	r1, err := RunField(chaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunField(chaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := r1.Faults.ScheduleHash(), r2.Faults.ScheduleHash()
+	if h1 != h2 {
+		t.Fatalf("schedules diverged: %x vs %x", h1, h2)
+	}
+	if len(r1.Faults.Schedule()) == 0 {
+		t.Fatal("no faults injected — vacuous determinism")
+	}
+	if r1.Loads != r2.Loads || r1.FailedLoads != r2.FailedLoads {
+		t.Fatalf("run outcomes diverged: loads %d/%d failed %d/%d",
+			r1.Loads, r2.Loads, r1.FailedLoads, r2.FailedLoads)
+	}
+	r3, err := RunField(chaosConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Faults.ScheduleHash() == h1 {
+		t.Fatal("different seed produced an identical schedule")
+	}
+}
+
+// Under chaos, every connected load stays Δ-atomic; only offline-shell
+// serves (the explicit partition fallback, flagged on the PageLoad) may
+// exceed the bound.
+func TestChaosPreservesDeltaAtomicity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 13} {
+		cfg := chaosConfig(seed)
+		res, err := RunField(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if res.MaxStaleness > cfg.Delta {
+			t.Fatalf("seed=%d: connected staleness %v exceeds Δ=%v",
+				seed, res.MaxStaleness, cfg.Delta)
+		}
+		if res.Loads == 0 {
+			t.Fatalf("seed=%d: nothing served", seed)
+		}
+		st := res.Faults.Stats()
+		for _, c := range []faults.Component{faults.SketchFetch, faults.OriginFetch} {
+			if st[c].Rate() < 0.10 {
+				t.Fatalf("seed=%d: %s fault rate %.1f%% below floor — chaos too gentle to be meaningful",
+					seed, c, st[c].Rate()*100)
+			}
+		}
+		if len(res.DegradedLoads) == 0 {
+			t.Fatalf("seed=%d: no degraded loads — ladder never exercised", seed)
+		}
+	}
+}
+
+// Without fault rules the chaos machinery stays entirely out of the way.
+func TestFieldRunWithoutFaultsHasNoInjector(t *testing.T) {
+	cfg := chaosConfig(1)
+	cfg.FaultRules = nil
+	cfg.Ops = 500
+	res, err := RunField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != nil {
+		t.Fatal("injector installed without rules")
+	}
+	if res.FailedLoads != 0 || res.OfflineServes != 0 {
+		t.Fatalf("failures without faults: failed=%d offline=%d", res.FailedLoads, res.OfflineServes)
+	}
+	if len(res.DegradedLoads) != 0 {
+		t.Fatalf("degraded loads without faults: %v", res.DegradedLoads)
+	}
+}

@@ -7,12 +7,15 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
+	"speedkit/internal/faults"
 	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
 	"speedkit/internal/proxy"
@@ -87,6 +90,17 @@ type FieldConfig struct {
 	Trace []workload.Op
 	// PrefetchLinks enables link prefetching on Speed Kit devices.
 	PrefetchLinks int
+	// FaultRules, when non-empty, installs a deterministic fault injector
+	// over the service transports and the invalidation pipeline (chaos
+	// mode). Loads that exhaust the degradation ladder are then counted
+	// in FailedLoads instead of aborting the run.
+	FaultRules []faults.Rule
+	// FaultSeed seeds the injector (default Seed+500), so the fault
+	// schedule is reproducible independently of the workload stream.
+	FaultSeed int64
+	// DeviceResilience parameterizes the devices' retry/backoff/breaker
+	// layer (zero value = proxy defaults).
+	DeviceResilience proxy.ResilienceConfig
 }
 
 func (c *FieldConfig) applyDefaults() {
@@ -120,10 +134,17 @@ type FieldResult struct {
 	LatencyByRegion map[netsim.Region]*metrics.Histogram
 	// Loads per tier.
 	TierCounts map[proxy.Source]uint64
-	// Consistency.
+	// Consistency. MaxStaleness covers connected serving only — the loads
+	// the Δ bound applies to. Offline-shell serves (PageLoad.Offline) are
+	// the explicit partition fallback where no staleness bound is
+	// achievable; they are tallied separately below.
 	Loads        uint64
 	StaleReads   uint64
 	MaxStaleness time.Duration
+	// OfflineServes counts offline-shell loads; OfflineMaxStaleness is
+	// the worst staleness among them (unbounded by design).
+	OfflineServes       uint64
+	OfflineMaxStaleness time.Duration
 	// Funnel outcomes.
 	Checkouts uint64
 	Bounces   uint64
@@ -139,6 +160,14 @@ type FieldResult struct {
 	Service *core.Service
 	// SimulatedDuration is how much virtual time the run covered.
 	SimulatedDuration time.Duration
+	// Faults is the injector handle (nil unless FaultRules were set):
+	// schedule, hash, and per-component rates for chaos assertions.
+	Faults *faults.Injector
+	// FailedLoads counts loads that failed even after the degradation
+	// ladder (chaos mode tolerates them; they never serve stale bytes).
+	FailedLoads uint64
+	// DegradedLoads counts served loads per degradation rung.
+	DegradedLoads map[proxy.DegradeReason]uint64
 }
 
 // HitRatio returns the share of loads served without an origin fetch.
@@ -169,6 +198,16 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		Delta: cfg.Delta,
 	}
 	svcCfg.PrefetchLinks = cfg.PrefetchLinks
+	var inj *faults.Injector
+	if len(cfg.FaultRules) > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed + 500
+		}
+		inj = faults.New(clk, seed, cfg.FaultRules...)
+		svcCfg.Faults = inj
+		svcCfg.DeviceResilience = cfg.DeviceResilience
+	}
 	switch cfg.Mode {
 	case ModeSpeedKit:
 		svcCfg.TTLSource = cfg.TTLSource // nil → adaptive
@@ -239,6 +278,8 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		LatencyByRegion: map[netsim.Region]*metrics.Histogram{},
 		TierCounts:      map[proxy.Source]uint64{},
 		Service:         svc,
+		Faults:          inj,
+		DegradedLoads:   map[proxy.DegradeReason]uint64{},
 	}
 	for _, src := range []proxy.Source{proxy.SourceDevice, proxy.SourceCDN, proxy.SourceOrigin} {
 		res.LatencyByTier[src] = metrics.NewHistogram()
@@ -248,16 +289,34 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 	}
 	bounced := make([]bool, len(users))
 
+	ctx := context.Background()
 	load := func(idx int, path string) error {
 		u := users[idx]
 		var lat time.Duration
 		var src proxy.Source
 		var version uint64
+		var offline bool
 		switch cfg.Mode {
 		case ModeSpeedKit, ModeTTLOnly:
-			pl, err := devices[idx].Load(path)
+			pl, err := devices[idx].Load(ctx, path)
 			if err != nil {
+				// Under chaos, loads that fail even after the degradation
+				// ladder are an expected outcome — counted, never served
+				// stale. Anything outside the typed failure families is
+				// still a bug and aborts the run.
+				if inj != nil && (errors.Is(err, proxy.ErrOffline) ||
+					errors.Is(err, proxy.ErrDegraded) || errors.Is(err, proxy.ErrUpstream)) {
+					res.FailedLoads++
+					return nil
+				}
 				return err
+			}
+			if pl.Degraded != proxy.DegradeNone {
+				res.DegradedLoads[pl.Degraded]++
+			}
+			if pl.Offline {
+				offline = true
+				res.OfflineServes++
 			}
 			lat, src, version = pl.Latency, pl.Source, pl.Version
 			if pl.SketchRefreshed {
@@ -284,9 +343,15 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		res.LatencyByRegion[u.Region].Observe(us)
 
 		if stale := svc.VersionLog().Staleness(path, version, clk.Now()); stale > 0 {
-			res.StaleReads++
-			if stale > res.MaxStaleness {
-				res.MaxStaleness = stale
+			if offline {
+				if stale > res.OfflineMaxStaleness {
+					res.OfflineMaxStaleness = stale
+				}
+			} else {
+				res.StaleReads++
+				if stale > res.MaxStaleness {
+					res.MaxStaleness = stale
+				}
 			}
 		}
 		if cfg.BounceModel {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -233,7 +234,7 @@ func runOriginBlocksArm(seed int64, ops int) (*FieldResult, error) {
 		clk.Advance(op.Gap)
 		switch op.Kind {
 		case workload.ViewHome, workload.ViewCategory, workload.ViewProduct:
-			pl, err := devices[op.UserIdx].Load(op.Path)
+			pl, err := devices[op.UserIdx].Load(context.Background(), op.Path)
 			if err != nil {
 				return nil, err
 			}

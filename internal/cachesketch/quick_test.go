@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"speedkit/internal/clock"
+	"speedkit/internal/faults"
 )
 
 // quickOp is one randomly generated protocol event. testing/quick fills
@@ -98,6 +99,100 @@ func TestQuickSketchDrainsWhenQuiescent(t *testing.T) {
 		return st.Tracked == 0 && st.TableSize == 0 && st.Adds == st.Removes
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeltaAtomicityUnderSketchFaults is the chaos-mode version of
+// the protocol property: the sketch channel drops out at random (seeded
+// fault injector, error bursts), so the client is often stuck on an
+// expired snapshot. A device following the degradation discipline —
+// refresh when NeedsRefresh; with a fresh snapshot obey Check; without
+// one serve a held copy only while it is younger than Δ, otherwise force
+// a revalidation — must still never serve a version staler than Δ.
+// Random op sequences from testing/quick; every served version is judged
+// against a VersionLog reference.
+func TestQuickDeltaAtomicityUnderSketchFaults(t *testing.T) {
+	const delta = 10 * time.Second
+	const ttl = 30 * time.Second
+	trial := int64(0)
+	f := func(ops []quickOp) bool {
+		trial++
+		clk := clock.NewSimulated(time.Time{})
+		srv := NewServer(ServerConfig{Capacity: 100, FalsePositiveRate: 0.01, Clock: clk})
+		log := NewVersionLog()
+		inj := faults.New(clk, trial, faults.Rule{
+			Component: faults.SketchFetch, Kind: faults.Error, Probability: 0.5, Burst: 3,
+		})
+		cl := NewClient(clk, delta)
+
+		type held struct {
+			v  uint64
+			at time.Time
+		}
+		versions := map[string]uint64{}
+		cache := map[string]held{}
+		version := func(key string) uint64 {
+			if versions[key] == 0 {
+				versions[key] = 1
+				log.RecordWrite(key, 1, clk.Now())
+			}
+			return versions[key]
+		}
+		// fetch models a full (or conditional) origin fetch: the device
+		// ends up holding the current version with a reported TTL copy.
+		fetch := func(key string) uint64 {
+			v := version(key)
+			srv.ReportCachedRead(key, clk.Now().Add(ttl))
+			cache[key] = held{v: v, at: clk.Now()}
+			return v
+		}
+		served := 0
+		for _, op := range ops {
+			key := fmt.Sprintf("/r/%d", op.Key%8)
+			switch op.Kind % 4 {
+			case 0: // backend write
+				v := version(key) + 1
+				versions[key] = v
+				log.RecordWrite(key, v, clk.Now())
+				srv.ReportWrite(key)
+			case 1: // time passes 0..7s
+				clk.Advance(time.Duration(op.Seconds%8) * time.Second)
+			default: // page load under the degradation discipline
+				if cl.NeedsRefresh() {
+					if d := inj.Decide(faults.SketchFetch); !d.Faulted() {
+						cl.Install(srv.Snapshot())
+					}
+				}
+				var servedV uint64
+				h, ok := cache[key]
+				unexpired := ok && clk.Now().Sub(h.at) < ttl
+				if !cl.NeedsRefresh() {
+					switch cl.Check(key) {
+					case ServeFromCache:
+						if unexpired {
+							servedV = h.v
+						} else {
+							servedV = fetch(key)
+						}
+					default: // Revalidate
+						servedV = fetch(key)
+					}
+				} else if unexpired && clk.Now().Sub(h.at) <= delta {
+					servedV = h.v // serve-stale-within-Δ rung
+				} else {
+					servedV = fetch(key) // forced revalidation rung
+				}
+				served++
+				if st := log.Staleness(key, servedV, clk.Now()); st > delta {
+					t.Logf("trial %d: key %s served v%d with staleness %v > Δ", trial, key, servedV, st)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -32,6 +32,30 @@ func Since(c Clock, t time.Time) time.Duration {
 	return c.Now().Sub(t)
 }
 
+// Sleeper is implemented by clocks that can block the caller for a real
+// duration. Simulated clocks deliberately do not implement it: in a
+// simulation the harness owns time, so a "sleep" is accounted as
+// simulated latency by the caller rather than blocking the goroutine.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Sleep blocks for d on clocks that implement Sleeper (the wall clock)
+// and returns immediately on all others. It is the clock-disciplined
+// replacement for time.Sleep: backoff code calls it unconditionally and
+// stays correct under both real and simulated time.
+func Sleep(c Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s, ok := c.(Sleeper); ok {
+		s.Sleep(d)
+	}
+}
+
+// Sleep blocks for d of wall-clock time.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
 // Stopwatch measures elapsed time against a Clock. It is what benchmark
 // harnesses use instead of time.Now/time.Since pairs, so that even
 // wall-clock measurements flow through the injectable seam.

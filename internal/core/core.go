@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"speedkit/internal/cachesketch"
 	"speedkit/internal/cdn"
 	"speedkit/internal/clock"
+	"speedkit/internal/faults"
 	"speedkit/internal/gdpr"
 	"speedkit/internal/invalidb"
 	"speedkit/internal/metrics"
@@ -80,6 +82,15 @@ type Config struct {
 	// Tracer samples request and invalidation-pipeline traces, shared
 	// with devices created by NewDevice (nil disables tracing).
 	Tracer *obs.Tracer
+	// Faults is the optional deterministic fault injector consulted at
+	// every transport call and invalidation-delivery hop (nil disables
+	// injection — the common, non-chaos case).
+	Faults *faults.Injector
+	// DeviceResilience parameterizes the retry/backoff/breaker layer of
+	// proxies created by NewDevice. The zero value takes the proxy
+	// defaults; NewDevice derives a distinct deterministic RNG seed per
+	// device so jitter streams never correlate across a fleet.
+	DeviceResilience proxy.ResilienceConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -118,6 +129,16 @@ type Stats struct {
 	SketchFetches uint64
 	OriginRenders uint64
 	BlockFetches  uint64
+	// FaultsInjected counts transport calls and delivery hops the fault
+	// injector perturbed.
+	FaultsInjected uint64
+	// Redeliveries counts retried invalidation-delivery attempts after an
+	// injected delivery fault.
+	Redeliveries uint64
+	// ForcedDeliveries counts deliveries pushed through after exhausting
+	// the redelivery budget — late rather than dropped, because a dropped
+	// sketch report or purge would silently void the Δ bound.
+	ForcedDeliveries uint64
 }
 
 // Service is one Speed Kit deployment.
@@ -141,9 +162,10 @@ type Service struct {
 	counters  *storage.KV
 	analytics *storage.TimeSeries
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	stats Stats
+	mu     sync.Mutex
+	rng    *rand.Rand
+	stats  Stats
+	devSeq int64 // guarded by mu; numbers devices for per-device seeds
 
 	// m holds the service-side metric handles, resolved once from
 	// cfg.Obs (see the metric catalog in DESIGN.md).
@@ -162,6 +184,9 @@ type serviceMetrics struct {
 	invalidations *metrics.Counter
 	purges        *metrics.Counter
 	pipelineLat   *metrics.Histogram
+	faults        map[faults.Component]*metrics.Counter
+	redeliveries  *metrics.Counter
+	forced        *metrics.Counter
 }
 
 // Serve-source indices for serviceMetrics.fetches / fetchLatency.
@@ -192,6 +217,12 @@ func newServiceMetrics(r *obs.Registry) *serviceMetrics {
 	for i, outcome := range []string{"not_modified", "edge", "full"} {
 		m.revalidations[i] = r.Counter("speedkit.service.revalidations.total", obs.L("result", outcome))
 	}
+	m.faults = make(map[faults.Component]*metrics.Counter, 4)
+	for _, c := range faults.Components() {
+		m.faults[c] = r.Counter("speedkit.service.faults.total", obs.L("component", string(c)))
+	}
+	m.redeliveries = r.Counter("speedkit.invalidation.redeliveries.total")
+	m.forced = r.Counter("speedkit.invalidation.forced.total")
 	return m
 }
 
@@ -266,6 +297,61 @@ func (s *Service) Close() {
 	s.cancels = nil
 }
 
+// inject consults the optional fault injector for one call against a
+// component. It returns the latency spike to add (Latency faults) and
+// the error to surface. Injected errors wrap both the faults sentinel
+// and the proxy-taxonomy family the client resilience layer keys on:
+// Error → ErrUpstream (retryable), Blackhole → ErrOffline (the
+// partition / connectivity-loss failure mode, failed fast).
+func (s *Service) inject(c faults.Component) (time.Duration, error) {
+	d := s.cfg.Faults.Decide(c)
+	if !d.Faulted() {
+		return 0, nil
+	}
+	s.m.faults[c].Inc()
+	s.mu.Lock()
+	s.stats.FaultsInjected++
+	s.mu.Unlock()
+	switch d.Kind {
+	case faults.Latency:
+		return d.Latency, nil
+	case faults.Blackhole:
+		return 0, fmt.Errorf("core: %s: %w: %w", c, d.Err, proxy.ErrOffline)
+	default:
+		return 0, fmt.Errorf("core: %s: %w: %w", c, d.Err, proxy.ErrUpstream)
+	}
+}
+
+// deliverMaxAttempts bounds redelivery of one invalidation-pipeline hop
+// under fault injection.
+const deliverMaxAttempts = 16
+
+// deliver runs one invalidation-delivery hop (sketch report, CDN purge)
+// under fault injection: a faulted attempt is redelivered up to
+// deliverMaxAttempts times, and on exhaustion the hop is forced through
+// anyway. Dropping the hop is never an option — an unreported write
+// would let every device blind-serve the stale copy past Δ, silently
+// voiding the paper's staleness bound. Chaos here degrades delivery
+// latency, not correctness.
+func (s *Service) deliver(c faults.Component, hop func()) {
+	for attempt := 0; attempt < deliverMaxAttempts; attempt++ {
+		_, err := s.inject(c)
+		if err == nil {
+			hop()
+			return
+		}
+		s.m.redeliveries.Inc()
+		s.mu.Lock()
+		s.stats.Redeliveries++
+		s.mu.Unlock()
+	}
+	s.m.forced.Inc()
+	s.mu.Lock()
+	s.stats.ForcedDeliveries++
+	s.mu.Unlock()
+	hop()
+}
+
 // handleInvalidation runs the server-side coherence pipeline for one
 // stale path.
 func (s *Service) handleInvalidation(path string) {
@@ -280,12 +366,12 @@ func (s *Service) handleInvalidation(path string) {
 		s.est.RecordWrite(path)
 	}
 	if !s.cfg.DisableInvalidation {
-		s.sketch.ReportWrite(path)
+		s.deliver(faults.Invalidation, func() { s.sketch.ReportWrite(path) })
 		if tr != nil {
 			tr.AddSpan("sketch.report", "pipeline", sw.Elapsed())
 			sw.Reset()
 		}
-		s.cdnNet.Purge(path)
+		s.deliver(faults.CDNPurge, func() { s.cdnNet.Purge(path) })
 		if tr != nil {
 			tr.AddSpan("cdn.purge", "pipeline", sw.Elapsed())
 		}
@@ -320,32 +406,47 @@ func (s *Service) renderJitter() time.Duration {
 
 // FetchSketch implements proxy.Transport: the sketch is an anonymous
 // resource served from the nearest edge.
-func (s *Service) FetchSketch(region netsim.Region) (*cachesketch.Snapshot, time.Duration) {
+func (s *Service) FetchSketch(ctx context.Context, region netsim.Region) (*cachesketch.Snapshot, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	spike, err := s.inject(faults.SketchFetch)
+	if err != nil {
+		return nil, 0, err
+	}
 	sn := s.sketch.Snapshot()
 	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), s.sketch.SketchBytes())
 	s.mu.Lock()
 	s.stats.SketchFetches++
 	s.mu.Unlock()
 	s.m.sketchFetches.Inc()
-	return sn, lat
+	return sn, lat + spike, nil
 }
 
 // Fetch implements proxy.Transport: serve the anonymous page through the
 // CDN, filling the edge and reporting the cache fill to the sketch server
 // on misses.
-func (s *Service) Fetch(region netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+func (s *Service) Fetch(ctx context.Context, region netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+	if err := ctx.Err(); err != nil {
+		return cache.Entry{}, 0, 0, err
+	}
+	spike, err := s.inject(faults.OriginFetch)
+	if err != nil {
+		return cache.Entry{}, 0, 0, err
+	}
 	s.counters.Incr("hits:"+path, 1)
 	edge := s.cdnNet.Edge(region)
 	if edge != nil {
 		if e, ok := edge.Lookup(path); ok {
-			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
+			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body)) + spike
 			s.analytics.Append("edge_hits", 1)
 			s.m.fetches[fetchCDN].Inc()
 			s.m.fetchLatency[fetchCDN].ObserveDuration(lat)
 			return e, lat, proxy.SourceCDN, nil
 		}
 	}
-	return s.fetchFromOrigin(region, path)
+	e, lat, src, err := s.fetchFromOrigin(region, path)
+	return e, lat + spike, src, err
 }
 
 // fetchFromOrigin renders the page at the origin, fills the regional
@@ -402,10 +503,17 @@ const revalidationHeaderBytes = 256
 // answers 304 when the version is still current. The residual staleness
 // an edge answer can carry is bounded by the purge propagation delay
 // (milliseconds), far inside every Δ.
-func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
+func (s *Service) Revalidate(ctx context.Context, region netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
+	if err := ctx.Err(); err != nil {
+		return proxy.RevalidationResult{}, err
+	}
+	spike, err := s.inject(faults.OriginFetch)
+	if err != nil {
+		return proxy.RevalidationResult{}, err
+	}
 	if edge := s.cdnNet.Edge(region); edge != nil {
 		if e, ok := edge.Lookup(path); ok && e.Version > knownVersion {
-			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body))
+			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body)) + spike
 			s.m.revalidations[revalEdge].Inc()
 			return proxy.RevalidationResult{Entry: e, Latency: lat, Source: proxy.SourceCDN}, nil
 		}
@@ -416,7 +524,7 @@ func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uin
 		entry := cache.TTLEntry(s.cfg.Clock, path, nil, knownVersion, ttlDur)
 		s.sketch.ReportCachedRead(path, entry.ExpiresAt)
 		lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), revalidationHeaderBytes) +
-			s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, revalidationHeaderBytes)
+			s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, revalidationHeaderBytes) + spike
 		s.m.revalidations[revalNotModified].Inc()
 		return proxy.RevalidationResult{
 			NotModified: true,
@@ -430,12 +538,19 @@ func (s *Service) Revalidate(region netsim.Region, path string, knownVersion uin
 		return proxy.RevalidationResult{}, err
 	}
 	s.m.revalidations[revalFull].Inc()
-	return proxy.RevalidationResult{Entry: entry, Latency: lat, Source: src}, nil
+	return proxy.RevalidationResult{Entry: entry, Latency: lat + spike, Source: src}, nil
 }
 
 // FetchBlocks implements proxy.Transport: personalized fragments over the
 // first-party channel (client → origin directly, bypassing the CDN).
-func (s *Service) FetchBlocks(region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+func (s *Service) FetchBlocks(ctx context.Context, region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	spike, err := s.inject(faults.OriginFetch)
+	if err != nil {
+		return nil, 0, err
+	}
 	out := make(map[string][]byte, len(names))
 	size := 0
 	for _, n := range names {
@@ -447,8 +562,8 @@ func (s *Service) FetchBlocks(region netsim.Region, names []string, u *session.U
 	s.stats.BlockFetches++
 	s.mu.Unlock()
 	s.m.blockFetches.Inc()
-	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.OriginNode, size) + s.renderJitter()/2
-	return out, lat
+	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.OriginNode, size) + s.renderJitter()/2 + spike
+	return out, lat, nil
 }
 
 var _ proxy.Transport = (*Service)(nil)
@@ -468,6 +583,15 @@ func (s *Service) NewDevice(u *session.User, region netsim.Region) *proxy.Proxy 
 			s.consent.Grant(u.ID, gdpr.PurposeAnalytics, now)
 		}
 	}
+	s.mu.Lock()
+	s.devSeq++
+	seq := s.devSeq
+	s.mu.Unlock()
+	// Each device gets a distinct deterministic seed for its retry-jitter
+	// stream: correlated jitter across a fleet would re-synchronize the
+	// retry storms backoff exists to break up.
+	res := s.cfg.DeviceResilience
+	res.Seed = s.cfg.Seed + res.Seed + seq*7919
 	return proxy.New(proxy.Config{
 		User:          u,
 		Region:        region,
@@ -480,6 +604,7 @@ func (s *Service) NewDevice(u *session.User, region netsim.Region) *proxy.Proxy 
 		PrefetchLinks: s.cfg.PrefetchLinks,
 		Obs:           s.cfg.Obs,
 		Tracer:        s.cfg.Tracer,
+		Resilience:    res,
 	}, s)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestEndToEndPersonalizedPageLoad(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(testUser(), netsim.EU)
 
-	res, err := dev.Load("/")
+	res, err := dev.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +64,10 @@ func TestCacheTierProgression(t *testing.T) {
 	devB := svc.NewDevice(nil, netsim.EU)
 
 	// Device A cold: origin. Device A again: its own cache.
-	r1, _ := devA.Load("/product/p00003")
-	r2, _ := devA.Load("/product/p00003")
+	r1, _ := devA.Load(context.Background(), "/product/p00003")
+	r2, _ := devA.Load(context.Background(), "/product/p00003")
 	// Device B, same region: the edge already holds the shell.
-	r3, _ := devB.Load("/product/p00003")
+	r3, _ := devB.Load(context.Background(), "/product/p00003")
 
 	if r1.Source != proxy.SourceOrigin || r2.Source != proxy.SourceDevice || r3.Source != proxy.SourceCDN {
 		t.Fatalf("tier progression = %v, %v, %v", r1.Source, r2.Source, r3.Source)
@@ -87,7 +88,7 @@ func TestWritePipelinePurgesAndSketches(t *testing.T) {
 	dev := svc.NewDevice(nil, netsim.EU)
 	path := "/product/p00007"
 
-	if _, err := dev.Load(path); err != nil {
+	if _, err := dev.Load(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
 	// A price write triggers the pipeline.
@@ -112,7 +113,7 @@ func TestEndToEndDeltaAtomicity(t *testing.T) {
 	dev := svc.NewDevice(nil, netsim.EU)
 	path := "/product/p00011"
 
-	r1, _ := dev.Load(path)
+	r1, _ := dev.Load(context.Background(), path)
 	if r1.Version != 1 {
 		t.Fatalf("initial version = %d", r1.Version)
 	}
@@ -121,7 +122,7 @@ func TestEndToEndDeltaAtomicity(t *testing.T) {
 	// Within Δ the device may serve v1 — measure its staleness stays
 	// within the bound.
 	clk.Advance(10 * time.Second)
-	r2, _ := dev.Load(path)
+	r2, _ := dev.Load(context.Background(), path)
 	stale := svc.VersionLog().Staleness(path, r2.Version, clk.Now())
 	if stale > svc.Delta() {
 		t.Fatalf("staleness %v exceeds Δ %v", stale, svc.Delta())
@@ -129,7 +130,7 @@ func TestEndToEndDeltaAtomicity(t *testing.T) {
 
 	// After Δ the sketch refresh forces revalidation to v2.
 	clk.Advance(25 * time.Second)
-	r3, _ := dev.Load(path)
+	r3, _ := dev.Load(context.Background(), path)
 	if r3.Version != 2 {
 		t.Fatalf("post-Δ version = %d, want 2 (revalidated=%v refreshed=%v)",
 			r3.Version, r3.Revalidated, r3.SketchRefreshed)
@@ -141,7 +142,7 @@ func TestQueryPageInvalidatedByMatchingWrite(t *testing.T) {
 	dev := svc.NewDevice(nil, netsim.EU)
 	catPath := workload.CategoryPath(workload.CategoryOf(0)) // p00000's category
 
-	r1, err := dev.Load(catPath)
+	r1, err := dev.Load(context.Background(), catPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestQueryPageInvalidatedByMatchingWrite(t *testing.T) {
 
 	// Past Δ, the device revalidates and sees the new price.
 	clk.Advance(svc.Delta() + time.Second)
-	r2, _ := dev.Load(catPath)
+	r2, _ := dev.Load(context.Background(), catPath)
 	if r2.Version <= r1.Version {
 		t.Fatalf("category page version did not advance: %d -> %d", r1.Version, r2.Version)
 	}
@@ -171,7 +172,7 @@ func TestUnrelatedCategoryNotInvalidated(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	other := workload.CategoryPath(workload.CategoryOf(1)) // different category
 	dev := svc.NewDevice(nil, netsim.EU)
-	_, _ = dev.Load(other)
+	_, _ = dev.Load(context.Background(), other)
 	_ = svc.Docs().Patch("products", "p00000", map[string]any{"stock": int64(1)})
 	if svc.SketchServer().Contains(other) {
 		t.Fatal("write invalidated an unrelated category page")
@@ -182,7 +183,7 @@ func TestSpeedKitLoadsAreGDPRCompliant(t *testing.T) {
 	svc, clk := newTestStorefront(t)
 	dev := svc.NewDevice(testUser(), netsim.EU)
 	for i := 0; i < 10; i++ {
-		_, _ = dev.Load("/product/p00001")
+		_, _ = dev.Load(context.Background(), "/product/p00001")
 		clk.Advance(5 * time.Second)
 	}
 	if !svc.Auditor().Compliant() {
@@ -246,7 +247,7 @@ func TestAdaptiveTTLShrinksForHotWrittenPage(t *testing.T) {
 	// Drive a write-heavy pattern on one product.
 	for i := 0; i < 15; i++ {
 		_ = svc.Docs().Patch("products", "p00002", map[string]any{"stock": int64(i)})
-		_, _ = dev.Load(hot)
+		_, _ = dev.Load(context.Background(), hot)
 		clk.Advance(20 * time.Second)
 	}
 	est := svc.Estimator()
@@ -274,7 +275,7 @@ func TestStaticTTLSourceRespected(t *testing.T) {
 		t.Fatal("estimator installed despite static source")
 	}
 	dev := svc.NewDevice(nil, netsim.EU)
-	_, _ = dev.Load("/product/p00001")
+	_, _ = dev.Load(context.Background(), "/product/p00001")
 	e, ok := svc.CDN().Edge(netsim.EU).Lookup("/product/p00001")
 	if !ok {
 		t.Fatal("edge not filled")
@@ -287,7 +288,7 @@ func TestStaticTTLSourceRespected(t *testing.T) {
 func TestFetchUnknownPathErrors(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(nil, netsim.EU)
-	if _, err := dev.Load("/no/such/page"); err == nil {
+	if _, err := dev.Load(context.Background(), "/no/such/page"); err == nil {
 		t.Fatal("unknown path loaded")
 	}
 }
@@ -295,7 +296,7 @@ func TestFetchUnknownPathErrors(t *testing.T) {
 func TestServiceStatsProgress(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(nil, netsim.US)
-	_, _ = dev.Load("/")
+	_, _ = dev.Load(context.Background(), "/")
 	_ = svc.Docs().Patch("products", "p00001", map[string]any{"price": 9.9})
 	st := svc.Stats()
 	if st.SketchFetches == 0 || st.OriginRenders == 0 || st.Invalidations == 0 {

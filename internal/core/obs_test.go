@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func TestDeviceLoadInstrumentsRegistryAndTracer(t *testing.T) {
 	svc, reg, tracer := newObservedStorefront(t)
 	dev := svc.NewDevice(testUser(), netsim.EU)
 
-	if _, err := dev.Load("/product/p00042"); err != nil {
+	if _, err := dev.Load(context.Background(), "/product/p00042"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,7 +97,7 @@ func TestInvalidationPipelineTracedAndCounted(t *testing.T) {
 	dev := svc.NewDevice(nil, netsim.EU)
 
 	// Cache a copy so the write has a live copy to track, then write.
-	if _, err := dev.Load("/product/p00007"); err != nil {
+	if _, err := dev.Load(context.Background(), "/product/p00007"); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.Docs().Patch("products", "p00007", map[string]any{"price": 9.99}); err != nil {
@@ -135,7 +136,7 @@ func TestInvalidationPipelineTracedAndCounted(t *testing.T) {
 func TestTracingDisabledByDefault(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(nil, netsim.EU)
-	if _, err := dev.Load("/"); err != nil {
+	if _, err := dev.Load(context.Background(), "/"); err != nil {
 		t.Fatal(err)
 	}
 	if svc.Tracer() != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -37,7 +38,7 @@ func TestConcurrentDevicesAndWriters(t *testing.T) {
 			dev := svc.NewDevice(testUser(), region)
 			for i := 0; i < opsPer; i++ {
 				path := workload.ProductPath(rng.Intn(50))
-				res, err := dev.Load(path)
+				res, err := dev.Load(context.Background(), path)
 				if err != nil {
 					errCh <- fmt.Errorf("device %d: %w", d, err)
 					return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -13,10 +14,10 @@ import (
 func TestServiceRevalidateNotModified(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	// Prime the version log and caches.
-	if _, _, _, err := svc.Fetch(netsim.EU, "/product/p00001"); err != nil {
+	if _, _, _, err := svc.Fetch(context.Background(), netsim.EU, "/product/p00001"); err != nil {
 		t.Fatal(err)
 	}
-	rr, err := svc.Revalidate(netsim.EU, "/product/p00001", 1)
+	rr, err := svc.Revalidate(context.Background(), netsim.EU, "/product/p00001", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestServiceRevalidateNotModified(t *testing.T) {
 
 func TestServiceRevalidateModifiedBypassesStaleEdge(t *testing.T) {
 	svc, _ := newTestStorefront(t)
-	if _, _, _, err := svc.Fetch(netsim.EU, "/product/p00002"); err != nil {
+	if _, _, _, err := svc.Fetch(context.Background(), netsim.EU, "/product/p00002"); err != nil {
 		t.Fatal(err)
 	}
 	// Write; do NOT advance the clock, so the CDN purge has not
@@ -48,7 +49,7 @@ func TestServiceRevalidateModifiedBypassesStaleEdge(t *testing.T) {
 	if _, ok := svc.CDN().Edge(netsim.EU).Lookup("/product/p00002"); !ok {
 		t.Skip("edge already purged; propagation-window scenario not reproducible")
 	}
-	rr, err := svc.Revalidate(netsim.EU, "/product/p00002", 1)
+	rr, err := svc.Revalidate(context.Background(), netsim.EU, "/product/p00002", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,14 +67,14 @@ func TestServiceRevalidateModifiedBypassesStaleEdge(t *testing.T) {
 func TestRevalidationServedByFresherEdgeCopy(t *testing.T) {
 	svc, clk := newTestStorefront(t)
 	path := "/product/p00004"
-	if _, _, _, err := svc.Fetch(netsim.EU, path); err != nil {
+	if _, _, _, err := svc.Fetch(context.Background(), netsim.EU, path); err != nil {
 		t.Fatal(err)
 	}
 	_ = svc.Docs().Patch("products", "p00004", map[string]any{"price": 5.55})
 	clk.Advance(20 * time.Millisecond) // purge propagates; edge empty
 
 	// First revalidation falls through to the origin and refills the edge.
-	rr, err := svc.Revalidate(netsim.EU, path, 1)
+	rr, err := svc.Revalidate(context.Background(), netsim.EU, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRevalidationServedByFresherEdgeCopy(t *testing.T) {
 	// Subsequent revalidations from clients still holding v1 are answered
 	// by the purge-maintained edge at edge latency — the behaviour that
 	// keeps flagged-path traffic off the origin.
-	rr, err = svc.Revalidate(netsim.EU, path, 1)
+	rr, err = svc.Revalidate(context.Background(), netsim.EU, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRevalidationServedByFresherEdgeCopy(t *testing.T) {
 
 func TestServiceRevalidateUnknownPath(t *testing.T) {
 	svc, _ := newTestStorefront(t)
-	if _, err := svc.Revalidate(netsim.EU, "/ghost", 1); err == nil {
+	if _, err := svc.Revalidate(context.Background(), netsim.EU, "/ghost", 1); err == nil {
 		t.Fatal("unknown path revalidated")
 	}
 }
@@ -102,7 +103,10 @@ func TestServiceRevalidateUnknownPath(t *testing.T) {
 func TestServiceFetchBlocks(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	u := testUser()
-	frs, lat := svc.FetchBlocks(netsim.APAC, []string{"cart", "greeting"}, u)
+	frs, lat, err := svc.FetchBlocks(context.Background(), netsim.APAC, []string{"cart", "greeting"}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(frs) != 2 {
 		t.Fatalf("fragments = %v", frs)
 	}
@@ -130,7 +134,7 @@ func TestWarmFillsAllEdges(t *testing.T) {
 	// Every region serves warmed paths from the edge now.
 	for _, region := range netsim.Regions() {
 		dev := svc.NewDevice(nil, region)
-		res, err := dev.Load("/product/p00001")
+		res, err := dev.Load(context.Background(), "/product/p00001")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,14 +161,14 @@ func TestHotPathsLeaderboard(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(nil, netsim.EU)
 	for i := 0; i < 5; i++ {
-		_, _ = dev.Load("/product/p00001")
+		_, _ = dev.Load(context.Background(), "/product/p00001")
 	}
-	_, _ = dev.Load("/product/p00002")
+	_, _ = dev.Load(context.Background(), "/product/p00002")
 	// Device-cache hits never reach the service; force edge traffic with
 	// a second device.
 	dev2 := svc.NewDevice(nil, netsim.US)
 	for i := 0; i < 3; i++ {
-		_, _ = dev2.Load("/product/p00001")
+		_, _ = dev2.Load(context.Background(), "/product/p00001")
 	}
 
 	hot := svc.HotPaths(2)
@@ -183,8 +187,8 @@ func TestAnalyticsSeriesRecorded(t *testing.T) {
 	svc, _ := newTestStorefront(t)
 	dev := svc.NewDevice(nil, netsim.EU)
 	dev2 := svc.NewDevice(nil, netsim.EU)
-	_, _ = dev.Load("/product/p00001")  // origin render
-	_, _ = dev2.Load("/product/p00001") // edge hit
+	_, _ = dev.Load(context.Background(), "/product/p00001")  // origin render
+	_, _ = dev2.Load(context.Background(), "/product/p00001") // edge hit
 	_ = svc.Docs().Patch("products", "p00001", map[string]any{"stock": int64(2)})
 
 	ts := svc.Analytics()

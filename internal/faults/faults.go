@@ -1,0 +1,372 @@
+// Package faults implements a deterministic, seed-driven fault injector
+// for chaos experiments. Rules are keyed per component (origin fetch,
+// sketch fetch, invalidation delivery, CDN purge) and come in three
+// kinds — transient errors, latency spikes, and blackholes — shaped by a
+// per-decision probability, an optional burst length (one trigger faults
+// several consecutive calls, modelling outages rather than isolated
+// drops), and an optional scheduled activity window.
+//
+// Determinism is the whole point: every random draw comes from a
+// per-component *rand.Rand seeded from the injector seed and the
+// component name, and the activity windows are evaluated against the
+// injected clock.Clock. A seed-pinned simulation therefore produces a
+// byte-identical fault schedule on every run, which is what lets the
+// chaos harness assert invariants ("every served page is Δ-atomic")
+// instead of eyeballing flaky runs. The full decision log is retained;
+// ScheduleHash folds it into one comparable fingerprint.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// Component names an injection point in the deployment.
+type Component string
+
+// The injection points the chaos harness drives.
+const (
+	// OriginFetch is the device→service shell fetch path (CDN + origin).
+	OriginFetch Component = "origin_fetch"
+	// SketchFetch is the device→edge sketch download.
+	SketchFetch Component = "sketch_fetch"
+	// Invalidation is the server-side write→sketch delivery hop.
+	Invalidation Component = "invalidation"
+	// CDNPurge is the server-side purge fan-out to the edges.
+	CDNPurge Component = "cdn_purge"
+)
+
+// Components lists the canonical injection points in report order.
+func Components() []Component {
+	return []Component{OriginFetch, SketchFetch, Invalidation, CDNPurge}
+}
+
+// Kind classifies a fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// None: the call proceeds unfaulted.
+	None Kind = iota
+	// Error: the call fails with a transient, retryable error.
+	Error
+	// Latency: the call succeeds but pays an added latency spike.
+	Latency
+	// Blackhole: the component is unreachable — the network-partition
+	// failure mode; callers map it onto their offline error.
+	Blackhole
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	case Blackhole:
+		return "blackhole"
+	}
+	return "unknown"
+}
+
+// ErrInjected marks an injected transient fault. Callers surface it as a
+// retryable upstream failure.
+var ErrInjected = errors.New("faults: injected transient error")
+
+// ErrBlackhole marks an injected partition. Callers surface it as their
+// unreachable/offline failure mode.
+var ErrBlackhole = errors.New("faults: injected blackhole")
+
+// Rule shapes fault injection for one component.
+type Rule struct {
+	Component Component
+	Kind      Kind
+	// Probability is the chance each decision triggers the rule.
+	Probability float64
+	// Burst makes one trigger fault this many consecutive decisions
+	// (default 1): outages cluster, they don't arrive i.i.d.
+	Burst int
+	// Latency is the added delay for Latency faults (default 250 ms).
+	Latency time.Duration
+	// After/Until bound the rule's activity window, measured from the
+	// injector's start on its clock. Zero After means "from the start";
+	// zero Until means "forever".
+	After, Until time.Duration
+}
+
+// Decision is the outcome of one injection point consultation.
+type Decision struct {
+	Kind Kind
+	// Latency is the delay to add (Latency faults only).
+	Latency time.Duration
+	// Err is non-nil for Error (ErrInjected) and Blackhole (ErrBlackhole)
+	// faults.
+	Err error
+}
+
+// Faulted reports whether the call should be perturbed.
+func (d Decision) Faulted() bool { return d.Kind != None }
+
+// Event is one recorded injected fault.
+type Event struct {
+	// Seq orders events across all components.
+	Seq uint64
+	// Call is the per-component decision index that drew the fault.
+	Call      uint64
+	Component Component
+	Kind      Kind
+	// Offset is the injector-clock time since New.
+	Offset time.Duration
+}
+
+// compState is the per-component deterministic fault stream.
+type compState struct {
+	rules     []Rule
+	rng       *rand.Rand
+	decisions uint64
+	// Burst continuation: remaining faulted calls and their shape.
+	burstLeft    int
+	burstKind    Kind
+	burstLatency time.Duration
+	injected     map[Kind]uint64
+}
+
+// Injector draws fault decisions. Safe for concurrent use; within one
+// component the decision stream is a deterministic function of (seed,
+// call index, clock), so single-threaded harnesses replay byte-identically.
+// A nil *Injector is fully disabled: Decide returns the zero Decision.
+type Injector struct {
+	clk   clock.Clock
+	start time.Time
+
+	mu     sync.Mutex
+	comps  map[Component]*compState // guarded by mu
+	events []Event                  // guarded by mu
+	seq    uint64                   // guarded by mu
+}
+
+// New creates an injector over the given clock (default the system
+// clock) with a deterministic seed. Rules are grouped per component;
+// each component draws from its own rand.Rand seeded from (seed,
+// component), so interleavings across components cannot perturb a
+// component's schedule.
+func New(clk clock.Clock, seed int64, rules ...Rule) *Injector {
+	if clk == nil {
+		clk = clock.System
+	}
+	inj := &Injector{
+		clk:   clk,
+		start: clk.Now(),
+		comps: make(map[Component]*compState),
+	}
+	for _, r := range rules {
+		if r.Probability <= 0 || r.Kind == None {
+			continue
+		}
+		if r.Burst <= 0 {
+			r.Burst = 1
+		}
+		if r.Kind == Latency && r.Latency <= 0 {
+			r.Latency = 250 * time.Millisecond
+		}
+		st := inj.comps[r.Component]
+		if st == nil {
+			h := fnv.New64a()
+			h.Write([]byte(r.Component))
+			st = &compState{
+				rng:      rand.New(rand.NewSource(seed ^ int64(h.Sum64()))),
+				injected: make(map[Kind]uint64),
+			}
+			inj.comps[r.Component] = st
+		}
+		st.rules = append(st.rules, r)
+	}
+	return inj
+}
+
+// Decide consults the injector at one injection point. Exactly one
+// rule-ordered scan runs per call; burst continuations replay the
+// triggering rule's shape without new random draws.
+func (i *Injector) Decide(c Component) Decision {
+	if i == nil {
+		return Decision{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := i.comps[c]
+	if st == nil {
+		return Decision{}
+	}
+	call := st.decisions
+	st.decisions++
+	if st.burstLeft > 0 {
+		st.burstLeft--
+		return i.record(c, st, call, st.burstKind, st.burstLatency)
+	}
+	off := i.clk.Now().Sub(i.start)
+	// Every rule draws on every decision, active or not, and the winner
+	// is picked afterwards: a rule's activity window can therefore never
+	// shift the randomness consumed by the rules after it.
+	winner := -1
+	for idx, r := range st.rules {
+		hit := st.rng.Float64() < r.Probability
+		if !hit || winner >= 0 {
+			continue
+		}
+		if off < r.After || (r.Until > 0 && off >= r.Until) {
+			continue
+		}
+		winner = idx
+	}
+	if winner < 0 {
+		return Decision{}
+	}
+	r := st.rules[winner]
+	if r.Burst > 1 {
+		st.burstLeft = r.Burst - 1
+		st.burstKind = r.Kind
+		st.burstLatency = r.Latency
+	}
+	return i.record(c, st, call, r.Kind, r.Latency)
+}
+
+// record must hold i.mu: it logs the event and builds the Decision.
+func (i *Injector) record(c Component, st *compState, call uint64, k Kind, lat time.Duration) Decision {
+	st.injected[k]++
+	i.seq++
+	i.events = append(i.events, Event{
+		Seq: i.seq, Call: call, Component: c, Kind: k,
+		Offset: i.clk.Now().Sub(i.start),
+	})
+	d := Decision{Kind: k, Latency: lat}
+	switch k {
+	case Error:
+		d.Err = ErrInjected
+	case Blackhole:
+		d.Err = ErrBlackhole
+	}
+	return d
+}
+
+// Schedule returns a copy of the injected-fault log, in decision order.
+func (i *Injector) Schedule() []Event {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Event, len(i.events))
+	copy(out, i.events)
+	return out
+}
+
+// ScheduleHash folds the fault schedule into one FNV-1a fingerprint.
+// Two runs are byte-reproducible iff their hashes match.
+func (i *Injector) ScheduleHash() uint64 {
+	h := fnv.New64a()
+	for _, ev := range i.Schedule() {
+		fmt.Fprintf(h, "%d|%d|%s|%d|%d\n", ev.Seq, ev.Call, ev.Component, ev.Kind, ev.Offset)
+	}
+	return h.Sum64()
+}
+
+// ComponentStats aggregates one component's injection activity.
+type ComponentStats struct {
+	// Decisions counts injection-point consultations.
+	Decisions uint64
+	// Injected counts faults drawn, by kind.
+	Injected map[Kind]uint64
+}
+
+// Total returns the number of injected faults across kinds.
+func (s ComponentStats) Total() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// Rate returns the realized fault rate (injected / decisions).
+func (s ComponentStats) Rate() float64 {
+	if s.Decisions == 0 {
+		return 0
+	}
+	return float64(s.Total()) / float64(s.Decisions)
+}
+
+// Stats returns per-component injection counters.
+func (i *Injector) Stats() map[Component]ComponentStats {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Component]ComponentStats, len(i.comps))
+	for c, st := range i.comps {
+		inj := make(map[Kind]uint64, len(st.injected))
+		for k, v := range st.injected {
+			inj[k] = v
+		}
+		out[c] = ComponentStats{Decisions: st.decisions, Injected: inj}
+	}
+	return out
+}
+
+// String renders the per-component injection report, components sorted.
+func (i *Injector) String() string {
+	st := i.Stats()
+	comps := make([]string, 0, len(st))
+	for c := range st {
+		comps = append(comps, string(c))
+	}
+	sort.Strings(comps)
+	var b strings.Builder
+	for _, c := range comps {
+		s := st[Component(c)]
+		fmt.Fprintf(&b, "%-13s %5d calls, %4d faulted (%.1f%%):", c, s.Decisions, s.Total(), s.Rate()*100)
+		for _, k := range []Kind{Error, Latency, Blackhole} {
+			if n := s.Injected[k]; n > 0 {
+				fmt.Fprintf(&b, " %s=%d", k, n)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ChaosRules is the canonical chaos profile: every component faulted at
+// the given base rate, mixing all three kinds with outage-style bursts
+// on the device-facing paths. rate is the total per-call fault
+// probability for the sketch and origin fetch paths (the acceptance
+// floor for chaos runs is 0.10).
+func ChaosRules(rate float64) []Rule {
+	if rate <= 0 {
+		rate = 0.12
+	}
+	return []Rule{
+		// Shell path: mostly transient errors plus latency spikes and
+		// short unreachability bursts.
+		{Component: OriginFetch, Kind: Error, Probability: rate * 0.5},
+		{Component: OriginFetch, Kind: Latency, Probability: rate * 0.3, Latency: 400 * time.Millisecond},
+		{Component: OriginFetch, Kind: Blackhole, Probability: rate * 0.2, Burst: 3},
+		// Sketch path: unreachability dominates (the edge is down), with
+		// some transient errors.
+		{Component: SketchFetch, Kind: Blackhole, Probability: rate * 0.6, Burst: 2},
+		{Component: SketchFetch, Kind: Error, Probability: rate * 0.4},
+		// Pipeline hops: dropped deliveries that the service must retry.
+		{Component: Invalidation, Kind: Error, Probability: rate},
+		{Component: CDNPurge, Kind: Error, Probability: rate},
+	}
+}

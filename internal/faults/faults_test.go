@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// drive runs a fixed decision workload against a fresh injector and
+// returns it for inspection. The workload interleaves components and
+// advances the clock, mimicking a simulation loop.
+func drive(seed int64, rules []Rule) *Injector {
+	clk := clock.NewSimulated(time.Time{})
+	inj := New(clk, seed, rules...)
+	for i := 0; i < 400; i++ {
+		inj.Decide(OriginFetch)
+		if i%2 == 0 {
+			inj.Decide(SketchFetch)
+		}
+		if i%5 == 0 {
+			inj.Decide(Invalidation)
+			inj.Decide(CDNPurge)
+		}
+		clk.Advance(250 * time.Millisecond)
+	}
+	return inj
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	a := drive(42, ChaosRules(0.2))
+	b := drive(42, ChaosRules(0.2))
+	sa, sb := a.Schedule(), b.Schedule()
+	if len(sa) == 0 {
+		t.Fatal("no faults injected at 20% rate over 400 iterations")
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	if a.ScheduleHash() != b.ScheduleHash() {
+		t.Fatalf("hashes differ: %x vs %x", a.ScheduleHash(), b.ScheduleHash())
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	a := drive(42, ChaosRules(0.2))
+	b := drive(43, ChaosRules(0.2))
+	if a.ScheduleHash() == b.ScheduleHash() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Interleaving across components must not perturb a component's stream:
+// the per-component call indices at which faults land are identical
+// whether or not other components are being exercised.
+func TestComponentStreamsIndependent(t *testing.T) {
+	rules := []Rule{{Component: OriginFetch, Kind: Error, Probability: 0.3}}
+	solo := New(clock.NewSimulated(time.Time{}), 7, rules...)
+	for i := 0; i < 200; i++ {
+		solo.Decide(OriginFetch)
+	}
+
+	mixed := New(clock.NewSimulated(time.Time{}), 7, append(rules,
+		Rule{Component: SketchFetch, Kind: Blackhole, Probability: 0.5})...)
+	for i := 0; i < 200; i++ {
+		mixed.Decide(SketchFetch)
+		mixed.Decide(OriginFetch)
+		mixed.Decide(SketchFetch)
+	}
+
+	calls := func(inj *Injector) []uint64 {
+		var out []uint64
+		for _, ev := range inj.Schedule() {
+			if ev.Component == OriginFetch {
+				out = append(out, ev.Call)
+			}
+		}
+		return out
+	}
+	a, b := calls(solo), calls(mixed)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("origin fault counts differ: solo=%d mixed=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("origin fault %d at call %d solo vs %d mixed", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBurstFaultsConsecutiveCalls(t *testing.T) {
+	inj := New(clock.NewSimulated(time.Time{}), 1,
+		Rule{Component: OriginFetch, Kind: Blackhole, Probability: 0.05, Burst: 4})
+	var runs []int
+	run := 0
+	for i := 0; i < 2000; i++ {
+		if inj.Decide(OriginFetch).Faulted() {
+			run++
+		} else if run > 0 {
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	if len(runs) == 0 {
+		t.Fatal("no bursts triggered")
+	}
+	for _, r := range runs {
+		// Runs are at least the burst length; adjacent bursts can chain.
+		if r < 4 {
+			t.Fatalf("burst run of %d, want >= 4", r)
+		}
+	}
+}
+
+func TestScheduledWindow(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	inj := New(clk, 9, Rule{
+		Component:   OriginFetch,
+		Kind:        Error,
+		Probability: 1.0,
+		After:       10 * time.Second,
+		Until:       20 * time.Second,
+	})
+	for i := 0; i < 30; i++ {
+		d := inj.Decide(OriginFetch)
+		off := time.Duration(i) * time.Second
+		inWindow := off >= 10*time.Second && off < 20*time.Second
+		if d.Faulted() != inWindow {
+			t.Fatalf("at offset %v faulted=%v, want %v", off, d.Faulted(), inWindow)
+		}
+		clk.Advance(time.Second)
+	}
+}
+
+// A rule's activity window must not shift the randomness consumed by
+// later decisions: once the window closes, the remaining stream is
+// identical to a run where the windowed rule was never active. (Inside
+// the window the first rule can shadow the second on simultaneous hits,
+// so only the post-window region is comparable.)
+func TestWindowDoesNotPerturbStream(t *testing.T) {
+	run := func(until time.Duration) []Event {
+		clk := clock.NewSimulated(time.Time{})
+		inj := New(clk, 5,
+			Rule{Component: OriginFetch, Kind: Latency, Probability: 0.5, Until: until},
+			Rule{Component: OriginFetch, Kind: Error, Probability: 0.2})
+		for i := 0; i < 300; i++ {
+			inj.Decide(OriginFetch)
+			clk.Advance(time.Second)
+		}
+		var errs []Event
+		for _, ev := range inj.Schedule() {
+			if ev.Kind == Error && ev.Call >= 100 {
+				errs = append(errs, Event{Call: ev.Call, Kind: ev.Kind})
+			}
+		}
+		return errs
+	}
+	// Window covering the first 1/3 of the run vs a window that never
+	// opens: the error rule's post-window fault calls must match.
+	a := run(100 * time.Second)
+	b := run(time.Nanosecond)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("error-rule fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Call != b[i].Call {
+			t.Fatalf("error fault %d at call %d vs %d", i, a[i].Call, b[i].Call)
+		}
+	}
+}
+
+func TestDecisionErrors(t *testing.T) {
+	inj := New(clock.NewSimulated(time.Time{}), 3,
+		Rule{Component: OriginFetch, Kind: Error, Probability: 1},
+		Rule{Component: SketchFetch, Kind: Blackhole, Probability: 1},
+		Rule{Component: Invalidation, Kind: Latency, Probability: 1, Latency: 42 * time.Millisecond})
+	if d := inj.Decide(OriginFetch); !errors.Is(d.Err, ErrInjected) {
+		t.Fatalf("error fault err = %v", d.Err)
+	}
+	if d := inj.Decide(SketchFetch); !errors.Is(d.Err, ErrBlackhole) {
+		t.Fatalf("blackhole fault err = %v", d.Err)
+	}
+	d := inj.Decide(Invalidation)
+	if d.Err != nil || d.Latency != 42*time.Millisecond {
+		t.Fatalf("latency fault = %+v", d)
+	}
+}
+
+func TestNilInjectorDisabled(t *testing.T) {
+	var inj *Injector
+	if d := inj.Decide(OriginFetch); d.Faulted() {
+		t.Fatal("nil injector injected a fault")
+	}
+	if inj.Schedule() != nil || inj.Stats() != nil {
+		t.Fatal("nil injector returned non-nil state")
+	}
+	if inj.ScheduleHash() != New(nil, 0).ScheduleHash() {
+		t.Fatal("nil injector hash differs from empty injector hash")
+	}
+}
+
+func TestUnruledComponentNeverFaults(t *testing.T) {
+	inj := New(clock.NewSimulated(time.Time{}), 3,
+		Rule{Component: OriginFetch, Kind: Error, Probability: 1})
+	for i := 0; i < 50; i++ {
+		if inj.Decide(CDNPurge).Faulted() {
+			t.Fatal("component without rules faulted")
+		}
+	}
+}
+
+func TestStatsAndRate(t *testing.T) {
+	inj := drive(11, ChaosRules(0.15))
+	st := inj.Stats()
+	for _, c := range []Component{OriginFetch, SketchFetch} {
+		s := st[c]
+		if s.Decisions == 0 {
+			t.Fatalf("%s: no decisions recorded", c)
+		}
+		if s.Rate() <= 0.05 || s.Rate() >= 0.6 {
+			t.Fatalf("%s: realized rate %.3f implausible for 0.15 profile", c, s.Rate())
+		}
+	}
+	if inj.String() == "" {
+		t.Fatal("empty stats report")
+	}
+}

@@ -152,8 +152,12 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 // handleSketch serves the flattened client sketch. Cache-Control pins its
 // shared-cache lifetime to Δ so a CDN in front of this endpoint
 // automatically amortizes sketch generation across the client population.
-func (a *API) handleSketch(w http.ResponseWriter, _ *http.Request) {
-	sn, _ := a.svc.FetchSketch(a.region)
+func (a *API) handleSketch(w http.ResponseWriter, r *http.Request) {
+	sn, _, err := a.svc.FetchSketch(r.Context(), a.region)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	data, err := sn.Marshal()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -192,7 +196,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		if known, ok := parseETag(inm); ok {
-			rr, err := a.svc.Revalidate(a.region, path, known)
+			rr, err := a.svc.Revalidate(r.Context(), a.region, path, known)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusNotFound)
 				return
@@ -208,7 +212,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	entry, simLat, src, err := a.svc.Fetch(a.region, path)
+	entry, simLat, src, err := a.svc.Fetch(r.Context(), a.region, path)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -253,7 +257,11 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	u := a.users[r.URL.Query().Get("user")] // nil → anonymous fragments
-	frs, _ := a.svc.FetchBlocks(a.region, names, u)
+	frs, _, err := a.svc.FetchBlocks(r.Context(), a.region, names, u)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	out := make(map[string]string, len(frs))
 	for name, fr := range frs {
 		out[name] = string(fr)

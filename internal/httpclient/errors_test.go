@@ -1,10 +1,12 @@
 package httpclient
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"speedkit/internal/netsim"
 	"speedkit/internal/proxy"
@@ -22,72 +24,140 @@ func brokenServer(t *testing.T, status int, body string) *httptest.Server {
 	return ts
 }
 
-func TestFetchServerErrorIsNotOffline(t *testing.T) {
+func TestFetchServerErrorIsRetryableNotOffline(t *testing.T) {
 	ts := brokenServer(t, http.StatusInternalServerError, "boom")
 	tr := New(ts.URL, ts.Client())
-	_, _, _, err := tr.Fetch(netsim.EU, "/x")
+	_, _, _, err := tr.Fetch(context.Background(), netsim.EU, "/x")
 	if err == nil {
 		t.Fatal("500 swallowed")
 	}
 	if errors.Is(err, proxy.ErrOffline) {
 		t.Fatal("application error classified as offline")
 	}
+	if !errors.Is(err, proxy.ErrUpstream) {
+		t.Fatalf("5xx not retryable: %v", err)
+	}
+}
+
+func TestFetchClientErrorIsNotRetryable(t *testing.T) {
+	ts := brokenServer(t, http.StatusNotFound, "no such page")
+	tr := New(ts.URL, ts.Client())
+	_, _, _, err := tr.Fetch(context.Background(), netsim.EU, "/x")
+	if err == nil {
+		t.Fatal("404 swallowed")
+	}
+	if errors.Is(err, proxy.ErrUpstream) || errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("4xx misclassified: %v", err)
+	}
 }
 
 func TestFetchConnectionRefusedIsOffline(t *testing.T) {
 	tr := New("http://127.0.0.1:1", nil) // nothing listens on port 1
-	_, _, _, err := tr.Fetch(netsim.EU, "/x")
+	_, _, _, err := tr.Fetch(context.Background(), netsim.EU, "/x")
 	if !errors.Is(err, proxy.ErrOffline) {
 		t.Fatalf("err = %v, want ErrOffline", err)
 	}
-	_, rerr := tr.Revalidate(netsim.EU, "/x", 1)
+	_, rerr := tr.Revalidate(context.Background(), netsim.EU, "/x", 1)
 	if !errors.Is(rerr, proxy.ErrOffline) {
 		t.Fatalf("revalidate err = %v, want ErrOffline", rerr)
 	}
 }
 
-func TestFetchSketchDegradesGracefully(t *testing.T) {
-	// Unreachable server → nil snapshot, no panic.
-	tr := New("http://127.0.0.1:1", nil)
-	if sn, _ := tr.FetchSketch(netsim.EU); sn != nil {
-		t.Fatal("snapshot from dead server")
+// Cancellation is the caller abandoning the request, not connectivity
+// loss: it must NOT engage offline mode. http.Client wraps ctx errors in
+// *url.Error, which the blanket url.Error→ErrOffline mapping used to
+// swallow.
+func TestCancellationIsNotOffline(t *testing.T) {
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold until the client gives up
+		close(blocked)
+	}))
+	t.Cleanup(ts.Close)
+	tr := New(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, _, err := tr.Fetch(ctx, netsim.EU, "/x")
+	<-blocked
+	if err == nil {
+		t.Fatal("cancelled fetch succeeded")
 	}
-	// Server up but returning garbage → nil snapshot.
-	ts := brokenServer(t, http.StatusOK, "not-a-bloom-filter")
-	tr2 := New(ts.URL, ts.Client())
-	if sn, _ := tr2.FetchSketch(netsim.EU); sn != nil {
-		t.Fatal("snapshot decoded from garbage")
+	if errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("cancellation classified as offline: %v", err)
 	}
-	// Server erroring → nil snapshot.
-	ts500 := brokenServer(t, http.StatusServiceUnavailable, "")
-	tr3 := New(ts500.URL, ts500.Client())
-	if sn, _ := tr3.FetchSketch(netsim.EU); sn != nil {
-		t.Fatal("snapshot from 503")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("context.Canceled lost: %v", err)
 	}
 }
 
-func TestFetchBlocksDegradesGracefully(t *testing.T) {
+func TestDeadlineIsNotOffline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(ts.Close)
+	tr := New(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, _, err := tr.Fetch(ctx, netsim.EU, "/x")
+	if err == nil {
+		t.Fatal("deadline-bound fetch succeeded")
+	}
+	if errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("deadline classified as offline: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("context.DeadlineExceeded lost: %v", err)
+	}
+}
+
+func TestFetchSketchErrors(t *testing.T) {
+	// Unreachable server → offline.
 	tr := New("http://127.0.0.1:1", nil)
-	if frs, _ := tr.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
-		t.Fatal("blocks from dead server")
+	if _, _, err := tr.FetchSketch(context.Background(), netsim.EU); !errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("dead server: %v, want ErrOffline", err)
+	}
+	// Server up but returning garbage → decode error, not offline.
+	ts := brokenServer(t, http.StatusOK, "not-a-bloom-filter")
+	tr2 := New(ts.URL, ts.Client())
+	if sn, _, err := tr2.FetchSketch(context.Background(), netsim.EU); err == nil || sn != nil {
+		t.Fatal("snapshot decoded from garbage")
+	}
+	// 503 → retryable upstream failure.
+	ts503 := brokenServer(t, http.StatusServiceUnavailable, "")
+	tr3 := New(ts503.URL, ts503.Client())
+	if _, _, err := tr3.FetchSketch(context.Background(), netsim.EU); !errors.Is(err, proxy.ErrUpstream) {
+		t.Fatalf("503 sketch: %v, want ErrUpstream", err)
+	}
+}
+
+func TestFetchBlocksErrors(t *testing.T) {
+	tr := New("http://127.0.0.1:1", nil)
+	if _, _, err := tr.FetchBlocks(context.Background(), netsim.EU, []string{"cart"}, nil); !errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("dead server: %v, want ErrOffline", err)
 	}
 	ts := brokenServer(t, http.StatusOK, "{not json")
 	tr2 := New(ts.URL, ts.Client())
-	if frs, _ := tr2.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
+	if frs, _, err := tr2.FetchBlocks(context.Background(), netsim.EU, []string{"cart"}, nil); err == nil || frs != nil {
 		t.Fatal("blocks decoded from garbage")
 	}
 	ts400 := brokenServer(t, http.StatusBadRequest, "")
 	tr3 := New(ts400.URL, ts400.Client())
-	if frs, _ := tr3.FetchBlocks(netsim.EU, []string{"cart"}, nil); frs != nil {
-		t.Fatal("blocks from 400")
+	_, _, err := tr3.FetchBlocks(context.Background(), netsim.EU, []string{"cart"}, nil)
+	if err == nil || errors.Is(err, proxy.ErrUpstream) || errors.Is(err, proxy.ErrOffline) {
+		t.Fatalf("400 blocks misclassified: %v", err)
 	}
 }
 
 func TestRevalidateServerError(t *testing.T) {
 	ts := brokenServer(t, http.StatusInternalServerError, "oops")
 	tr := New(ts.URL, ts.Client())
-	if _, err := tr.Revalidate(netsim.EU, "/x", 1); err == nil {
-		t.Fatal("500 swallowed on revalidation")
+	if _, err := tr.Revalidate(context.Background(), netsim.EU, "/x", 1); !errors.Is(err, proxy.ErrUpstream) {
+		t.Fatalf("500 revalidation: %v, want ErrUpstream", err)
 	}
 }
 

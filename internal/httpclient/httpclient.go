@@ -10,6 +10,7 @@
 package httpclient
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,7 +56,17 @@ func New(base string, hc *http.Client) *Transport {
 
 // asOffline maps connection-level failures to proxy.ErrOffline so the
 // proxy's offline mode engages; application-level errors pass through.
+//
+// Context cancellation must be checked before the net/url probes:
+// http.Client wraps ctx errors in *url.Error, so the blanket url.Error
+// branch used to misreport the caller's own deadline or cancellation as
+// connectivity loss — engaging offline mode for a request the caller
+// abandoned on purpose. Cancellation propagates unchanged so
+// errors.Is(err, context.Canceled) keeps working upstream.
 func asOffline(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
 	var netErr net.Error
 	if errors.As(err, &netErr) || errors.Is(err, io.EOF) {
 		return fmt.Errorf("%w: %v", proxy.ErrOffline, err)
@@ -72,24 +83,46 @@ func asOffline(err error) error {
 	return err
 }
 
-// FetchSketch implements proxy.Transport.
-func (t *Transport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Duration) {
-	start := t.clk.Now()
-	resp, err := t.hc.Get(t.base + "/sketch")
+// statusErr renders a non-success response as an error: 5xx answers are
+// transient upstream failures (retryable under proxy.ErrUpstream), 4xx
+// are application errors and pass through untyped.
+func statusErr(op, path string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	err := fmt.Errorf("httpclient: %s %s: %d %s",
+		op, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("%w: %w", proxy.ErrUpstream, err)
+	}
+	return err
+}
+
+// get issues a ctx-bound GET.
+func (t *Transport) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, 0 // proxy degrades to direct fetches
+		return nil, err
+	}
+	return t.hc.Do(req)
+}
+
+// FetchSketch implements proxy.Transport.
+func (t *Transport) FetchSketch(ctx context.Context, _ netsim.Region) (*cachesketch.Snapshot, time.Duration, error) {
+	start := t.clk.Now()
+	resp, err := t.get(ctx, t.base+"/sketch")
+	if err != nil {
+		return nil, 0, asOffline(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, t.clk.Now().Sub(start)
+		return nil, t.clk.Now().Sub(start), statusErr("sketch", "/sketch", resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, t.clk.Now().Sub(start)
+		return nil, t.clk.Now().Sub(start), asOffline(err)
 	}
 	var f bloom.Filter
 	if err := f.UnmarshalBinary(data); err != nil {
-		return nil, t.clk.Now().Sub(start)
+		return nil, t.clk.Now().Sub(start), fmt.Errorf("httpclient: sketch decode: %w", err)
 	}
 	gen, _ := strconv.ParseUint(resp.Header.Get("X-Sketch-Generation"), 10, 64)
 	if gen == 0 {
@@ -102,7 +135,7 @@ func (t *Transport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Dura
 		Filter:     &f,
 		Generation: gen,
 		TakenAt:    t.clk.Now(),
-	}, t.clk.Now().Sub(start)
+	}, t.clk.Now().Sub(start), nil
 }
 
 // parseMaxAge extracts max-age seconds from a Cache-Control header.
@@ -160,18 +193,16 @@ func sourceFromHeader(h string) proxy.Source {
 }
 
 // Fetch implements proxy.Transport.
-func (t *Transport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
+func (t *Transport) Fetch(ctx context.Context, _ netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
 	start := t.clk.Now()
-	resp, err := t.hc.Get(t.base + "/page?path=" + url.QueryEscape(path))
+	resp, err := t.get(ctx, t.base+"/page?path="+url.QueryEscape(path))
 	if err != nil {
 		return cache.Entry{}, 0, 0, asOffline(err)
 	}
 	defer resp.Body.Close()
 	lat := t.clk.Now().Sub(start)
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return cache.Entry{}, lat, 0, fmt.Errorf("httpclient: fetch %s: %d %s",
-			path, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return cache.Entry{}, lat, 0, statusErr("fetch", path, resp)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -182,9 +213,9 @@ func (t *Transport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Durat
 }
 
 // Revalidate implements proxy.Transport via If-None-Match.
-func (t *Transport) Revalidate(region netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
+func (t *Transport) Revalidate(ctx context.Context, _ netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
 	start := t.clk.Now()
-	req, err := http.NewRequest(http.MethodGet, t.base+"/page?path="+url.QueryEscape(path), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/page?path="+url.QueryEscape(path), nil)
 	if err != nil {
 		return proxy.RevalidationResult{}, err
 	}
@@ -216,37 +247,35 @@ func (t *Transport) Revalidate(region netsim.Region, path string, knownVersion u
 			Source:  sourceFromHeader(resp.Header.Get("X-Served-By")),
 		}, nil
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return proxy.RevalidationResult{}, fmt.Errorf("httpclient: revalidate %s: %d %s",
-			path, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return proxy.RevalidationResult{}, statusErr("revalidate", path, resp)
 	}
 }
 
 // FetchBlocks implements proxy.Transport over the first-party API. Only
 // the user ID crosses the wire — the server resolves the session.
-func (t *Transport) FetchBlocks(_ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+func (t *Transport) FetchBlocks(ctx context.Context, _ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration, error) {
 	start := t.clk.Now()
 	q := url.Values{"names": {strings.Join(names, ",")}}
 	if u != nil {
 		q.Set("user", u.ID)
 	}
-	resp, err := t.hc.Get(t.base + "/blocks?" + q.Encode())
+	resp, err := t.get(ctx, t.base+"/blocks?"+q.Encode())
 	if err != nil {
-		return nil, 0
+		return nil, 0, asOffline(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, t.clk.Now().Sub(start)
+		return nil, t.clk.Now().Sub(start), statusErr("blocks", strings.Join(names, ","), resp)
 	}
 	var decoded map[string]string
 	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return nil, t.clk.Now().Sub(start)
+		return nil, t.clk.Now().Sub(start), fmt.Errorf("httpclient: blocks decode: %w", err)
 	}
 	out := make(map[string][]byte, len(decoded))
 	for k, v := range decoded {
 		out[k] = []byte(v)
 	}
-	return out, t.clk.Now().Sub(start)
+	return out, t.clk.Now().Sub(start), nil
 }
 
 var _ proxy.Transport = (*Transport)(nil)

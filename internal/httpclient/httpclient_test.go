@@ -1,6 +1,7 @@
 package httpclient
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	u := loggedInUser()
 	dev, _, _ := newStack(t, u)
 
-	res, err := dev.Load("/product/p00003")
+	res, err := dev.Load(context.Background(), "/product/p00003")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	}
 
 	// Second load: device cache, no network.
-	res, err = dev.Load("/product/p00003")
+	res, err = dev.Load(context.Background(), "/product/p00003")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 func TestWriteInvalidationVisibleOverHTTP(t *testing.T) {
 	dev, svc, _ := newStack(t, nil)
 	path := "/product/p00007"
-	if _, err := dev.Load(path); err != nil {
+	if _, err := dev.Load(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.Docs().Patch("products", "p00007", map[string]any{"price": 2.22}); err != nil {
@@ -110,7 +111,7 @@ func TestWriteInvalidationVisibleOverHTTP(t *testing.T) {
 	// revalidates → sees v2 with the new price.
 	dev2 := proxy.New(proxy.Config{Region: netsim.EU, Delta: 30 * time.Second},
 		transportOf(t, svc))
-	res, err := dev2.Load(path)
+	res, err := dev2.Load(context.Background(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestConditionalRevalidationOverHTTP(t *testing.T) {
 	u := loggedInUser()
 	dev, svc, _ := newStack(t, u)
 	path := "/product/p00009"
-	if _, err := dev.Load(path); err != nil {
+	if _, err := dev.Load(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
 
@@ -150,7 +151,7 @@ func TestConditionalRevalidationOverHTTP(t *testing.T) {
 	// report a cached copy and write, then revert the version by checking
 	// the 304 directly through the transport.
 	tr := transportOf(t, svc)
-	rr, err := tr.Revalidate(netsim.EU, path, svc.Origin().Version(path))
+	rr, err := tr.Revalidate(context.Background(), netsim.EU, path, svc.Origin().Version(path))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestConditionalRevalidationOverHTTP(t *testing.T) {
 
 	// And a stale version gets the full new body.
 	_ = svc.Docs().Patch("products", "p00009", map[string]any{"price": 8.88})
-	rr, err = tr.Revalidate(netsim.EU, path, 1)
+	rr, err = tr.Revalidate(context.Background(), netsim.EU, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +178,11 @@ func TestOfflineWithFreshSketchNeedsNoNetwork(t *testing.T) {
 	// network may be down without the load even noticing.
 	u := loggedInUser()
 	dev, _, ts := newStack(t, u)
-	if _, err := dev.Load("/"); err != nil {
+	if _, err := dev.Load(context.Background(), "/"); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close()
-	res, err := dev.Load("/")
+	res, err := dev.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatalf("cached load failed after server shutdown: %v", err)
 	}
@@ -209,12 +210,12 @@ func TestOfflineModeOverHTTP(t *testing.T) {
 		User: u, Region: netsim.EU, Delta: time.Nanosecond,
 	}, New(ts.URL, ts.Client()))
 
-	if _, err := dev.Load("/"); err != nil {
+	if _, err := dev.Load(context.Background(), "/"); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close() // network gone
 
-	res, err := dev.Load("/")
+	res, err := dev.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatalf("offline load failed: %v", err)
 	}
@@ -228,7 +229,7 @@ func TestOfflineModeOverHTTP(t *testing.T) {
 
 func TestFetchUnknownPathOverHTTP(t *testing.T) {
 	dev, _, _ := newStack(t, nil)
-	if _, err := dev.Load("/no/such/page"); err == nil {
+	if _, err := dev.Load(context.Background(), "/no/such/page"); err == nil {
 		t.Fatal("unknown path loaded")
 	}
 }
@@ -236,7 +237,10 @@ func TestFetchUnknownPathOverHTTP(t *testing.T) {
 func TestBlocksOverHTTPAnonymous(t *testing.T) {
 	_, svc, _ := newStack(t, nil)
 	tr := transportOf(t, svc)
-	frs, lat := tr.FetchBlocks(netsim.EU, []string{"greeting"}, nil)
+	frs, lat, err := tr.FetchBlocks(context.Background(), netsim.EU, []string{"greeting"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lat <= 0 {
 		t.Fatal("no latency measured")
 	}

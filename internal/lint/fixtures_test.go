@@ -38,6 +38,12 @@ func TestClockDisciplineFixture(t *testing.T) {
 	checkFixture(t, "clockuse", "fixture/clockuse", ClockDiscipline)
 }
 
+func TestClockDisciplineBackoffFixture(t *testing.T) {
+	// Retry/backoff code: raw sleeps, time.After deadlines, and timer
+	// constructors are flagged; clock.Sleep / Stopwatch forms are clean.
+	checkFixture(t, "backoffuse", "fixture/backoffuse", ClockDiscipline)
+}
+
 func TestClockDisciplineExemptsClockPackage(t *testing.T) {
 	// Same kind of wall-clock read, but under internal/clock: clean.
 	checkFixture(t, "clockexempt", "fixture/internal/clock/impl", ClockDiscipline)

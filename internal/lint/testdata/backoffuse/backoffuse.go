@@ -1,0 +1,69 @@
+// Package backoffuse seeds clockdiscipline violations typical of
+// retry/backoff code. Backoff loops are the easiest place to smuggle a
+// wall-clock dependency back in: a raw time.Sleep between attempts or a
+// time.After deadline silently detaches the retry schedule from the
+// injected clock, making chaos runs non-deterministic and backoff tests
+// minutes-slow. The disciplined forms route every wait through
+// clock.Sleep / clock.Clock and stay fully simulable.
+package backoffuse
+
+import (
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+// BadRetry sleeps against the wall clock between attempts.
+func BadRetry(attempt func() error) error {
+	var err error
+	backoff := 10 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(backoff) // want "time\\.Sleep"
+		backoff *= 2
+	}
+	return err
+}
+
+// BadDeadline builds its per-try deadline from a wall-clock channel.
+func BadDeadline(done <-chan struct{}) bool {
+	select {
+	case <-time.After(50 * time.Millisecond): // want "time\\.After"
+		return false
+	case <-done:
+		return true
+	}
+}
+
+// BadTimer escapes via a timer constructor — same leak as a bare Sleep.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time\\.NewTimer"
+}
+
+// BadElapsedBudget charges the retry budget from the wall clock.
+func BadElapsedBudget(start time.Time, budget time.Duration) bool {
+	return time.Since(start) < budget // want "time\\.Since"
+}
+
+// GoodRetry waits through the injected clock: simulated time can drive
+// the whole backoff schedule instantly and deterministically.
+func GoodRetry(c clock.Clock, attempt func() error) error {
+	var err error
+	backoff := 10 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		clock.Sleep(c, backoff)
+		backoff *= 2
+	}
+	return err
+}
+
+// GoodBudget measures the elapsed retry budget through the clock.
+func GoodBudget(c clock.Clock, budget time.Duration) bool {
+	sw := clock.NewStopwatch(c)
+	return sw.Elapsed() < budget
+}

@@ -60,6 +60,9 @@ type Trace struct {
 	SketchRefreshed bool `json:"sketch_refreshed,omitempty"`
 	Revalidated     bool `json:"revalidated,omitempty"`
 	Offline         bool `json:"offline,omitempty"`
+	// Degraded names the first degradation-ladder rung this load took
+	// (empty for full-protocol loads).
+	Degraded string `json:"degraded,omitempty"`
 	// Blocks is the number of dynamic blocks personalized for the load;
 	// BlockLatency is the cost of producing them (block-level
 	// personalization latency).
@@ -140,6 +143,15 @@ func (tr *Trace) MarkOffline() {
 		return
 	}
 	tr.Offline = true
+}
+
+// MarkDegraded records the degradation reason; the first reason set
+// wins, matching the PageLoad semantics.
+func (tr *Trace) MarkDegraded(reason string) {
+	if tr == nil || tr.Degraded != "" {
+		return
+	}
+	tr.Degraded = reason
 }
 
 // TracerStats counts tracer activity.

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -61,7 +62,7 @@ func runProxyDeltaTrial(t *testing.T, seed int64, delta time.Duration) {
 			log.RecordWrite(keyOf(k), versions[k], clk.Now())
 			srv.ReportWrite(keyOf(k))
 		default: // read through the proxy
-			res, err := p.Load(keyOf(k))
+			res, err := p.Load(context.Background(), keyOf(k))
 			if err != nil {
 				t.Fatalf("seed=%d Δ=%v: %v", seed, delta, err)
 			}
@@ -87,27 +88,27 @@ type versionedTransport struct {
 
 const trialTTL = 45 * time.Second
 
-func (v *versionedTransport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Duration) {
-	return v.srv.Snapshot(), time.Millisecond
+func (v *versionedTransport) FetchSketch(context.Context, netsim.Region) (*cachesketch.Snapshot, time.Duration, error) {
+	return v.srv.Snapshot(), time.Millisecond, nil
 }
 
-func (v *versionedTransport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Duration, Source, error) {
+func (v *versionedTransport) Fetch(_ context.Context, _ netsim.Region, path string) (cache.Entry, time.Duration, Source, error) {
 	e := cache.TTLEntry(v.clk, path, []byte("body"), v.current(path), trialTTL)
 	v.srv.ReportCachedRead(path, e.ExpiresAt)
 	return e, 5 * time.Millisecond, SourceOrigin, nil
 }
 
-func (v *versionedTransport) Revalidate(region netsim.Region, path string, known uint64) (RevalidationResult, error) {
+func (v *versionedTransport) Revalidate(ctx context.Context, region netsim.Region, path string, known uint64) (RevalidationResult, error) {
 	if v.current(path) == known {
 		e := cache.TTLEntry(v.clk, path, nil, known, trialTTL)
 		v.srv.ReportCachedRead(path, e.ExpiresAt)
 		return RevalidationResult{NotModified: true, Entry: e,
 			Latency: time.Millisecond, Source: SourceOrigin}, nil
 	}
-	e, lat, src, err := v.Fetch(region, path)
+	e, lat, src, err := v.Fetch(ctx, region, path)
 	return RevalidationResult{Entry: e, Latency: lat, Source: src}, err
 }
 
-func (v *versionedTransport) FetchBlocks(netsim.Region, []string, *session.User) (map[string][]byte, time.Duration) {
-	return nil, 0
+func (v *versionedTransport) FetchBlocks(context.Context, netsim.Region, []string, *session.User) (map[string][]byte, time.Duration, error) {
+	return nil, 0, nil
 }

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -15,14 +16,14 @@ func goOffline(tr *fakeTransport) {
 
 func TestOfflineServesHeldCopy(t *testing.T) {
 	p, tr, clk := newTestProxy(t, loggedInUser())
-	if _, err := p.Load("/"); err != nil {
+	if _, err := p.Load(context.Background(), "/"); err != nil {
 		t.Fatal(err)
 	}
 
 	goOffline(tr)
 	clk.Advance(31 * time.Second) // sketch stale too — everything is down
 
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatalf("offline load failed despite held copy: %v", err)
 	}
@@ -43,12 +44,12 @@ func TestOfflineServesExpiredCopy(t *testing.T) {
 	e := tr.pages["/"]
 	e.ExpiresAt = clk.Now().Add(5 * time.Second)
 	tr.pages["/"] = e
-	_, _ = p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
 
 	goOffline(tr)
 	clk.Advance(time.Hour)
 
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatalf("offline load of expired copy failed: %v", err)
 	}
@@ -60,7 +61,7 @@ func TestOfflineServesExpiredCopy(t *testing.T) {
 func TestOfflineWithoutCopyFails(t *testing.T) {
 	p, tr, _ := newTestProxy(t, nil)
 	goOffline(tr)
-	_, err := p.Load("/never-cached")
+	_, err := p.Load(context.Background(), "/never-cached")
 	if !errors.Is(err, ErrOffline) {
 		t.Fatalf("err = %v, want ErrOffline", err)
 	}
@@ -68,7 +69,7 @@ func TestOfflineWithoutCopyFails(t *testing.T) {
 
 func TestOfflineNonNetworkErrorsPropagate(t *testing.T) {
 	p, tr, _ := newTestProxy(t, nil)
-	_, _ = p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
 	tr.fetchErr = errors.New("500 internal server error")
 	tr.sketchDown = false
 	// Force a refetch by flagging the page.
@@ -76,18 +77,18 @@ func TestOfflineNonNetworkErrorsPropagate(t *testing.T) {
 	tr.sketchSrv.ReportWrite("/")
 	p.sketch.Install(tr.sketchSrv.Snapshot())
 
-	if _, err := p.Load("/"); err == nil {
+	if _, err := p.Load(context.Background(), "/"); err == nil {
 		t.Fatal("application error masked by offline fallback")
 	}
 }
 
 func TestOfflineRecoveryRestoresProtocol(t *testing.T) {
 	p, tr, clk := newTestProxy(t, nil)
-	_, _ = p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
 
 	goOffline(tr)
 	clk.Advance(31 * time.Second)
-	res, _ := p.Load("/")
+	res, _ := p.Load(context.Background(), "/")
 	if !res.Offline {
 		t.Fatal("not offline")
 	}
@@ -101,7 +102,7 @@ func TestOfflineRecoveryRestoresProtocol(t *testing.T) {
 	e.Version = 2
 	tr.pages["/"] = e
 
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}

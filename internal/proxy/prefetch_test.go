@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func newPrefetchProxy(t *testing.T, k int) (*Proxy, *fakeTransport, *clock.Simul
 
 func TestPrefetchWarmsLinkedPages(t *testing.T) {
 	p, _, _ := newPrefetchProxy(t, 2)
-	res, err := p.Load("/list")
+	res, err := p.Load(context.Background(), "/list")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +51,12 @@ func TestPrefetchWarmsLinkedPages(t *testing.T) {
 		t.Fatalf("page latency %v includes prefetch cost", res.Latency)
 	}
 	// The next click is a device hit.
-	r2, _ := p.Load("/item/1")
+	r2, _ := p.Load(context.Background(), "/item/1")
 	if r2.Source != SourceDevice {
 		t.Fatalf("prefetched page served from %v", r2.Source)
 	}
 	// The third link was beyond K and stays cold.
-	r3, _ := p.Load("/item/3")
+	r3, _ := p.Load(context.Background(), "/item/3")
 	if r3.Source == SourceDevice {
 		t.Fatal("link beyond K was prefetched")
 	}
@@ -63,7 +64,7 @@ func TestPrefetchWarmsLinkedPages(t *testing.T) {
 
 func TestPrefetchDisabledByDefault(t *testing.T) {
 	p, _, _ := newPrefetchProxy(t, 0)
-	_, _ = p.Load("/list")
+	_, _ = p.Load(context.Background(), "/list")
 	if p.Stats().Prefetches != 0 {
 		t.Fatal("prefetch ran despite K=0")
 	}
@@ -71,8 +72,8 @@ func TestPrefetchDisabledByDefault(t *testing.T) {
 
 func TestPrefetchSkipsHeldPages(t *testing.T) {
 	p, _, _ := newPrefetchProxy(t, 3)
-	_, _ = p.Load("/item/2") // warm one link by visiting it
-	_, _ = p.Load("/list")
+	_, _ = p.Load(context.Background(), "/item/2") // warm one link by visiting it
+	_, _ = p.Load(context.Background(), "/list")
 	// 3 links, one already held → only 2 prefetches.
 	if got := p.Stats().Prefetches; got != 2 {
 		t.Fatalf("prefetches = %d, want 2", got)
@@ -81,14 +82,14 @@ func TestPrefetchSkipsHeldPages(t *testing.T) {
 
 func TestPrefetchStopsWhenOffline(t *testing.T) {
 	p, tr, _ := newPrefetchProxy(t, 3)
-	_, _ = p.Load("/list") // caches the listing itself
+	_, _ = p.Load(context.Background(), "/list") // caches the listing itself
 	p.store.Delete("/item/1")
 	p.store.Delete("/item/2")
 	p.store.Delete("/item/3")
 	before := p.Stats().Prefetches
 
 	goOffline(tr)
-	res, err := p.Load("/list") // offline: listing from device cache
+	res, err := p.Load(context.Background(), "/list") // offline: listing from device cache
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,8 +17,10 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -30,13 +32,9 @@ import (
 	"speedkit/internal/netsim"
 	"speedkit/internal/obs"
 	"speedkit/internal/origin"
+	"speedkit/internal/resilience"
 	"speedkit/internal/session"
 )
-
-// ErrOffline is returned by Transport implementations when the network is
-// unreachable. The proxy answers it with its offline mode: any held
-// device copy is served rather than failing the page load.
-var ErrOffline = errors.New("proxy: network unreachable")
 
 // Source identifies which tier served a page body.
 type Source int
@@ -65,22 +63,29 @@ func (s Source) String() string {
 }
 
 // Transport is the proxy's view of the Speed Kit service. The core
-// package implements it over the CDN, sketch server, and origin.
+// package implements it over the CDN, sketch server, and origin. Every
+// method takes the request context first; implementations must honor
+// cancellation and propagate the ctx into any real network call.
+//
+// Error contract: implementations return ErrOffline (possibly wrapped)
+// when the network is unreachable and wrap transient failures worth
+// retrying (5xx, injected faults) with ErrUpstream; anything else is
+// treated as an application error and surfaces unchanged.
 type Transport interface {
 	// FetchSketch returns the current sketch snapshot and the simulated
 	// latency of transferring it from the nearest edge.
-	FetchSketch(region netsim.Region) (*cachesketch.Snapshot, time.Duration)
+	FetchSketch(ctx context.Context, region netsim.Region) (*cachesketch.Snapshot, time.Duration, error)
 	// Fetch returns the anonymous page representation via the CDN path,
 	// the simulated latency, and whether the edge or the origin served it.
-	Fetch(region netsim.Region, path string) (cache.Entry, time.Duration, Source, error)
+	Fetch(ctx context.Context, region netsim.Region, path string) (cache.Entry, time.Duration, Source, error)
 	// Revalidate is the conditional variant of Fetch: the client holds a
 	// copy at knownVersion. If that version is still current the
 	// transport returns notModified=true with a fresh expiration and only
 	// a header-sized transfer cost; otherwise it behaves like Fetch.
-	Revalidate(region netsim.Region, path string, knownVersion uint64) (RevalidationResult, error)
+	Revalidate(ctx context.Context, region netsim.Region, path string, knownVersion uint64) (RevalidationResult, error)
 	// FetchBlocks returns origin-rendered personalized fragments over the
 	// first-party channel, with the simulated latency of that round trip.
-	FetchBlocks(region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration)
+	FetchBlocks(ctx context.Context, region netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration, error)
 }
 
 // RevalidationResult is the outcome of a conditional fetch.
@@ -138,6 +143,10 @@ type Config struct {
 	// block-personalization latency — under the shared registry (nil
 	// disables).
 	Obs *obs.Registry
+	// Resilience shapes retries, per-load budgets, and the per-upstream
+	// circuit breakers. The zero value applies the documented defaults
+	// (2 retries, no budget, breakers at 5 failures / 15s cooldown).
+	Resilience ResilienceConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -161,6 +170,7 @@ func (c *Config) applyDefaults() {
 			"tier":     origin.TierPriceBlock,
 		}
 	}
+	c.Resilience.applyDefaults()
 }
 
 // Stats counts proxy activity.
@@ -178,6 +188,11 @@ type Stats struct {
 	// accumulated (simulated) cost, accounted apart from page latency.
 	Prefetches   uint64
 	PrefetchTime time.Duration
+	// Retries counts backed-off retry attempts against upstreams.
+	Retries uint64
+	// Degraded counts degradation decisions (a single load can record
+	// more than one as it walks down the ladder).
+	Degraded uint64
 }
 
 // Proxy is one device's service worker. Safe for concurrent use, though
@@ -191,6 +206,14 @@ type Proxy struct {
 	// m holds metric handles resolved once at construction, so the load
 	// path never does a registry lookup; nil when no registry is wired.
 	m *proxyMetrics
+	// rng drives backoff jitter; seeded from Resilience.Seed so retry
+	// schedules replay deterministically.
+	rng     *rand.Rand
+	backoff resilience.Backoff
+	// One breaker per upstream the device talks to.
+	brSketch *resilience.Breaker
+	brShell  *resilience.Breaker
+	brBlocks *resilience.Breaker
 }
 
 // proxyMetrics are the device-side instruments, pre-resolved from the
@@ -200,6 +223,8 @@ type proxyMetrics struct {
 	offlineServes   *metrics.Counter
 	sketchRefreshes *metrics.Counter
 	revalidations   *metrics.Counter
+	retries         *metrics.Counter
+	degraded        map[DegradeReason]*metrics.Counter
 	loadLatency     *metrics.Histogram
 	blockLatency    *metrics.Histogram
 }
@@ -209,11 +234,16 @@ func newProxyMetrics(r *obs.Registry) *proxyMetrics {
 		offlineServes:   r.Counter("speedkit.device.offline_serves.total"),
 		sketchRefreshes: r.Counter("speedkit.device.sketch_refreshes.total"),
 		revalidations:   r.Counter("speedkit.device.revalidations.total"),
+		retries:         r.Counter("speedkit.device.retries.total"),
+		degraded:        make(map[DegradeReason]*metrics.Counter, len(degradeReasons)),
 		loadLatency:     r.Histogram("speedkit.device.load_latency_us"),
 		blockLatency:    r.Histogram("speedkit.device.block_latency_us"),
 	}
 	for _, src := range []Source{SourceDevice, SourceCDN, SourceOrigin} {
 		m.loads[src] = r.Counter("speedkit.device.loads.total", obs.L("source", src.String()))
+	}
+	for _, reason := range degradeReasons {
+		m.degraded[reason] = r.Counter("speedkit.device.degraded.total", obs.L("reason", string(reason)))
 	}
 	return m
 }
@@ -228,8 +258,23 @@ func New(cfg Config, tr Transport) *Proxy {
 			MaxItems: cfg.CacheItems,
 			Clock:    cfg.Clock,
 		}),
-		tr: tr,
+		tr:  tr,
+		rng: rand.New(rand.NewSource(cfg.Resilience.Seed)),
+		backoff: resilience.Backoff{
+			Base:   cfg.Resilience.RetryBase,
+			Max:    cfg.Resilience.RetryMaxDelay,
+			Factor: 2,
+			Jitter: cfg.Resilience.RetryJitter,
+		},
 	}
+	brCfg := resilience.BreakerConfig{
+		Clock:     cfg.Clock,
+		Threshold: cfg.Resilience.BreakerThreshold,
+		Cooldown:  cfg.Resilience.BreakerCooldown,
+	}
+	p.brSketch = resilience.NewBreaker(brCfg)
+	p.brShell = resilience.NewBreaker(brCfg)
+	p.brBlocks = resilience.NewBreaker(brCfg)
 	if cfg.Obs != nil {
 		p.m = newProxyMetrics(cfg.Obs)
 	}
@@ -258,6 +303,10 @@ type PageLoad struct {
 	// state. Offline responses may be arbitrarily stale — the Δ bound
 	// resumes once connectivity returns.
 	Offline bool
+	// Degraded names the first degradation decision taken for this load
+	// (DegradeNone when the full protocol ran). Except for the explicit
+	// Offline mode, degraded responses still satisfy the Δ bound.
+	Degraded DegradeReason
 }
 
 // auditCDN records an anonymous-only flow to the CDN boundary.
@@ -267,8 +316,11 @@ func (p *Proxy) auditCDN(fields ...string) {
 	}
 }
 
-// Load intercepts one page request and runs the full pipeline.
-func (p *Proxy) Load(path string) (PageLoad, error) {
+// Load intercepts one page request and runs the full pipeline. The ctx
+// rides every transport call (cancellation is honored between retries
+// and inside real HTTP transports); the simulated-latency budget, if
+// configured, is enforced by the resilience layer.
+func (p *Proxy) Load(ctx context.Context, path string) (PageLoad, error) {
 	res := PageLoad{Path: path}
 	p.stats.Loads++
 	// Unsampled and disabled tracing both yield a nil trace; every trace
@@ -277,16 +329,37 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 	trace := p.cfg.Tracer.Start("page_load", path)
 
 	// 1. Sketch freshness: refresh if older than Δ. The sketch itself is
-	// an anonymous resource fetched from the edge.
+	// an anonymous resource fetched from the edge. A failed refresh
+	// (upstream fault, open breaker, exhausted budget) does not fail the
+	// load; it pushes the shell decision onto the degradation ladder.
+	sketchOK := !p.cfg.DisableSketch
 	if !p.cfg.DisableSketch && p.sketch.NeedsRefresh() {
-		sn, lat := p.tr.FetchSketch(p.cfg.Region)
-		p.sketch.Install(sn)
-		res.Latency += lat
-		res.SketchRefreshed = true
-		p.stats.SketchRefreshes++
-		p.auditCDN("sketch")
-		trace.MarkSketchRefreshed()
-		trace.AddSpan("sketch.fetch", "cdn", lat)
+		var sn *cachesketch.Snapshot
+		sketchStart := res.Latency
+		err := p.withRetry(ctx, &res, p.brSketch, func() error {
+			s, lat, err := p.tr.FetchSketch(ctx, p.cfg.Region)
+			if err != nil {
+				return err
+			}
+			sn = s
+			res.Latency += lat
+			return nil
+		})
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return PageLoad{}, err
+		}
+		if err == nil && sn != nil {
+			p.sketch.Install(sn)
+			res.SketchRefreshed = true
+			p.stats.SketchRefreshes++
+			p.auditCDN("sketch")
+			trace.MarkSketchRefreshed()
+			trace.AddSpan("sketch.fetch", "cdn", res.Latency-sketchStart)
+		} else {
+			// The snapshot we hold (if any) is older than Δ and can no
+			// longer vouch for cached copies.
+			sketchOK = false
+		}
 	}
 	if trace != nil && !p.cfg.DisableSketch {
 		// Sketch state at decision time: how much of the Δ budget the
@@ -296,59 +369,104 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 
 	// 2. Coherence decision for the shell. With the sketch disabled,
 	// every unexpired cached copy is served blindly (TTL-only baseline).
+	// With the sketch unreachable, the ladder keeps the Δ bound without
+	// it: serve a held copy stored within the last Δ (its staleness
+	// cannot exceed Δ — any invalidating write postdates StoredAt), else
+	// force the version-conditioned revalidation path.
 	decision := cachesketch.ServeFromCache
-	if !p.cfg.DisableSketch {
-		decision = p.sketch.Check(path)
-	}
-	// orOffline wraps a network fetch with the offline fallback: when the
-	// transport reports unreachability, any held device copy — fresh,
-	// flagged, or expired — beats a failed page load.
-	orOffline := func(e cache.Entry, err error) (cache.Entry, error) {
-		if err == nil || !errors.Is(err, ErrOffline) {
-			return e, err
-		}
-		held, ok := p.store.PeekAny(path)
-		if !ok {
-			return cache.Entry{}, err
-		}
-		res.Offline = true
-		res.Source = SourceDevice
-		res.Latency += p.cfg.Network.DeviceLatency()
-		p.stats.OfflineServes++
-		return held, nil
-	}
-
 	var entry cache.Entry
-	var err error
-	shellStart := res.Latency
-	switch decision {
-	case cachesketch.ServeFromCache:
-		if e, ok := p.store.Get(path); ok {
-			entry = e
+	served := false
+	if !p.cfg.DisableSketch {
+		if sketchOK {
+			decision = p.sketch.Check(path)
+		} else if held, ok := p.heldWithinDelta(path); ok {
+			entry = held
+			served = true
 			res.Source = SourceDevice
 			res.Latency += p.cfg.Network.DeviceLatency()
 			p.stats.DeviceHits++
+			p.markDegraded(&res, trace, DegradeServeStale)
 		} else {
-			entry, err = orOffline(p.fetchShell(path, &res))
+			decision = cachesketch.Revalidate
+			p.markDegraded(&res, trace, DegradeRevalidate)
+		}
+	}
+	// orDegraded wraps a shell fetch with the fallback rungs. Offline:
+	// any held device copy — fresh, flagged, or expired — beats a failed
+	// page load (explicitly marked, Δ bound suspended). Resilience
+	// refusals and exhausted retries: a copy stored within Δ still
+	// satisfies the bound; without one the error propagates.
+	orDegraded := func(e cache.Entry, err error) (cache.Entry, error) {
+		if err == nil {
+			return e, nil
+		}
+		if errors.Is(err, ErrOffline) {
+			held, ok := p.store.PeekAny(path)
+			if !ok {
+				return cache.Entry{}, err
+			}
+			res.Offline = true
+			res.Source = SourceDevice
+			res.Latency += p.cfg.Network.DeviceLatency()
+			p.stats.OfflineServes++
+			p.markDegraded(&res, trace, DegradeOfflineShell)
+			res.Degraded = DegradeOfflineShell // the terminal rung names the load
+			return held, nil
+		}
+		var reason DegradeReason
+		switch {
+		case errors.Is(err, ErrCircuitOpen):
+			reason = DegradeCircuitOpen
+		case errors.Is(err, ErrBudgetExceeded):
+			reason = DegradeBudget
+		case errors.Is(err, ErrUpstream):
+			reason = DegradeRetriesExhausted
+		default:
+			return cache.Entry{}, err // application error: propagate
+		}
+		held, ok := p.heldWithinDelta(path)
+		if !ok {
+			return cache.Entry{}, err
+		}
+		res.Source = SourceDevice
+		res.Latency += p.cfg.Network.DeviceLatency()
+		p.stats.DeviceHits++
+		p.markDegraded(&res, trace, reason)
+		return held, nil
+	}
+
+	var err error
+	shellStart := res.Latency
+	if !served {
+		switch decision {
+		case cachesketch.ServeFromCache:
+			if e, ok := p.store.Get(path); ok {
+				entry = e
+				res.Source = SourceDevice
+				res.Latency += p.cfg.Network.DeviceLatency()
+				p.stats.DeviceHits++
+			} else {
+				entry, err = orDegraded(p.fetchShell(ctx, path, &res))
+				if err != nil {
+					return PageLoad{}, err
+				}
+			}
+		case cachesketch.Revalidate:
+			res.Revalidated = true
+			p.stats.Revalidations++
+			entry, err = orDegraded(p.revalidateShell(ctx, path, &res))
 			if err != nil {
 				return PageLoad{}, err
 			}
-		}
-	case cachesketch.Revalidate:
-		res.Revalidated = true
-		p.stats.Revalidations++
-		entry, err = orOffline(p.revalidateShell(path, &res))
-		if err != nil {
-			return PageLoad{}, err
-		}
-	default:
-		// The sketch was refreshed above, so RefreshSketch can only recur
-		// if the transport returned a nil snapshot; degrade to a direct
-		// fetch, which is always safe.
-		res.Revalidated = true
-		entry, err = orOffline(p.fetchShell(path, &res))
-		if err != nil {
-			return PageLoad{}, err
+		default:
+			// The sketch was refreshed above, so RefreshSketch can only
+			// recur if the transport returned a nil snapshot; degrade to a
+			// direct fetch, which is always safe.
+			res.Revalidated = true
+			entry, err = orDegraded(p.fetchShell(ctx, path, &res))
+			if err != nil {
+				return PageLoad{}, err
+			}
 		}
 	}
 
@@ -362,7 +480,7 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 
 	// 3. On-device personalization: swap placeholders for fragments.
 	blockStart := res.Latency
-	body, blocks, err := p.personalize(entry, &res)
+	body, blocks, err := p.personalize(ctx, entry, &res, trace)
 	if err != nil {
 		return PageLoad{}, err
 	}
@@ -375,9 +493,10 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 	}
 	trace.SetBlocks(blocks, blockLatency)
 
-	// 4. Background prefetch of linked pages (never while offline).
-	if !res.Offline {
-		p.prefetch(entry)
+	// 4. Background prefetch of linked pages (never while offline or
+	// degraded — a struggling upstream should not absorb warmup traffic).
+	if !res.Offline && res.Degraded == DegradeNone {
+		p.prefetch(ctx, entry)
 	}
 
 	trace.SetSource(res.Source.String())
@@ -402,15 +521,24 @@ func (p *Proxy) Load(path string) (PageLoad, error) {
 	return res, nil
 }
 
-// fetchShell pulls the anonymous page via the CDN path and fills the
-// device cache.
-func (p *Proxy) fetchShell(path string, res *PageLoad) (cache.Entry, error) {
+// fetchShell pulls the anonymous page via the CDN path (through the
+// resilience layer) and fills the device cache.
+func (p *Proxy) fetchShell(ctx context.Context, path string, res *PageLoad) (cache.Entry, error) {
 	p.auditCDN("path")
-	entry, lat, src, err := p.tr.Fetch(p.cfg.Region, path)
+	var entry cache.Entry
+	var src Source
+	err := p.withRetry(ctx, res, p.brShell, func() error {
+		e, lat, s, err := p.tr.Fetch(ctx, p.cfg.Region, path)
+		if err != nil {
+			return err
+		}
+		entry, src = e, s
+		res.Latency += lat
+		return nil
+	})
 	if err != nil {
 		return cache.Entry{}, fmt.Errorf("proxy: fetch %s: %w", path, err)
 	}
-	res.Latency += lat
 	res.Source = src
 	switch src {
 	case SourceCDN:
@@ -430,7 +558,7 @@ func (p *Proxy) fetchShell(path string, res *PageLoad) (cache.Entry, error) {
 // the held version: if the origin's version is unchanged, only the
 // expiration is renewed and no body travels — the protocol's
 // 304-equivalent. Without a held copy it degrades to a plain fetch.
-func (p *Proxy) revalidateShell(path string, res *PageLoad) (cache.Entry, error) {
+func (p *Proxy) revalidateShell(ctx context.Context, path string, res *PageLoad) (cache.Entry, error) {
 	// Without a held copy there is no version to condition on, but the
 	// request must still travel the revalidation path (version 0 never
 	// matches): a plain fetch could be answered by an edge still holding
@@ -441,7 +569,15 @@ func (p *Proxy) revalidateShell(path string, res *PageLoad) (cache.Entry, error)
 		knownVersion = held.Version
 	}
 	p.auditCDN("path")
-	rr, err := p.tr.Revalidate(p.cfg.Region, path, knownVersion)
+	var rr RevalidationResult
+	err := p.withRetry(ctx, res, p.brShell, func() error {
+		r, err := p.tr.Revalidate(ctx, p.cfg.Region, path, knownVersion)
+		if err != nil {
+			return err
+		}
+		rr = r
+		return nil
+	})
 	if err != nil {
 		return cache.Entry{}, fmt.Errorf("proxy: revalidate %s: %w", path, err)
 	}
@@ -464,8 +600,10 @@ func (p *Proxy) revalidateShell(path string, res *PageLoad) (cache.Entry, error)
 	return rr.Entry, nil
 }
 
-// personalize replaces each block placeholder with its fragment.
-func (p *Proxy) personalize(entry cache.Entry, res *PageLoad) ([]byte, int, error) {
+// personalize replaces each block placeholder with its fragment. A
+// failed origin-fragment fetch never fails the page: the device falls
+// back to locally rendered variants (DegradeBlocksLocal).
+func (p *Proxy) personalize(ctx context.Context, entry cache.Entry, res *PageLoad, trace *obs.Trace) ([]byte, int, error) {
 	names := blockNames(entry)
 	if len(names) == 0 {
 		return entry.Body, 0, nil
@@ -474,17 +612,13 @@ func (p *Proxy) personalize(entry cache.Entry, res *PageLoad) ([]byte, int, erro
 	consented := p.consented()
 	var originNames []string
 	fragments := make(map[string][]byte, len(names))
-	for _, name := range names {
-		if p.cfg.OriginBlocks[name] && consented {
-			originNames = append(originNames, name)
-			continue
-		}
+	renderLocal := func(name string) {
 		// On-device rendering from local session state. Without consent,
 		// render the anonymous variant by passing a nil user.
 		r := p.cfg.LocalBlocks[name]
 		if r == nil {
 			fragments[name] = nil
-			continue
+			return
 		}
 		u := p.cfg.User
 		if !consented {
@@ -492,6 +626,13 @@ func (p *Proxy) personalize(entry cache.Entry, res *PageLoad) ([]byte, int, erro
 		}
 		fragments[name] = r(u)
 		p.stats.BlocksLocal++
+	}
+	for _, name := range names {
+		if p.cfg.OriginBlocks[name] && consented && !res.Offline {
+			originNames = append(originNames, name)
+			continue
+		}
+		renderLocal(name)
 	}
 
 	// Origin-sourced fragments travel over the first-party channel, one
@@ -501,8 +642,26 @@ func (p *Proxy) personalize(entry cache.Entry, res *PageLoad) ([]byte, int, erro
 		if p.cfg.Auditor != nil {
 			p.cfg.Auditor.RecordFlow(gdpr.BoundaryOrigin, []string{"user_id", "path"})
 		}
-		frs, lat := p.tr.FetchBlocks(p.cfg.Region, originNames, p.cfg.User)
-		res.Latency += lat
+		var frs map[string][]byte
+		err := p.withRetry(ctx, res, p.brBlocks, func() error {
+			f, lat, err := p.tr.FetchBlocks(ctx, p.cfg.Region, originNames, p.cfg.User)
+			if err != nil {
+				return err
+			}
+			frs = f
+			res.Latency += lat
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, 0, err
+			}
+			// Degrade to local fallbacks for every origin-sourced block.
+			p.markDegraded(res, trace, DegradeBlocksLocal)
+			for _, name := range originNames {
+				renderLocal(name)
+			}
+		}
 		for name, fr := range frs {
 			fragments[name] = fr
 			p.stats.BlocksOrigin++
@@ -580,20 +739,20 @@ func linkNames(e cache.Entry) []string {
 // not already held. In production this runs asynchronously after the
 // page is displayed, so its cost is accounted separately from the page
 // load; the simulated latency is accumulated in Stats.PrefetchTime.
-func (p *Proxy) prefetch(entry cache.Entry) {
+func (p *Proxy) prefetch(ctx context.Context, entry cache.Entry) {
 	k := p.cfg.PrefetchLinks
 	if k <= 0 {
 		return
 	}
 	for _, link := range linkNames(entry) {
-		if k == 0 {
+		if k == 0 || ctx.Err() != nil {
 			break
 		}
 		if _, held := p.store.Peek(link); held {
 			continue
 		}
 		p.auditCDN("path")
-		fetched, lat, _, err := p.tr.Fetch(p.cfg.Region, link)
+		fetched, lat, _, err := p.tr.Fetch(ctx, p.cfg.Region, link)
 		if err != nil {
 			return // offline or server trouble: stop prefetching quietly
 		}

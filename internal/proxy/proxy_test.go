@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -22,6 +23,8 @@ type fakeTransport struct {
 	pages      map[string]cache.Entry
 	fetchSrc   Source
 	fetchErr   error
+	blockErr   error
+	fetchHook  func() error // consulted before each Fetch when set
 	fetchLat   time.Duration
 	sketchLat  time.Duration
 	sketchDown bool
@@ -30,14 +33,19 @@ type fakeTransport struct {
 	lastUser   *session.User
 }
 
-func (f *fakeTransport) FetchSketch(netsim.Region) (*cachesketch.Snapshot, time.Duration) {
+func (f *fakeTransport) FetchSketch(_ context.Context, _ netsim.Region) (*cachesketch.Snapshot, time.Duration, error) {
 	if f.sketchDown {
-		return nil, 0
+		return nil, 0, ErrOffline
 	}
-	return f.sketchSrv.Snapshot(), f.sketchLat
+	return f.sketchSrv.Snapshot(), f.sketchLat, nil
 }
 
-func (f *fakeTransport) Fetch(_ netsim.Region, path string) (cache.Entry, time.Duration, Source, error) {
+func (f *fakeTransport) Fetch(_ context.Context, _ netsim.Region, path string) (cache.Entry, time.Duration, Source, error) {
+	if f.fetchHook != nil {
+		if err := f.fetchHook(); err != nil {
+			return cache.Entry{}, 0, 0, err
+		}
+	}
 	if f.fetchErr != nil {
 		return cache.Entry{}, 0, 0, f.fetchErr
 	}
@@ -50,7 +58,7 @@ func (f *fakeTransport) Fetch(_ netsim.Region, path string) (cache.Entry, time.D
 	return e, f.fetchLat, f.fetchSrc, nil
 }
 
-func (f *fakeTransport) Revalidate(region netsim.Region, path string, knownVersion uint64) (RevalidationResult, error) {
+func (f *fakeTransport) Revalidate(_ context.Context, _ netsim.Region, path string, knownVersion uint64) (RevalidationResult, error) {
 	if f.fetchErr != nil {
 		return RevalidationResult{}, f.fetchErr
 	}
@@ -68,7 +76,10 @@ func (f *fakeTransport) Revalidate(region netsim.Region, path string, knownVersi
 	return RevalidationResult{Entry: e, Latency: f.fetchLat, Source: f.fetchSrc}, nil
 }
 
-func (f *fakeTransport) FetchBlocks(_ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration) {
+func (f *fakeTransport) FetchBlocks(_ context.Context, _ netsim.Region, names []string, u *session.User) (map[string][]byte, time.Duration, error) {
+	if f.blockErr != nil {
+		return nil, 0, f.blockErr
+	}
 	f.blockCalls++
 	f.lastBlocks = names
 	f.lastUser = u
@@ -76,7 +87,7 @@ func (f *fakeTransport) FetchBlocks(_ netsim.Region, names []string, u *session.
 	for _, n := range names {
 		out[n] = []byte("<origin:" + n + ">")
 	}
-	return out, 30 * time.Millisecond
+	return out, 30 * time.Millisecond, nil
 }
 
 func newTestProxy(t *testing.T, user *session.User) (*Proxy, *fakeTransport, *clock.Simulated) {
@@ -116,7 +127,7 @@ func loggedInUser() *session.User {
 
 func TestLoadColdFetchesSketchAndShell(t *testing.T) {
 	p, _, _ := newTestProxy(t, loggedInUser())
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +147,8 @@ func TestLoadColdFetchesSketchAndShell(t *testing.T) {
 
 func TestLoadSecondHitServedFromDevice(t *testing.T) {
 	p, _, _ := newTestProxy(t, loggedInUser())
-	_, _ = p.Load("/")
-	res, err := p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +171,7 @@ func TestLoadPersonalizesBlocksOnDevice(t *testing.T) {
 	u := loggedInUser()
 	u.AddToCart("p1", 2)
 	p, _, _ := newTestProxy(t, u)
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +194,7 @@ func TestLoadWithoutConsentRendersAnonymous(t *testing.T) {
 	u := loggedInUser()
 	u.ConsentPersonalization = false
 	p, _, _ := newTestProxy(t, u)
-	res, _ := p.Load("/")
+	res, _ := p.Load(context.Background(), "/")
 	body := string(res.Body)
 	if strings.Contains(body, "Ada") {
 		t.Fatalf("non-consented user personalized: %s", body)
@@ -195,7 +206,7 @@ func TestLoadWithoutConsentRendersAnonymous(t *testing.T) {
 
 func TestLoadAnonymousVisitor(t *testing.T) {
 	p, _, _ := newTestProxy(t, nil)
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,12 +231,12 @@ func TestConsentLedgerOverridesUserFlag(t *testing.T) {
 	tr.pages["/"] = e
 	p := New(Config{User: u, Region: netsim.EU, Clock: clk, Consent: ledger}, tr)
 
-	res, _ := p.Load("/")
+	res, _ := p.Load(context.Background(), "/")
 	if strings.Contains(string(res.Body), "Ada") {
 		t.Fatal("ledger denial ignored")
 	}
 	ledger.Grant(u.ID, gdpr.PurposePersonalization, clk.Now())
-	res, _ = p.Load("/")
+	res, _ = p.Load(context.Background(), "/")
 	if !strings.Contains(string(res.Body), "Ada") {
 		t.Fatal("ledger grant ignored")
 	}
@@ -235,7 +246,7 @@ func TestOriginBlocksFetchedOverFirstPartyChannel(t *testing.T) {
 	u := loggedInUser()
 	p, tr, _ := newTestProxy(t, u)
 	p.cfg.OriginBlocks = map[string]bool{"cart": true}
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +274,7 @@ func TestOriginBlocksSkippedWithoutConsent(t *testing.T) {
 	u.ConsentPersonalization = false
 	p, tr, _ := newTestProxy(t, u)
 	p.cfg.OriginBlocks = map[string]bool{"cart": true}
-	_, _ = p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
 	if tr.blockCalls != 0 {
 		t.Fatal("origin blocks fetched without consent")
 	}
@@ -274,7 +285,7 @@ func TestNoPIICrossesCDNBoundary(t *testing.T) {
 	u.AddToCart("p1", 5)
 	p, _, clk := newTestProxy(t, u)
 	for i := 0; i < 20; i++ {
-		_, _ = p.Load("/")
+		_, _ = p.Load(context.Background(), "/")
 		clk.Advance(10 * time.Second)
 	}
 	auditor := p.cfg.Auditor
@@ -289,7 +300,7 @@ func TestNoPIICrossesCDNBoundary(t *testing.T) {
 
 func TestSketchGovernsDeviceCache(t *testing.T) {
 	p, tr, clk := newTestProxy(t, nil)
-	_, _ = p.Load("/") // cold: caches shell v1
+	_, _ = p.Load(context.Background(), "/") // cold: caches shell v1
 
 	// Origin writes the page; server sketch flags it.
 	tr.sketchSrv.ReportWrite("/")
@@ -298,13 +309,13 @@ func TestSketchGovernsDeviceCache(t *testing.T) {
 	tr.pages["/"] = e
 
 	// Within Δ the device still serves v1 (bounded staleness)...
-	res, _ := p.Load("/")
+	res, _ := p.Load(context.Background(), "/")
 	if res.Source != SourceDevice || res.Version != 1 {
 		t.Fatalf("within Δ: source=%v version=%d", res.Source, res.Version)
 	}
 	// ...after Δ the refreshed sketch forces revalidation to v2.
 	clk.Advance(31 * time.Second)
-	res, _ = p.Load("/")
+	res, _ = p.Load(context.Background(), "/")
 	if !res.SketchRefreshed || !res.Revalidated {
 		t.Fatalf("post-Δ load: %+v", res)
 	}
@@ -318,7 +329,7 @@ func TestSketchGovernsDeviceCache(t *testing.T) {
 
 func TestLoadPlainPageNoBlocks(t *testing.T) {
 	p, _, _ := newTestProxy(t, loggedInUser())
-	res, err := p.Load("/plain")
+	res, err := p.Load(context.Background(), "/plain")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +344,7 @@ func TestLoadPlainPageNoBlocks(t *testing.T) {
 func TestLoadFetchError(t *testing.T) {
 	p, tr, _ := newTestProxy(t, nil)
 	tr.fetchErr = errors.New("edge down")
-	if _, err := p.Load("/"); err == nil {
+	if _, err := p.Load(context.Background(), "/"); err == nil {
 		t.Fatal("fetch error swallowed")
 	}
 }
@@ -361,7 +372,7 @@ func TestUnknownLocalBlockRendersEmpty(t *testing.T) {
 	e := cache.TTLEntry(tr.clk, "/m", body, 1, time.Hour)
 	e.Metadata = BlocksMetadata([]string{"mystery"})
 	tr.pages["/m"] = e
-	res, err := p.Load("/m")
+	res, err := p.Load(context.Background(), "/m")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,174 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/clock"
+	"speedkit/internal/obs"
+	"speedkit/internal/resilience"
+)
+
+// ResilienceConfig shapes the proxy's retry, budget, and breaker
+// behavior. The zero value yields the defaults noted per field; budgets
+// are off by default so plain configurations keep their exact pre-
+// resilience latency accounting.
+type ResilienceConfig struct {
+	// RetryMax is the number of retries after the first attempt for
+	// transient (ErrUpstream) failures (default 2; negative disables).
+	RetryMax int
+	// RetryBase is the first backoff delay (default 50ms).
+	RetryBase time.Duration
+	// RetryMaxDelay caps the exponential backoff (default 2s).
+	RetryMaxDelay time.Duration
+	// RetryJitter is the ± fraction applied to each delay (default 0.5).
+	RetryJitter float64
+	// LoadBudget bounds the accumulated (simulated) latency a single
+	// Load may spend on network attempts; once exceeded, further
+	// attempts fail with ErrBudgetExceeded and the degradation ladder
+	// takes over. Zero disables the budget.
+	LoadBudget time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// upstream's circuit (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting a half-open probe (default 15s).
+	BreakerCooldown time.Duration
+	// Seed drives the backoff jitter RNG, so retry schedules are
+	// reproducible (default 1).
+	Seed int64
+}
+
+func (r *ResilienceConfig) applyDefaults() {
+	if r.RetryMax == 0 {
+		r.RetryMax = 2
+	}
+	if r.RetryMax < 0 {
+		r.RetryMax = 0
+	}
+	if r.RetryBase <= 0 {
+		r.RetryBase = 50 * time.Millisecond
+	}
+	if r.RetryMaxDelay <= 0 {
+		r.RetryMaxDelay = 2 * time.Second
+	}
+	if r.RetryJitter <= 0 {
+		r.RetryJitter = 0.5
+	}
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = 5
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = 15 * time.Second
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+}
+
+// budgetLeft reports whether the load still has latency budget for
+// another network attempt.
+func (p *Proxy) budgetLeft(res *PageLoad) bool {
+	b := p.cfg.Resilience.LoadBudget
+	return b <= 0 || res.Latency < b
+}
+
+// withRetry runs one logical upstream call through the resilience
+// layer: breaker admission, per-load budget, and jittered exponential
+// retries for transient (ErrUpstream) failures. Backoff delays are
+// added to the load's simulated latency and slept on sleeping clocks
+// (clock.Sleep) so real deployments actually back off.
+//
+// Outcome mapping: ErrOffline fails fast (the offline ladder handles
+// it); application errors resolve the breaker as success (the upstream
+// answered) and propagate unchanged; ctx cancellation is never retried.
+func (p *Proxy) withRetry(ctx context.Context, res *PageLoad, br *resilience.Breaker, op func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !p.budgetLeft(res) {
+		return ErrBudgetExceeded
+	}
+	if !br.Allow() {
+		return ErrCircuitOpen
+	}
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			br.Success()
+			return nil
+		}
+		switch {
+		case errors.Is(err, ErrOffline):
+			// Unreachable: count it against the breaker (so persistent
+			// partitions open the circuit) but never retry — the offline
+			// ladder answers faster than any backoff schedule.
+			br.Failure()
+			return err
+		case errors.Is(err, ErrUpstream):
+			br.Failure()
+			if attempt >= p.cfg.Resilience.RetryMax || br.State() == resilience.Open {
+				return err
+			}
+			delay := p.backoff.Delay(p.rng, attempt)
+			res.Latency += delay
+			p.stats.Retries++
+			if p.m != nil {
+				p.m.retries.Inc()
+			}
+			clock.Sleep(p.cfg.Clock, delay)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !p.budgetLeft(res) {
+				return ErrBudgetExceeded
+			}
+		default:
+			// The upstream answered with an application error: healthy
+			// connectivity, nothing to retry or count as a fault.
+			br.Success()
+			return err
+		}
+	}
+}
+
+// markDegraded records a degradation decision: the first reason sticks
+// on the PageLoad (later rungs refine, they don't replace), every
+// decision is counted, and sampled traces carry the reason.
+func (p *Proxy) markDegraded(res *PageLoad, trace *obs.Trace, reason DegradeReason) {
+	if res.Degraded == DegradeNone {
+		res.Degraded = reason
+	}
+	p.stats.Degraded++
+	if p.m != nil {
+		if c := p.m.degraded[reason]; c != nil {
+			c.Inc()
+		}
+	}
+	trace.MarkDegraded(string(reason))
+}
+
+// heldWithinDelta returns a held device copy of path whose StoredAt is
+// within Δ of now. Serving such a copy preserves Δ-atomicity without
+// consulting the sketch: any invalidating write necessarily postdates
+// StoredAt, which is at most Δ ago.
+func (p *Proxy) heldWithinDelta(path string) (cache.Entry, bool) {
+	held, ok := p.store.PeekAny(path)
+	if !ok || clock.Since(p.cfg.Clock, held.StoredAt) > p.cfg.Delta {
+		return cache.Entry{}, false
+	}
+	return held, true
+}
+
+// BreakerStates reports the sketch, shell, and blocks breaker states,
+// for diagnostics and tests.
+func (p *Proxy) BreakerStates() (sketch, shell, blocks resilience.State) {
+	return p.brSketch.State(), p.brShell.State(), p.brBlocks.State()
+}
+
+// BreakerStats reports the per-upstream breaker counters.
+func (p *Proxy) BreakerStats() (sketch, shell, blocks resilience.BreakerStats) {
+	return p.brSketch.Stats(), p.brShell.Stats(), p.brBlocks.Stats()
+}

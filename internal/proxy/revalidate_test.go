@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // held body survives.
 func TestRevalidationNotModifiedKeepsBody(t *testing.T) {
 	p, tr, _ := newTestProxy(t, nil)
-	_, _ = p.Load("/") // cold fill at v1
+	_, _ = p.Load(context.Background(), "/") // cold fill at v1
 
 	// Flag the page in the sketch WITHOUT changing its version — exactly
 	// what a Bloom false positive looks like to the client.
@@ -23,7 +24,7 @@ func TestRevalidationNotModifiedKeepsBody(t *testing.T) {
 	// Force a sketch refresh so the flag is visible.
 	p.sketch.Install(tr.sketchSrv.Snapshot())
 
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRevalidationNotModifiedKeepsBody(t *testing.T) {
 // advanced must come back with the new representation.
 func TestRevalidationModifiedFetchesNewBody(t *testing.T) {
 	p, tr, _ := newTestProxy(t, nil)
-	_, _ = p.Load("/")
+	_, _ = p.Load(context.Background(), "/")
 
 	tr.sketchSrv.ReportWrite("/") // cached copy exists from the load above
 	e := tr.pages["/"]
@@ -60,7 +61,7 @@ func TestRevalidationModifiedFetchesNewBody(t *testing.T) {
 	tr.pages["/"] = e
 	p.sketch.Install(tr.sketchSrv.Snapshot())
 
-	res, err := p.Load("/")
+	res, err := p.Load(context.Background(), "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRevalidationExpiredCopyStillConditional(t *testing.T) {
 	e := cache.TTLEntry(clk, "/short", body, 1, 10*time.Second)
 	e.Metadata = BlocksMetadata([]string{"cart"})
 	tr.pages["/short"] = e
-	_, _ = p.Load("/short")
+	_, _ = p.Load(context.Background(), "/short")
 
 	// Another client elsewhere caches a long-lived copy, then a write
 	// flags the page — the flag outlives our device copy's short TTL.
@@ -95,7 +96,7 @@ func TestRevalidationExpiredCopyStillConditional(t *testing.T) {
 	clk.Advance(11 * time.Second) // device copy expires; flag persists
 	p.sketch.Install(tr.sketchSrv.Snapshot())
 
-	res, err := p.Load("/short")
+	res, err := p.Load(context.Background(), "/short")
 	if err != nil {
 		t.Fatal(err)
 	}

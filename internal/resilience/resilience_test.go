@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+)
+
+func TestBackoffExponentialGrowth(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Factor: 2, Max: 2 * time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for n, w := range want {
+		if got := b.Delay(nil, n); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Factor: 2, Max: time.Second, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 6; n++ {
+		unjittered := Backoff{Base: b.Base, Factor: b.Factor, Max: b.Max}.Delay(nil, n)
+		lo := time.Duration(float64(unjittered) * 0.5)
+		hi := time.Duration(float64(unjittered) * 1.5)
+		for i := 0; i < 200; i++ {
+			d := b.Delay(rng, n)
+			if d < lo || d >= hi+time.Nanosecond {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v)", n, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	b := Default()
+	seq := func() []time.Duration {
+		rng := rand.New(rand.NewSource(99))
+		out := make([]time.Duration, 8)
+		for n := range out {
+			out[n] = b.Delay(rng, n)
+		}
+		return out
+	}
+	a, c := seq(), seq()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("attempt %d: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestBackoffZeroValueSane(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(nil, 0); d <= 0 {
+		t.Fatalf("zero-value Delay(0) = %v", d)
+	}
+	// Zero Max means uncapped: growth continues but must never go
+	// negative through float conversion.
+	if d := b.Delay(nil, 30); d <= 0 {
+		t.Fatalf("zero-value Delay(30) = %v, want positive", d)
+	}
+}
+
+func newTestBreaker(clk clock.Clock) *Breaker {
+	return NewBreaker(BreakerConfig{Clock: clk, Threshold: 3, Cooldown: 10 * time.Second})
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	br := newTestBreaker(clk)
+	for i := 0; i < 2; i++ {
+		if !br.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		br.Failure()
+		if br.State() != Closed {
+			t.Fatalf("opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	br.Allow()
+	br.Failure()
+	if br.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker admitted a call inside cooldown")
+	}
+	if st := br.Stats(); st.Opens != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	br := newTestBreaker(clk)
+	br.Failure()
+	br.Failure()
+	br.Success()
+	br.Failure()
+	br.Failure()
+	if br.State() != Closed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	br := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		br.Failure()
+	}
+	clk.Advance(10 * time.Second)
+	if br.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", br.State())
+	}
+	if !br.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	// Concurrent caller while the probe is in flight is rejected.
+	if br.Allow() {
+		t.Fatal("second call admitted during half-open probe")
+	}
+	br.Success()
+	if br.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", br.State())
+	}
+	if !br.Allow() {
+		t.Fatal("closed breaker rejected a call after recovery")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	br := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		br.Failure()
+	}
+	clk.Advance(10 * time.Second)
+	if !br.Allow() {
+		t.Fatal("probe rejected")
+	}
+	br.Failure()
+	if br.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("re-opened breaker admitted a call immediately")
+	}
+	// A fresh cooldown applies from the re-open.
+	clk.Advance(10 * time.Second)
+	if !br.Allow() {
+		t.Fatal("no probe admitted after second cooldown")
+	}
+	br.Success()
+	if st := br.Stats(); st.Opens != 2 || st.Probes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var br *Breaker
+	if !br.Allow() {
+		t.Fatal("nil breaker rejected a call")
+	}
+	br.Success()
+	br.Failure()
+	if br.State() != Closed {
+		t.Fatal("nil breaker not closed")
+	}
+	if br.Stats() != (BreakerStats{}) {
+		t.Fatal("nil breaker has stats")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	br := NewBreaker(BreakerConfig{Clock: clock.NewSimulated(time.Time{})})
+	for i := 0; i < 4; i++ {
+		br.Failure()
+	}
+	if br.State() != Closed {
+		t.Fatal("default threshold should be 5")
+	}
+	br.Failure()
+	if br.State() != Open {
+		t.Fatal("breaker did not open at default threshold")
+	}
+}
+
+func TestClockSleepSimulatedNoop(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	sw := clock.NewStopwatch(clock.System)
+	clock.Sleep(clk, time.Hour)
+	if sw.Elapsed() > 5*time.Second {
+		t.Fatal("Sleep on a simulated clock blocked for real time")
+	}
+}
+
+func TestClockSleepRealBlocks(t *testing.T) {
+	sw := clock.NewStopwatch(clock.System)
+	clock.Sleep(clock.System, 5*time.Millisecond)
+	if sw.Elapsed() < 5*time.Millisecond {
+		t.Fatalf("real Sleep returned after %v, want >= 5ms", sw.Elapsed())
+	}
+}

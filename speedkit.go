@@ -12,7 +12,7 @@
 //
 //	user := speedkit.NewUsers(1, 1)[0]
 //	device := svc.NewDevice(user, speedkit.RegionEU)
-//	page, err := device.Load("/product/p00042")
+//	page, err := device.Load(ctx, "/product/p00042")
 //	fmt.Printf("served from %s in %v\n", page.Source, page.Latency)
 //
 // The Service bundles the document store (system of record), origin
@@ -22,6 +22,25 @@
 // simulated time. Devices are client proxies (the service-worker
 // equivalent) that keep all personal data on-device: pages are cached as
 // anonymous shells and personalized locally via dynamic blocks.
+//
+// # Failure taxonomy
+//
+// Load takes a context and fails with typed, errors.Is-able errors. The
+// families:
+//
+//   - ErrOffline — the network is unreachable and no offline shell was
+//     held. A load that CAN serve from the device instead returns
+//     normally with PageLoad.Offline set.
+//   - ErrDegraded — the umbrella for resilience give-ups. Its concrete
+//     members ErrBudgetExceeded (the per-load latency budget ran out)
+//     and ErrCircuitOpen (the upstream's circuit breaker is open) match
+//     both themselves and ErrDegraded.
+//   - ErrUpstream — a transient upstream failure that survived the
+//     device's retry budget.
+//
+// Loads that recover through the degradation ladder (serving a held
+// copy within Δ, an offline shell, or locally rendered blocks) succeed
+// and name the rung taken in PageLoad.Degraded.
 //
 // For custom deployments (your own collections, pages, and continuous
 // queries) build the pieces directly with NewDocumentStore, NewOrigin,
@@ -58,6 +77,42 @@ type Device = proxy.Proxy
 
 // PageLoad is the result of one device page load.
 type PageLoad = proxy.PageLoad
+
+// ResilienceConfig tunes a device's retry/backoff, per-load latency
+// budget, and circuit breakers (see ServiceConfig.DeviceResilience).
+type ResilienceConfig = proxy.ResilienceConfig
+
+// Typed failure modes, all matchable with errors.Is; see the package
+// doc's failure-taxonomy section.
+var (
+	// ErrOffline: connectivity loss with no offline shell to fall back on.
+	ErrOffline = proxy.ErrOffline
+	// ErrDegraded: umbrella for resilience give-ups (budget, breaker).
+	ErrDegraded = proxy.ErrDegraded
+	// ErrBudgetExceeded: the per-load latency budget ran out. Is ErrDegraded.
+	ErrBudgetExceeded = proxy.ErrBudgetExceeded
+	// ErrCircuitOpen: the upstream's circuit breaker rejected the call.
+	// Is ErrDegraded.
+	ErrCircuitOpen = proxy.ErrCircuitOpen
+	// ErrUpstream: a transient upstream failure that survived retries.
+	ErrUpstream = proxy.ErrUpstream
+)
+
+// DegradeReason names the degradation-ladder rung a successful load took
+// (PageLoad.Degraded; empty for full-protocol loads).
+type DegradeReason = proxy.DegradeReason
+
+// Degradation-ladder rungs.
+const (
+	DegradeNone             = proxy.DegradeNone
+	DegradeServeStale       = proxy.DegradeServeStale
+	DegradeRevalidate       = proxy.DegradeRevalidate
+	DegradeOfflineShell     = proxy.DegradeOfflineShell
+	DegradeCircuitOpen      = proxy.DegradeCircuitOpen
+	DegradeBudget           = proxy.DegradeBudget
+	DegradeRetriesExhausted = proxy.DegradeRetriesExhausted
+	DegradeBlocksLocal      = proxy.DegradeBlocksLocal
+)
 
 // Source identifies the tier that served a load (device, CDN, origin).
 type Source = proxy.Source

@@ -1,6 +1,7 @@
 package speedkit_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,14 +18,14 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	users := speedkit.NewUsers(1, 3)
 	device := svc.NewDevice(users[0], speedkit.RegionEU)
 
-	page, err := device.Load("/product/p00007")
+	page, err := device.Load(context.Background(), "/product/p00007")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if page.Source != speedkit.SourceOrigin {
 		t.Fatalf("cold load source = %v", page.Source)
 	}
-	page, err = device.Load("/product/p00007")
+	page, err = device.Load(context.Background(), "/product/p00007")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestPublicAPICustomDeployment(t *testing.T) {
 	defer svc.Close()
 
 	device := svc.NewDevice(nil, speedkit.RegionUS)
-	page, err := device.Load("/news")
+	page, err := device.Load(context.Background(), "/news")
 	if err != nil {
 		t.Fatal(err)
 	}
