@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint race cover bench bench-hotpath bench-obs chaos experiments fmt vet clean
+.PHONY: all help build test lint race cover bench bench-hotpath bench-obs chaos crash experiments fmt vet clean
 
 all: build test lint
 
@@ -18,6 +18,7 @@ help:
 	@echo "  bench-hotpath  parallel hot-path microbenchmarks -> BENCH_hotpath.json"
 	@echo "  bench-obs      observability overhead benchmarks (0 allocs/op bar)"
 	@echo "  chaos          seed-pinned fault-injection run asserting the resilience invariants"
+	@echo "  crash          seed-pinned crash-recovery run asserting durability invariants"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -71,6 +72,18 @@ CHAOS_OPS ?= 20000
 
 chaos:
 	$(GO) run ./cmd/speedkit-sim -chaos -seed $(CHAOS_SEED) -ops $(CHAOS_OPS)
+
+# Crash gate: seed-driven process kills torn into the WAL append/fsync and
+# snapshot-write paths of a durable field run, executed as twin runs over
+# separate data directories. Asserts every kill was recovered, Δ-atomicity
+# of every connected load across recoveries, byte-identical recovered
+# sketch state between the twins, and zero PII bytes in any persisted
+# artifact. Non-zero exit on any violation.
+CRASH_SEED ?= 3
+CRASH_OPS ?= 5000
+
+crash:
+	$(GO) run ./cmd/speedkit-sim -crash -seed $(CRASH_SEED) -ops $(CRASH_OPS) -users 30 -products 100 -delta 30s
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

@@ -23,14 +23,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"speedkit"
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
+	"speedkit/internal/durable"
 	"speedkit/internal/httpapi"
 	"speedkit/internal/obs"
 	"speedkit/internal/workload"
@@ -43,13 +48,27 @@ func main() {
 	warm := flag.Bool("warm", false, "pre-fill every edge with the home and category pages")
 	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (0 disables tracing)")
 	traceRing := flag.Int("trace-ring", 256, "how many recent traces /debug/traces retains")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = memory-only); coherence state is journaled there and recovered at startup")
 	flag.Parse()
+
+	var store *durable.Store
+	if *dataDir != "" {
+		store = durable.New(durable.Config{
+			Dir:        *dataDir,
+			Clock:      clock.System,
+			ColdWindow: *delta,
+			// A lost cache-fill report can hide a stale copy for up to the
+			// TTL it was issued with; the adaptive estimator caps at 24h.
+			BlindHorizon: 24 * time.Hour,
+		})
+	}
 
 	svc, err := core.NewStorefront(core.StorefrontConfig{
 		Config: core.Config{
-			Clock:  clock.System, // real time for a real server
-			Delta:  *delta,
-			Tracer: obs.NewTracer(clock.System, *traceSample, *traceRing),
+			Clock:   clock.System, // real time for a real server
+			Delta:   *delta,
+			Tracer:  obs.NewTracer(clock.System, *traceSample, *traceRing),
+			Durable: store,
 		},
 		Products: *products,
 	})
@@ -57,6 +76,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer svc.Close()
+
+	if store != nil {
+		info, rerr := svc.Recovery()
+		if rerr != nil {
+			log.Fatalf("durability recovery: %v", rerr)
+		}
+		log.Printf("durability: dir=%s recovered mode=%s replayed=%d saturated=%v watermark=%d",
+			*dataDir, info.Mode, info.Replayed, info.Saturated, info.Watermark)
+	}
 
 	if *warm {
 		paths := []string{"/"}
@@ -72,5 +100,29 @@ func main() {
 
 	api := httpapi.New(svc, speedkit.NewUsers(1, 100))
 	log.Printf("speedkit-server listening on %s (%d products, Δ=%v)", *addr, *products, *delta)
-	log.Fatal(http.ListenAndServe(*addr, api.Handler()))
+
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	// SIGTERM/SIGINT: stop serving, then seal the durability log with the
+	// clean-shutdown marker so the next start recovers warm instead of
+	// engaging the conservative cold start.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%s: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+		if store != nil {
+			if err := store.Close(); err != nil {
+				log.Fatalf("durability flush: %v", err)
+			}
+			log.Printf("durability: log sealed clean")
+		}
+	}
 }

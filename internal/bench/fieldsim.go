@@ -15,6 +15,7 @@ import (
 
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
+	"speedkit/internal/durable"
 	"speedkit/internal/faults"
 	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
@@ -101,6 +102,20 @@ type FieldConfig struct {
 	// DeviceResilience parameterizes the devices' retry/backoff/breaker
 	// layer (zero value = proxy defaults).
 	DeviceResilience proxy.ResilienceConfig
+	// DataDir, when non-empty, enables the durability subsystem: the
+	// service journals coherence state there, recovers from it at startup,
+	// and — whenever an injected fault kills the store mid-run — recovers
+	// again in place, the in-process analogue of a process restart. Crash
+	// faults come from FaultRules targeting the WAL/snapshot components
+	// (see faults.CrashRules).
+	DataDir string
+	// SnapshotEvery passes through to durable.Config (0 = its default).
+	SnapshotEvery int
+	// BlindHorizon is how long post-crash recovery blind-tracks writes to
+	// unknown resources. It must cover the longest TTL a pre-crash cache
+	// fill could have been issued, or a lost report can hide a stale copy
+	// past Δ (default 24h, the adaptive estimator's cap).
+	BlindHorizon time.Duration
 }
 
 func (c *FieldConfig) applyDefaults() {
@@ -121,6 +136,9 @@ func (c *FieldConfig) applyDefaults() {
 	}
 	if c.MeanOpsPerSecond <= 0 {
 		c.MeanOpsPerSecond = 50
+	}
+	if c.BlindHorizon <= 0 {
+		c.BlindHorizon = 24 * time.Hour
 	}
 }
 
@@ -168,6 +186,16 @@ type FieldResult struct {
 	FailedLoads uint64
 	// DegradedLoads counts served loads per degradation rung.
 	DegradedLoads map[proxy.DegradeReason]uint64
+	// Recovery is how the durable store rebuilt state at startup (zero
+	// when DataDir was empty — the run was memory-only).
+	Recovery durable.RecoveryInfo
+	// Crashes counts injected durability kills recovered in place;
+	// RecoveryModes tallies every recovery (startup included) by mode.
+	Crashes       uint64
+	RecoveryModes map[string]uint64
+	// DurableStats is the durability layer's final counter snapshot,
+	// captured after the clean shutdown that ends the run.
+	DurableStats durable.Stats
 }
 
 // HitRatio returns the share of loads served without an origin fetch.
@@ -208,6 +236,18 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		svcCfg.Faults = inj
 		svcCfg.DeviceResilience = cfg.DeviceResilience
 	}
+	var store *durable.Store
+	if cfg.DataDir != "" {
+		store = durable.New(durable.Config{
+			Dir:           cfg.DataDir,
+			Clock:         clk,
+			Faults:        inj,
+			SnapshotEvery: cfg.SnapshotEvery,
+			ColdWindow:    cfg.Delta,
+			BlindHorizon:  cfg.BlindHorizon,
+		})
+		svcCfg.Durable = store
+	}
 	switch cfg.Mode {
 	case ModeSpeedKit:
 		svcCfg.TTLSource = cfg.TTLSource // nil → adaptive
@@ -230,6 +270,16 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		return nil, err
 	}
 	defer svc.Close()
+	var recoveryModes map[string]uint64
+	var startupRecovery durable.RecoveryInfo
+	if store != nil {
+		info, rerr := svc.Recovery()
+		if rerr != nil {
+			return nil, rerr
+		}
+		startupRecovery = info
+		recoveryModes = map[string]uint64{info.Mode.String(): 1}
+	}
 
 	users := session.Population(cfg.Seed, cfg.Users)
 	devices := make([]*proxy.Proxy, len(users))
@@ -280,6 +330,8 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		Service:         svc,
 		Faults:          inj,
 		DegradedLoads:   map[proxy.DegradeReason]uint64{},
+		Recovery:        startupRecovery,
+		RecoveryModes:   recoveryModes,
 	}
 	for _, src := range []proxy.Source{proxy.SourceDevice, proxy.SourceCDN, proxy.SourceOrigin} {
 		res.LatencyByTier[src] = metrics.NewHistogram()
@@ -402,6 +454,18 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 				return nil, err
 			}
 		}
+		// An injected durability kill flips the store dead mid-op; the
+		// in-place recovery below is the process restart: memory is reset
+		// and rebuilt from the snapshot plus whatever WAL tail survived,
+		// with the conservative cold start covering what did not.
+		if store != nil && store.Crashed() {
+			info, rerr := svc.RecoverDurable()
+			if rerr != nil {
+				return nil, fmt.Errorf("bench: crash recovery after op %d: %w", i, rerr)
+			}
+			res.Crashes++
+			res.RecoveryModes[info.Mode.String()]++
+		}
 	}
 	res.SketchBytes = svc.SketchServer().SketchBytes()
 	res.SimulatedDuration = elapsed
@@ -409,6 +473,16 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 		st := dev.Stats()
 		res.Revalidations += st.Revalidations
 		res.NotModified += st.NotModified
+	}
+	if store != nil {
+		// Graceful shutdown: seal the log with the clean marker so the next
+		// run over this directory restarts warm. A store left dead by a
+		// crash in the run's final ops stays torn on disk — exactly what a
+		// later recovery must see.
+		if err := store.Close(); err != nil && !errors.Is(err, faults.ErrCrash) {
+			return nil, err
+		}
+		res.DurableStats = store.Stats()
 	}
 	return res, nil
 }

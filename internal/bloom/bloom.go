@@ -170,6 +170,18 @@ func (f *Filter) Clear() {
 	f.n = 0
 }
 
+// Saturate sets every bit, turning the filter into the all-stale sketch:
+// Contains returns true for every key. Crash recovery publishes a
+// saturated sketch during its conservative cold-start window so that,
+// with zero surviving coherence history, every client revalidates — the
+// direction Bloom false positives are always allowed to err in.
+func (f *Filter) Saturate() {
+	for i := range f.bits {
+		f.bits[i] = ^uint64(0)
+	}
+	f.n = uint64(f.m)
+}
+
 // Bits returns m, the filter's size in bits.
 func (f *Filter) Bits() uint32 { return f.m }
 

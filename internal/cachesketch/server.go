@@ -40,6 +40,9 @@ type ServerConfig struct {
 	FalsePositiveRate float64
 	// Clock supplies time (default system clock).
 	Clock clock.Clock
+	// Journal, when non-nil, receives every state-changing coherence
+	// event for write-ahead logging. See the Journal contract in state.go.
+	Journal Journal
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -96,13 +99,22 @@ type Server struct {
 	// generation versions the counting filter's *contents*: it advances
 	// whenever a key enters or leaves the sketch, and only then. Two
 	// snapshots with equal generations are interchangeable.
-	generation uint64      // guarded by mu
-	stats      ServerStats // guarded by mu
+	generation uint64 // guarded by mu
+	// journaledGen is the highest generation already reported through
+	// Journal.JournalGeneration — only generations actually exposed to
+	// clients via Snapshot matter for recovery's monotonicity floor.
+	journaledGen uint64      // guarded by mu
+	stats        ServerStats // guarded by mu
 
 	// flat caches the most recent flatten of the counting filter, keyed
 	// by generation. While the generation is unchanged, Snapshot() reuses
 	// it — a pointer load instead of an O(m) projection.
 	flat atomic.Pointer[flatCache]
+
+	// Crash-recovery cold-start mode (see ColdStart in state.go).
+	coldUntil  time.Time     // guarded by mu; saturated-snapshot window end
+	blindUntil time.Time     // guarded by mu; conservative write-tracking window end
+	coldFilter *bloom.Filter // guarded by mu; the saturated sketch served while cold
 }
 
 // flatCache pairs a flattened client filter with the generation it was
@@ -151,8 +163,15 @@ func (h *expiryHeap) Pop() any {
 	return ev
 }
 
-// advanceLocked processes all due removal/cleanup events.
+// advanceLocked processes all due removal/cleanup events and retires the
+// cold-start window once it has fully elapsed.
 func (s *Server) advanceLocked(now time.Time) {
+	if s.coldFilter != nil && !s.coldUntil.After(now) {
+		// Cold window over: resume serving the real (rebuilt) sketch. The
+		// generation bump invalidates any snapshot of the saturated filter.
+		s.coldFilter = nil
+		s.generation++
+	}
 	for len(s.removals) > 0 && !s.removals[0].when.After(now) {
 		ev := heap.Pop(&s.removals).(expiryEvent)
 		switch ev.kind {
@@ -191,6 +210,9 @@ func (s *Server) ReportCachedRead(key string, expiresAt time.Time) {
 	if cur, ok := s.expiry[key]; !ok || expiresAt.After(cur) {
 		s.expiry[key] = expiresAt
 		heap.Push(&s.removals, expiryEvent{when: expiresAt, key: key, kind: cleanTable})
+		if s.cfg.Journal != nil {
+			s.cfg.Journal.JournalCachedRead(key, expiresAt)
+		}
 	}
 }
 
@@ -207,8 +229,16 @@ func (s *Server) ReportWrite(key string) bool {
 
 	until, live := s.expiry[key]
 	if !live || !until.After(now) {
-		s.stats.WritesUncached++
-		return false
+		// Inside the post-crash blind window the expiration table cannot
+		// be trusted to know about pre-crash cache fills whose reports
+		// died with the log, so an "uncached" write is still tracked, with
+		// residency covering the longest such copy could survive.
+		if s.blindUntil.After(now) {
+			until, live = s.blindUntil, true
+		} else {
+			s.stats.WritesUncached++
+			return false
+		}
 	}
 	if cur, in := s.inSketch[key]; in {
 		if until.After(cur) {
@@ -216,6 +246,9 @@ func (s *Server) ReportWrite(key string) bool {
 			heap.Push(&s.removals, expiryEvent{when: until, key: key, kind: evictSketch})
 		}
 		s.stats.Extends++
+		if s.cfg.Journal != nil {
+			s.cfg.Journal.JournalWrite(key)
+		}
 		return true
 	}
 	s.counting.Add(key)
@@ -223,6 +256,9 @@ func (s *Server) ReportWrite(key string) bool {
 	s.generation++
 	heap.Push(&s.removals, expiryEvent{when: until, key: key, kind: evictSketch})
 	s.stats.Adds++
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.JournalWrite(key)
+	}
 	return true
 }
 
@@ -252,6 +288,15 @@ func (s *Server) Snapshot() *Snapshot {
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
 	s.stats.Snapshots++
+	if s.cfg.Journal != nil && s.generation > s.journaledGen {
+		s.journaledGen = s.generation
+		s.cfg.Journal.JournalGeneration(s.generation)
+	}
+	if s.coldFilter != nil {
+		// Cold-start window: serve the saturated all-stale sketch so every
+		// client revalidates. Not flat-cached — the window retires itself.
+		return &Snapshot{Filter: s.coldFilter, Generation: s.generation, TakenAt: now}
+	}
 	fc := s.flat.Load()
 	if fc == nil || fc.gen != s.generation {
 		fc = &flatCache{gen: s.generation, filter: s.counting.Flatten()}

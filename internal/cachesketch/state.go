@@ -1,0 +1,227 @@
+// Durability surface of the protocol server: journaling hooks, full-state
+// export/import for snapshots, and the conservative cold-start mode that
+// preserves the Δ bound when coherence history is lost.
+//
+// The exported state is coherence metadata only — resource IDs and
+// expiration instants — and the journal carries the same. Nothing
+// identity-bearing ever flows through this file; the gdprboundary
+// analyzer enforces that transitively for the wal/durable packages that
+// consume it.
+package cachesketch
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Journal receives the server's state-changing coherence events so a
+// durability layer can log them. Every hook is invoked with the server's
+// mutex held, strictly after the mutation it describes: implementations
+// must be fast, must not block on I/O they cannot bound, and must never
+// call back into the Server (deadlock). A nil journal disables emission.
+type Journal interface {
+	// JournalCachedRead fires when a reported cache fill extended the
+	// expiration table (not for ignored or non-extending reports).
+	JournalCachedRead(key string, expiresAt time.Time)
+	// JournalWrite fires when a reported write entered or extended the
+	// sketch (not for writes to uncached resources, which change nothing).
+	JournalWrite(key string)
+	// JournalGeneration fires the first time Snapshot exposes a given
+	// generation to clients. Clients ignore snapshots whose generation is
+	// below the one they hold, so recovery must never republish a lower
+	// generation than any client has seen — logging exactly the exposed
+	// ones gives recovery the floor it must clear.
+	JournalGeneration(gen uint64)
+}
+
+// state export format: magic "SKSS", u8 version, u64 generation,
+// u32 expiry-count, entries, u32 sketch-count, entries; every entry is
+// u32 key length, key bytes, i64 UnixNano expiration. Keys are sorted so
+// equal states export byte-identical blobs (the twin-run determinism the
+// crash gate asserts).
+var stateMagic = [4]byte{'S', 'K', 'S', 'S'}
+
+const stateVersion = 1
+
+// ExportState serializes the server's full coherence state: generation,
+// expiration table, and sketch residency map. The counting filter itself
+// is not encoded — it is a pure function of the residency map and is
+// rebuilt on import, which also heals any counter drift.
+func (s *Server) ExportState() []byte {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+
+	out := make([]byte, 0, 64+32*(len(s.expiry)+len(s.inSketch)))
+	out = append(out, stateMagic[:]...)
+	out = append(out, stateVersion)
+	out = binary.BigEndian.AppendUint64(out, s.generation)
+	out = appendStampMap(out, s.expiry)
+	out = appendStampMap(out, s.inSketch)
+	return out
+}
+
+// appendStampMap encodes a key→instant map with sorted keys.
+func appendStampMap(out []byte, m map[string]time.Time) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		out = binary.BigEndian.AppendUint64(out, uint64(m[k].UnixNano()))
+	}
+	return out
+}
+
+// readStampMap decodes one appendStampMap section, advancing *off.
+func readStampMap(data []byte, off *int) (map[string]time.Time, error) {
+	if len(data)-*off < 4 {
+		return nil, errors.New("cachesketch: truncated state map header")
+	}
+	n := int(binary.BigEndian.Uint32(data[*off:]))
+	*off += 4
+	m := make(map[string]time.Time, n)
+	for i := 0; i < n; i++ {
+		if len(data)-*off < 4 {
+			return nil, errors.New("cachesketch: truncated state key header")
+		}
+		klen := int(binary.BigEndian.Uint32(data[*off:]))
+		*off += 4
+		if klen < 0 || len(data)-*off < klen+8 {
+			return nil, errors.New("cachesketch: truncated state entry")
+		}
+		key := string(data[*off : *off+klen])
+		*off += klen
+		m[key] = time.Unix(0, int64(binary.BigEndian.Uint64(data[*off:])))
+		*off += 8
+	}
+	return m, nil
+}
+
+// ImportState replaces the server's coherence state with a previously
+// exported blob: the maps are restored, the counting filter is rebuilt by
+// inserting each resident key exactly once, the removal schedule is
+// re-derived, and the flatten cache is dropped so the next Snapshot
+// projects the imported contents.
+func (s *Server) ImportState(data []byte) error {
+	if len(data) < 13 || [4]byte(data[0:4]) != stateMagic {
+		return errors.New("cachesketch: bad state magic")
+	}
+	if data[4] != stateVersion {
+		return fmt.Errorf("cachesketch: unsupported state version %d", data[4])
+	}
+	gen := binary.BigEndian.Uint64(data[5:13])
+	off := 13
+	expiry, err := readStampMap(data, &off)
+	if err != nil {
+		return err
+	}
+	inSketch, err := readStampMap(data, &off)
+	if err != nil {
+		return err
+	}
+	if off != len(data) {
+		return errors.New("cachesketch: trailing bytes in state blob")
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.generation = gen
+	s.journaledGen = 0
+	s.expiry = expiry
+	s.inSketch = inSketch
+	s.coldUntil = time.Time{}
+	s.blindUntil = time.Time{}
+	s.coldFilter = nil
+	s.counting.Clear()
+	s.removals = s.removals[:0]
+	for k, until := range inSketch {
+		s.counting.Add(k)
+		s.removals = append(s.removals, expiryEvent{when: until, key: k, kind: evictSketch})
+	}
+	for k, exp := range expiry {
+		s.removals = append(s.removals, expiryEvent{when: exp, key: k, kind: cleanTable})
+	}
+	heap.Init(&s.removals)
+	s.flat.Store(nil)
+	return nil
+}
+
+// Reset returns the server to its just-constructed state: empty maps,
+// cleared filter, generation zero, no cold-start windows. Recovery calls
+// it before applying a snapshot — the crash model is that the previous
+// incarnation's memory is gone.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counting.Clear()
+	s.expiry = make(map[string]time.Time)
+	s.inSketch = make(map[string]time.Time)
+	s.removals = s.removals[:0]
+	s.generation = 0
+	s.journaledGen = 0
+	s.coldUntil = time.Time{}
+	s.blindUntil = time.Time{}
+	s.coldFilter = nil
+	s.flat.Store(nil)
+}
+
+// ColdStart switches the server into conservative recovery mode after a
+// crash that may have lost coherence history:
+//
+//   - Until saturateUntil (one full Δ window), Snapshot returns a
+//     saturated all-stale sketch, so every connected client revalidates
+//     every read — the direction the protocol is always allowed to err in.
+//   - Until blindUntil (the residual-TTL horizon), writes to resources
+//     with no live expiration entry are tracked in the sketch anyway,
+//     with residency blindUntil: a pre-crash cache fill whose report died
+//     with the log could still be holding a copy, and with the table
+//     blind the only safe assumption is that one is.
+//
+// Both windows bump the generation on entry and again on expiry, so
+// clients and monitoring observe the mode switch as sketch-content
+// changes.
+func (s *Server) ColdStart(saturateUntil, blindUntil time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.coldUntil = saturateUntil
+	s.blindUntil = blindUntil
+	s.generation++
+	fc := s.counting.Flatten()
+	fc.Saturate()
+	s.coldFilter = fc
+	s.flat.Store(nil)
+}
+
+// EnsureGeneration raises the generation to at least min. Recovery calls
+// it so a restarted server's snapshots are never rejected by clients that
+// installed a higher pre-crash generation: Install keeps the newest
+// (generation, TakenAt) pair, so a regressed generation would leave every
+// connected client refusing refreshes until evictions caught up.
+func (s *Server) EnsureGeneration(min uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.generation < min {
+		s.generation = min
+		s.flat.Store(nil)
+	}
+}
+
+// ColdStartActive reports whether the saturated-sketch window is still
+// open.
+func (s *Server) ColdStartActive() bool {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	return s.coldFilter != nil
+}

@@ -12,9 +12,13 @@ import (
 // current version at some instant in [t−Δ, t]; its staleness is how long
 // before t the version was superseded (zero if it was still current
 // within the window's end).
+// Judging a read needs history no older than the measurement horizon (the
+// largest Δ or TTL under study), so stamps past the horizon are pruned on
+// write instead of accumulating for the life of the process.
 type VersionLog struct {
 	mu       sync.RWMutex
 	versions map[string][]versionStamp // guarded by mu
+	horizon  time.Duration             // guarded by mu; 0 = keep everything
 }
 
 type versionStamp struct {
@@ -27,11 +31,39 @@ func NewVersionLog() *VersionLog {
 	return &VersionLog{versions: make(map[string][]versionStamp)}
 }
 
+// SetHorizon bounds per-key history: stamps written more than h before
+// the newest write are pruned, except the one straddling the boundary
+// (the version current AT the horizon edge must stay resolvable, or
+// CurrentVersion/Staleness would misjudge reads just inside it). Zero
+// disables pruning. Judgements about reads older than the horizon are
+// forfeited — they may return 0 ("cannot judge") where full history
+// would have measured staleness.
+func (l *VersionLog) SetHorizon(h time.Duration) {
+	l.mu.Lock()
+	if h >= 0 {
+		l.horizon = h
+	}
+	l.mu.Unlock()
+}
+
 // RecordWrite notes that the resource's current version became v at time
 // t. Versions must be recorded in increasing order per key.
 func (l *VersionLog) RecordWrite(key string, v uint64, t time.Time) {
 	l.mu.Lock()
-	l.versions[key] = append(l.versions[key], versionStamp{version: v, writtenAt: t})
+	vs := append(l.versions[key], versionStamp{version: v, writtenAt: t})
+	if l.horizon > 0 {
+		// Drop stamps wholly before the horizon, keeping the last stamp at
+		// or before the boundary: it is the version current at the edge.
+		edge := t.Add(-l.horizon)
+		cut := 0
+		for cut < len(vs)-1 && !vs[cut+1].writtenAt.After(edge) {
+			cut++
+		}
+		if cut > 0 {
+			vs = vs[cut:]
+		}
+	}
+	l.versions[key] = vs
 	l.mu.Unlock()
 }
 
@@ -85,4 +117,12 @@ func (l *VersionLog) Keys() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return len(l.versions)
+}
+
+// Stamps returns how many version stamps are retained for key — the
+// pruning tests' observability hook.
+func (l *VersionLog) Stamps(key string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.versions[key])
 }

@@ -1,0 +1,72 @@
+package cachesketch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVersionLogPruning pins that horizon pruning bounds per-key history
+// while leaving CurrentVersion and Staleness untouched for every
+// judgement inside the horizon.
+func TestVersionLogPruning(t *testing.T) {
+	base := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC)
+	horizon := time.Hour
+
+	pruned := NewVersionLog()
+	pruned.SetHorizon(horizon)
+	full := NewVersionLog() // unpruned reference
+
+	// 500 writes, one per minute: ~8 hours of history against a 1-hour
+	// horizon.
+	const writes = 500
+	var last time.Time
+	for v := 1; v <= writes; v++ {
+		at := base.Add(time.Duration(v) * time.Minute)
+		pruned.RecordWrite("/k", uint64(v), at)
+		full.RecordWrite("/k", uint64(v), at)
+		last = at
+	}
+
+	if got := full.Stamps("/k"); got != writes {
+		t.Fatalf("reference log retained %d stamps, want %d", got, writes)
+	}
+	// The pruned log keeps roughly horizon/minute stamps plus the boundary
+	// stamp — and certainly nothing near the unpruned count.
+	if got := pruned.Stamps("/k"); got > int(horizon/time.Minute)+2 {
+		t.Fatalf("pruned log retained %d stamps, want ≤ %d", got, int(horizon/time.Minute)+2)
+	}
+
+	// Inside the horizon, both logs judge identically: every version and
+	// read instant in the last hour, including the boundary edge.
+	for off := time.Duration(0); off <= horizon; off += time.Minute {
+		at := last.Add(-off)
+		if g, w := pruned.CurrentVersion("/k", at), full.CurrentVersion("/k", at); g != w {
+			t.Fatalf("CurrentVersion at -%v: pruned %d, full %d", off, g, w)
+		}
+	}
+	for v := writes - int(horizon/time.Minute); v <= writes; v++ {
+		readAt := last.Add(time.Second)
+		if g, w := pruned.Staleness("/k", uint64(v), readAt), full.Staleness("/k", uint64(v), readAt); g != w {
+			t.Fatalf("Staleness of v%d: pruned %v, full %v", v, g, w)
+		}
+		if g, w := pruned.DeltaAtomic("/k", uint64(v), readAt, time.Minute), full.DeltaAtomic("/k", uint64(v), readAt, time.Minute); g != w {
+			t.Fatalf("DeltaAtomic of v%d: pruned %v, full %v", v, g, w)
+		}
+	}
+
+	// The boundary stamp survives: a read exactly at the horizon edge
+	// still resolves to a concrete version rather than 0.
+	edge := last.Add(-horizon)
+	if pruned.CurrentVersion("/k", edge) == 0 {
+		t.Fatal("boundary stamp was pruned away")
+	}
+
+	// Zero horizon keeps everything (the default is unchanged behaviour).
+	def := NewVersionLog()
+	for v := 1; v <= 100; v++ {
+		def.RecordWrite("/d", uint64(v), base.Add(time.Duration(v)*time.Hour))
+	}
+	if got := def.Stamps("/d"); got != 100 {
+		t.Fatalf("default log pruned to %d stamps", got)
+	}
+}

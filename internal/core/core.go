@@ -25,6 +25,7 @@ import (
 	"speedkit/internal/cachesketch"
 	"speedkit/internal/cdn"
 	"speedkit/internal/clock"
+	"speedkit/internal/durable"
 	"speedkit/internal/faults"
 	"speedkit/internal/gdpr"
 	"speedkit/internal/invalidb"
@@ -91,6 +92,16 @@ type Config struct {
 	// defaults; NewDevice derives a distinct deterministic RNG seed per
 	// device so jitter streams never correlate across a fleet.
 	DeviceResilience proxy.ResilienceConfig
+	// Durable, when non-nil, persists the coherence state: the sketch
+	// server journals through it, invalidations advance its watermark,
+	// and NewService recovers from it (snapshot + WAL replay, or the
+	// conservative cold start after an unclean shutdown). Create it with
+	// durable.New over the service's data directory.
+	Durable *durable.Store
+	// VersionLogHorizon bounds the staleness instrumentation's per-key
+	// history (default 48h — comfortably above the 24h TTL cap, so no
+	// judgeable read loses its write history). Negative disables pruning.
+	VersionLogHorizon time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -120,6 +131,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default
+	}
+	if c.VersionLogHorizon == 0 {
+		c.VersionLogHorizon = 48 * time.Hour
 	}
 }
 
@@ -170,6 +184,11 @@ type Service struct {
 	// m holds the service-side metric handles, resolved once from
 	// cfg.Obs (see the metric catalog in DESIGN.md).
 	m *serviceMetrics
+
+	// recovery describes how the durable store rebuilt state at
+	// construction (zero when no Durable store was configured).
+	recovery    durable.RecoveryInfo
+	recoveryErr error
 
 	cancels []func()
 }
@@ -244,6 +263,7 @@ func NewService(cfg Config, docs *storage.DocumentStore, org *origin.Server) *Se
 			Capacity:          cfg.SketchCapacity,
 			FalsePositiveRate: cfg.SketchFPR,
 			Clock:             cfg.Clock,
+			Journal:           sketchJournal(cfg.Durable),
 		}),
 		engine:    invalidb.New(invalidb.Config{Shards: cfg.InvalidationShards, Clock: cfg.Clock}),
 		verlog:    cachesketch.NewVersionLog(),
@@ -263,6 +283,16 @@ func NewService(cfg Config, docs *storage.DocumentStore, org *origin.Server) *Se
 	} else {
 		s.est = ttl.NewEstimator(ttl.Config{Clock: cfg.Clock})
 		s.ttlSrc = s.est
+	}
+	if cfg.VersionLogHorizon > 0 {
+		s.verlog.SetHorizon(cfg.VersionLogHorizon)
+	}
+
+	// Recover persisted coherence state before any traffic: the sketch and
+	// estimator rebuild from the newest snapshot plus the WAL tail, and an
+	// unclean prior shutdown engages the conservative cold start.
+	if cfg.Durable != nil {
+		s.recovery, s.recoveryErr = cfg.Durable.Recover(s.sketch, s.est)
 	}
 
 	// Register the origin's listing pages as continuous queries.
@@ -287,6 +317,16 @@ func NewService(cfg Config, docs *storage.DocumentStore, org *origin.Server) *Se
 		}
 	}))
 	return s
+}
+
+// sketchJournal converts the optional durable store into the sketch's
+// journal without smuggling a typed-nil interface into the comparison the
+// server makes.
+func sketchJournal(d *durable.Store) cachesketch.Journal {
+	if d == nil {
+		return nil
+	}
+	return d
 }
 
 // Close detaches the service from the change stream.
@@ -381,7 +421,21 @@ func (s *Service) handleInvalidation(path string) {
 	s.m.invalidations.Inc()
 	s.mu.Lock()
 	s.stats.Invalidations++
+	seq := s.stats.Invalidations
 	s.mu.Unlock()
+	if s.cfg.Durable != nil {
+		// Advance the durable invalidation watermark, then take the
+		// periodic snapshot if enough journal accumulated. This runs
+		// outside every sketch lock — Snapshot exports the sketch state,
+		// which takes that lock itself.
+		s.cfg.Durable.JournalInvalidation(seq)
+		if s.cfg.Durable.ShouldSnapshot() {
+			// A failed snapshot (injected crash, disk error) is not fatal
+			// here: the WAL still holds the records, and the store's
+			// Crashed flag is the owner's signal to run recovery.
+			_ = s.cfg.Durable.Snapshot()
+		}
+	}
 	if tr != nil {
 		tr.SetSketch(s.sketch.Generation(), 0, 0)
 		var total time.Duration
@@ -726,6 +780,29 @@ func (s *Service) Obs() *obs.Registry { return s.cfg.Obs }
 
 // Tracer returns the shared request tracer (nil when tracing is off).
 func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Durable returns the durability store (nil when the service runs
+// memory-only).
+func (s *Service) Durable() *durable.Store { return s.cfg.Durable }
+
+// Recovery reports how the durable store rebuilt state at construction
+// and any recovery error. The zero RecoveryInfo with a nil error means
+// the service runs memory-only.
+func (s *Service) Recovery() (durable.RecoveryInfo, error) {
+	return s.recovery, s.recoveryErr
+}
+
+// RecoverDurable re-runs crash recovery in place over the already wired
+// sketch and estimator — the in-process analogue of a process restart,
+// used by the crash harness after an injected kill.
+func (s *Service) RecoverDurable() (durable.RecoveryInfo, error) {
+	if s.cfg.Durable == nil {
+		return durable.RecoveryInfo{}, fmt.Errorf("core: no durable store configured")
+	}
+	info, err := s.cfg.Durable.Recover(nil, nil)
+	s.recovery, s.recoveryErr = info, err
+	return info, err
+}
 
 // Stats returns a copy of the service counters.
 func (s *Service) Stats() Stats {

@@ -1,0 +1,842 @@
+// Package durable persists the service tier's coherence state — the
+// Cache Sketch server, the adaptive TTL estimator, and the invalidation
+// watermark — across process death, so that a restarted server still
+// honours the Δ-atomicity bound instead of silently publishing an empty
+// sketch.
+//
+// Two mechanisms compose:
+//
+//   - A write-ahead log (internal/wal) records every state-changing
+//     coherence event (cache-fill report, tracked write, invalidation
+//     watermark) as it happens, via the cachesketch.Journal hooks.
+//   - Periodic snapshots capture the full exported state atomically
+//     (write temp file, fsync, rename), named by the WAL position they
+//     cover so recovery knows where replay starts and the log can be
+//     pruned behind them.
+//
+// Recovery is coherence-first: Recover loads the newest valid snapshot,
+// replays the WAL tail through the real server logic, and then decides
+// trust. A log that ends in the clean-shutdown marker is complete and the
+// server resumes warm. Anything else — torn tail, acknowledged-but-
+// unsynced records lost at the group commit, mid-log corruption — means
+// history may be missing, and the server enters conservative cold start:
+// a saturated all-stale sketch for one full Δ window (every client
+// revalidates; Δ holds with zero trusted history) plus blind write
+// tracking over the residual-TTL horizon.
+//
+// GDPR: this package sits behind the same boundary as the CDN — it may
+// only ever see anonymous coherence metadata (resource IDs, expirations,
+// sequence numbers). The gdprboundary analyzer enforces that it never
+// imports the session/gdpr identity surfaces.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+	"speedkit/internal/ttl"
+	"speedkit/internal/wal"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the durability directory holding WAL segments and snapshots.
+	Dir string
+	// Clock drives group commit and the recovery windows (default system).
+	Clock clock.Clock
+	// Faults optionally injects crashes at the WAL and snapshot writers.
+	Faults *faults.Injector
+	// SegmentMaxBytes, GroupCommitWindow, GroupCommitMax pass through to
+	// the WAL (see wal.Options).
+	SegmentMaxBytes   int64
+	GroupCommitWindow time.Duration
+	GroupCommitMax    int
+	// SnapshotEvery suggests a snapshot after this many journaled records
+	// (default 512); ShouldSnapshot exposes the trigger, the owner decides
+	// when to act on it (snapshots must not run under the sketch mutex).
+	SnapshotEvery int
+	// KeepSnapshots retains this many newest snapshot files (default 2).
+	KeepSnapshots int
+	// ColdWindow is how long recovery saturates the sketch after an
+	// unclean shutdown — one full Δ window (default 1 minute).
+	ColdWindow time.Duration
+	// BlindHorizon is how long recovery blind-tracks writes to unknown
+	// resources — the longest a pre-crash cache fill whose report was lost
+	// could still be live, i.e. the TTL cap (default: ColdWindow).
+	BlindHorizon time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 512
+	}
+	if c.KeepSnapshots <= 0 {
+		c.KeepSnapshots = 2
+	}
+	if c.ColdWindow <= 0 {
+		c.ColdWindow = time.Minute
+	}
+	if c.BlindHorizon <= 0 {
+		c.BlindHorizon = c.ColdWindow
+	}
+}
+
+// Mode classifies how a recovery rebuilt state.
+type Mode int
+
+// Recovery modes.
+const (
+	// Fresh: no prior state existed; a brand-new deployment.
+	Fresh Mode = iota
+	// Snapshot: a snapshot loaded and the WAL held nothing past it.
+	Snapshot
+	// Replay: a WAL tail (with or without a snapshot under it) replayed.
+	Replay
+	// ColdStart: the log was corrupt past the snapshot; only the
+	// snapshot (if any) was trusted and the server saturated.
+	ColdStart
+)
+
+// String names the mode with the metric label values from the issue
+// contract: snapshot | replay | coldstart (plus fresh for new dirs).
+func (m Mode) String() string {
+	switch m {
+	case Fresh:
+		return "fresh"
+	case Snapshot:
+		return "snapshot"
+	case Replay:
+		return "replay"
+	case ColdStart:
+		return "coldstart"
+	}
+	return "unknown"
+}
+
+// RecoveryInfo reports what Recover did.
+type RecoveryInfo struct {
+	Mode Mode
+	// Saturated is true when the unclean-shutdown cold start engaged.
+	Saturated bool
+	// SnapshotLSN is the WAL position the loaded snapshot covered (0 if
+	// none).
+	SnapshotLSN uint64
+	// Replayed is how many journal records were replayed past the
+	// snapshot (shutdown markers included).
+	Replayed uint64
+	// Watermark is the recovered invalidation watermark.
+	Watermark uint64
+	// TruncatedBytes is how much torn tail the WAL scan discarded.
+	TruncatedBytes int64
+}
+
+// journal record types.
+const (
+	recCachedRead byte = 1
+	recWrite      byte = 2
+	recWatermark  byte = 3
+	recClean      byte = 4
+	recGeneration byte = 5
+	recOpen       byte = 6
+)
+
+// genSlack pads the recovered generation floor after an UNCLEAN shutdown:
+// generations exposed between the last group commit and the crash died
+// with their unsynced recGeneration records, so the floor over-shoots by
+// more than any plausible lost-window bump count (bumps are one per key
+// entering or leaving the sketch). Over-shooting is harmless — the
+// generation is an opaque monotone version, not a counter anyone sums.
+const genSlack = 1 << 16
+
+// record is one decoded journal entry, buffered during the WAL scan so
+// nothing is applied from a log that later proves corrupt.
+type record struct {
+	typ       byte
+	key       string
+	expiresAt time.Time
+	seq       uint64
+}
+
+// Stats counts durability activity for the obs layer (this package may
+// not import internal/obs — the httpapi/core layers register gauges over
+// these counters instead).
+type Stats struct {
+	WAL           wal.Stats
+	SnapshotBytes int
+	Snapshots     uint64
+	Recoveries    uint64
+	LastRecovery  RecoveryInfo
+	Crashed       bool
+}
+
+// Store is the durability engine. It implements cachesketch.Journal so
+// the sketch server logs through it, and owns snapshots and recovery.
+// Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	log       *wal.Log            // guarded by mu
+	sketch    *cachesketch.Server // guarded by mu; wired by first Recover
+	est       *ttl.Estimator      // guarded by mu; wired by first Recover
+	replaying bool                // guarded by mu; suppresses journaling during Apply
+	crashed   bool                // guarded by mu; injected kill observed
+	watermark uint64              // guarded by mu; highest journaled invalidation seq
+	pending   int                 // guarded by mu; records since last snapshot
+	snapLSN   uint64              // guarded by mu; LSN covered by newest snapshot
+	stats     Stats               // guarded by mu
+}
+
+// New creates a Store over dir without touching the disk; call Recover to
+// open (and re-open after a crash).
+func New(cfg Config) *Store {
+	cfg.applyDefaults()
+	return &Store{cfg: cfg}
+}
+
+// Dir returns the durability directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// --- journaling ----------------------------------------------------------
+
+// appendLocked frames and appends one journal record. The caller must
+// hold s.mu. Injected crashes flip the store dead; journaling is fire-
+// and-forget by contract (the hooks run under the sketch mutex), so the
+// error surfaces through Crashed() rather than a return value.
+func (s *Store) appendLocked(payload []byte) {
+	if s.crashed || s.replaying || s.log == nil {
+		return
+	}
+	if _, err := s.log.Append(payload); err != nil {
+		if errors.Is(err, faults.ErrCrash) || errors.Is(err, wal.ErrCrashed) {
+			s.crashed = true
+			s.stats.Crashed = true
+		}
+		return
+	}
+	s.pending++
+}
+
+// JournalCachedRead implements cachesketch.Journal.
+func (s *Store) JournalCachedRead(key string, expiresAt time.Time) {
+	buf := make([]byte, 0, 13+len(key))
+	buf = append(buf, recCachedRead)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(expiresAt.UnixNano()))
+	s.mu.Lock()
+	s.appendLocked(buf)
+	s.mu.Unlock()
+}
+
+// JournalWrite implements cachesketch.Journal.
+func (s *Store) JournalWrite(key string) {
+	buf := make([]byte, 0, 5+len(key))
+	buf = append(buf, recWrite)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	s.mu.Lock()
+	s.appendLocked(buf)
+	s.mu.Unlock()
+}
+
+// JournalGeneration implements cachesketch.Journal: it logs a generation
+// the sketch server just exposed to clients, giving recovery the
+// monotonicity floor it must restore.
+func (s *Store) JournalGeneration(gen uint64) {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, recGeneration)
+	buf = binary.BigEndian.AppendUint64(buf, gen)
+	s.mu.Lock()
+	s.appendLocked(buf)
+	s.mu.Unlock()
+}
+
+// JournalInvalidation advances the invalidation watermark and logs it.
+func (s *Store) JournalInvalidation(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.watermark {
+		return
+	}
+	s.watermark = seq
+	buf := make([]byte, 0, 9)
+	buf = append(buf, recWatermark)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	s.appendLocked(buf)
+}
+
+// Watermark returns the highest invalidation sequence journaled so far.
+func (s *Store) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Crashed reports whether an injected crash killed the store; only
+// Recover revives it.
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// ShouldSnapshot reports whether enough records accumulated since the
+// last snapshot to warrant a new one. The owner calls Snapshot from a
+// context that holds no sketch locks.
+func (s *Store) ShouldSnapshot() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.crashed && s.log != nil && s.pending >= s.cfg.SnapshotEvery
+}
+
+// decodeRecord parses one journal payload.
+func decodeRecord(payload []byte) (record, error) {
+	if len(payload) == 0 {
+		return record{}, errors.New("durable: empty journal record")
+	}
+	r := record{typ: payload[0]}
+	body := payload[1:]
+	switch r.typ {
+	case recCachedRead:
+		if len(body) < 12 {
+			return record{}, errors.New("durable: short cached-read record")
+		}
+		klen := int(binary.BigEndian.Uint32(body))
+		if len(body) != 4+klen+8 {
+			return record{}, errors.New("durable: malformed cached-read record")
+		}
+		r.key = string(body[4 : 4+klen])
+		r.expiresAt = time.Unix(0, int64(binary.BigEndian.Uint64(body[4+klen:])))
+	case recWrite:
+		if len(body) < 4 {
+			return record{}, errors.New("durable: short write record")
+		}
+		klen := int(binary.BigEndian.Uint32(body))
+		if len(body) != 4+klen {
+			return record{}, errors.New("durable: malformed write record")
+		}
+		r.key = string(body[4 : 4+klen])
+	case recWatermark, recGeneration:
+		if len(body) != 8 {
+			return record{}, errors.New("durable: malformed watermark record")
+		}
+		r.seq = binary.BigEndian.Uint64(body)
+	case recClean, recOpen:
+		if len(body) != 0 {
+			return record{}, errors.New("durable: malformed shutdown/open marker")
+		}
+	default:
+		return record{}, fmt.Errorf("durable: unknown record type %d", r.typ)
+	}
+	return r, nil
+}
+
+// --- snapshots -----------------------------------------------------------
+
+// snapshot file format: magic "SKSN", u8 version, u32 crc32c over the
+// rest, u64 lsn, u64 watermark, u32 sketch-state length, sketch state,
+// u32 ttl-state length, ttl state.
+var snapMagic = [4]byte{'S', 'K', 'S', 'N'}
+
+const snapVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[5:len(name)-5], 16, 64)
+	return v, err == nil
+}
+
+// snapshotTargets copies the component pointers out under the lock,
+// refusing after a crash or before recovery.
+func (s *Store) snapshotTargets() (*wal.Log, *cachesketch.Server, *ttl.Estimator, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, nil, nil, 0, fmt.Errorf("durable: %w", faults.ErrCrash)
+	}
+	if s.log == nil || s.sketch == nil {
+		return nil, nil, nil, 0, errors.New("durable: not recovered")
+	}
+	return s.log, s.sketch, s.est, s.watermark, nil
+}
+
+// Snapshot atomically persists the full coherence state and prunes the
+// WAL behind it. Must not be called from a context holding the sketch
+// mutex (it exports the sketch state, which takes that mutex).
+func (s *Store) Snapshot() error {
+	log, sketch, est, watermark, err := s.snapshotTargets()
+	if err != nil {
+		return err
+	}
+
+	// Capture the covered LSN BEFORE exporting: any record appended while
+	// the export runs lands above lsn and replays on top of the snapshot,
+	// which the sketch's report logic absorbs idempotently.
+	lsn := log.NextLSN() - 1
+	sketchState := sketch.ExportState()
+	var ttlState []byte
+	if est != nil {
+		ttlState = est.ExportState()
+	}
+
+	body := make([]byte, 0, 24+len(sketchState)+len(ttlState))
+	body = binary.BigEndian.AppendUint64(body, lsn)
+	body = binary.BigEndian.AppendUint64(body, watermark)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(sketchState)))
+	body = append(body, sketchState...)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(ttlState)))
+	body = append(body, ttlState...)
+
+	blob := make([]byte, 0, 9+len(body))
+	blob = append(blob, snapMagic[:]...)
+	blob = append(blob, snapVersion)
+	blob = binary.BigEndian.AppendUint32(blob, crc32.Checksum(body, castagnoli))
+	blob = append(blob, body...)
+
+	final := filepath.Join(s.cfg.Dir, snapName(lsn))
+	tmp := final + ".tmp"
+
+	if d := s.cfg.Faults.Decide(faults.SnapshotWrite); d.Kind == faults.Crash {
+		// Killed mid-snapshot: a torn temp file is left behind and never
+		// renamed into place; recovery ignores it.
+		torn := d.TornBytes
+		if torn <= 0 {
+			torn = int(lsn % uint64(len(blob)))
+		}
+		if torn >= len(blob) {
+			torn = len(blob) - 1
+		}
+		_ = os.WriteFile(tmp, blob[:torn], 0o644)
+		s.mu.Lock()
+		s.crashed = true
+		s.stats.Crashed = true
+		s.mu.Unlock()
+		return fmt.Errorf("durable: snapshot: %w", faults.ErrCrash)
+	}
+
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	syncDir(s.cfg.Dir)
+
+	if _, err := log.PruneBelow(lsn); err != nil {
+		return err
+	}
+	s.pruneSnapshots(lsn)
+
+	s.mu.Lock()
+	s.snapLSN = lsn
+	s.pending = 0
+	s.stats.Snapshots++
+	s.stats.SnapshotBytes = len(blob)
+	s.mu.Unlock()
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// pruneSnapshots deletes all but the newest KeepSnapshots snapshot files
+// at or below keepLSN's generation, plus any abandoned temp files.
+func (s *Store) pruneSnapshots(newest uint64) {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(s.cfg.Dir, e.Name()))
+			continue
+		}
+		if lsn, ok := parseSnapName(e.Name()); ok && lsn != newest {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for i, lsn := range lsns {
+		if i >= s.cfg.KeepSnapshots-1 {
+			_ = os.Remove(filepath.Join(s.cfg.Dir, snapName(lsn)))
+		}
+	}
+}
+
+// loadNewestSnapshot finds and validates the newest snapshot, returning
+// its decoded sections. Invalid or torn snapshot files are skipped in
+// favour of older valid ones.
+func loadNewestSnapshot(dir string) (lsn, watermark uint64, sketchState, ttlState []byte, ok bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, nil, nil, false
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if v, isSnap := parseSnapName(e.Name()); isSnap {
+			lsns = append(lsns, v)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for _, v := range lsns {
+		blob, err := os.ReadFile(filepath.Join(dir, snapName(v)))
+		if err != nil || len(blob) < 9 || [4]byte(blob[0:4]) != snapMagic || blob[4] != snapVersion {
+			continue
+		}
+		body := blob[9:]
+		if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(blob[5:9]) {
+			continue
+		}
+		if len(body) < 20 {
+			continue
+		}
+		snapLSN := binary.BigEndian.Uint64(body[0:8])
+		wm := binary.BigEndian.Uint64(body[8:16])
+		skLen := int(binary.BigEndian.Uint32(body[16:20]))
+		if len(body) < 20+skLen+4 {
+			continue
+		}
+		sk := body[20 : 20+skLen]
+		ttLen := int(binary.BigEndian.Uint32(body[20+skLen:]))
+		if len(body) != 24+skLen+ttLen {
+			continue
+		}
+		tt := body[24+skLen : 24+skLen+ttLen]
+		return snapLSN, wm, sk, tt, true
+	}
+	return 0, 0, nil, nil, false
+}
+
+// --- recovery ------------------------------------------------------------
+
+// beginRecover resolves the recovery targets (explicit arguments win,
+// falling back to the pair remembered from the previous recovery) and
+// retires any prior log incarnation, all under the lock.
+func (s *Store) beginRecover(sketch *cachesketch.Server, est *ttl.Estimator) (*cachesketch.Server, *ttl.Estimator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sketch == nil {
+		sketch = s.sketch
+	}
+	if est == nil {
+		est = s.est
+	}
+	if sketch == nil {
+		return nil, nil, errors.New("durable: Recover needs a sketch server")
+	}
+	if s.log != nil {
+		_ = s.log.Close()
+		s.log = nil
+	}
+	return sketch, est, nil
+}
+
+// Recover (re)opens the durability directory and rebuilds the wired
+// sketch server and TTL estimator from the newest valid snapshot plus the
+// WAL tail. The first call wires the pair; later calls (crash recovery)
+// reuse them, resetting their in-memory state first — the crash model is
+// that memory died.
+//
+// Trust decision: a log whose final record is the clean-shutdown marker
+// is complete. Anything else engages the conservative cold start — the
+// sketch saturates for ColdWindow and blind-tracks writes for
+// BlindHorizon — because the group-commit contract means acknowledged
+// records may have died unsynced.
+func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (RecoveryInfo, error) {
+	sketch, est, err := s.beginRecover(sketch, est)
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("durable: %w", err)
+	}
+
+	var info RecoveryInfo
+	snapLSN, wm, sketchState, ttlState, haveSnap := loadNewestSnapshot(s.cfg.Dir)
+
+	// Crash model: the process's memory is gone. Reset before applying.
+	sketch.Reset()
+	if est != nil {
+		est.Reset()
+	}
+	// genFloor accumulates the highest generation clients provably saw:
+	// the snapshot's own, raised by every replayed recGeneration record.
+	var genFloor uint64
+	if haveSnap {
+		if err := sketch.ImportState(sketchState); err != nil {
+			return RecoveryInfo{}, err
+		}
+		genFloor = sketch.Generation()
+		if est != nil && len(ttlState) > 0 {
+			if err := est.ImportState(ttlState); err != nil {
+				return RecoveryInfo{}, err
+			}
+		}
+		info.SnapshotLSN = snapLSN
+		info.Watermark = wm
+	}
+
+	// Scan the log, buffering decoded records: nothing is applied from a
+	// log that proves corrupt mid-scan, and only the tail past the
+	// snapshot replays.
+	var tail []record
+	var decodeErr error
+	walOpts := wal.Options{
+		Dir:               s.cfg.Dir,
+		SegmentMaxBytes:   s.cfg.SegmentMaxBytes,
+		GroupCommitWindow: s.cfg.GroupCommitWindow,
+		GroupCommitMax:    s.cfg.GroupCommitMax,
+		Clock:             s.cfg.Clock,
+		Faults:            s.cfg.Faults,
+		OnRecord: func(lsn uint64, payload []byte) {
+			if lsn <= snapLSN || decodeErr != nil {
+				return
+			}
+			r, err := decodeRecord(payload)
+			if err != nil {
+				decodeErr = err
+				return
+			}
+			tail = append(tail, r)
+		},
+	}
+	log, err := wal.Open(walOpts)
+	corrupt := false
+	switch {
+	case err == nil && decodeErr == nil:
+	case err != nil && errors.Is(err, wal.ErrCorrupt):
+		// Frames after the damage are untrusted; the buffered prefix is
+		// CRC-valid history and still applies. Wipe the log so appends
+		// restart on trusted ground.
+		corrupt = true
+		if wipeErr := wipeSegments(s.cfg.Dir); wipeErr != nil {
+			return RecoveryInfo{}, wipeErr
+		}
+		log, err = wal.Open(walOpts)
+		if err != nil {
+			return RecoveryInfo{}, err
+		}
+	case err != nil:
+		return RecoveryInfo{}, err
+	default: // decodeErr != nil: frames intact but a payload is garbage
+		corrupt = true
+		if wipeErr := wipeSegments(s.cfg.Dir); wipeErr != nil {
+			return RecoveryInfo{}, wipeErr
+		}
+		log, err = wal.Open(walOpts)
+		if err != nil {
+			return RecoveryInfo{}, err
+		}
+	}
+
+	// Replay the tail through the real server logic. Journaling is
+	// suppressed (the records are already in the log — except after a
+	// wipe, where the cold start covers the loss).
+	s.mu.Lock()
+	s.replaying = true
+	s.mu.Unlock()
+	clean := false
+	for i, r := range tail {
+		switch r.typ {
+		case recCachedRead:
+			sketch.ReportCachedRead(r.key, r.expiresAt)
+		case recWrite:
+			sketch.ReportWrite(r.key)
+		case recWatermark:
+			if r.seq > wm {
+				wm = r.seq
+			}
+		case recGeneration:
+			if r.seq > genFloor {
+				genFloor = r.seq
+			}
+		case recClean:
+			// Complete only as the final record; a marker with records
+			// after it belongs to an earlier incarnation.
+			clean = i == len(tail)-1
+		case recOpen:
+			// A later incarnation started; nothing to apply. Its mere
+			// presence past a clean marker is what voids that marker.
+		}
+	}
+	info.Replayed = uint64(len(tail))
+	info.Watermark = wm
+	info.TruncatedBytes = log.Stats().TruncatedBytes
+
+	switch {
+	case corrupt:
+		info.Mode = ColdStart
+	case info.Replayed > 0:
+		info.Mode = Replay
+	case haveSnap:
+		info.Mode = Snapshot
+	default:
+		info.Mode = Fresh
+	}
+
+	// A fresh directory trivially has complete (empty) history; a torn
+	// tail, a wipe, or any log not sealed by the shutdown marker does not.
+	unclean := info.Mode != Fresh && (!clean || corrupt || info.TruncatedBytes > 0)
+	if unclean {
+		now := s.cfg.Clock.Now()
+		sketch.ColdStart(now.Add(s.cfg.ColdWindow), now.Add(s.cfg.BlindHorizon))
+		info.Saturated = true
+	}
+	// Never republish a generation any client already holds: Install
+	// keeps the newest one, so a regressed generation would leave
+	// connected clients rejecting every post-restart snapshot. A clean
+	// log pins the floor exactly; an unclean one may have lost exposed
+	// generations with its unsynced tail, so the floor over-shoots.
+	if info.Mode != Fresh {
+		if unclean {
+			genFloor += genSlack
+		}
+		sketch.EnsureGeneration(genFloor)
+	}
+
+	s.mu.Lock()
+	s.log = log
+	s.sketch = sketch
+	s.est = est
+	s.replaying = false
+	s.crashed = false
+	s.watermark = wm
+	s.snapLSN = snapLSN
+	s.pending = 0
+	s.stats.Crashed = false
+	s.stats.Recoveries++
+	s.stats.LastRecovery = info
+	// Seal the recovery into the log with an fsynced open marker: once it
+	// is durable, the previous clean-shutdown marker can never again be
+	// the log's final record. Without it, losing this incarnation's whole
+	// unsynced suffix (power loss, or the injected fsync kill) would roll
+	// the disk back to a state that masquerades as a clean history while
+	// acknowledged reports are gone. Failure here flips the crashed flag
+	// like any other journaling failure — the owner's signal to recover.
+	s.appendLocked([]byte{recOpen})
+	s.mu.Unlock()
+	if err := s.Sync(); err != nil && !errors.Is(err, faults.ErrCrash) && !errors.Is(err, wal.ErrCrashed) {
+		return info, err
+	}
+	return info, nil
+}
+
+// wipeSegments deletes every WAL segment file (corrupt-log fallback).
+func wipeSegments(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("durable: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close seals the log with the clean-shutdown marker and closes it. A
+// crashed store closes without the marker — the torn state on disk is
+// what the next recovery must see. The final WAL counters are retained
+// so Stats stays meaningful after shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	log := s.log
+	s.log = nil
+	var err error
+	if !s.crashed {
+		if _, aerr := log.Append([]byte{recClean}); aerr != nil {
+			err = aerr
+		} else if serr := log.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	if cerr := log.Close(); err == nil {
+		err = cerr
+	}
+	s.stats.WAL = log.Stats()
+	return err
+}
+
+// Sync forces the WAL's group commit (SIGTERM flush path). An injected
+// crash during the fsync flips the store dead, like any journaling crash.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	log := s.log
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	err := log.Sync()
+	if err != nil && (errors.Is(err, faults.ErrCrash) || errors.Is(err, wal.ErrCrashed)) {
+		s.mu.Lock()
+		s.crashed = true
+		s.stats.Crashed = true
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Stats returns a copy of the durability counters, including the
+// underlying WAL's.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.log != nil {
+		st.WAL = s.log.Stats()
+	}
+	st.Crashed = s.crashed
+	return st
+}
+
+var _ cachesketch.Journal = (*Store)(nil)

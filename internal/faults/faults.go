@@ -42,11 +42,21 @@ const (
 	Invalidation Component = "invalidation"
 	// CDNPurge is the server-side purge fan-out to the edges.
 	CDNPurge Component = "cdn_purge"
+	// WALAppend is the durability log's record-append path; Crash rules
+	// here kill the process mid-write, leaving a torn frame on disk.
+	WALAppend Component = "wal_append"
+	// WALFsync is the durability log's group-commit fsync; Crash rules
+	// here kill the process with acknowledged-but-unsynced records.
+	WALFsync Component = "wal_fsync"
+	// SnapshotWrite is the durable snapshot writer; Crash rules here kill
+	// the process with a half-written temp file (never renamed into place).
+	SnapshotWrite Component = "snapshot_write"
 )
 
 // Components lists the canonical injection points in report order.
 func Components() []Component {
-	return []Component{OriginFetch, SketchFetch, Invalidation, CDNPurge}
+	return []Component{OriginFetch, SketchFetch, Invalidation, CDNPurge,
+		WALAppend, WALFsync, SnapshotWrite}
 }
 
 // Kind classifies a fault.
@@ -63,6 +73,10 @@ const (
 	// Blackhole: the component is unreachable — the network-partition
 	// failure mode; callers map it onto their offline error.
 	Blackhole
+	// Crash: the process is killed at this injection point. Durability
+	// code reacts by persisting only a deterministic torn prefix of the
+	// in-flight write and going dead until recovery reopens it.
+	Crash
 )
 
 // String names the kind.
@@ -76,6 +90,8 @@ func (k Kind) String() string {
 		return "latency"
 	case Blackhole:
 		return "blackhole"
+	case Crash:
+		return "crash"
 	}
 	return "unknown"
 }
@@ -88,6 +104,12 @@ var ErrInjected = errors.New("faults: injected transient error")
 // unreachable/offline failure mode.
 var ErrBlackhole = errors.New("faults: injected blackhole")
 
+// ErrCrash marks an injected process kill at a durability injection
+// point. The component that drew it must behave as if the process died
+// mid-operation: persist nothing beyond the torn prefix and refuse all
+// further work until recovery reopens it.
+var ErrCrash = errors.New("faults: injected crash")
+
 // Rule shapes fault injection for one component.
 type Rule struct {
 	Component Component
@@ -99,6 +121,12 @@ type Rule struct {
 	Burst int
 	// Latency is the added delay for Latency faults (default 250 ms).
 	Latency time.Duration
+	// TornBytes is, for Crash faults against write paths, how many bytes
+	// of the in-flight write reach stable storage before the kill. Zero
+	// lets the injection point derive a deterministic offset of its own
+	// (the WAL uses the record sequence number), so successive crashes
+	// tear frames at different seeded offsets.
+	TornBytes int
 	// After/Until bound the rule's activity window, measured from the
 	// injector's start on its clock. Zero After means "from the start";
 	// zero Until means "forever".
@@ -110,8 +138,11 @@ type Decision struct {
 	Kind Kind
 	// Latency is the delay to add (Latency faults only).
 	Latency time.Duration
-	// Err is non-nil for Error (ErrInjected) and Blackhole (ErrBlackhole)
-	// faults.
+	// TornBytes is the crash rule's torn-write prefix length (Crash
+	// faults only; zero means "derive deterministically at the point").
+	TornBytes int
+	// Err is non-nil for Error (ErrInjected), Blackhole (ErrBlackhole),
+	// and Crash (ErrCrash) faults.
 	Err error
 }
 
@@ -139,6 +170,7 @@ type compState struct {
 	burstLeft    int
 	burstKind    Kind
 	burstLatency time.Duration
+	burstTorn    int
 	injected     map[Kind]uint64
 }
 
@@ -212,7 +244,7 @@ func (i *Injector) Decide(c Component) Decision {
 	st.decisions++
 	if st.burstLeft > 0 {
 		st.burstLeft--
-		return i.record(c, st, call, st.burstKind, st.burstLatency)
+		return i.record(c, st, call, st.burstKind, st.burstLatency, st.burstTorn)
 	}
 	off := i.clk.Now().Sub(i.start)
 	// Every rule draws on every decision, active or not, and the winner
@@ -237,24 +269,27 @@ func (i *Injector) Decide(c Component) Decision {
 		st.burstLeft = r.Burst - 1
 		st.burstKind = r.Kind
 		st.burstLatency = r.Latency
+		st.burstTorn = r.TornBytes
 	}
-	return i.record(c, st, call, r.Kind, r.Latency)
+	return i.record(c, st, call, r.Kind, r.Latency, r.TornBytes)
 }
 
 // record must hold i.mu: it logs the event and builds the Decision.
-func (i *Injector) record(c Component, st *compState, call uint64, k Kind, lat time.Duration) Decision {
+func (i *Injector) record(c Component, st *compState, call uint64, k Kind, lat time.Duration, torn int) Decision {
 	st.injected[k]++
 	i.seq++
 	i.events = append(i.events, Event{
 		Seq: i.seq, Call: call, Component: c, Kind: k,
 		Offset: i.clk.Now().Sub(i.start),
 	})
-	d := Decision{Kind: k, Latency: lat}
+	d := Decision{Kind: k, Latency: lat, TornBytes: torn}
 	switch k {
 	case Error:
 		d.Err = ErrInjected
 	case Blackhole:
 		d.Err = ErrBlackhole
+	case Crash:
+		d.Err = ErrCrash
 	}
 	return d
 }
@@ -336,7 +371,7 @@ func (i *Injector) String() string {
 	for _, c := range comps {
 		s := st[Component(c)]
 		fmt.Fprintf(&b, "%-13s %5d calls, %4d faulted (%.1f%%):", c, s.Decisions, s.Total(), s.Rate()*100)
-		for _, k := range []Kind{Error, Latency, Blackhole} {
+		for _, k := range []Kind{Error, Latency, Blackhole, Crash} {
 			if n := s.Injected[k]; n > 0 {
 				fmt.Fprintf(&b, " %s=%d", k, n)
 			}
@@ -368,5 +403,22 @@ func ChaosRules(rate float64) []Rule {
 		// Pipeline hops: dropped deliveries that the service must retry.
 		{Component: Invalidation, Kind: Error, Probability: rate},
 		{Component: CDNPurge, Kind: Error, Probability: rate},
+	}
+}
+
+// CrashRules is the canonical crash-recovery profile for the durability
+// gate: seed-driven process kills on the WAL append and fsync paths and
+// during snapshot writes. rate is the per-append kill probability; fsync
+// and snapshot kills fire at a quarter of it (they are rarer operations).
+// TornBytes is left zero so each kill tears the in-flight frame at a
+// deterministic, record-dependent offset.
+func CrashRules(rate float64) []Rule {
+	if rate <= 0 {
+		rate = 0.001
+	}
+	return []Rule{
+		{Component: WALAppend, Kind: Crash, Probability: rate},
+		{Component: WALFsync, Kind: Crash, Probability: rate / 4},
+		{Component: SnapshotWrite, Kind: Crash, Probability: rate / 4},
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"speedkit/internal/cache"
 	"speedkit/internal/core"
+	"speedkit/internal/durable"
 	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
 	"speedkit/internal/obs"
@@ -52,6 +53,16 @@ type API struct {
 	sketchGen     *metrics.Gauge
 	sketchTracked *metrics.Gauge
 	sketchBytes   *metrics.Gauge
+
+	// Durability gauges (nil maps/pointers when the service runs
+	// memory-only). The wal/durable packages sit under the obslabels
+	// boundary and cannot self-register; the HTTP surface owns their
+	// exposition, refreshed per scrape from plain Stats structs.
+	walAppends    *metrics.Gauge
+	walFsyncs     *metrics.Gauge
+	walReplayed   *metrics.Gauge
+	snapshotBytes *metrics.Gauge
+	recoveryMode  map[string]*metrics.Gauge
 }
 
 // New creates an API over svc, registering the given users.
@@ -66,6 +77,16 @@ func New(svc *core.Service, users []*session.User) *API {
 	a.sketchGen = r.Gauge("speedkit.sketch.generation")
 	a.sketchTracked = r.Gauge("speedkit.sketch.tracked")
 	a.sketchBytes = r.Gauge("speedkit.sketch.bytes")
+	if svc.Durable() != nil {
+		a.walAppends = r.Gauge("speedkit.wal.appends")
+		a.walFsyncs = r.Gauge("speedkit.wal.fsyncs")
+		a.walReplayed = r.Gauge("speedkit.wal.replayed_records")
+		a.snapshotBytes = r.Gauge("speedkit.durable.snapshot_bytes")
+		a.recoveryMode = make(map[string]*metrics.Gauge)
+		for _, mode := range []durable.Mode{durable.Fresh, durable.Snapshot, durable.Replay, durable.ColdStart} {
+			a.recoveryMode[mode.String()] = r.Gauge("speedkit.recovery.mode", obs.L("mode", mode.String()))
+		}
+	}
 	for _, u := range users {
 		a.users[u.ID] = u
 	}
@@ -102,6 +123,10 @@ type Health struct {
 	SketchTracked int `json:"sketch_tracked"`
 	// InvalidationShards is the query matcher's shard count.
 	InvalidationShards int `json:"invalidation_shards"`
+	// RecoveryMode is how the durability subsystem rebuilt state at
+	// startup (fresh | snapshot | replay | coldstart); empty when the
+	// service runs memory-only.
+	RecoveryMode string `json:"recovery_mode,omitempty"`
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -111,6 +136,9 @@ func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		SketchGeneration:   a.svc.SketchServer().Generation(),
 		SketchTracked:      a.svc.SketchServer().Stats().Tracked,
 		InvalidationShards: a.svc.Engine().Shards(),
+	}
+	if store := a.svc.Durable(); store != nil {
+		h.RecoveryMode = store.Stats().LastRecovery.Mode.String()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)
@@ -123,6 +151,20 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	a.sketchGen.Set(int64(srv.Generation()))
 	a.sketchTracked.Set(int64(srv.Stats().Tracked))
 	a.sketchBytes.Set(int64(srv.SketchBytes()))
+	if store := a.svc.Durable(); store != nil {
+		st := store.Stats()
+		a.walAppends.Set(int64(st.WAL.Appends))
+		a.walFsyncs.Set(int64(st.WAL.Fsyncs))
+		a.walReplayed.Set(int64(st.WAL.Replayed))
+		a.snapshotBytes.Set(int64(st.SnapshotBytes))
+		for mode, g := range a.recoveryMode {
+			if mode == st.LastRecovery.Mode.String() {
+				g.Set(1)
+			} else {
+				g.Set(0)
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = a.svc.Obs().WriteText(w)
 }

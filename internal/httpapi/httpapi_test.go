@@ -12,6 +12,7 @@ import (
 	"speedkit/internal/bloom"
 	"speedkit/internal/clock"
 	"speedkit/internal/core"
+	"speedkit/internal/durable"
 	"speedkit/internal/obs"
 	"speedkit/internal/session"
 )
@@ -125,6 +126,89 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// newDurableTestAPI is newTestAPI with the durability subsystem wired
+// over a temp directory.
+func newDurableTestAPI(t *testing.T) (*API, *httptest.Server, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(time.Time{})
+	store := durable.New(durable.Config{
+		Dir:          t.TempDir(),
+		Clock:        clk,
+		ColdWindow:   30 * time.Second,
+		BlindHorizon: 10 * time.Minute,
+	})
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config: core.Config{
+			Clock: clk, Seed: 1, Delta: 30 * time.Second,
+			Obs:     obs.NewRegistry(),
+			Tracer:  obs.NewTracer(clk, 1, 16),
+			Durable: store,
+		},
+		Products: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	t.Cleanup(func() { _ = store.Close() })
+
+	api := New(svc, session.Population(1, 10))
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return api, ts, clk
+}
+
+// TestMetricsDurability asserts the durability gauges reach the scrape
+// exposition and /healthz reports the recovery mode — the wal/durable
+// packages cannot register metrics themselves (obslabels boundary), so
+// this pins the indirection through the HTTP surface.
+func TestMetricsDurability(t *testing.T) {
+	_, ts, _ := newDurableTestAPI(t)
+	// A tracked read + a write journal some records.
+	_, _ = get(t, ts.URL+"/page?path=/product/p00003")
+
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE speedkit_wal_appends gauge",
+		"# TYPE speedkit_wal_fsyncs gauge",
+		"# TYPE speedkit_wal_replayed_records gauge",
+		"# TYPE speedkit_durable_snapshot_bytes gauge",
+		`speedkit_recovery_mode{mode="fresh"} 1`,
+		`speedkit_recovery_mode{mode="coldstart"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "speedkit_wal_appends 1") &&
+		!strings.Contains(body, "speedkit_wal_appends 2") {
+		t.Errorf("wal appends gauge not reflecting journaled records:\n%s", body)
+	}
+
+	_, hbody := get(t, ts.URL+"/healthz")
+	var h Health
+	if err := json.Unmarshal([]byte(hbody), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.RecoveryMode != "fresh" {
+		t.Fatalf("recovery_mode = %q, want fresh", h.RecoveryMode)
+	}
+}
+
+// TestMetricsMemoryOnlyOmitsDurability pins the memory-only shape: no
+// durability series, no recovery_mode in /healthz.
+func TestMetricsMemoryOnlyOmitsDurability(t *testing.T) {
+	_, ts, _ := newTestAPI(t)
+	_, body := get(t, ts.URL+"/metrics")
+	if strings.Contains(body, "speedkit_wal_") || strings.Contains(body, "speedkit_recovery_mode") {
+		t.Errorf("memory-only service exposes durability series:\n%s", body)
+	}
+	_, hbody := get(t, ts.URL+"/healthz")
+	if strings.Contains(hbody, "recovery_mode") {
+		t.Errorf("memory-only healthz carries recovery_mode: %s", hbody)
 	}
 }
 

@@ -53,6 +53,11 @@ func TestGDPRBoundaryFixture(t *testing.T) {
 	checkFixture(t, "cdnfixture", "fixture/internal/cdn", GDPRBoundary)
 }
 
+func TestGDPRBoundaryCoversDurabilityTier(t *testing.T) {
+	// The WAL/durable packages persist to disk; the same boundary applies.
+	checkFixture(t, "walfixture", "fixture/internal/wal", GDPRBoundary)
+}
+
 func TestGDPRBoundaryIgnoresDeviceSide(t *testing.T) {
 	// PII and session imports outside shared infrastructure: clean.
 	checkFixture(t, "deviceside", "fixture/internal/device", GDPRBoundary)

@@ -19,6 +19,11 @@ var sharedInfraSegments = []string{
 	"internal/bloom",
 	"internal/invalidb",
 	"internal/cachesketch",
+	// Durability persists coherence state to disk: anything it can reach
+	// survives a crash in plaintext, so the identity ban is load-bearing
+	// twice over (shared infra AND persisted bytes).
+	"internal/wal",
+	"internal/durable",
 }
 
 // identityBearingSegments are the packages whose types carry identity:
@@ -35,8 +40,9 @@ var identityBearingSegments = []string{
 var GDPRBoundary = &Analyzer{
 	Name: "gdprboundary",
 	Doc: "shared-infrastructure packages (cdn, cache, bloom, invalidb, " +
-		"cachesketch) must not import internal/session or internal/gdpr and " +
-		"must not expose PII-classified fields in their exported APIs",
+		"cachesketch, wal, durable) must not import internal/session or " +
+		"internal/gdpr and must not expose PII-classified fields in their " +
+		"exported APIs",
 	Run: runGDPRBoundary,
 }
 

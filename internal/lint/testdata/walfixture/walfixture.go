@@ -1,0 +1,28 @@
+// Package walfixture seeds gdprboundary violations for the durability
+// tier. The fixture test loads it under the synthetic import path
+// "fixture/internal/wal", so the analyzer treats it as shared
+// infrastructure — everything it persists survives a crash on disk, which
+// is exactly why identity must never reach it.
+package walfixture
+
+import (
+	"speedkit/internal/gdpr" // want "identity-bearing package"
+)
+
+// Record exposes a PII-classified field in a durability API: anything in
+// this struct gets framed into the log verbatim.
+type Record struct {
+	UserID  string // want "PII field"
+	Payload []byte
+}
+
+// Frame is an anonymous log frame: no finding.
+type Frame struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Append persists anonymous bytes only: no finding.
+func Append(f Frame) uint64 { return f.LSN }
+
+var _ *gdpr.ConsentLedger

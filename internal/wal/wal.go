@@ -1,0 +1,459 @@
+// Package wal implements the segmented append-only write-ahead log under
+// the durability subsystem. Records are CRC32C-framed and carry a
+// monotonically increasing log sequence number (LSN); fsyncs are
+// group-committed on the injected clock so a burst of appends shares one
+// disk flush; segments rotate at a size threshold and are named by their
+// first LSN so whole-segment pruning after a snapshot is a file delete.
+//
+// Recovery discipline: Open scans every segment in LSN order, replaying
+// intact records through the OnRecord callback. A torn tail — an
+// incomplete or CRC-failing frame at the end of the *last* segment — is
+// the expected crash signature and is truncated away; any damage before
+// that point (a bad frame in a non-final segment, a broken LSN chain) is
+// mid-log corruption and surfaces as ErrCorrupt, which the durable layer
+// answers with a conservative cold start rather than trusting a log with
+// a hole in it.
+//
+// The log stores only anonymous coherence records (resource paths,
+// expirations, versions): it is shared-infrastructure code under the
+// GDPR boundary and must never see identity-bearing types.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+)
+
+// Frame layout: [u32 length][u32 crc32c][u64 lsn][payload], all
+// little-endian. length covers lsn+payload; crc covers the same bytes.
+const (
+	frameHeader = 8
+	lsnBytes    = 8
+	// maxRecord bounds a frame body; anything larger in a length field is
+	// damage, not data.
+	maxRecord = 1 << 24
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports mid-log corruption: a damaged frame with intact
+// records after it, or a broken LSN chain. A torn tail is NOT corruption —
+// it is truncated silently — so ErrCorrupt means history cannot be
+// trusted and the caller should fall back to a conservative cold start.
+var ErrCorrupt = errors.New("wal: mid-log corruption")
+
+// ErrCrashed reports that the log drew an injected crash and is dead: no
+// append or sync will succeed until the directory is recovered by a fresh
+// Open.
+var ErrCrashed = errors.New("wal: crashed (injected)")
+
+// Options parameterizes a Log.
+type Options struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// SegmentMaxBytes rotates segments at this size (default 1 MiB).
+	SegmentMaxBytes int64
+	// GroupCommitWindow is the maximum time acknowledged appends may wait
+	// for their shared fsync (default 2 ms on the injected clock).
+	GroupCommitWindow time.Duration
+	// GroupCommitMax forces an fsync after this many unsynced appends
+	// regardless of the window (default 64).
+	GroupCommitMax int
+	// Clock drives the group-commit window (default the system clock).
+	Clock clock.Clock
+	// Faults optionally injects crashes: Crash decisions on WALAppend tear
+	// the in-flight frame at a deterministic offset, Crash decisions on
+	// WALFsync discard the unsynced suffix — both then kill the log until
+	// recovery. Nil disables injection.
+	Faults *faults.Injector
+	// OnRecord receives every intact record during the Open scan, in LSN
+	// order. Nil skips replay delivery (the scan still validates frames).
+	OnRecord func(lsn uint64, payload []byte)
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 1 << 20
+	}
+	if o.GroupCommitWindow <= 0 {
+		o.GroupCommitWindow = 2 * time.Millisecond
+	}
+	if o.GroupCommitMax <= 0 {
+		o.GroupCommitMax = 64
+	}
+	if o.Clock == nil {
+		o.Clock = clock.System
+	}
+}
+
+// Stats counts log activity since Open.
+type Stats struct {
+	// Appends is how many records were durably framed (torn appends from
+	// injected crashes are not counted).
+	Appends uint64
+	// Fsyncs is how many disk flushes ran; group commit keeps it well
+	// below Appends under load.
+	Fsyncs uint64
+	// Rotations counts segment rolls.
+	Rotations uint64
+	// Replayed is how many intact records the Open scan delivered.
+	Replayed uint64
+	// TruncatedBytes is how many torn-tail bytes Open discarded.
+	TruncatedBytes int64
+	// Segments is the current on-disk segment count.
+	Segments int
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	firstLSN uint64
+	path     string
+}
+
+// Log is a segmented write-ahead log. Safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segment // guarded by mu
+	file     *os.File  // guarded by mu; active segment (nil until first append)
+	size     int64     // guarded by mu; bytes written to the active segment
+	synced   int64     // guarded by mu; bytes of the active segment known flushed
+	pending  int       // guarded by mu; appends awaiting their group fsync
+	lastSync time.Time // guarded by mu; when the last group fsync ran
+	nextLSN  uint64    // guarded by mu
+	dead     bool      // guarded by mu; true after an injected crash
+	stats    Stats     // guarded by mu
+}
+
+// segName renders the canonical segment filename for a first LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstLSN)
+}
+
+// parseSegName extracts the first LSN from a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	return v, err == nil
+}
+
+// Open scans dir, replays intact records through opts.OnRecord, truncates
+// any torn tail, and returns a log positioned to append after the last
+// durable record. A directory with no segments opens as an empty log
+// whose first append creates LSN 1. Mid-log corruption returns ErrCorrupt
+// (wrapped); the caller decides whether to wipe and cold-start.
+func Open(opts Options) (*Log, error) {
+	opts.applyDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts, nextLSN: 1, lastSync: opts.Clock.Now()}
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegName(e.Name()); ok {
+			l.segs = append(l.segs, segment{firstLSN: first, path: filepath.Join(opts.Dir, e.Name())})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstLSN < l.segs[j].firstLSN })
+
+	for i, seg := range l.segs {
+		last := i == len(l.segs)-1
+		if err := l.scanSegment(seg, last); err != nil {
+			return nil, err
+		}
+	}
+	l.stats.Segments = len(l.segs)
+	if n := len(l.segs); n > 0 {
+		// Reopen the last segment for appending after its good prefix.
+		f, err := os.OpenFile(l.segs[n-1].path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(l.size, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.file = f
+		l.synced = l.size
+	}
+	return l, nil
+}
+
+// scanSegment validates and replays one segment. For the last segment a
+// bad frame is a torn tail: the file is truncated to the last good offset.
+// For any earlier segment it is mid-log corruption. The active segment's
+// size is left in l.size. Runs during Open, before the log is shared; any
+// later caller must hold l.mu.
+func (l *Log) scanSegment(seg segment, last bool) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	expect := seg.firstLSN
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		good := false
+		var lsn uint64
+		var payload []byte
+		if len(rest) >= frameHeader {
+			length := binary.LittleEndian.Uint32(rest[0:4])
+			if length >= lsnBytes && length <= maxRecord && int(length) <= len(rest)-frameHeader {
+				body := rest[frameHeader : frameHeader+int(length)]
+				if crc32.Checksum(body, castagnoli) == binary.LittleEndian.Uint32(rest[4:8]) {
+					lsn = binary.LittleEndian.Uint64(body[:lsnBytes])
+					payload = body[lsnBytes:]
+					good = lsn == expect
+					// A frame that checksums but breaks the LSN chain is
+					// damage wherever it sits.
+					if !good {
+						return fmt.Errorf("wal: segment %s: lsn %d where %d expected: %w",
+							filepath.Base(seg.path), lsn, expect, ErrCorrupt)
+					}
+				}
+			}
+		}
+		if !good {
+			if !last {
+				return fmt.Errorf("wal: segment %s: bad frame at offset %d: %w",
+					filepath.Base(seg.path), off, ErrCorrupt)
+			}
+			// Torn tail: discard everything from the bad frame on.
+			torn := int64(len(data)) - off
+			if err := os.Truncate(seg.path, off); err != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			l.stats.TruncatedBytes += torn
+			break
+		}
+		if l.opts.OnRecord != nil {
+			l.opts.OnRecord(lsn, payload)
+		}
+		l.stats.Replayed++
+		off += frameHeader + lsnBytes + int64(len(payload))
+		expect = lsn + 1
+		l.nextLSN = lsn + 1
+	}
+	if last {
+		l.size = off
+	}
+	return nil
+}
+
+// Append frames payload as the next record and applies the group-commit
+// fsync policy. It returns the record's LSN. Callers must treat a nil
+// error as "acknowledged", not "fsynced": crash recovery may lose the
+// unsynced suffix, which is exactly the window the durable layer's
+// conservative cold start covers.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return 0, ErrCrashed
+	}
+	lsn := l.nextLSN
+	frame := make([]byte, frameHeader+lsnBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(lsnBytes+len(payload)))
+	binary.LittleEndian.PutUint64(frame[frameHeader:], lsn)
+	copy(frame[frameHeader+lsnBytes:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(frame[frameHeader:], castagnoli))
+
+	if l.file == nil || l.size+int64(len(frame)) > l.opts.SegmentMaxBytes && l.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+
+	if d := l.opts.Faults.Decide(faults.WALAppend); d.Kind == faults.Crash {
+		// Mid-write kill: a deterministic prefix of the frame reaches the
+		// file, then the log goes dead. Recovery sees a torn tail.
+		torn := d.TornBytes
+		if torn <= 0 {
+			torn = int(lsn % uint64(len(frame)))
+		}
+		if torn >= len(frame) {
+			torn = len(frame) - 1
+		}
+		if torn > 0 {
+			_, _ = l.file.Write(frame[:torn])
+		}
+		l.dead = true
+		return 0, fmt.Errorf("wal: append lsn %d: %w: %w", lsn, faults.ErrCrash, ErrCrashed)
+	}
+
+	if _, err := l.file.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.nextLSN++
+	l.stats.Appends++
+	l.pending++
+
+	now := l.opts.Clock.Now()
+	if l.pending >= l.opts.GroupCommitMax || now.Sub(l.lastSync) >= l.opts.GroupCommitWindow {
+		if err := l.syncLocked(now); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces the group fsync immediately.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return ErrCrashed
+	}
+	if l.file == nil {
+		return nil
+	}
+	return l.syncLocked(l.opts.Clock.Now())
+}
+
+// syncLocked flushes the active segment. The caller must hold l.mu.
+func (l *Log) syncLocked(now time.Time) error {
+	if d := l.opts.Faults.Decide(faults.WALFsync); d.Kind == faults.Crash {
+		// Kill at the flush: the unsynced suffix never reached stable
+		// storage. Model the loss by truncating back to the synced size —
+		// these records were acknowledged, and losing them is the exact
+		// hazard the conservative cold start exists to absorb.
+		_ = l.file.Truncate(l.synced)
+		l.dead = true
+		return fmt.Errorf("wal: fsync: %w: %w", faults.ErrCrash, ErrCrashed)
+	}
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Fsyncs++
+	l.synced = l.size
+	l.pending = 0
+	l.lastSync = now
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one. The
+// caller must hold l.mu.
+func (l *Log) rotateLocked() error {
+	if l.file != nil {
+		if err := l.syncLocked(l.opts.Clock.Now()); err != nil {
+			return err
+		}
+		if err := l.file.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.file = nil
+		l.stats.Rotations++
+	}
+	path := filepath.Join(l.opts.Dir, segName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.file = f
+	l.size = 0
+	l.synced = 0
+	l.segs = append(l.segs, segment{firstLSN: l.nextLSN, path: path})
+	l.stats.Segments = len(l.segs)
+	return nil
+}
+
+// PruneBelow deletes every sealed segment whose records all have LSNs
+// strictly below lsn — the post-snapshot cleanup that keeps the log from
+// growing without bound. The active segment is never pruned.
+func (l *Log) PruneBelow(lsn uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segs) > 1 && l.segs[1].firstLSN <= lsn {
+		if rmErr := os.Remove(l.segs[0].path); rmErr != nil {
+			return removed, fmt.Errorf("wal: prune: %w", rmErr)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	l.stats.Segments = len(l.segs)
+	return removed, nil
+}
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Crashed reports whether an injected crash killed the log.
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// Stats returns a copy of the activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close flushes and closes the active segment. A crashed log closes
+// without flushing — the torn state on disk is the point.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	f := l.file
+	l.file = nil
+	if l.dead {
+		return f.Close()
+	}
+	if l.pending > 0 {
+		if err := l.syncFileLocked(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// syncFileLocked is the Close-path flush: no fault consult (the process
+// is exiting deliberately), just the fsync and counters.
+func (l *Log) syncFileLocked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Fsyncs++
+	l.synced = l.size
+	l.pending = 0
+	return nil
+}

@@ -1,0 +1,335 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+)
+
+// collect returns Options wired to gather replayed records into the
+// returned map, keyed by LSN.
+func collect(dir string, got *map[uint64]string) Options {
+	*got = make(map[uint64]string)
+	return Options{
+		Dir:   dir,
+		Clock: clock.NewSimulated(time.Time{}),
+		OnRecord: func(lsn uint64, payload []byte) {
+			(*got)[lsn] = string(payload)
+		},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("record-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(i + 1); lsn != want {
+			t.Fatalf("lsn = %d, want %d", lsn, want)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != fmt.Sprintf("record-%03d", i) {
+			t.Fatalf("lsn %d: payload %q", i+1, got[uint64(i+1)])
+		}
+	}
+	if next := l2.NextLSN(); next != n+1 {
+		t.Fatalf("NextLSN = %d, want %d", next, n+1)
+	}
+	// Appends continue the LSN chain after reopen.
+	lsn, err := l2.Append([]byte("after-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != n+1 {
+		t.Fatalf("post-reopen lsn = %d, want %d", lsn, n+1)
+	}
+}
+
+func TestRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 128, Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rotate-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("Segments = %d, want several at 128-byte rotation", st.Segments)
+	}
+	if st.Rotations == 0 {
+		t.Fatal("no rotations recorded")
+	}
+	removed, err := l.PruneBelow(l.NextLSN() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("prune removed nothing")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The surviving tail still replays cleanly, starting past the prune.
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) == 0 {
+		t.Fatal("no records survived pruning")
+	}
+	for lsn := range got {
+		if got[lsn] != fmt.Sprintf("rotate-%02d", lsn-1) {
+			t.Fatalf("lsn %d: payload %q", lsn, got[lsn])
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("solid")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a mid-write kill: garbage half-frame at the tail.
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	defer l2.Close()
+	if len(got) != 5 {
+		t.Fatalf("replayed %d, want 5", len(got))
+	}
+	if l2.Stats().TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes = %d, want 3", l2.Stats().TruncatedBytes)
+	}
+	if l2.NextLSN() != 6 {
+		t.Fatalf("NextLSN = %d, want 6", l2.NextLSN())
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 96, Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte("payload-xx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs multiple segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the FIRST segment: damage with intact records
+	// after it is corruption, not a torn tail.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+lsnBytes] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(collect(dir, new(map[uint64]string)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	sim := clock.NewSimulated(time.Time{})
+	l, err := Open(Options{
+		Dir:               t.TempDir(),
+		Clock:             sim,
+		GroupCommitMax:    8,
+		GroupCommitWindow: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Simulated time never advances, so only the count threshold fires.
+	for i := 0; i < 32; i++ {
+		if _, err := l.Append([]byte("batched")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Fsyncs != 4 {
+		t.Fatalf("Fsyncs = %d, want 4 (32 appends / batch of 8)", st.Fsyncs)
+	}
+	// The window fires the next append's fsync once time passes.
+	sim.Advance(2 * time.Second)
+	if _, err := l.Append([]byte("windowed")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != 5 {
+		t.Fatalf("Fsyncs after window = %d, want 5", got)
+	}
+}
+
+func TestInjectedAppendCrashLeavesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sim := clock.NewSimulated(time.Time{})
+	// Crash on the 4th append (burst-free single rule with p=1 would kill
+	// the first; use a window keyed off simulated time instead: simpler to
+	// crash deterministically by probability 1 after three good appends on
+	// a second injector).
+	inj := faults.New(sim, 1, faults.Rule{Component: faults.WALAppend, Kind: faults.Crash, Probability: 1})
+	l, err := Open(Options{Dir: dir, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("durable")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Swap in the crashing injector mid-flight.
+	l.mu.Lock()
+	l.opts.Faults = inj
+	l.mu.Unlock()
+	_, err = l.Append([]byte("doomed"))
+	if !errors.Is(err, faults.ErrCrash) || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrash and ErrCrashed", err)
+	}
+	if !l.Crashed() {
+		t.Fatal("log not marked crashed")
+	}
+	if _, err := l.Append([]byte("refused")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash append err = %v, want ErrCrashed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatalf("recovery after injected crash: %v", err)
+	}
+	defer l2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want the 3 synced ones", len(got))
+	}
+}
+
+func TestInjectedFsyncCrashDropsUnsyncedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	sim := clock.NewSimulated(time.Time{})
+	l, err := Open(Options{Dir: dir, Clock: sim, GroupCommitMax: 1 << 20, GroupCommitWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append([]byte("synced")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Three more acknowledged appends that never reach a successful fsync.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("acked-not-synced")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.mu.Lock()
+	l.opts.Faults = faults.New(sim, 1, faults.Rule{Component: faults.WALFsync, Kind: faults.Crash, Probability: 1})
+	l.mu.Unlock()
+	if err := l.Sync(); !errors.Is(err, faults.ErrCrash) {
+		t.Fatalf("err = %v, want ErrCrash", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Exactly the synced prefix survives: the acknowledged-but-unsynced
+	// records are the durability gap the cold-start window covers.
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+}
+
+func TestEmptyDirOpensFresh(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.NextLSN() != 1 {
+		t.Fatalf("NextLSN = %d, want 1", l.NextLSN())
+	}
+	if st := l.Stats(); st.Replayed != 0 || st.Segments != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+}
