@@ -421,14 +421,15 @@ func (s *Service) handleInvalidation(path string) {
 	s.m.invalidations.Inc()
 	s.mu.Lock()
 	s.stats.Invalidations++
-	seq := s.stats.Invalidations
 	s.mu.Unlock()
 	if s.cfg.Durable != nil {
-		// Advance the durable invalidation watermark, then take the
-		// periodic snapshot if enough journal accumulated. This runs
-		// outside every sketch lock — Snapshot exports the sketch state,
-		// which takes that lock itself.
-		s.cfg.Durable.JournalInvalidation(seq)
+		// Advance the store-owned durable watermark (the stats counter
+		// restarts at zero each incarnation, so its first values after a
+		// recovery would fall below the recovered watermark and be
+		// dropped), then take the periodic snapshot if enough journal
+		// accumulated. This runs outside every sketch lock — Snapshot
+		// exports the sketch state, which takes that lock itself.
+		s.cfg.Durable.AdvanceInvalidation()
 		if s.cfg.Durable.ShouldSnapshot() {
 			// A failed snapshot (injected crash, disk error) is not fatal
 			// here: the WAL still holds the records, and the store's

@@ -190,6 +190,12 @@ type Stats struct {
 type Store struct {
 	cfg Config
 
+	// snapMu serializes whole Snapshot bodies (export, temp write,
+	// rename, prune). Snapshot releases s.mu while exporting, so without
+	// it two concurrent triggers would interleave writes into the same
+	// snap-<lsn>.snap.tmp and the CRC would reject the result.
+	snapMu sync.Mutex
+
 	mu        sync.Mutex
 	log       *wal.Log            // guarded by mu
 	sketch    *cachesketch.Server // guarded by mu; wired by first Recover
@@ -279,6 +285,23 @@ func (s *Store) JournalInvalidation(seq uint64) {
 	buf = append(buf, recWatermark)
 	buf = binary.BigEndian.AppendUint64(buf, seq)
 	s.appendLocked(buf)
+}
+
+// AdvanceInvalidation allocates the next invalidation sequence — one past
+// the current watermark — and journals it. Owners without a durable
+// counter of their own must use this instead of JournalInvalidation: an
+// in-memory counter restarts at zero every process start, so after a
+// recovery that restored a watermark of N its first N values would fall
+// below the guard and be dropped, freezing the durable watermark.
+func (s *Store) AdvanceInvalidation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watermark++
+	buf := make([]byte, 0, 9)
+	buf = append(buf, recWatermark)
+	buf = binary.BigEndian.AppendUint64(buf, s.watermark)
+	s.appendLocked(buf)
+	return s.watermark
 }
 
 // Watermark returns the highest invalidation sequence journaled so far.
@@ -385,7 +408,13 @@ func (s *Store) snapshotTargets() (*wal.Log, *cachesketch.Server, *ttl.Estimator
 // Snapshot atomically persists the full coherence state and prunes the
 // WAL behind it. Must not be called from a context holding the sketch
 // mutex (it exports the sketch state, which takes that mutex).
+// Concurrent calls coalesce: whoever loses the race returns nil
+// immediately, since the in-flight snapshot covers its trigger.
 func (s *Store) Snapshot() error {
+	if !s.snapMu.TryLock() {
+		return nil
+	}
+	defer s.snapMu.Unlock()
 	log, sketch, est, watermark, err := s.snapshotTargets()
 	if err != nil {
 		return err
@@ -623,6 +652,7 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 	// snapshot replays.
 	var tail []record
 	var decodeErr error
+	var maxSeen uint64 // highest LSN observed on disk, trusted or not
 	walOpts := wal.Options{
 		Dir:               s.cfg.Dir,
 		SegmentMaxBytes:   s.cfg.SegmentMaxBytes,
@@ -631,6 +661,9 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 		Clock:             s.cfg.Clock,
 		Faults:            s.cfg.Faults,
 		OnRecord: func(lsn uint64, payload []byte) {
+			if lsn > maxSeen {
+				maxSeen = lsn
+			}
 			if lsn <= snapLSN || decodeErr != nil {
 				return
 			}
@@ -642,6 +675,25 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 			tail = append(tail, r)
 		},
 	}
+	// reopenWiped retires the entire log (and any snapshot file above the
+	// trusted one — those are unloadable leftovers that would shadow newer
+	// state by name) and reopens it seeded ABOVE every LSN ever issued:
+	// the snapshot's coverage and everything observed on disk. Without the
+	// seed a wiped log restarts at LSN 1 while the snapshot keeps its high
+	// LSN, so every record of the new incarnation — clean-shutdown marker
+	// included — replays as lsn <= snapLSN and is silently skipped,
+	// losing durable data despite clean shutdowns.
+	reopenWiped := func() (*wal.Log, error) {
+		if err := wipeLog(s.cfg.Dir, snapLSN); err != nil {
+			return nil, err
+		}
+		seed := snapLSN
+		if maxSeen > seed {
+			seed = maxSeen
+		}
+		walOpts.FirstLSN = seed + 1
+		return wal.Open(walOpts)
+	}
 	log, err := wal.Open(walOpts)
 	corrupt := false
 	switch {
@@ -651,22 +703,28 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 		// CRC-valid history and still applies. Wipe the log so appends
 		// restart on trusted ground.
 		corrupt = true
-		if wipeErr := wipeSegments(s.cfg.Dir); wipeErr != nil {
-			return RecoveryInfo{}, wipeErr
-		}
-		log, err = wal.Open(walOpts)
-		if err != nil {
+		if log, err = reopenWiped(); err != nil {
 			return RecoveryInfo{}, err
 		}
 	case err != nil:
 		return RecoveryInfo{}, err
 	default: // decodeErr != nil: frames intact but a payload is garbage
 		corrupt = true
-		if wipeErr := wipeSegments(s.cfg.Dir); wipeErr != nil {
-			return RecoveryInfo{}, wipeErr
+		if log, err = reopenWiped(); err != nil {
+			return RecoveryInfo{}, err
 		}
-		log, err = wal.Open(walOpts)
-		if err != nil {
+	}
+	info.TruncatedBytes = log.Stats().TruncatedBytes
+	// A torn tail can truncate the log back INSIDE the snapshot's
+	// coverage (the snapshot only prunes whole sealed segments, so the
+	// active segment still holds covered LSNs). Appending there would
+	// reissue covered LSNs that every later Recover skips — same silent
+	// loss as the wipe case. Every surviving record is inside the
+	// snapshot, so the log carries no information: retire it and reseed.
+	if log.NextLSN() <= snapLSN {
+		corrupt = true
+		_ = log.Close()
+		if log, err = reopenWiped(); err != nil {
 			return RecoveryInfo{}, err
 		}
 	}
@@ -703,7 +761,6 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 	}
 	info.Replayed = uint64(len(tail))
 	info.Watermark = wm
-	info.TruncatedBytes = log.Stats().TruncatedBytes
 
 	switch {
 	case corrupt:
@@ -712,6 +769,14 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 		info.Mode = Replay
 	case haveSnap:
 		info.Mode = Snapshot
+	case info.TruncatedBytes > 0:
+		// The log held bytes but yielded no trusted record. That is
+		// destroyed history, not a fresh deployment: every incarnation
+		// fsyncs an open marker at recovery, so a deployment's log always
+		// has a readable prefix unless damage reached the first frame and
+		// the torn-tail truncation swallowed everything. Recovering warm
+		// here would serve with zero history and no saturation window.
+		info.Mode = ColdStart
 	default:
 		info.Mode = Fresh
 	}
@@ -763,15 +828,23 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 	return info, nil
 }
 
-// wipeSegments deletes every WAL segment file (corrupt-log fallback).
-func wipeSegments(dir string) error {
+// wipeLog deletes every WAL segment file (corrupt-log fallback) plus any
+// snapshot file named above the trusted snapshot's LSN — loadNewestSnapshot
+// already rejected those as unloadable, and left in place their higher
+// names would win the newest-first ordering forever, shadowing every
+// snapshot the reseeded incarnation writes.
+func wipeLog(dir string, trustedSnapLSN uint64) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg") {
+		stale := strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg")
+		if lsn, ok := parseSnapName(name); ok && lsn > trustedSnapLSN {
+			stale = true
+		}
+		if stale {
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return fmt.Errorf("durable: %w", err)
 			}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -334,8 +335,99 @@ func TestCorruptMidLogFallsBackToColdStart(t *testing.T) {
 	}
 	// The wiped log must be appendable again.
 	h2.sketch.ReportCachedRead("/after/corruption", h2.sim.Now().Add(time.Hour))
+	if !h2.sketch.ReportWrite("/after/corruption") {
+		t.Fatal("post-wipe write not tracked")
+	}
 	if h2.store.Crashed() {
 		t.Fatal("store dead after corruption recovery")
+	}
+	if err := h2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reseeded log's LSNs must sit above the retained snapshot's
+	// coverage, or everything journaled by this incarnation — the clean
+	// marker included — would be skipped at the next replay as
+	// already-covered history.
+	h3 := &harness{dir: dir, sim: sim}
+	h3.store = New(cfg)
+	h3.sketch = cachesketch.NewServer(cachesketch.ServerConfig{Clock: sim, Journal: h3.store})
+	h3.est = ttl.NewEstimator(ttl.Config{Clock: sim})
+	info = h3.recover(t)
+	if info.Saturated {
+		t.Fatalf("clean restart after corruption recovery saturated: %+v", info)
+	}
+	if info.Replayed == 0 {
+		t.Fatal("post-corruption incarnation's records were not replayed")
+	}
+	if !h3.sketch.Contains("/after/corruption") {
+		t.Fatal("state journaled after the wipe lost across clean restart")
+	}
+}
+
+// TestTornTailInsideSnapshotThenCleanRestart pins the LSN-reuse data-loss
+// bug: a torn tail that truncates the only segment back INSIDE the
+// snapshot's coverage used to leave the log reissuing covered LSNs, so
+// every record of the next incarnation — its clean-shutdown marker
+// included — was silently skipped by later recoveries (Replayed=0,
+// perpetually saturated, journaled state gone despite clean shutdowns).
+func TestTornTailInsideSnapshotThenCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, nil)
+	h.recover(t)
+	h.populate(30)
+	h.store.JournalInvalidation(5)
+	if err := h.store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want the one active segment, got %v (%v)", segs, err)
+	}
+	// Corrupt one byte of an early frame: the CRC failure makes Open
+	// truncate the torn tail from there, far below the snapshot's LSN.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, nil)
+	info := h2.recover(t)
+	if info.Mode != ColdStart || !info.Saturated {
+		t.Fatalf("truncation inside snapshot coverage: %+v, want saturated ColdStart", info)
+	}
+	if !h2.sketch.Contains("/doc/000") {
+		t.Fatal("snapshot state lost")
+	}
+	// Journal fresh state in the recovered incarnation and seal it.
+	h2.sketch.ReportCachedRead("/post/truncation", h2.sim.Now().Add(time.Hour))
+	if !h2.sketch.ReportWrite("/post/truncation") {
+		t.Fatal("post-truncation write not tracked")
+	}
+	if err := h2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h3 := newHarness(t, dir, nil)
+	info = h3.recover(t)
+	if info.Saturated {
+		t.Fatalf("clean shutdown recovered saturated: %+v", info)
+	}
+	if info.Replayed == 0 {
+		t.Fatal("post-truncation incarnation's records were not replayed")
+	}
+	if !h3.sketch.Contains("/post/truncation") {
+		t.Fatal("journaled state lost despite clean shutdown")
+	}
+	if info.Watermark != 5 {
+		t.Fatalf("Watermark = %d, want 5", info.Watermark)
 	}
 }
 
@@ -441,6 +533,129 @@ func TestSnapshotCrashLeavesTornTempOnly(t *testing.T) {
 	}
 	if !h.sketch.Contains("/doc/000") {
 		t.Fatal("journaled state lost")
+	}
+}
+
+// TestWholeLogTornToEmptySaturates pins the first-frame damage case: when
+// the torn-tail truncation swallows every record (no snapshot yet), the
+// recovery must NOT classify the directory as a fresh deployment and come
+// up warm — segments that held bytes but yielded nothing are destroyed
+// history, and only the saturation window preserves Δ over it.
+func TestWholeLogTornToEmptySaturates(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, nil)
+	h.recover(t)
+	h.populate(5)
+	if err := h.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one segment, got %v (%v)", segs, err)
+	}
+	// Damage the very first frame: the CRC failure makes the torn-tail
+	// scan truncate from offset 0, leaving an empty segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, nil)
+	info := h2.recover(t)
+	if info.Mode != ColdStart || !info.Saturated {
+		t.Fatalf("whole-log loss recovered as %+v, want saturated ColdStart", info)
+	}
+	// The store keeps working and a clean shutdown recovers warm.
+	h2.sketch.ReportCachedRead("/rebuilt", h2.sim.Now().Add(time.Hour))
+	if !h2.sketch.ReportWrite("/rebuilt") {
+		t.Fatal("post-loss write not tracked")
+	}
+	if err := h2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h3 := newHarness(t, dir, nil)
+	if info := h3.recover(t); info.Saturated || !h3.sketch.Contains("/rebuilt") {
+		t.Fatalf("clean restart after rebuild: %+v, contains=%v", info, h3.sketch.Contains("/rebuilt"))
+	}
+}
+
+// TestAdvanceInvalidationResumesFromWatermark pins the sequence-ownership
+// contract: the store allocates invalidation sequences one past the
+// recovered watermark, so an owner whose own counters restart at zero
+// never journals values the watermark guard would drop.
+func TestAdvanceInvalidationResumesFromWatermark(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, nil)
+	h.recover(t)
+	for want := uint64(1); want <= 3; want++ {
+		if got := h.store.AdvanceInvalidation(); got != want {
+			t.Fatalf("AdvanceInvalidation = %d, want %d", got, want)
+		}
+	}
+	if err := h.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, nil)
+	if info := h2.recover(t); info.Watermark != 3 {
+		t.Fatalf("recovered Watermark = %d, want 3", info.Watermark)
+	}
+	if got := h2.store.AdvanceInvalidation(); got != 4 {
+		t.Fatalf("post-restart AdvanceInvalidation = %d, want 4", got)
+	}
+	if err := h2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h3 := newHarness(t, dir, nil)
+	if info := h3.recover(t); info.Watermark != 4 {
+		t.Fatalf("Watermark = %d, want 4: the advanced sequence was not journaled", info.Watermark)
+	}
+}
+
+// TestConcurrentSnapshotsCoalesce hammers Snapshot from many goroutines:
+// exactly one writer may own the temp file at a time (interleaved writes
+// would fail the CRC and poison recovery), and losers must coalesce.
+func TestConcurrentSnapshotsCoalesce(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, nil)
+	h.recover(t)
+	h.populate(50)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- h.store.Snapshot()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Snapshot: %v", err)
+		}
+	}
+	if _, _, _, _, ok := loadNewestSnapshot(dir); !ok {
+		t.Fatal("no loadable snapshot after concurrent writers")
+	}
+	if err := h.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, nil)
+	info := h2.recover(t)
+	if info.Saturated || info.SnapshotLSN == 0 {
+		t.Fatalf("info = %+v, want clean recovery from a snapshot", info)
+	}
+	if !h2.sketch.Contains("/doc/049") {
+		t.Fatal("state lost across snapshot recovery")
 	}
 }
 

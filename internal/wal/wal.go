@@ -73,6 +73,15 @@ type Options struct {
 	GroupCommitMax int
 	// Clock drives the group-commit window (default the system clock).
 	Clock clock.Clock
+	// FirstLSN, when non-zero, seeds the LSN of the first append into an
+	// empty directory. The durable layer passes one past everything its
+	// retained snapshot covers when it reopens a wiped log, so reissued
+	// LSNs can never fall back inside snapshot coverage (replay skips
+	// records at or below the snapshot LSN, which would silently drop
+	// them). Opening a directory that still holds segments whose records
+	// end below a non-zero FirstLSN is an error: seeding may not punch
+	// LSN-chain gaps into a live log.
+	FirstLSN uint64
 	// Faults optionally injects crashes: Crash decisions on WALAppend tear
 	// the in-flight frame at a deterministic offset, Crash decisions on
 	// WALFsync discard the unsynced suffix — both then kill the log until
@@ -182,10 +191,25 @@ func Open(opts Options) (*Log, error) {
 	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstLSN < l.segs[j].firstLSN })
 
 	for i, seg := range l.segs {
+		// The LSN chain must also hold ACROSS segments: each non-first
+		// segment starts exactly where the previous one left off. A
+		// mismatch means a whole segment went missing (deleted, renamed,
+		// restored from a partial backup) — mid-log corruption, not a torn
+		// tail, or replay would resume "warm" with a silent gap in history.
+		if i > 0 && seg.firstLSN != l.nextLSN {
+			return nil, fmt.Errorf("wal: segment %s: first lsn %d where %d expected (missing segment?): %w",
+				filepath.Base(seg.path), seg.firstLSN, l.nextLSN, ErrCorrupt)
+		}
 		last := i == len(l.segs)-1
 		if err := l.scanSegment(seg, last); err != nil {
 			return nil, err
 		}
+	}
+	if opts.FirstLSN > l.nextLSN {
+		if len(l.segs) > 0 {
+			return nil, fmt.Errorf("wal: FirstLSN %d past existing records (next lsn %d)", opts.FirstLSN, l.nextLSN)
+		}
+		l.nextLSN = opts.FirstLSN
 	}
 	l.stats.Segments = len(l.segs)
 	if n := len(l.segs); n > 0 {

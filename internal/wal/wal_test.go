@@ -195,6 +195,79 @@ func TestMidLogCorruptionDetected(t *testing.T) {
 	}
 }
 
+func TestMissingMiddleSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 96, Clock: clock.NewSimulated(time.Time{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte("payload-xx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatal("test needs at least three segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose a middle segment whole: every frame in the survivors is intact,
+	// so only the cross-segment LSN chain can expose the gap.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segs[len(segs)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(collect(dir, new(map[uint64]string)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for a missing middle segment", err)
+	}
+}
+
+func TestFirstLSNSeedsEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Clock: clock.NewSimulated(time.Time{}), FirstLSN: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NextLSN() != 42 {
+		t.Fatalf("NextLSN = %d, want 42", l.NextLSN())
+	}
+	lsn, err := l.Append([]byte("seeded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 {
+		t.Fatalf("first seeded lsn = %d, want 42", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain reopen replays from the seeded position.
+	var got map[uint64]string
+	l2, err := Open(collect(dir, &got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[42] != "seeded" || l2.NextLSN() != 43 {
+		t.Fatalf("replay = %v, NextLSN = %d", got, l2.NextLSN())
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeding past a log that still holds records is refused: it would
+	// punch an LSN-chain gap into a live segment.
+	if _, err := Open(Options{Dir: dir, Clock: clock.NewSimulated(time.Time{}), FirstLSN: 100}); err == nil {
+		t.Fatal("FirstLSN past existing records must refuse to open")
+	}
+}
+
 func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	sim := clock.NewSimulated(time.Time{})
 	l, err := Open(Options{
