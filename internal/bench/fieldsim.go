@@ -381,6 +381,7 @@ func RunField(cfg FieldConfig) (*FieldResult, error) {
 			}
 			lat, src, version = br.Latency, br.Source, br.Version
 		case ModeLegacy:
+			//lint:ignore piiflow measuring the legacy (non-compliant) baseline is the experiment's point
 			br, err := svc.LoadLegacy(u, u.Region, path)
 			if err != nil {
 				return err

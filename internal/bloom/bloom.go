@@ -101,6 +101,8 @@ type Probes struct {
 // ProbesFor derives the probe pair for key with one inline FNV-1a pass.
 // It allocates nothing and is identical in distribution to the previous
 // hash/fnv-based derivation (same algorithm, same digest).
+//
+//speedkit:hotpath
 func ProbesFor(key string) Probes {
 	h := uint64(fnvOffset64)
 	for i := 0; i < len(key); i++ {
@@ -147,11 +149,15 @@ func (f *Filter) AddProbes(p Probes) {
 
 // Contains reports whether key may be in the set. False positives are
 // possible; false negatives are not. Allocates nothing.
+//
+//speedkit:hotpath
 func (f *Filter) Contains(key string) bool {
 	return f.ContainsProbes(ProbesFor(key))
 }
 
 // ContainsProbes is Contains for a precomputed probe pair.
+//
+//speedkit:hotpath
 func (f *Filter) ContainsProbes(p Probes) bool {
 	for i := uint32(0); i < f.k; i++ {
 		b := p.bit(i, f.m)

@@ -65,6 +65,8 @@ func lfHash(key string) uint64 {
 // load returns the entry stored under key, or nil. Lock-free; the probe
 // always terminates because writers keep at least a quarter of every
 // published index's slots nil.
+//
+//speedkit:hotpath
 func (t *lfTable) load(key string) *Entry {
 	idx := t.idx.Load()
 	for i := lfHash(key) & idx.mask; ; i = (i + 1) & idx.mask {

@@ -200,6 +200,8 @@ func (s *Store) Get(key string) (Entry, bool) {
 // locked removal so the authoritative structures stay in sync. It
 // returns a pointer into the immutable mirror so the caller pays for a
 // single Entry copy, on the hit path only.
+//
+//speedkit:hotpath
 func (s *Store) fastGet(key string) *Entry {
 	e := s.readMap.load(key)
 	if e == nil {

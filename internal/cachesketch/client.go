@@ -60,6 +60,7 @@ func (c *Client) NeedsRefresh() bool {
 	return c.stale(c.snap.Load(), c.clk.Now())
 }
 
+//speedkit:hotpath
 func (c *Client) stale(sn *Snapshot, now time.Time) bool {
 	return sn == nil || now.Sub(sn.TakenAt) >= c.delta
 }
@@ -137,6 +138,8 @@ func (d Decision) String() string {
 // Check runs the client-side coherence protocol for one key. It is
 // lock-free and allocation-free: one atomic snapshot load, one clock
 // read, and an inline Bloom probe.
+//
+//speedkit:hotpath
 func (c *Client) Check(key string) Decision {
 	sn := c.snap.Load()
 	if c.stale(sn, c.clk.Now()) {

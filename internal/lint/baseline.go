@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline records findings that are acknowledged but not yet fixed, so
+// the driver can fail CI only on NEW findings. Entries match on analyzer,
+// module-relative file, and message — deliberately not on line number, so
+// unrelated edits above a known finding do not churn the baseline. Matching
+// is a multiset: an entry with Count 2 absorbs at most two identical
+// findings; a third is new.
+//
+// The intended workflow is additive-only in review: `speedkit-lint
+// -write-baseline` regenerates the file, and a diff that ADDS entries needs
+// the same scrutiny a `//lint:ignore` directive does. A shrinking baseline
+// is progress.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one acknowledged finding (or Count identical
+// ones) by analyzer, module-relative slash-separated file path, and exact
+// message text.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count is how many identical findings this entry absorbs; zero or
+	// absent means one.
+	Count int `json:"count,omitempty"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+func diagKey(d Diagnostic) string {
+	return d.Analyzer + "\x00" + filepath.ToSlash(d.Pos.Filename) + "\x00" + d.Message
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty baseline,
+// not an error, so a fresh checkout without one behaves as "everything is
+// new".
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file, one entry per
+// distinct (analyzer, file, message) with counts, sorted for stable diffs.
+// Diagnostics should already carry module-relative paths.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, d := range diags {
+		k := diagKey(d)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Message:  d.Message,
+			Count:    1,
+		}
+		order = append(order, k)
+	}
+	b := Baseline{Findings: []BaselineEntry{}}
+	for _, k := range order {
+		e := *counts[k]
+		if e.Count == 1 {
+			e.Count = 0 // omitempty: a bare entry means one
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Split partitions diags into findings not covered by the baseline (fresh)
+// and findings it absorbs (baselined). Input order is preserved within each
+// partition. Counts are consumed left to right: with Count 1 and two
+// identical findings, the first is baselined and the second is fresh.
+func (b *Baseline) Split(diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	remaining := map[string]int{}
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[e.key()] += n
+	}
+	for _, d := range diags {
+		k := diagKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
+}
+
+// Relativize rewrites each diagnostic's filename to be slash-separated and
+// relative to root, so output, baselines, and SARIF artifacts are stable
+// across checkouts. Filenames outside root are left as-is.
+func Relativize(diags []Diagnostic, root string) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !isUpward(rel) {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func isUpward(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}

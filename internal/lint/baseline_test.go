@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diagAt(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineSplitMultiset(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "piiflow", File: "a.go", Message: "leak"},          // absorbs one
+		{Analyzer: "lockcheck", File: "b.go", Message: "m", Count: 2}, // absorbs two
+		{Analyzer: "piiflow", File: "gone.go", Message: "fixed leak"}, // stale: matches nothing
+	}}
+	diags := []Diagnostic{
+		diagAt("a.go", 10, "piiflow", "leak"),   // baselined
+		diagAt("a.go", 90, "piiflow", "leak"),   // fresh: count exhausted (line ignored)
+		diagAt("b.go", 5, "lockcheck", "m"),     // baselined
+		diagAt("b.go", 6, "lockcheck", "m"),     // baselined
+		diagAt("c.go", 1, "piiflow", "other"),   // fresh: no entry
+		diagAt("a.go", 10, "lockcheck", "leak"), // fresh: analyzer differs
+	}
+	fresh, baselined := b.Split(diags)
+	if len(fresh) != 3 || len(baselined) != 3 {
+		t.Fatalf("got %d fresh, %d baselined; want 3 and 3\nfresh: %v", len(fresh), len(baselined), fresh)
+	}
+	if fresh[0].Pos.Line != 90 {
+		t.Errorf("fresh[0] = %v, want the second a.go leak (count exhausted)", fresh[0])
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	diags := []Diagnostic{
+		diagAt("x/y.go", 3, "piiflow", "leak"),
+		diagAt("x/y.go", 8, "piiflow", "leak"), // same key: collapses to Count 2
+		diagAt("x/z.go", 1, "obslabels", "bad label"),
+	}
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("round-tripped %d entries, want 2: %+v", len(b.Findings), b.Findings)
+	}
+	fresh, baselined := b.Split(diags)
+	if len(fresh) != 0 || len(baselined) != 3 {
+		t.Errorf("self-written baseline left %d fresh finding(s): %v", len(fresh), fresh)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("ReadBaseline on missing file: %v", err)
+	}
+	fresh, baselined := b.Split([]Diagnostic{diagAt("a.go", 1, "x", "m")})
+	if len(fresh) != 1 || len(baselined) != 0 {
+		t.Errorf("empty baseline should pass everything through as fresh")
+	}
+}
+
+func TestRelativize(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	in := []Diagnostic{
+		diagAt(filepath.FromSlash("/mod/internal/a.go"), 1, "x", "m"),
+		diagAt(filepath.FromSlash("/elsewhere/b.go"), 2, "x", "m"),
+	}
+	out := Relativize(in, root)
+	if out[0].Pos.Filename != "internal/a.go" {
+		t.Errorf("in-module path = %q, want internal/a.go", out[0].Pos.Filename)
+	}
+	if out[1].Pos.Filename != filepath.FromSlash("/elsewhere/b.go") {
+		t.Errorf("out-of-module path rewritten to %q", out[1].Pos.Filename)
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	fresh := []Diagnostic{diagAt("internal/a.go", 7, "piiflow", "leak")}
+	baselined := []Diagnostic{diagAt("internal/b.go", 9, "obslabels", "label")}
+	data, err := SARIF(Analyzers(), fresh, baselined)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID        string `json:"ruleId"`
+				BaselineState string `json:"baselineState"`
+				Locations     []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "speedkit-lint" || len(run.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Errorf("driver %q with %d rules, want speedkit-lint with %d",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(Analyzers()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	if run.Results[0].BaselineState != "new" || run.Results[1].BaselineState != "unchanged" {
+		t.Errorf("baselineStates = %q, %q; want new, unchanged",
+			run.Results[0].BaselineState, run.Results[1].BaselineState)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/a.go" || loc.Region.StartLine != 7 {
+		t.Errorf("location = %s:%d, want internal/a.go:7", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}

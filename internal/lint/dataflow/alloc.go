@@ -1,0 +1,328 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocFinding is one allocation (or scheduling construct) observable
+// from a function: either directly in its body, or transitively through
+// a module-local callee.
+type AllocFinding struct {
+	// Pos is where the construct (or the call leading to it) appears.
+	Pos token.Pos
+	// Reason describes the construct ("heap allocation (make)",
+	// "interface boxing", "defer", ...).
+	Reason string
+	// Chain is the call path to the allocation for transitive findings;
+	// empty for constructs directly in the function body.
+	Chain []string
+}
+
+// maxAllocReasons bounds a function's allocation summary; beyond this
+// the summary is already damning enough.
+const maxAllocReasons = 8
+
+// maxAllocChain bounds the call-chain depth recorded per reason.
+const maxAllocChain = 4
+
+// allocReason is a summary entry: a reason plus the chain to it, with a
+// stable dedup key.
+type allocReason struct {
+	reason string
+	chain  []string
+}
+
+func (r allocReason) key() string { return r.reason + "|" + strings.Join(r.chain, ">") }
+
+// AllocAnalysis computes, bottom-up over the call graph, whether each
+// function allocates (or defers / spawns) — directly or via
+// module-local callees — so clients can flag calls that break an
+// annotated hot path without whole-program escape analysis.
+type AllocAnalysis struct {
+	prog *Program
+	sums map[*FuncInfo][]allocReason
+}
+
+// NewAllocAnalysis computes allocation summaries for every function.
+func NewAllocAnalysis(prog *Program) *AllocAnalysis {
+	aa := &AllocAnalysis{prog: prog, sums: map[*FuncInfo][]allocReason{}}
+	prog.BottomUp(func(fi *FuncInfo) bool {
+		return aa.computeSummary(fi)
+	})
+	return aa
+}
+
+// Allocates reports whether the function's converged summary contains
+// any allocation reasons.
+func (aa *AllocAnalysis) Allocates(fi *FuncInfo) bool { return len(aa.sums[fi]) > 0 }
+
+func (aa *AllocAnalysis) computeSummary(fi *FuncInfo) bool {
+	seen := map[string]bool{}
+	var next []allocReason
+	aa.scan(fi, func(f AllocFinding) {
+		if len(next) >= maxAllocReasons {
+			return
+		}
+		r := allocReason{reason: f.Reason, chain: f.Chain}
+		if !seen[r.key()] {
+			seen[r.key()] = true
+			next = append(next, r)
+		}
+	})
+	prev, had := aa.sums[fi]
+	aa.sums[fi] = next
+	if !had || len(next) != len(prev) {
+		return true
+	}
+	for i := range next {
+		if next[i].key() != prev[i].key() {
+			return true
+		}
+	}
+	return false
+}
+
+// Findings reports every allocation observable from fi, positions
+// included, in source order. Clients call this only for functions they
+// police (e.g. //speedkit:hotpath).
+func (aa *AllocAnalysis) Findings(fi *FuncInfo) []AllocFinding {
+	var out []AllocFinding
+	seen := map[string]bool{}
+	aa.scan(fi, func(f AllocFinding) {
+		key := fmt.Sprintf("%d|%s|%s", f.Pos, f.Reason, strings.Join(f.Chain, ">"))
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, f)
+		}
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// scan walks fi's body and emits every allocation construct plus every
+// call whose (already computed) callee summary allocates.
+func (aa *AllocAnalysis) scan(fi *FuncInfo, emit func(AllocFinding)) {
+	info := fi.Pkg.Info
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			emit(AllocFinding{Pos: n.Pos(), Reason: "defer in hot path (defer record + delayed work)"})
+		case *ast.GoStmt:
+			emit(AllocFinding{Pos: n.Pos(), Reason: "goroutine spawn in hot path"})
+		case *ast.FuncLit:
+			// The closure value itself allocates; its body runs under its
+			// own budget, so one finding and no descent.
+			emit(AllocFinding{Pos: n.Pos(), Reason: "closure allocation (func literal)"})
+			return false
+		case *ast.CompositeLit:
+			aa.compositeLit(fi, n, emit)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					emit(AllocFinding{Pos: n.Pos(), Reason: "heap allocation (&T{...} escapes)"})
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info, n.X) {
+				emit(AllocFinding{Pos: n.Pos(), Reason: "string concatenation allocates"})
+			}
+		case *ast.CallExpr:
+			aa.callExpr(fi, n, emit)
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			aa.boxingAssign(fi, as, emit)
+		}
+		if rs, ok := n.(*ast.ReturnStmt); ok {
+			aa.boxingReturn(fi, rs, emit)
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, walk)
+}
+
+func (aa *AllocAnalysis) compositeLit(fi *FuncInfo, lit *ast.CompositeLit, emit func(AllocFinding)) {
+	tv, ok := fi.Pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		emit(AllocFinding{Pos: lit.Pos(), Reason: "heap allocation (map literal)"})
+	case *types.Slice:
+		emit(AllocFinding{Pos: lit.Pos(), Reason: "heap allocation (slice literal)"})
+	}
+	// Plain struct/array literals stay stack-allocated unless they
+	// escape; the &T{...} case is caught at the UnaryExpr.
+}
+
+func (aa *AllocAnalysis) callExpr(fi *FuncInfo, call *ast.CallExpr, emit func(AllocFinding)) {
+	info := fi.Pkg.Info
+
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.Types[call.Args[0]].Type
+		if src != nil {
+			if isString(dst) && isByteOrRuneSlice(src.Underlying()) {
+				emit(AllocFinding{Pos: call.Pos(), Reason: "string([]byte) conversion allocates"})
+			} else if isByteOrRuneSlice(dst) && isString(src.Underlying()) {
+				emit(AllocFinding{Pos: call.Pos(), Reason: "[]byte(string) conversion allocates"})
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				emit(AllocFinding{Pos: call.Pos(), Reason: "heap allocation (make)"})
+			case "new":
+				emit(AllocFinding{Pos: call.Pos(), Reason: "heap allocation (new)"})
+			case "append":
+				emit(AllocFinding{Pos: call.Pos(), Reason: "append may grow and allocate"})
+			}
+			return
+		}
+	}
+
+	// Interface boxing at argument positions.
+	aa.boxingArgs(fi, call, emit)
+
+	// Transitive: module-local callee whose summary allocates.
+	if callee := aa.prog.CalleeOf(fi.Pkg, call); callee != nil && callee != fi {
+		for _, r := range aa.sums[callee] {
+			chain := append([]string{callee.Name()}, r.chain...)
+			if len(chain) > maxAllocChain {
+				chain = chain[:maxAllocChain]
+			}
+			emit(AllocFinding{Pos: call.Pos(), Reason: r.reason, Chain: chain})
+		}
+	}
+}
+
+// boxingArgs flags concrete non-pointer-shaped values passed to
+// interface parameters — each such pass boxes the value on the heap.
+func (aa *AllocAnalysis) boxingArgs(fi *FuncInfo, call *ast.CallExpr, emit func(AllocFinding)) {
+	info := fi.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if at := info.Types[arg].Type; at != nil && boxes(at) {
+			emit(AllocFinding{Pos: arg.Pos(), Reason: "interface boxing (concrete value passed as " + pt.String() + ")"})
+		}
+	}
+}
+
+// boxingAssign flags assignments of concrete non-pointer-shaped values
+// into interface-typed variables.
+func (aa *AllocAnalysis) boxingAssign(fi *FuncInfo, as *ast.AssignStmt, emit func(AllocFinding)) {
+	info := fi.Pkg.Info
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := info.Types[lhs].Type
+		rt := info.Types[as.Rhs[i]].Type
+		if lt != nil && rt != nil && types.IsInterface(lt) && boxes(rt) {
+			emit(AllocFinding{Pos: as.Rhs[i].Pos(), Reason: "interface boxing (assignment to " + lt.String() + ")"})
+		}
+	}
+}
+
+// boxingReturn flags concrete non-pointer-shaped values returned as
+// interface results.
+func (aa *AllocAnalysis) boxingReturn(fi *FuncInfo, rs *ast.ReturnStmt, emit func(AllocFinding)) {
+	sig := fi.Obj.Type().(*types.Signature)
+	results := sig.Results()
+	if len(rs.Results) != results.Len() {
+		return
+	}
+	info := fi.Pkg.Info
+	for i, r := range rs.Results {
+		dst := results.At(i).Type()
+		if !types.IsInterface(dst) {
+			continue
+		}
+		if rt := info.Types[r].Type; rt != nil && boxes(rt) {
+			emit(AllocFinding{Pos: r.Pos(), Reason: "interface boxing (returned as " + dst.String() + ")"})
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: true for concrete types that are not pointer-shaped (a
+// pointer, chan, map, func, or unsafe.Pointer fits in the interface
+// word directly). Untyped nil never boxes.
+func boxes(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UnsafePointer, types.UntypedNil:
+			return false
+		case types.UntypedBool, types.UntypedInt, types.UntypedRune,
+			types.UntypedFloat, types.UntypedComplex, types.UntypedString:
+			// Untyped constants box via their default type; small ints
+			// often hit the runtime's static cells, but that is an
+			// implementation detail — flag them.
+			return true
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

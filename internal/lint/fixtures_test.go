@@ -78,3 +78,21 @@ func TestObsLabelsFixture(t *testing.T) {
 func TestObsLabelsRejectsObsInSharedInfra(t *testing.T) {
 	checkFixture(t, "obsinfra", "fixture/internal/cache", ObsLabels)
 }
+
+func TestGDPRBoundaryCoversCommands(t *testing.T) {
+	// A main package with the "//speedkit:deploy shared-infra" directive
+	// gets the full boundary treatment: the synthetic path is NOT under
+	// internal/ or cmd/speedkit-edge, so only the directive applies.
+	checkFixture(t, "edgecmd", "fixture/cmd/edgecmd", GDPRBoundary)
+}
+
+func TestPIIFlowFixture(t *testing.T) {
+	// Interprocedural taint: ≥2-hop flows into a WAL frame, a metric
+	// label, and a CDN body; sanitizer cut-offs; struct-field
+	// sensitivity; suppression directives.
+	checkFixture(t, "piiflow", "fixture/piiflow", PIIFlow)
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	checkFixture(t, "hotpathalloc", "fixture/hotpathalloc", HotPathAlloc)
+}

@@ -1,11 +1,12 @@
 package lint
 
 import (
+	"go/ast"
 	"go/types"
 	"strings"
-	"unicode"
 
 	"speedkit/internal/gdpr"
+	"speedkit/internal/lint/dataflow"
 )
 
 // sharedInfraSegments lists the packages that model shared infrastructure:
@@ -24,6 +25,9 @@ var sharedInfraSegments = []string{
 	// twice over (shared infra AND persisted bytes).
 	"internal/wal",
 	"internal/durable",
+	// The edge command (ROADMAP item 2) deploys on shared POPs; commands
+	// are covered by path here and by deployment role below.
+	"cmd/speedkit-edge",
 }
 
 // identityBearingSegments are the packages whose types carry identity:
@@ -55,8 +59,40 @@ func isSharedInfra(path string) bool {
 	return false
 }
 
+// hasDeployRole reports whether any file's package doc comment declares
+//
+//	//speedkit:deploy <role>
+//
+// Commands are not under internal/, so their deployment tier cannot be
+// read off the import path; the directive lets a main package opt into
+// the shared-infrastructure rules explicitly, and the edge command path
+// is additionally pinned in sharedInfraSegments so forgetting the
+// directive there does not open the boundary.
+func hasDeployRole(files []*ast.File, role string) bool {
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if rest, ok := strings.CutPrefix(text, "speedkit:deploy"); ok {
+				if strings.TrimSpace(rest) == role {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isSharedInfraPass extends the path rule with the deployment-role
+// directive, for analyzers that have the syntax at hand.
+func isSharedInfraPass(pass *Pass) bool {
+	return isSharedInfra(pass.Path) || hasDeployRole(pass.Files, "shared-infra")
+}
+
 func runGDPRBoundary(pass *Pass) {
-	if !isSharedInfra(pass.Path) {
+	if !isSharedInfraPass(pass) {
 		return
 	}
 
@@ -156,21 +192,8 @@ func (w *piiWalker) walk(t types.Type) {
 
 // fieldToCanonical converts a Go field name to the snake_case canonical
 // form the gdpr classification uses: "UserID" → "user_id", "Email" →
-// "email".
+// "email". The conversion lives in the dataflow engine so the
+// import-level and value-level analyzers share one definition.
 func fieldToCanonical(name string) string {
-	var b strings.Builder
-	runes := []rune(name)
-	for i, r := range runes {
-		if unicode.IsUpper(r) {
-			prevLower := i > 0 && !unicode.IsUpper(runes[i-1])
-			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
-			if i > 0 && (prevLower || nextLower) {
-				b.WriteByte('_')
-			}
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			b.WriteRune(r)
-		}
-	}
-	return b.String()
+	return dataflow.CanonicalField(name)
 }

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"strings"
+
+	"speedkit/internal/lint/dataflow"
+)
+
+// HotPathAlloc protects the measured fast paths by construction. A
+// function annotated
+//
+//	//speedkit:hotpath
+//
+// in its doc comment promises the ~tens-of-nanoseconds budget the perf
+// work established for reads; this analyzer rejects anything that breaks
+// that promise: heap allocation (make, new, map/slice literals, &T{...}
+// escapes, string concatenation and conversions, closures), interface
+// boxing of concrete values, defer records, goroutine spawns — and,
+// through the same bottom-up summaries the taint engine uses, calls to
+// module-local helpers that do any of the above, however deep.
+//
+// Allocation inside a callee is reported at the hot function's call
+// site with the call chain, so the finding lands where the budget is
+// owned. Cold paths called conditionally from a hot function must be
+// factored into unannotated helpers behind a //lint:ignore with a
+// reason, keeping every exemption auditable.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //speedkit:hotpath must not allocate, box " +
+		"into interfaces, defer, or spawn goroutines — directly or via " +
+		"module-local callees",
+	RunModule: runHotPathAlloc,
+}
+
+func runHotPathAlloc(mp *ModulePass) {
+	dpkgs := dataflowPackages(mp.Pkgs)
+	if len(dpkgs) == 0 {
+		return
+	}
+	prog := dataflow.NewProgram(dpkgs)
+	aa := dataflow.NewAllocAnalysis(prog)
+	for _, pkg := range prog.Pkgs {
+		for _, fi := range prog.FuncsOf(pkg) {
+			if !fi.HasDirective("speedkit:hotpath") {
+				continue
+			}
+			for _, f := range aa.Findings(fi) {
+				if len(f.Chain) > 0 {
+					mp.Reportf(pkg.Fset, f.Pos, "hot path %s: %s via %s",
+						fi.Name(), f.Reason, strings.Join(f.Chain, " -> "))
+				} else {
+					mp.Reportf(pkg.Fset, f.Pos, "hot path %s: %s", fi.Name(), f.Reason)
+				}
+			}
+		}
+	}
+}

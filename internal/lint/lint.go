@@ -25,7 +25,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named static check.
+// Analyzer is one named static check. Exactly one of Run and RunModule
+// is set: Run analyzers see one package at a time, RunModule analyzers
+// (the interprocedural ones) see every loaded package at once so they
+// can build a whole-module call graph.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, e.g. "gdprboundary".
 	Name string
@@ -33,6 +36,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects a package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module in one pass.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -64,6 +69,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // IsTestFile reports whether f is a _test.go file.
 func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
 
+// ModulePass carries a module-level analyzer's view of every loaded
+// package. All packages share one FileSet by loader construction.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos, resolved through fset (the shared
+// FileSet of the packages under analysis).
+func (p *ModulePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
@@ -85,15 +109,23 @@ func Analyzers() []*Analyzer {
 		LockCheck,
 		RandDiscipline,
 		ObsLabels,
+		PIIFlow,
+		HotPathAlloc,
 	}
 }
 
-// Run applies every analyzer to every package and returns the findings
+// Run applies every analyzer to every package, drops findings covered by
+// a "//lint:ignore <analyzer> <reason>" directive, and returns the rest
 // sorted by file, line, and analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, report: report})
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -102,11 +134,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:       pkg.Types,
 				Info:      pkg.Info,
 				testFiles: pkg.testFiles,
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				report:    report,
 			}
 			a.Run(pass)
 		}
 	}
+	diags = filterSuppressed(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -57,15 +57,18 @@ func TestAnalyzersAreRegistered(t *testing.T) {
 	want := map[string]bool{
 		"gdprboundary": true, "clockdiscipline": true,
 		"lockcheck": true, "randdiscipline": true,
-		"obslabels": true,
+		"obslabels": true, "piiflow": true, "hotpathalloc": true,
 	}
 	for _, a := range Analyzers() {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)
 		}
 		delete(want, a.Name)
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q missing doc or run", a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q missing doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
 		}
 	}
 	for name := range want {

@@ -41,7 +41,7 @@ func runObsLabels(pass *Pass) {
 		return
 	}
 
-	if isSharedInfra(pass.Path) {
+	if isSharedInfraPass(pass) {
 		for _, f := range pass.Files {
 			for _, imp := range f.Imports {
 				path := strings.Trim(imp.Path.Value, `"`)

@@ -1,0 +1,119 @@
+package lint
+
+import "encoding/json"
+
+// SARIF renders findings as a SARIF 2.1.0 log — the subset code-scanning
+// UIs ingest: one run, one rule per analyzer, one result per finding with a
+// physical location and a baselineState ("new" for fresh findings,
+// "unchanged" for baselined ones). Diagnostics should carry module-relative
+// paths; the run declares SRCROOT as the uri base so viewers resolve them
+// against the checkout.
+func SARIF(analyzers []*Analyzer, fresh, baselined []Diagnostic) ([]byte, error) {
+	var rules []sarifRule
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(fresh)+len(baselined))
+	for _, d := range fresh {
+		results = append(results, sarifResultOf(d, "new"))
+	}
+	for _, d := range baselined {
+		results = append(results, sarifResultOf(d, "unchanged"))
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "speedkit-lint",
+				Rules: rules,
+			}},
+			OriginalURIBases: map[string]sarifURIBase{
+				"SRCROOT": {URI: "file:///"},
+			},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+func sarifResultOf(d Diagnostic, state string) sarifResult {
+	return sarifResult{
+		RuleID:        d.Analyzer,
+		Level:         "error",
+		Message:       sarifText{Text: d.Message},
+		BaselineState: state,
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{
+					URI:       d.Pos.Filename,
+					URIBaseID: "SRCROOT",
+				},
+				Region: sarifRegion{StartLine: d.Pos.Line},
+			},
+		}},
+	}
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool             sarifTool               `json:"tool"`
+	OriginalURIBases map[string]sarifURIBase `json:"originalUriBaseIds,omitempty"`
+	Results          []sarifResult           `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifURIBase struct {
+	URI string `json:"uri"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	Level         string          `json:"level"`
+	Message       sarifText       `json:"message"`
+	BaselineState string          `json:"baselineState,omitempty"`
+	Locations     []sarifLocation `json:"locations"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression directives let a human overrule an analyzer at one spot,
+// with an auditable reason:
+//
+//	//lint:ignore piiflow key is a content hash, not an identifier
+//	wal.Append(frame)
+//
+// The directive suppresses findings of the named analyzer on its own
+// line and on the line directly below it (so it works both as a trailing
+// comment and as a comment above the offending statement). A reason is
+// mandatory: a directive without one does not suppress anything — the
+// fail-closed direction — so a bare "//lint:ignore piiflow" leaves the
+// finding visible rather than silently widening the hole.
+
+// suppressKey identifies one (file, line, analyzer) suppression slot.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectSuppressions parses every "//lint:ignore" directive in the
+// packages and returns the set of suppressed slots.
+func collectSuppressions(pkgs []*Package) map[suppressKey]bool {
+	out := map[suppressKey]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						// No analyzer or no reason: the directive is
+						// inert, not a wildcard.
+						continue
+					}
+					analyzer := fields[0]
+					pos := pkg.Fset.Position(c.Pos())
+					out[suppressKey{pos.Filename, pos.Line, analyzer}] = true
+					out[suppressKey{pos.Filename, pos.Line + 1, analyzer}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by an ignore directive.
+func filterSuppressed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	sup := collectSuppressions(pkgs)
+	if len(sup) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if sup[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestSuppressionDirectives(t *testing.T) {
+	src := `package p
+
+//lint:ignore fake reason here
+var a int
+
+//lint:ignore fake
+var b int
+
+var c int //lint:ignore other trailing reason
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+	at := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "s.go", Line: line}, Analyzer: analyzer, Message: "m"}
+	}
+	diags := []Diagnostic{
+		at(4, "fake"),  // suppressed: directive on the line above, with reason
+		at(7, "fake"),  // kept: the line-6 directive has no reason and is inert
+		at(9, "other"), // suppressed: trailing directive on the same line
+		at(9, "fake"),  // kept: analyzer name does not match
+	}
+	got := filterSuppressed([]*Package{pkg}, diags)
+	if len(got) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(got), got)
+	}
+	if got[0].Pos.Line != 7 || got[0].Analyzer != "fake" {
+		t.Errorf("kept[0] = %+v, want line 7 fake", got[0])
+	}
+	if got[1].Pos.Line != 9 || got[1].Analyzer != "fake" {
+		t.Errorf("kept[1] = %+v, want line 9 fake", got[1])
+	}
+}

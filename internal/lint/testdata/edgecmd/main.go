@@ -1,0 +1,22 @@
+// Command edgecmd models a shared-POP deployment: the deployment-role
+// directive opts this main package into the shared-infrastructure
+// boundary rules even though its import path is not under internal/.
+//
+//speedkit:deploy shared-infra
+package main
+
+import (
+	"speedkit/internal/cdn"
+	"speedkit/internal/session" // want "imports identity-bearing package"
+)
+
+// Config is the command's wiring; the session field is the seeded
+// violation an edge deployment must never carry.
+type Config struct {
+	Edges *cdn.CDN
+	Users []*session.User
+}
+
+func main() {
+	_ = Config{}
+}

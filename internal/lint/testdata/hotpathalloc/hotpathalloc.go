@@ -1,0 +1,84 @@
+// Package hotpathalloc is the fixture for the hot-path allocation
+// analyzer: direct allocations, interface boxing, defers, transitive
+// allocation through module-local callees, and suppression.
+package hotpathalloc
+
+import "sync"
+
+type entry struct {
+	k string
+	v int
+}
+
+//speedkit:hotpath
+func DirectAllocs(keys []string) []string {
+	out := make([]string, 0, len(keys)) // want "heap allocation \\(make\\)"
+	for _, k := range keys {
+		out = append(out, k) // want "append may grow"
+	}
+	return out
+}
+
+//speedkit:hotpath
+func DeferInHotPath(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock() // want "defer in hot path"
+}
+
+//speedkit:hotpath
+func BoxReturn(n int) interface{} {
+	return n // want "interface boxing"
+}
+
+//speedkit:hotpath
+func BoxArg(n int) {
+	use(n) // want "interface boxing"
+}
+
+func use(v interface{}) {}
+
+//speedkit:hotpath
+func StringConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//speedkit:hotpath
+func ByteConversion(s string) []byte {
+	return []byte(s) // want "conversion allocates"
+}
+
+// Transitive: the hot function itself is clean syntax-wise, but a
+// module-local callee allocates; the finding lands at the call site with
+// the chain.
+//
+//speedkit:hotpath
+func Transitive(k string) int {
+	return helper(k) // want "heap allocation \\(make\\) via hotpathalloc.helper"
+}
+
+func helper(k string) int {
+	m := make(map[string]int)
+	m[k] = 1
+	return m[k]
+}
+
+// Unannotated functions allocate freely: no findings.
+func coldPath() []int { return make([]int, 8) }
+
+// Pointer values are interface-word-shaped: storing them boxes nothing.
+//
+//speedkit:hotpath
+func PointerArgOK(e *entry) {
+	use(e)
+}
+
+//speedkit:hotpath
+func CleanHot(e *entry) int {
+	return e.v
+}
+
+//speedkit:hotpath
+func SuppressedHot() *entry {
+	//lint:ignore hotpathalloc fixture demonstrates an audited exemption
+	return &entry{k: "x"}
+}
