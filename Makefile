@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs chaos crash experiments fmt vet clean
+.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash experiments fmt vet clean
 
 all: build test lint
 
@@ -20,6 +20,10 @@ help:
 	@echo "  bench          one benchmark per table/figure (reduced scale)"
 	@echo "  bench-hotpath  parallel hot-path microbenchmarks -> BENCH_hotpath.json"
 	@echo "  bench-obs      observability overhead benchmarks (0 allocs/op bar)"
+	@echo "  bench-all      run every benchsuites/*.suite once at 1x (smoke, no gating)"
+	@echo "  bench-regress  run every suite at full benchtime and diff against the"
+	@echo "                 committed BENCH_*.json baselines; non-zero exit on regression"
+	@echo "  bench-baselines  re-seed the BENCH_*.json baselines from this machine"
 	@echo "  chaos          seed-pinned fault-injection run asserting the resilience invariants"
 	@echo "  crash          seed-pinned crash-recovery run asserting durability invariants"
 	@echo "  experiments    regenerate every experiment at full scale"
@@ -77,6 +81,29 @@ bench-hotpath:
 # live in internal/obs/alloc_test.go; this target shows the ns/op).
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem -cpu 4 .
+
+# Continuous benchmark harness (cmd/speedkit-bent). Suites are the
+# checked-in benchsuites/*.suite files; each names its bench regexp,
+# package, committed baseline, and noise band.
+#
+# bench-all is the cheap loop: every suite once at -benchtime 1x, no
+# gating — proves the benchmarks still compile and run.
+# bench-regress is the gate: full benchtime, compared against the
+# committed baselines, non-zero exit on any benchmark outside its band.
+# BENT_NOISE_SCALE widens every ns/op band (CI uses this; alloc bands
+# are absolute and never scale).
+BENT_NOISE_SCALE ?= 1
+
+bench-all:
+	$(GO) run ./cmd/speedkit-bent -benchtime 1x -compare=false
+
+bench-regress:
+	$(GO) run ./cmd/speedkit-bent -noise-scale $(BENT_NOISE_SCALE)
+
+# Re-seed every suite's baseline from this machine. Commit the resulting
+# BENCH_*.json files together with whatever change justified the move.
+bench-baselines:
+	$(GO) run ./cmd/speedkit-bent -update
 
 # Chaos gate: deterministic fault injection over a seed-pinned field run,
 # executed twice and checked for identical fault schedules, Δ-atomicity of

@@ -12,49 +12,22 @@
 // network. Baselines are passed explicitly by the caller (typically the
 // Makefile, which documents where its numbers were measured) so that the
 // recorded speedups are reproducible rather than baked into the tool.
+//
+// Parsing and the report format live in internal/bent, shared with the
+// speedkit-bent suite harness; this command remains the ad-hoc
+// pipe-one-run converter.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"speedkit/internal/bent"
 )
-
-// benchResult is one parsed benchmark line.
-type benchResult struct {
-	// Name is the benchmark name without the -P GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS the benchmark ran at (0 if unsuffixed).
-	Procs int `json:"procs,omitempty"`
-	// Iterations is b.N for the final run.
-	Iterations uint64 `json:"iterations"`
-	// NsPerOp is the headline latency.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp / AllocsPerOp come from -benchmem; nil when absent.
-	BytesPerOp  *uint64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *uint64 `json:"allocs_per_op,omitempty"`
-	// BaselineNsPerOp and Speedup are filled when a -baseline entry
-	// matches Name.
-	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
-	Speedup         float64 `json:"speedup_vs_baseline,omitempty"`
-}
-
-// report is the emitted document.
-type report struct {
-	// Note describes the provenance of the baseline numbers.
-	Note string `json:"note,omitempty"`
-	// Goos/Goarch/CPU/Pkg echo the context lines go test prints.
-	Goos       string        `json:"goos,omitempty"`
-	Goarch     string        `json:"goarch,omitempty"`
-	CPU        string        `json:"cpu,omitempty"`
-	Pkg        string        `json:"pkg,omitempty"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
@@ -66,7 +39,7 @@ func main() {
 	if err != nil {
 		fatalf("bad -baseline: %v", err)
 	}
-	rep, err := parse(os.Stdin, baselines)
+	rep, err := bent.Parse(os.Stdin, baselines)
 	if err != nil {
 		fatalf("parse: %v", err)
 	}
@@ -112,75 +85,4 @@ func parseBaselines(s string) (map[string]float64, error) {
 		m[name] = ns
 	}
 	return m, nil
-}
-
-// parse consumes go test -bench output and extracts context plus results.
-func parse(r io.Reader, baselines map[string]float64) (report, error) {
-	var rep report
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseBenchLine(line)
-			if !ok {
-				continue
-			}
-			if base, has := baselines[res.Name]; has && res.NsPerOp > 0 {
-				res.BaselineNsPerOp = base
-				res.Speedup = base / res.NsPerOp
-			}
-			rep.Benchmarks = append(rep.Benchmarks, res)
-		}
-	}
-	return rep, sc.Err()
-}
-
-// parseBenchLine parses one result line, e.g.
-//
-//	BenchmarkParallelCacheGet-4  35077526  35.50 ns/op  0 B/op  0 allocs/op
-func parseBenchLine(line string) (benchResult, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return benchResult{}, false
-	}
-	var res benchResult
-	res.Name = fields[0]
-	if name, procs, ok := strings.Cut(fields[0], "-"); ok {
-		if p, err := strconv.Atoi(procs); err == nil {
-			res.Name, res.Procs = name, p
-		}
-	}
-	iter, err := strconv.ParseUint(fields[1], 10, 64)
-	if err != nil {
-		return benchResult{}, false
-	}
-	res.Iterations = iter
-	// Remaining fields are value/unit pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, unit := fields[i], fields[i+1]
-		switch unit {
-		case "ns/op":
-			if v, err := strconv.ParseFloat(val, 64); err == nil {
-				res.NsPerOp = v
-			}
-		case "B/op":
-			if v, err := strconv.ParseUint(val, 10, 64); err == nil {
-				res.BytesPerOp = &v
-			}
-		case "allocs/op":
-			if v, err := strconv.ParseUint(val, 10, 64); err == nil {
-				res.AllocsPerOp = &v
-			}
-		}
-	}
-	return res, res.NsPerOp > 0
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"speedkit/internal/bent"
 )
 
 const sampleOutput = `goos: linux
@@ -18,7 +20,7 @@ ok  	speedkit	3.962s
 
 func TestParse(t *testing.T) {
 	baselines := map[string]float64{"BenchmarkParallelCacheGet": 126.4}
-	rep, err := parse(strings.NewReader(sampleOutput), baselines)
+	rep, err := bent.Parse(strings.NewReader(sampleOutput), baselines)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestParseBenchLineRejectsNonResults(t *testing.T) {
 		"BenchmarkBroken-4 abc 1 ns/op", // bad iteration count
 		"BenchmarkNoNs-4 100 5 MB/s",    // no ns/op measurement
 	} {
-		if _, ok := parseBenchLine(line); ok {
+		if _, ok := bent.ParseLine(line); ok {
 			t.Errorf("accepted %q", line)
 		}
 	}

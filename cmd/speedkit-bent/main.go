@@ -1,0 +1,143 @@
+// Command speedkit-bent is the continuous benchmark harness: it runs the
+// named suites declared in benchsuites/*.suite, emits machine-readable
+// JSON, and compares results against the committed BENCH_<suite>.json
+// baselines, exiting non-zero when any suite regresses beyond its noise
+// band.
+//
+// Usage:
+//
+//	go run ./cmd/speedkit-bent -list
+//	go run ./cmd/speedkit-bent                          # run + compare all
+//	go run ./cmd/speedkit-bent -suites wal-append       # one suite
+//	go run ./cmd/speedkit-bent -benchtime 1x -compare=false   # CI smoke
+//	go run ./cmd/speedkit-bent -suites wal-append -update     # reseed baseline
+//	go run ./cmd/speedkit-bent -out bent-report.json          # CI artifact
+//
+// Exit codes: 0 ok, 1 regression(s) outside the noise band, 2 usage or
+// execution error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"speedkit/internal/bent"
+)
+
+func main() {
+	dir := flag.String("dir", "benchsuites", "suite registry directory")
+	suitesFlag := flag.String("suites", "", "comma-separated suite names (default all)")
+	benchtime := flag.String("benchtime", "", "override every suite's -benchtime (e.g. 1x for smoke)")
+	compare := flag.Bool("compare", true, "compare against committed baselines and gate on regressions")
+	noiseScale := flag.Float64("noise-scale", 1, "multiply every suite's ns/op noise band (alloc bands never scale)")
+	update := flag.Bool("update", false, "rewrite each suite's baseline from this run instead of comparing")
+	out := flag.String("out", "", "write the combined JSON report to this file")
+	list := flag.Bool("list", false, "list registered suites and exit")
+	verbose := flag.Bool("v", false, "mirror raw benchmark output to stderr")
+	flag.Parse()
+
+	suites, err := bent.LoadSuites(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *list {
+		for _, s := range suites {
+			fmt.Printf("%-24s %-20s bench %s (baseline %s, noise ±%.0f%%)\n",
+				s.Name, s.Package, s.Bench, s.Baseline, s.Noise*100)
+		}
+		return
+	}
+	if *suitesFlag != "" {
+		suites, err = selectSuites(suites, strings.Split(*suitesFlag, ","))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	runner := &bent.Runner{Benchtime: *benchtime, Stderr: os.Stderr, Verbose: *verbose}
+	type suiteRun struct {
+		Report      bent.Report       `json:"report"`
+		Regressions []bent.Regression `json:"regressions,omitempty"`
+	}
+	combined := struct {
+		Suites []suiteRun `json:"suites"`
+	}{}
+	failed := false
+
+	for _, s := range suites {
+		fmt.Fprintf(os.Stderr, "bent: running suite %s (%s)\n", s.Name, s.Package)
+		rep, err := runner.Run(s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		run := suiteRun{Report: rep}
+
+		switch {
+		case *update:
+			if s.Baseline == "" {
+				fatalf("suite %s declares no baseline to update", s.Name)
+			}
+			if err := bent.WriteReport(s.Baseline, rep); err != nil {
+				fatalf("update %s: %v", s.Baseline, err)
+			}
+			fmt.Fprintf(os.Stderr, "bent: wrote %s (%d benchmarks)\n", s.Baseline, len(rep.Benchmarks))
+		case *compare && s.Baseline != "":
+			base, err := bent.ReadReport(s.Baseline)
+			if err != nil {
+				fatalf("suite %s: baseline: %v", s.Name, err)
+			}
+			run.Regressions = bent.Compare(s, rep, base, *noiseScale)
+			for _, r := range run.Regressions {
+				fmt.Fprintf(os.Stderr, "bent: REGRESSION %s\n", r)
+				failed = true
+			}
+			if len(run.Regressions) == 0 {
+				fmt.Fprintf(os.Stderr, "bent: suite %s within noise band (%d benchmarks vs %s)\n",
+					s.Name, len(rep.Benchmarks), s.Baseline)
+			}
+		}
+		combined.Suites = append(combined.Suites, run)
+	}
+
+	if *out != "" {
+		if err := writeJSON(*out, combined); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectSuites(all []bent.Suite, names []string) ([]bent.Suite, error) {
+	byName := make(map[string]bent.Suite, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var out []bent.Suite
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q (try -list)", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "speedkit-bent: "+format+"\n", args...)
+	os.Exit(2)
+}

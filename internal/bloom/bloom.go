@@ -123,6 +123,28 @@ func hashKey(key string) (h1, h2 uint32) {
 	return p.h1, p.h2
 }
 
+// BatchSize is the fan-out of the batched probe paths: ProbesForBatch and
+// the *Batch filter operations process keys in groups of up to BatchSize,
+// so a caller holding a lock pays its acquisition once per group instead
+// of once per key, and the probe pairs for a group stay resident in a
+// single stack-allocated array while its bits are tested.
+const BatchSize = 8
+
+// ProbesForBatch derives probe pairs for up to BatchSize keys into dst.
+// It is the vectorized form of ProbesFor — same digest per key, batched so
+// the hash loop runs back-to-back over the group without interleaved bit
+// tests — and allocates nothing.
+//
+//speedkit:hotpath
+func ProbesForBatch(keys []string, dst *[BatchSize]Probes) {
+	if len(keys) > BatchSize {
+		keys = keys[:BatchSize]
+	}
+	for i, k := range keys {
+		dst[i] = ProbesFor(k)
+	}
+}
+
 // probe returns the bit index of the i-th probe for the given base hashes.
 func probe(h1, h2, i, m uint32) uint32 {
 	return (h1 + i*h2) % m
@@ -147,12 +169,55 @@ func (f *Filter) AddProbes(p Probes) {
 	f.n++
 }
 
+// AddBatch inserts every key, processing the keys in groups of BatchSize:
+// each group's probe pairs are derived in one pass and then applied
+// back-to-back. The resulting filter state is bit-for-bit identical to
+// calling Add for each key in order (insertion is commutative idempotent
+// bit-setting), which the equivalence tests pin via MarshalBinary.
+func (f *Filter) AddBatch(keys []string) {
+	var pb [BatchSize]Probes
+	for off := 0; off < len(keys); off += BatchSize {
+		end := off + BatchSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		ProbesForBatch(chunk, &pb)
+		for i := range chunk {
+			f.AddProbes(pb[i])
+		}
+	}
+}
+
 // Contains reports whether key may be in the set. False positives are
 // possible; false negatives are not. Allocates nothing.
 //
 //speedkit:hotpath
 func (f *Filter) Contains(key string) bool {
 	return f.ContainsProbes(ProbesFor(key))
+}
+
+// ContainsBatch tests every key, writing Contains(keys[i]) into hits[i].
+// hits must be at least as long as keys. Keys are processed in groups of
+// BatchSize — probe pairs first, bit tests second — so the hash loops and
+// the word probes each run back-to-back over the group, and a caller
+// amortizes one lock acquisition (or one snapshot load) over the whole
+// batch. Allocates nothing and answers identically to per-key Contains.
+//
+//speedkit:hotpath
+func (f *Filter) ContainsBatch(keys []string, hits []bool) {
+	var pb [BatchSize]Probes
+	for off := 0; off < len(keys); off += BatchSize {
+		end := off + BatchSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		ProbesForBatch(chunk, &pb)
+		for i := range chunk {
+			hits[off+i] = f.ContainsProbes(pb[i])
+		}
+	}
 }
 
 // ContainsProbes is Contains for a precomputed probe pair.

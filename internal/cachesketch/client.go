@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speedkit/internal/bloom"
 	"speedkit/internal/clock"
 )
 
@@ -151,6 +152,50 @@ func (c *Client) Check(key string) Decision {
 	}
 	c.freshPasses.Add(1)
 	return ServeFromCache
+}
+
+// CheckBatch runs the coherence protocol for every key against one
+// consistent snapshot, writing Check(keys[i]) into out[i] (out must be at
+// least as long as keys). One atomic load and one clock read cover the
+// whole batch — the fan-out path for callers deciding a page's worth of
+// subresources at once — and the Bloom probes go through the filter's
+// batched path. If the held snapshot is stale every verdict is
+// RefreshSketch, exactly as per-key Check would answer.
+//
+//speedkit:hotpath
+func (c *Client) CheckBatch(keys []string, out []Decision) {
+	sn := c.snap.Load()
+	if c.stale(sn, c.clk.Now()) {
+		for i := range keys {
+			out[i] = RefreshSketch
+		}
+		return
+	}
+	var hits [bloom.BatchSize]bool
+	stale, fresh := uint64(0), uint64(0)
+	for off := 0; off < len(keys); off += bloom.BatchSize {
+		end := off + bloom.BatchSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		sn.Filter.ContainsBatch(chunk, hits[:len(chunk)])
+		for i := range chunk {
+			if hits[i] {
+				out[off+i] = Revalidate
+				stale++
+			} else {
+				out[off+i] = ServeFromCache
+				fresh++
+			}
+		}
+	}
+	if stale > 0 {
+		c.staleHits.Add(stale)
+	}
+	if fresh > 0 {
+		c.freshPasses.Add(fresh)
+	}
 }
 
 // Stats returns a copy of the client counters. Each counter is read

@@ -226,7 +226,36 @@ func (s *Server) ReportWrite(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
+	return s.reportWriteLocked(key, now)
+}
 
+// ReportWrites records a batch of writes in one critical section: one
+// clock read, one lock acquisition, and one pass over due removals cover
+// the whole batch. Journal replay uses it to apply runs of consecutive
+// write records without paying per-key lock traffic. The resulting state
+// is identical to calling ReportWrite for each key in order (all keys are
+// reported at the same instant, which per-key calls under an unmoving
+// clock also produce). Returns how many of the keys are now tracked.
+func (s *Server) ReportWrites(keys []string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	tracked := 0
+	for _, key := range keys {
+		if s.reportWriteLocked(key, now) {
+			tracked++
+		}
+	}
+	return tracked
+}
+
+// reportWriteLocked applies one write report at instant now. Caller holds
+// mu and has already run advanceLocked(now).
+func (s *Server) reportWriteLocked(key string, now time.Time) bool {
 	until, live := s.expiry[key]
 	if !live || !until.After(now) {
 		// Inside the post-crash blind window the expiration table cannot
@@ -355,6 +384,16 @@ type Snapshot struct {
 //speedkit:hotpath
 func (sn *Snapshot) MightBeStale(key string) bool {
 	return sn.Filter.Contains(key)
+}
+
+// MightBeStaleBatch answers MightBeStale for every key at once, writing
+// the verdicts into hits (which must be at least as long as keys). The
+// probes run through the filter's batched path, so one snapshot suffices
+// for the whole group and nothing is allocated.
+//
+//speedkit:hotpath
+func (sn *Snapshot) MightBeStaleBatch(keys []string, hits []bool) {
+	sn.Filter.ContainsBatch(keys, hits)
 }
 
 // Marshal encodes the snapshot's filter for the wire.

@@ -736,12 +736,27 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 	s.replaying = true
 	s.mu.Unlock()
 	clean := false
+	// Consecutive write records — the common shape of a write-heavy tail —
+	// are applied through the sketch's batched path: one lock acquisition
+	// and one removal sweep per run instead of per record. State-identical
+	// to per-record ReportWrite because replay batches only adjacent writes
+	// (ordering against interleaved cached-read records is preserved).
+	writeRun := make([]string, 0, 64)
+	flushWrites := func() {
+		if len(writeRun) > 0 {
+			sketch.ReportWrites(writeRun)
+			writeRun = writeRun[:0]
+		}
+	}
 	for i, r := range tail {
+		if r.typ != recWrite {
+			flushWrites()
+		}
 		switch r.typ {
 		case recCachedRead:
 			sketch.ReportCachedRead(r.key, r.expiresAt)
 		case recWrite:
-			sketch.ReportWrite(r.key)
+			writeRun = append(writeRun, r.key)
 		case recWatermark:
 			if r.seq > wm {
 				wm = r.seq
@@ -759,6 +774,7 @@ func (s *Store) Recover(sketch *cachesketch.Server, est *ttl.Estimator) (Recover
 			// presence past a clean marker is what voids that marker.
 		}
 	}
+	flushWrites()
 	info.Replayed = uint64(len(tail))
 	info.Watermark = wm
 

@@ -6,6 +6,13 @@
 // matched against all queries of its collection; a query is invalidated
 // when the change can alter its result set (the document entered it, left
 // it, or changed while inside it).
+//
+// Queries are partitioned by collection hash over a power-of-two shard
+// count, so matching one change event scans a single shard — the shard
+// every query that could possibly match lives in — instead of every
+// registration. Queries registered without a collection (cross-collection
+// predicates) are unpartitionable; they live in a separate global bucket
+// that is matched against every event and merged into the shard's hits.
 package invalidb
 
 import (
@@ -60,9 +67,10 @@ type Invalidation struct {
 
 // Config parameterizes the engine.
 type Config struct {
-	// Shards partitions registered queries for parallel matching
-	// (default 4). Matching within a shard is sequential; shards run
-	// concurrently per event.
+	// Shards partitions registered queries by collection hash (default 4,
+	// rounded up to the next power of two so the shard index is a mask).
+	// More shards mean fewer co-resident collections per shard, and
+	// therefore fewer non-matching queries scanned per event.
 	Shards int
 	// Clock supplies detection timestamps (default system clock).
 	Clock clock.Clock
@@ -77,6 +85,15 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// nextPow2 rounds n up to the next power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Stats counts engine activity.
 type Stats struct {
 	EventsProcessed uint64
@@ -89,8 +106,14 @@ type Stats struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+	mask   uint32
+	// global holds cross-collection registrations (empty Collection):
+	// predicates that cannot be pinned to one collection's shard and must
+	// be merged into every event's match.
+	global *shard
 
 	mu          sync.Mutex
+	byID        map[string]*shard // guarded by mu; registration → home shard
 	subscribers map[int]func(Invalidation)
 	nextSub     int
 	events      uint64
@@ -105,9 +128,13 @@ type shard struct {
 // New creates an engine.
 func New(cfg Config) *Engine {
 	cfg.applyDefaults()
+	n := nextPow2(cfg.Shards)
 	e := &Engine{
 		cfg:         cfg,
-		shards:      make([]*shard, cfg.Shards),
+		shards:      make([]*shard, n),
+		mask:        uint32(n - 1),
+		global:      &shard{regs: make(map[string]query.Query)},
+		byID:        make(map[string]*shard),
 		subscribers: make(map[int]func(Invalidation)),
 	}
 	for i := range e.shards {
@@ -116,19 +143,40 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// shardFor assigns a registration to a shard by FNV-1a hash.
-func (e *Engine) shardFor(id string) *shard {
+// collectionHash is FNV-1a over the collection name.
+func collectionHash(collection string) uint32 {
 	var h uint32 = 2166136261
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
+	for i := 0; i < len(collection); i++ {
+		h ^= uint32(collection[i])
 		h *= 16777619
 	}
-	return e.shards[h%uint32(len(e.shards))]
+	return h
 }
 
-// Register adds (or replaces) a continuous query under id.
+// homeShard returns the shard a query lives in: the collection-hash shard
+// for partitionable queries, the global bucket for cross-collection ones.
+func (e *Engine) homeShard(q query.Query) *shard {
+	if q.Collection == "" {
+		return e.global
+	}
+	return e.shards[collectionHash(q.Collection)&e.mask]
+}
+
+// Register adds (or replaces) a continuous query under id. A query with
+// an empty Collection is a cross-collection predicate: it is matched
+// against events of every collection (by filter alone) through the
+// engine's merge path.
 func (e *Engine) Register(id string, q query.Query) {
-	s := e.shardFor(id)
+	s := e.homeShard(q)
+	e.mu.Lock()
+	if prev, ok := e.byID[id]; ok && prev != s {
+		// Replacing with a different collection moves the registration.
+		prev.mu.Lock()
+		delete(prev.regs, id)
+		prev.mu.Unlock()
+	}
+	e.byID[id] = s
+	e.mu.Unlock()
 	s.mu.Lock()
 	s.regs[id] = q
 	s.mu.Unlock()
@@ -136,23 +184,24 @@ func (e *Engine) Register(id string, q query.Query) {
 
 // Unregister removes the query under id, reporting whether it existed.
 func (e *Engine) Unregister(id string) bool {
-	s := e.shardFor(id)
+	e.mu.Lock()
+	s, ok := e.byID[id]
+	delete(e.byID, id)
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
 	s.mu.Lock()
-	_, ok := s.regs[id]
 	delete(s.regs, id)
 	s.mu.Unlock()
-	return ok
+	return true
 }
 
 // Registered returns the number of registered queries.
 func (e *Engine) Registered() int {
-	n := 0
-	for _, s := range e.shards {
-		s.mu.RLock()
-		n += len(s.regs)
-		s.mu.RUnlock()
-	}
-	return n
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byID)
 }
 
 // Shards returns the matcher's shard count — a deployment-shape fact
@@ -182,6 +231,14 @@ func classify(q query.Query, ev storage.ChangeEvent) (MatchKind, bool) {
 	if q.Collection != ev.Collection {
 		return 0, false
 	}
+	return classifyImages(q, ev)
+}
+
+// classifyImages compares the before/after images against the query's
+// filter, ignoring collections — the shared core of the sharded match
+// (which pre-selects by collection) and the cross-collection merge path
+// (which matches by filter alone).
+func classifyImages(q query.Query, ev storage.ChangeEvent) (MatchKind, bool) {
 	before := ev.Before != nil && q.Match(ev.Before)
 	after := ev.After != nil && q.Match(ev.After)
 	switch {
@@ -196,41 +253,65 @@ func classify(q query.Query, ev storage.ChangeEvent) (MatchKind, bool) {
 	}
 }
 
+// hit is one shard-local match: a registration and how it was affected.
+type hit struct {
+	id   string
+	kind MatchKind
+}
+
+// matchInto runs the per-shard match loop: every registration in regs is
+// classified against ev and hits are written into dst, which the caller
+// must size to len(regs). Returns the hit count. wildcard selects the
+// cross-collection rule (filter-only matching) used for the global
+// bucket. This is the loop the invalidation-matching bench times per
+// shard; it must not allocate — the caller owns dst.
+//
+//speedkit:hotpath
+func matchInto(regs map[string]query.Query, ev storage.ChangeEvent, wildcard bool, dst []hit) int {
+	n := 0
+	for id, q := range regs {
+		var kind MatchKind
+		var ok bool
+		if wildcard {
+			kind, ok = classifyImages(q, ev)
+		} else {
+			kind, ok = classify(q, ev)
+		}
+		if ok {
+			dst[n] = hit{id: id, kind: kind}
+			n++
+		}
+	}
+	return n
+}
+
+// matchShard locks s and collects its hits for ev, appending to hits.
+func matchShard(s *shard, ev storage.ChangeEvent, wildcard bool, hits []hit) []hit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.regs) == 0 {
+		return hits
+	}
+	dst := make([]hit, len(s.regs))
+	n := matchInto(s.regs, ev, wildcard, dst)
+	return append(hits, dst[:n]...)
+}
+
 // Process matches one change event against every registered query and
 // delivers invalidation signals to subscribers. Returns the signals for
 // callers that prefer pull-style use.
+//
+// Only the shard owning the event's collection is scanned — every query
+// that could match lives there, because queries partition by the same
+// collection hash and classify rejects cross-collection pairs. The global
+// bucket of cross-collection predicates is then merged in; it is empty
+// unless such queries were registered, so the common case touches exactly
+// one shard.
 func (e *Engine) Process(ev storage.ChangeEvent) []Invalidation {
 	now := e.cfg.Clock.Now()
 
-	// Fan the event out across shards concurrently, collect hits.
-	type hit struct {
-		id   string
-		kind MatchKind
-	}
-	hitCh := make(chan []hit, len(e.shards))
-	var wg sync.WaitGroup
-	for _, s := range e.shards {
-		wg.Add(1)
-		go func(s *shard) {
-			defer wg.Done()
-			var hits []hit
-			s.mu.RLock()
-			for id, q := range s.regs {
-				if kind, ok := classify(q, ev); ok {
-					hits = append(hits, hit{id: id, kind: kind})
-				}
-			}
-			s.mu.RUnlock()
-			hitCh <- hits
-		}(s)
-	}
-	wg.Wait()
-	close(hitCh)
-
-	var all []hit
-	for hs := range hitCh {
-		all = append(all, hs...)
-	}
+	all := matchShard(e.shards[collectionHash(ev.Collection)&e.mask], ev, false, nil)
+	all = matchShard(e.global, ev, true, all)
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 
 	out := make([]Invalidation, len(all))
@@ -281,6 +362,6 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		EventsProcessed: e.events,
 		Matches:         e.matches,
-		Registered:      e.Registered(),
+		Registered:      len(e.byID),
 	}
 }

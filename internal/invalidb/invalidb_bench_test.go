@@ -1,0 +1,61 @@
+package invalidb
+
+import (
+	"fmt"
+	"testing"
+
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+// benchFixture registers `queries` continuous queries spread evenly over
+// `collections` collections and precomputes a round-robin event stream.
+// Roughly half the queries of an event's collection match it (Gte over a
+// uniform threshold), so the bench exercises both the reject and the
+// classify+collect paths.
+func benchFixture(b *testing.B, shards, queries, collections int) (*Engine, []storage.ChangeEvent) {
+	b.Helper()
+	e := New(Config{Shards: shards})
+	for i := 0; i < queries; i++ {
+		coll := fmt.Sprintf("coll-%03d", i%collections)
+		e.Register(fmt.Sprintf("reg-%05d", i), query.Query{
+			Collection: coll,
+			Filter:     query.Gte("price", float64(i%100)),
+		})
+	}
+	events := make([]storage.ChangeEvent, 256)
+	for i := range events {
+		coll := fmt.Sprintf("coll-%03d", i%collections)
+		events[i] = storage.ChangeEvent{
+			Collection: coll,
+			ID:         fmt.Sprintf("doc-%04d", i),
+			Kind:       storage.ChangeUpdate,
+			Before:     map[string]any{"price": float64(40 + i%10)},
+			After:      map[string]any{"price": float64(45 + i%10)},
+			Version:    uint64(i + 1),
+		}
+	}
+	return e, events
+}
+
+// BenchmarkInvalidationMatching measures per-event matching cost as the
+// shard count grows. This is the bench behind BENCH_invalidation.json
+// (suite "invalidation-matching"): with queries partitioned by collection,
+// matching one change event should touch a single shard, so per-event cost
+// drops near-linearly from shards-1 to shards-8.
+func BenchmarkInvalidationMatching(b *testing.B) {
+	const (
+		queries     = 1024
+		collections = 64
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			e, events := benchFixture(b, shards, queries, collections)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Process(events[i%len(events)])
+			}
+		})
+	}
+}

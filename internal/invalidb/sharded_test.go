@@ -1,0 +1,234 @@
+package invalidb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+// referenceMatch is the unsharded matcher: classify every registration
+// against the event, no partitioning, no merge path. The sharded engine
+// must produce exactly this event→query set for every event.
+func referenceMatch(regs map[string]query.Query, ev storage.ChangeEvent) []hit {
+	var hits []hit
+	for id, q := range regs {
+		var kind MatchKind
+		var ok bool
+		if q.Collection == "" {
+			kind, ok = classifyImages(q, ev)
+		} else {
+			kind, ok = classify(q, ev)
+		}
+		if ok {
+			hits = append(hits, hit{id: id, kind: kind})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	return hits
+}
+
+func randomEvent(rng *rand.Rand, collections int) storage.ChangeEvent {
+	doc := func() map[string]any {
+		return map[string]any{
+			"price": float64(rng.Intn(200)),
+			"cat":   []string{"a", "b", "c"}[rng.Intn(3)],
+		}
+	}
+	ev := storage.ChangeEvent{
+		Collection: fmt.Sprintf("coll-%d", rng.Intn(collections)),
+		ID:         fmt.Sprintf("doc-%d", rng.Intn(50)),
+		Version:    uint64(rng.Intn(1000) + 1),
+	}
+	switch rng.Intn(3) {
+	case 0:
+		ev.Kind = storage.ChangeInsert
+		ev.After = doc()
+	case 1:
+		ev.Kind = storage.ChangeUpdate
+		ev.Before, ev.After = doc(), doc()
+	default:
+		ev.Kind = storage.ChangeDelete
+		ev.Before = doc()
+	}
+	return ev
+}
+
+// The exact-equivalence property behind the sharding optimization: for
+// every shard count (including non-powers of two, which round up), the
+// sharded engine invalidates exactly the same (registration, kind) set as
+// the brute-force unsharded matcher — partitioning by collection hash can
+// never gain or lose a match because classify rejects cross-collection
+// pairs anyway.
+func TestShardedMatchesUnshardedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const collections = 13
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		regs := make(map[string]query.Query)
+		engine := New(Config{Shards: shards})
+		for i := 0; i < 150; i++ {
+			id := fmt.Sprintf("/q/%d", i)
+			var q query.Query
+			switch rng.Intn(4) {
+			case 0:
+				q = query.New(fmt.Sprintf("coll-%d", rng.Intn(collections)), nil)
+			case 1:
+				q = query.New(fmt.Sprintf("coll-%d", rng.Intn(collections)),
+					query.Gte("price", float64(rng.Intn(150))))
+			case 2:
+				q = query.New(fmt.Sprintf("coll-%d", rng.Intn(collections)),
+					query.Eq("cat", []string{"a", "b", "c"}[rng.Intn(3)]))
+			default:
+				// Cross-collection predicate: empty collection, filter only.
+				q = query.New("", query.Gte("price", float64(rng.Intn(150))))
+			}
+			regs[id] = q
+			engine.Register(id, q)
+		}
+		for trial := 0; trial < 300; trial++ {
+			ev := randomEvent(rng, collections)
+			want := referenceMatch(regs, ev)
+			got := engine.Process(ev)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d: %d hits, reference %d (event %+v)",
+					shards, len(got), len(want), ev)
+			}
+			for i := range got {
+				if got[i].RegistrationID != want[i].id || got[i].Kind != want[i].kind {
+					t.Fatalf("shards=%d hit %d: got (%s,%v), reference (%s,%v)",
+						shards, i, got[i].RegistrationID, got[i].Kind, want[i].id, want[i].kind)
+				}
+			}
+		}
+		// Identical registration set must report identically too.
+		if engine.Registered() != len(regs) {
+			t.Fatalf("shards=%d: registered %d, want %d", shards, engine.Registered(), len(regs))
+		}
+	}
+}
+
+// Cross-collection predicates (empty Collection) ride the merge path:
+// they match events of any collection by filter alone, and their hits
+// merge sorted with the owning shard's.
+func TestCrossCollectionMergePath(t *testing.T) {
+	e := New(Config{Shards: 4})
+	e.Register("/audit", query.New("", query.Gte("price", 100.0)))
+	e.Register("/pricey-products", query.MustParse(`products WHERE price >= 100`))
+
+	ev := storage.ChangeEvent{Collection: "products", ID: "p1",
+		Kind: storage.ChangeInsert, After: map[string]any{"price": 150.0}}
+	invs := e.Process(ev)
+	if len(invs) != 2 {
+		t.Fatalf("hits = %d, want shard hit + merged global hit", len(invs))
+	}
+	if invs[0].RegistrationID != "/audit" || invs[1].RegistrationID != "/pricey-products" {
+		t.Fatalf("merge order = %s, %s", invs[0].RegistrationID, invs[1].RegistrationID)
+	}
+	// A different collection still trips the cross-collection predicate.
+	ev2 := storage.ChangeEvent{Collection: "users", ID: "u1",
+		Kind: storage.ChangeInsert, After: map[string]any{"price": 200.0}}
+	invs = e.Process(ev2)
+	if len(invs) != 1 || invs[0].RegistrationID != "/audit" {
+		t.Fatalf("global-only match = %v", invs)
+	}
+	// But not below its filter.
+	ev3 := storage.ChangeEvent{Collection: "users", ID: "u2",
+		Kind: storage.ChangeInsert, After: map[string]any{"price": 10.0}}
+	if invs := e.Process(ev3); len(invs) != 0 {
+		t.Fatalf("filter ignored on merge path: %v", invs)
+	}
+}
+
+// Re-registering an ID under a different collection must move it between
+// shards — the old shard may not keep matching the stale query.
+func TestRegisterMovesShardOnCollectionChange(t *testing.T) {
+	e := New(Config{Shards: 8})
+	e.Register("/x", query.New("products", nil))
+	e.Register("/x", query.New("users", nil))
+	if e.Registered() != 1 {
+		t.Fatalf("registered = %d, want 1", e.Registered())
+	}
+	ev := storage.ChangeEvent{Collection: "products", ID: "p1",
+		Kind: storage.ChangeInsert, After: map[string]any{}}
+	if invs := e.Process(ev); len(invs) != 0 {
+		t.Fatalf("stale shard still matches: %v", invs)
+	}
+	ev2 := storage.ChangeEvent{Collection: "users", ID: "u1",
+		Kind: storage.ChangeInsert, After: map[string]any{}}
+	if invs := e.Process(ev2); len(invs) != 1 {
+		t.Fatalf("moved registration not matching: %v", invs)
+	}
+	if !e.Unregister("/x") {
+		t.Fatal("unregister after move failed")
+	}
+	if invs := e.Process(ev2); len(invs) != 0 {
+		t.Fatalf("unregistered query still matching: %v", invs)
+	}
+}
+
+// Shard counts round up to powers of two so the shard index is a mask.
+func TestShardCountRoundsToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		if got := New(Config{Shards: c.in}).Shards(); got != c.want {
+			t.Fatalf("Shards(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// The per-shard match loop is //speedkit:hotpath: with the destination
+// owned by the caller it must allocate nothing, whether rejecting or
+// collecting.
+func TestMatchIntoZeroAlloc(t *testing.T) {
+	regs := make(map[string]query.Query)
+	for i := 0; i < 64; i++ {
+		regs[fmt.Sprintf("/q/%d", i)] = query.New("products", query.Gte("price", float64(i)))
+	}
+	dst := make([]hit, len(regs))
+	match := storage.ChangeEvent{Collection: "products", ID: "p1",
+		Kind: storage.ChangeInsert, After: map[string]any{"price": 200.0}}
+	reject := storage.ChangeEvent{Collection: "users", ID: "u1",
+		Kind: storage.ChangeInsert, After: map[string]any{"price": 200.0}}
+	if n := testing.AllocsPerRun(1000, func() {
+		if matchInto(regs, match, false, dst) == 0 {
+			t.Fatal("no hits on matching event")
+		}
+	}); n != 0 {
+		t.Fatalf("matchInto (hits) allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if matchInto(regs, reject, false, dst) != 0 {
+			t.Fatal("hits on foreign collection")
+		}
+	}); n != 0 {
+		t.Fatalf("matchInto (reject) allocates %.1f per run, want 0", n)
+	}
+}
+
+// Kinds must flow through the sharded path unchanged.
+func TestShardedKindClassification(t *testing.T) {
+	e := New(Config{Shards: 8})
+	e.Register("/q", query.MustParse(`products WHERE price < 100`))
+	cases := []struct {
+		before, after map[string]any
+		want          MatchKind
+	}{
+		{nil, map[string]any{"price": 50.0}, Entered},
+		{map[string]any{"price": 50.0}, map[string]any{"price": 150.0}, Left},
+		{map[string]any{"price": 50.0}, map[string]any{"price": 60.0}, Changed},
+	}
+	for i, c := range cases {
+		ev := storage.ChangeEvent{Collection: "products", ID: "p1",
+			Kind: storage.ChangeUpdate, Before: c.before, After: c.after}
+		invs := e.Process(ev)
+		if len(invs) != 1 || invs[0].Kind != c.want {
+			t.Fatalf("case %d: invs = %v, want one %v", i, invs, c.want)
+		}
+	}
+	if !reflect.DeepEqual(e.Stats(), Stats{EventsProcessed: 3, Matches: 3, Registered: 1}) {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}

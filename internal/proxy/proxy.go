@@ -736,19 +736,31 @@ func linkNames(e cache.Entry) []string {
 }
 
 // prefetch warms the device cache with the page's first K links that are
-// not already held. In production this runs asynchronously after the
-// page is displayed, so its cost is accounted separately from the page
-// load; the simulated latency is accumulated in Stats.PrefetchTime.
+// not already held — plus held links the coherence sketch flags as
+// possibly stale, which are refetched so the warm copy is coherent before
+// the user navigates to it. The staleness verdicts for the whole link
+// list come from one CheckBatch call (a single snapshot load and clock
+// read); without a fresh sketch the verdict is RefreshSketch and held
+// links are conservatively left alone. In production this runs
+// asynchronously after the page is displayed, so its cost is accounted
+// separately from the page load; the simulated latency is accumulated in
+// Stats.PrefetchTime.
 func (p *Proxy) prefetch(ctx context.Context, entry cache.Entry) {
 	k := p.cfg.PrefetchLinks
 	if k <= 0 {
 		return
 	}
-	for _, link := range linkNames(entry) {
+	links := linkNames(entry)
+	if len(links) == 0 {
+		return
+	}
+	verdicts := make([]cachesketch.Decision, len(links))
+	p.sketch.CheckBatch(links, verdicts)
+	for i, link := range links {
 		if k == 0 || ctx.Err() != nil {
 			break
 		}
-		if _, held := p.store.Peek(link); held {
+		if _, held := p.store.Peek(link); held && verdicts[i] != cachesketch.Revalidate {
 			continue
 		}
 		p.auditCDN("path")
