@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash experiments fmt vet clean
+.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash stitch experiments fmt vet clean
 
 all: build test lint
 
@@ -26,6 +26,8 @@ help:
 	@echo "  bench-baselines  re-seed the BENCH_*.json baselines from this machine"
 	@echo "  chaos          seed-pinned fault-injection run asserting the resilience invariants"
 	@echo "  crash          seed-pinned crash-recovery run asserting durability invariants"
+	@echo "  stitch         two-process trace-stitching gate over real HTTP (traceparent"
+	@echo "                 propagation, causal parentage, byte-deterministic export)"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -126,6 +128,16 @@ CRASH_OPS ?= 5000
 
 crash:
 	$(GO) run ./cmd/speedkit-sim -crash -seed $(CRASH_SEED) -ops $(CRASH_OPS) -users 30 -products 100 -delta 30s
+
+# Stitch gate: a device proxy and a server as two tracer domains joined
+# only by real HTTP over loopback. One page load and one write must each
+# yield a single cross-process trace (W3C traceparent propagation, causal
+# parentage through the invalidation pipeline), and twin runs on the same
+# seed must export byte-identical trace JSON. Non-zero exit on violation.
+STITCH_SEED ?= 1
+
+stitch:
+	$(GO) run ./cmd/speedkit-sim -stitch -seed $(STITCH_SEED)
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

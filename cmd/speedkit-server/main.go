@@ -16,16 +16,21 @@
 //
 // Observability surface:
 //
-//	curl localhost:8080/healthz                        # liveness + deployment shape (JSON)
+//	curl localhost:8080/healthz                        # liveness + deployment shape + WAL stats (JSON)
 //	curl localhost:8080/metrics                        # Prometheus-style text exposition
 //	curl 'localhost:8080/debug/traces?n=10'            # recent sampled request traces (JSON)
+//	curl localhost:8080/debug/traces/<32-hex-id>       # one stitched trace by causal identity
+//	curl localhost:8080/debug/slo                      # Δ-budget SLO: histograms, burn rates, exemplars
 //	go tool pprof localhost:8080/debug/pprof/profile   # CPU profile (pprof is mounted)
+//
+// Requests carrying a W3C traceparent header join the caller's trace, so
+// a device running the client proxy stitches its page loads into
+// cross-process traces queryable at /debug/traces/<id>.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +43,7 @@ import (
 	"speedkit/internal/durable"
 	"speedkit/internal/httpapi"
 	"speedkit/internal/obs"
+	"speedkit/internal/slog"
 	"speedkit/internal/workload"
 )
 
@@ -48,8 +54,20 @@ func main() {
 	warm := flag.Bool("warm", false, "pre-fill every edge with the home and category pages")
 	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (0 disables tracing)")
 	traceRing := flag.Int("trace-ring", 256, "how many recent traces /debug/traces retains")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	dataDir := flag.String("data-dir", "", "durability directory (empty = memory-only); coherence state is journaled there and recovered at startup")
 	flag.Parse()
+
+	// The sanctioned process log: leveled logfmt on stderr, stamped with
+	// the active trace/span when a request context carries one, with the
+	// GDPR-classified field names denied at the sink (installed by the
+	// obs package's init). Components below the GDPR boundary never log.
+	logger := slog.New(os.Stderr, clock.System, slog.ParseLevel(*logLevel))
+	ctx := context.Background()
+	fatal := func(e *slog.Event, err error) {
+		e.Err(err).Msg("fatal")
+		os.Exit(1)
+	}
 
 	var store *durable.Store
 	if *dataDir != "" {
@@ -65,25 +83,33 @@ func main() {
 
 	svc, err := core.NewStorefront(core.StorefrontConfig{
 		Config: core.Config{
-			Clock:   clock.System, // real time for a real server
-			Delta:   *delta,
-			Tracer:  obs.NewTracer(clock.System, *traceSample, *traceRing),
+			Clock: clock.System, // real time for a real server
+			Delta: *delta,
+			// Identity seed 2: devices root their traces from seed 1, so
+			// locally rooted server traces never collide with theirs.
+			Tracer:  obs.NewTracerSeeded(clock.System, *traceSample, *traceRing, 2),
+			SLO:     obs.NewDeltaSLO(obs.SLOConfig{Clock: clock.System}),
 			Durable: store,
 		},
 		Products: *products,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger.Error(ctx), err)
 	}
 	defer svc.Close()
 
 	if store != nil {
 		info, rerr := svc.Recovery()
 		if rerr != nil {
-			log.Fatalf("durability recovery: %v", rerr)
+			fatal(logger.Error(ctx).Str("component", "durable"), rerr)
 		}
-		log.Printf("durability: dir=%s recovered mode=%s replayed=%d saturated=%v watermark=%d",
-			*dataDir, info.Mode, info.Replayed, info.Saturated, info.Watermark)
+		logger.Info(ctx).
+			Str("dir", *dataDir).
+			Str("mode", info.Mode.String()).
+			Uint("replayed", info.Replayed).
+			Bool("saturated", info.Saturated).
+			Uint("watermark", info.Watermark).
+			Msg("durability recovered")
 	}
 
 	if *warm {
@@ -93,13 +119,17 @@ func main() {
 		}
 		warmed, skipped, err := svc.Warm(paths)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger.Error(ctx), err)
 		}
-		log.Printf("warmed %d paths (%d skipped)", warmed, len(skipped))
+		logger.Info(ctx).Int("warmed", int64(warmed)).Int("skipped", int64(len(skipped))).Msg("edges warmed")
 	}
 
 	api := httpapi.New(svc, speedkit.NewUsers(1, 100))
-	log.Printf("speedkit-server listening on %s (%d products, Δ=%v)", *addr, *products, *delta)
+	logger.Info(ctx).
+		Str("addr", *addr).
+		Int("products", int64(*products)).
+		Dur("delta", *delta).
+		Msg("speedkit-server listening")
 
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	errCh := make(chan error, 1)
@@ -112,17 +142,17 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(logger.Error(ctx), err)
 	case sig := <-sigCh:
-		log.Printf("%s: draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		_ = srv.Shutdown(ctx)
+		logger.Info(ctx).Str("signal", sig.String()).Msg("draining")
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_ = srv.Shutdown(sctx)
 		cancel()
 		if store != nil {
 			if err := store.Close(); err != nil {
-				log.Fatalf("durability flush: %v", err)
+				fatal(logger.Error(ctx).Str("component", "durable"), err)
 			}
-			log.Printf("durability: log sealed clean")
+			logger.Info(ctx).Msg("durability log sealed clean")
 		}
 	}
 }

@@ -27,6 +27,14 @@
 // exported state, and nothing identity-bearing (PII field names,
 // simulated user IDs/names/emails) sits in any persisted byte.
 // Violations exit non-zero, so `make crash` is a CI gate too.
+//
+// -stitch runs the two-process tracing gate: a device proxy and a
+// server with independent seeded tracers, joined only by real HTTP over
+// a loopback listener. One page load and one write must each produce a
+// single stitched trace — device and server spans sharing a trace ID
+// propagated via the W3C traceparent header, with correct causal
+// parentage through to the invalidation pipeline — and twin runs on the
+// same seed must export byte-identical trace JSON. `make stitch`.
 package main
 
 import (
@@ -81,6 +89,7 @@ func main() {
 	chaosRate := flag.Float64("chaosrate", 0.15, "chaos profile base fault rate")
 	crash := flag.Bool("crash", false, "crash mode: inject durability kills, recover, assert Δ + determinism + no persisted PII")
 	crashRate := flag.Float64("crashrate", 0.004, "crash profile per-WAL-append kill probability")
+	stitch := flag.Bool("stitch", false, "stitch mode: device↔server over real HTTP, assert cross-process trace stitching + byte-determinism")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -100,6 +109,10 @@ func main() {
 	}
 	if *crash {
 		runCrash(cfg, *crashRate)
+		return
+	}
+	if *stitch {
+		runStitch(*seed, *delta, *products)
 		return
 	}
 

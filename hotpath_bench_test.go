@@ -14,7 +14,9 @@ package speedkit_test
 // probe and cache hit paths.
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -23,6 +25,8 @@ import (
 	"speedkit/internal/cachesketch"
 	"speedkit/internal/clock"
 	"speedkit/internal/obs"
+	"speedkit/internal/slog"
+	"speedkit/internal/tracectx"
 )
 
 const hotpathKeys = 1024 // power of two so key selection is a mask
@@ -206,6 +210,41 @@ func BenchmarkObsCounterInc(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			c.Inc()
+		}
+	})
+}
+
+// BenchmarkObsPropagationUnsampled measures the full server-side
+// propagation cost for a request whose head decided NOT to trace: parse
+// the W3C traceparent header, honor the cleared sampling bit in
+// StartRemote. This is what every request from an untraced client pays;
+// the bar is 0 allocs/op (hard-gated in internal/obs/alloc_test.go and
+// internal/tracectx's parse gates).
+func BenchmarkObsPropagationUnsampled(b *testing.B) {
+	tr := obs.NewTracer(clock.CoarseSystem, 1, 16)
+	const header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			parent, _ := tracectx.ParseTraceparent(header)
+			if t := tr.StartRemote("http.page", "/product/p00001", parent); t != nil {
+				b.Fatal("unsampled parent was recorded")
+			}
+		}
+	})
+}
+
+// BenchmarkObsLoggerDisabled measures a level-filtered log call — the
+// cost every instrumented site pays when its level is off. The nil
+// *Event chain must be two loads and a branch: 0 allocs/op, hard-gated
+// in internal/slog's alloc tests.
+func BenchmarkObsLoggerDisabled(b *testing.B) {
+	lg := slog.New(io.Discard, clock.CoarseSystem, slog.LevelError)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lg.Debug(ctx).Str("source", "cdn").Uint("generation", 7).Msg("served")
 		}
 	})
 }

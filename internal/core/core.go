@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speedkit/internal/cache"
@@ -36,6 +38,7 @@ import (
 	"speedkit/internal/proxy"
 	"speedkit/internal/session"
 	"speedkit/internal/storage"
+	"speedkit/internal/tracectx"
 	"speedkit/internal/ttl"
 )
 
@@ -83,6 +86,10 @@ type Config struct {
 	// Tracer samples request and invalidation-pipeline traces, shared
 	// with devices created by NewDevice (nil disables tracing).
 	Tracer *obs.Tracer
+	// SLO tracks the Δ-staleness budget burn; NewDevice hands it to
+	// proxies so every page load observes its budget fraction (nil
+	// disables SLO telemetry).
+	SLO *obs.DeltaSLO
 	// Faults is the optional deterministic fault injector consulted at
 	// every transport call and invalidation-delivery hop (nil disables
 	// injection — the common, non-chaos case).
@@ -189,6 +196,16 @@ type Service struct {
 	// construction (zero when no Durable store was configured).
 	recovery    durable.RecoveryInfo
 	recoveryErr error
+
+	// writeParent is the span context of the write request currently
+	// executing under WithWriteSpan, if any. The document store's change
+	// stream runs synchronously with the write, so the invalidation
+	// pipeline it fans out into reads the parent here and stitches its
+	// traces to the write's — across the HTTP hop that carried the
+	// traceparent. Concurrent writes can at worst misattribute a
+	// pipeline run to the other in-flight write; identity never leaks
+	// and no trace is lost.
+	writeParent atomic.Pointer[tracectx.SpanContext]
 
 	cancels []func()
 }
@@ -392,10 +409,29 @@ func (s *Service) deliver(c faults.Component, hop func()) {
 	hop()
 }
 
+// WithWriteSpan runs fn — a write against the document store — with sc
+// installed as the causal parent for every invalidation-pipeline run the
+// write triggers. The change stream delivers synchronously, so the
+// pipeline traces started inside fn adopt sc's trace ID and the write's
+// full fan-out (sketch report, CDN purge, durable advance) stitches to
+// the HTTP write request that caused it. An invalid sc just runs fn:
+// pipeline traces root locally as before.
+func (s *Service) WithWriteSpan(sc tracectx.SpanContext, fn func()) {
+	if sc.Valid() {
+		s.writeParent.Store(&sc)
+		defer s.writeParent.Store(nil)
+	}
+	fn()
+}
+
 // handleInvalidation runs the server-side coherence pipeline for one
 // stale path.
 func (s *Service) handleInvalidation(path string) {
-	tr := s.cfg.Tracer.Start("invalidation", path)
+	var parent tracectx.SpanContext
+	if p := s.writeParent.Load(); p != nil {
+		parent = *p
+	}
+	tr := s.cfg.Tracer.StartRemote("invalidation", path, parent)
 	var sw *clock.Stopwatch
 	if tr != nil {
 		sw = clock.NewStopwatch(s.cfg.Clock)
@@ -429,12 +465,19 @@ func (s *Service) handleInvalidation(path string) {
 		// dropped), then take the periodic snapshot if enough journal
 		// accumulated. This runs outside every sketch lock — Snapshot
 		// exports the sketch state, which takes that lock itself.
+		if tr != nil {
+			sw.Reset()
+		}
 		s.cfg.Durable.AdvanceInvalidation()
 		if s.cfg.Durable.ShouldSnapshot() {
 			// A failed snapshot (injected crash, disk error) is not fatal
 			// here: the WAL still holds the records, and the store's
 			// Crashed flag is the owner's signal to run recovery.
 			_ = s.cfg.Durable.Snapshot()
+			tr.AddEvent("durable.snapshot", "lsn="+strconv.FormatUint(s.cfg.Durable.SnapshotLSN(), 10))
+		}
+		if tr != nil {
+			tr.AddSpan("durable.advance", "pipeline", sw.Elapsed())
 		}
 	}
 	if tr != nil {
@@ -475,6 +518,10 @@ func (s *Service) FetchSketch(ctx context.Context, region netsim.Region) (*cache
 	s.stats.SketchFetches++
 	s.mu.Unlock()
 	s.m.sketchFetches.Inc()
+	// Attach the service-side step to whatever trace rides the ctx: the
+	// device's own page-load trace in-process, or the server's http.*
+	// trace when the call arrived over the wire. Nil-safe no-op otherwise.
+	obs.TraceFromContext(ctx).AddSpan("core.sketch", "cdn", lat+spike)
 	return sn, lat + spike, nil
 }
 
@@ -497,10 +544,14 @@ func (s *Service) Fetch(ctx context.Context, region netsim.Region, path string) 
 			s.analytics.Append("edge_hits", 1)
 			s.m.fetches[fetchCDN].Inc()
 			s.m.fetchLatency[fetchCDN].ObserveDuration(lat)
+			obs.TraceFromContext(ctx).AddSpan("core.fetch", "cdn", lat)
 			return e, lat, proxy.SourceCDN, nil
 		}
 	}
 	e, lat, src, err := s.fetchFromOrigin(region, path)
+	if err == nil {
+		obs.TraceFromContext(ctx).AddSpan("core.fetch", "origin", lat+spike)
+	}
 	return e, lat + spike, src, err
 }
 
@@ -570,6 +621,7 @@ func (s *Service) Revalidate(ctx context.Context, region netsim.Region, path str
 		if e, ok := edge.Lookup(path); ok && e.Version > knownVersion {
 			lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), len(e.Body)) + spike
 			s.m.revalidations[revalEdge].Inc()
+			obs.TraceFromContext(ctx).AddSpan("core.revalidate", "cdn", lat)
 			return proxy.RevalidationResult{Entry: e, Latency: lat, Source: proxy.SourceCDN}, nil
 		}
 	}
@@ -581,6 +633,7 @@ func (s *Service) Revalidate(ctx context.Context, region netsim.Region, path str
 		lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.EdgeNode(region), revalidationHeaderBytes) +
 			s.cfg.Network.Latency(netsim.EdgeNode(region), netsim.OriginNode, revalidationHeaderBytes) + spike
 		s.m.revalidations[revalNotModified].Inc()
+		obs.TraceFromContext(ctx).AddSpan("core.revalidate", "origin", lat)
 		return proxy.RevalidationResult{
 			NotModified: true,
 			Entry:       entry,
@@ -593,6 +646,7 @@ func (s *Service) Revalidate(ctx context.Context, region netsim.Region, path str
 		return proxy.RevalidationResult{}, err
 	}
 	s.m.revalidations[revalFull].Inc()
+	obs.TraceFromContext(ctx).AddSpan("core.revalidate", "origin", lat+spike)
 	return proxy.RevalidationResult{Entry: entry, Latency: lat + spike, Source: src}, nil
 }
 
@@ -618,6 +672,7 @@ func (s *Service) FetchBlocks(ctx context.Context, region netsim.Region, names [
 	s.mu.Unlock()
 	s.m.blockFetches.Inc()
 	lat := s.cfg.Network.Latency(netsim.ClientNode(region), netsim.OriginNode, size) + s.renderJitter()/2 + spike
+	obs.TraceFromContext(ctx).AddSpan("core.blocks", "origin", lat)
 	return out, lat, nil
 }
 
@@ -659,6 +714,7 @@ func (s *Service) NewDevice(u *session.User, region netsim.Region) *proxy.Proxy 
 		PrefetchLinks: s.cfg.PrefetchLinks,
 		Obs:           s.cfg.Obs,
 		Tracer:        s.cfg.Tracer,
+		SLO:           s.cfg.SLO,
 		Resilience:    res,
 	}, s)
 }
@@ -781,6 +837,9 @@ func (s *Service) Obs() *obs.Registry { return s.cfg.Obs }
 
 // Tracer returns the shared request tracer (nil when tracing is off).
 func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// SLO returns the Δ-budget SLO tracker (nil when SLO telemetry is off).
+func (s *Service) SLO() *obs.DeltaSLO { return s.cfg.SLO }
 
 // Durable returns the durability store (nil when the service runs
 // memory-only).

@@ -915,6 +915,16 @@ func (s *Store) Sync() error {
 	return err
 }
 
+// SnapshotLSN returns the LSN covered by the newest snapshot — taken or
+// recovered in this incarnation — or 0 before any snapshot exists. The
+// health endpoint reports it so operators can see how much WAL tail a
+// crash would replay.
+func (s *Store) SnapshotLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapLSN
+}
+
 // Stats returns a copy of the durability counters, including the
 // underlying WAL's.
 func (s *Store) Stats() Stats {

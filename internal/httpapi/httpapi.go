@@ -11,13 +11,23 @@
 //	GET  /healthz                        liveness + deployment shape (JSON)
 //	GET  /metrics                        Prometheus-style text exposition
 //	GET  /debug/traces?n=...             recent sampled request traces (JSON)
+//	GET  /debug/traces/{id}              all retained traces with that 128-bit
+//	                                     trace ID (byte-deterministic JSON)
+//	GET  /debug/slo                      Δ-budget SLO snapshot: staleness
+//	                                     histograms, burn rates, exemplars
 //	GET  /debug/pprof/...                standard Go profiling endpoints
+//
+// Requests carrying a W3C traceparent header join the caller's trace:
+// the server-side trace adopts the propagated 128-bit trace ID (and the
+// head-based sampling decision), so one device page load stitches into
+// one cross-process trace queryable at /debug/traces/{id}.
 //
 // The package is pure net/http + encoding/json and fully testable with
 // httptest; cmd/speedkit-server is a thin wrapper around Handler.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -27,12 +37,14 @@ import (
 	"time"
 
 	"speedkit/internal/cache"
+	"speedkit/internal/clock"
 	"speedkit/internal/core"
 	"speedkit/internal/durable"
 	"speedkit/internal/metrics"
 	"speedkit/internal/netsim"
 	"speedkit/internal/obs"
 	"speedkit/internal/session"
+	"speedkit/internal/tracectx"
 )
 
 // API serves one Speed Kit service.
@@ -63,6 +75,10 @@ type API struct {
 	walReplayed   *metrics.Gauge
 	snapshotBytes *metrics.Gauge
 	recoveryMode  map[string]*metrics.Gauge
+
+	// runtime feeds Go runtime health (goroutines, heap, GC pauses) into
+	// the registry, refreshed per scrape like the gauges above.
+	runtime *obs.RuntimeCollector
 }
 
 // New creates an API over svc, registering the given users.
@@ -74,6 +90,7 @@ func New(svc *core.Service, users []*session.User) *API {
 		started: svc.Clock().Now(),
 	}
 	r := svc.Obs()
+	a.runtime = obs.NewRuntimeCollector(r)
 	a.sketchGen = r.Gauge("speedkit.sketch.generation")
 	a.sketchTracked = r.Gauge("speedkit.sketch.tracked")
 	a.sketchBytes = r.Gauge("speedkit.sketch.bytes")
@@ -104,6 +121,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", a.handleStats)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", a.handleTraceByID)
+	mux.HandleFunc("GET /debug/slo", a.handleSLO)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -127,6 +146,21 @@ type Health struct {
 	// startup (fresh | snapshot | replay | coldstart); empty when the
 	// service runs memory-only.
 	RecoveryMode string `json:"recovery_mode,omitempty"`
+	// Durability carries the WAL/snapshot counters; absent when the
+	// service runs memory-only.
+	Durability *HealthDurability `json:"durability,omitempty"`
+}
+
+// HealthDurability is the durability section of /healthz: enough to see
+// at a glance whether writes are reaching disk (appends, batched write
+// syscalls, fsyncs) and how much WAL tail a crash would replay (the gap
+// between the append counter and the last snapshot's LSN).
+type HealthDurability struct {
+	WALAppends      uint64 `json:"wal_appends"`
+	WALBatchWrites  uint64 `json:"wal_batch_writes"`
+	WALFsyncs       uint64 `json:"wal_fsyncs"`
+	Snapshots       uint64 `json:"snapshots"`
+	LastSnapshotLSN uint64 `json:"last_snapshot_lsn"`
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -138,7 +172,15 @@ func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		InvalidationShards: a.svc.Engine().Shards(),
 	}
 	if store := a.svc.Durable(); store != nil {
-		h.RecoveryMode = store.Stats().LastRecovery.Mode.String()
+		st := store.Stats()
+		h.RecoveryMode = st.LastRecovery.Mode.String()
+		h.Durability = &HealthDurability{
+			WALAppends:      st.WAL.Appends,
+			WALBatchWrites:  st.WAL.BatchWrites,
+			WALFsyncs:       st.WAL.Fsyncs,
+			Snapshots:       st.Snapshots,
+			LastSnapshotLSN: store.SnapshotLSN(),
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)
@@ -165,8 +207,41 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	// Refresh the scrape-time collectors: burn-rate gauges from the SLO
+	// tracker and the Go runtime gauges. Both are nil-safe.
+	a.svc.SLO().Snapshot()
+	a.runtime.Collect()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = a.svc.Obs().WriteText(w)
+}
+
+// handleSLO serves the Δ-budget SLO snapshot: per-source staleness
+// histograms, multi-window burn rates, and trace-ID exemplars that join
+// tail observations to /debug/traces/{id}.
+func (a *API) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.svc.SLO().Snapshot())
+}
+
+// handleTraceByID serves every retained trace with the given causal
+// identity, oldest first, as byte-deterministic JSON — the query the
+// stitched cross-process exports and SLO exemplars point at.
+func (a *API) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id, ok := tracectx.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "bad trace id (32 lowercase hex chars)", http.StatusBadRequest)
+		return
+	}
+	out, err := obs.ExportTraces(a.svc.Tracer().ByTraceID(id))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out)
+	_, _ = w.Write([]byte("\n"))
 }
 
 // handleTraces dumps the tracer's ring of recent sampled traces, newest
@@ -191,15 +266,40 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(traces)
 }
 
+// startRemote begins the server-side trace for one HTTP request, joining
+// the W3C traceparent the caller propagated (absent or malformed headers
+// collapse to a fresh local root; an unsampled parent yields nil, which
+// every downstream call treats as "off"). The returned ctx carries the
+// trace so the core transport methods attach their spans to it.
+func (a *API) startRemote(r *http.Request, kind, path string) (*obs.Trace, context.Context) {
+	parent, _ := tracectx.ParseTraceparent(r.Header.Get(tracectx.Header))
+	tr := a.svc.Tracer().StartRemote(kind, path, parent)
+	return tr, obs.ContextWithTrace(r.Context(), tr)
+}
+
+// finishRemote stamps the shared trailer fields and publishes the trace.
+func (a *API) finishRemote(tr *obs.Trace, src string, total time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.SetSource(src)
+	tr.SetSketch(a.svc.SketchServer().Generation(), 0, 0)
+	tr.SetTotal(total)
+	a.svc.Tracer().Finish(tr)
+}
+
 // handleSketch serves the flattened client sketch. Cache-Control pins its
 // shared-cache lifetime to Δ so a CDN in front of this endpoint
 // automatically amortizes sketch generation across the client population.
 func (a *API) handleSketch(w http.ResponseWriter, r *http.Request) {
-	sn, _, err := a.svc.FetchSketch(r.Context(), a.region)
+	tr, ctx := a.startRemote(r, "http.sketch", "/sketch")
+	sn, lat, err := a.svc.FetchSketch(ctx, a.region)
 	if err != nil {
+		a.finishRemote(tr, "", 0)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	a.finishRemote(tr, "cdn", lat)
 	data, err := sn.Marshal()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -235,14 +335,22 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?path=", http.StatusBadRequest)
 		return
 	}
+	// The trace starts before the fetch so the core transport's spans
+	// (core.fetch / core.revalidate) land on it via the ctx; when the
+	// device propagated a traceparent, this trace adopts its 128-bit ID
+	// and the page load stitches end-to-end across the hop.
+	tr, ctx := a.startRemote(r, "http.page", path)
 
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		if known, ok := parseETag(inm); ok {
-			rr, err := a.svc.Revalidate(r.Context(), a.region, path, known)
+			rr, err := a.svc.Revalidate(ctx, a.region, path, known)
 			if err != nil {
+				a.finishRemote(tr, "", 0)
 				http.Error(w, err.Error(), http.StatusNotFound)
 				return
 			}
+			tr.MarkRevalidated()
+			a.finishRemote(tr, rr.Source.String(), rr.Latency)
 			if rr.NotModified {
 				a.setCachingHeaders(w, rr.Entry.ExpiresAt, known)
 				w.Header().Set("X-Simulated-Latency", rr.Latency.String())
@@ -254,18 +362,13 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	entry, simLat, src, err := a.svc.Fetch(r.Context(), a.region, path)
+	entry, simLat, src, err := a.svc.Fetch(ctx, a.region, path)
 	if err != nil {
+		a.finishRemote(tr, "", 0)
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	if tr := a.svc.Tracer().Start("http.page", path); tr != nil {
-		tr.SetSource(src.String())
-		tr.SetSketch(a.svc.SketchServer().Generation(), 0, 0)
-		tr.AddSpan("shell.fetch", src.String(), simLat)
-		tr.SetTotal(simLat)
-		a.svc.Tracer().Finish(tr)
-	}
+	a.finishRemote(tr, src.String(), simLat)
 	a.writePage(w, entry, simLat, src.String())
 }
 
@@ -299,11 +402,16 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	u := a.users[r.URL.Query().Get("user")] // nil → anonymous fragments
-	frs, _, err := a.svc.FetchBlocks(r.Context(), a.region, names, u)
+	// The trace path is the fixed endpoint, never the user: traces are
+	// identity-free by construction.
+	tr, ctx := a.startRemote(r, "http.blocks", "/blocks")
+	frs, lat, err := a.svc.FetchBlocks(ctx, a.region, names, u)
 	if err != nil {
+		a.finishRemote(tr, "", 0)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	a.finishRemote(tr, "origin", lat)
 	out := make(map[string]string, len(frs))
 	for name, fr := range frs {
 		out[name] = string(fr)
@@ -342,11 +450,31 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "nothing to write (price= or stock=)", http.StatusBadRequest)
 		return
 	}
-	if err := a.svc.Docs().Patch("products", id, patch); err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	path := "/product/" + id
+	// The write span becomes the causal parent of every invalidation-
+	// pipeline run the patch triggers: the change stream delivers
+	// synchronously inside WithWriteSpan, so the pipeline traces adopt
+	// this trace's ID and the whole fan-out (sketch report, CDN purge,
+	// durable advance) is queryable under one /debug/traces/{id}.
+	tr, _ := a.startRemote(r, "http.write", path)
+	var sw *clock.Stopwatch
+	if tr != nil {
+		sw = clock.NewStopwatch(a.svc.Clock())
+	}
+	var patchErr error
+	a.svc.WithWriteSpan(tr.SpanContext(), func() {
+		patchErr = a.svc.Docs().Patch("products", id, patch)
+	})
+	if patchErr != nil {
+		a.finishRemote(tr, "", 0)
+		http.Error(w, patchErr.Error(), http.StatusNotFound)
 		return
 	}
-	path := "/product/" + id
+	var total time.Duration
+	if sw != nil {
+		total = sw.Elapsed()
+	}
+	a.finishRemote(tr, "origin", total)
 	fmt.Fprintf(w, "ok: %s now v%d, in sketch: %v\n",
 		path, a.svc.Origin().Version(path), a.svc.SketchServer().Contains(path))
 }

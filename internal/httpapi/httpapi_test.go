@@ -236,8 +236,11 @@ func TestTracesEndpoint(t *testing.T) {
 	if page.Path != "/product/p00006" || page.Source != "origin" {
 		t.Fatalf("trace = %+v", page)
 	}
-	if len(page.Spans) == 0 || page.Spans[0].Name != "shell.fetch" {
+	if len(page.Spans) == 0 || page.Spans[0].Name != "core.fetch" {
 		t.Fatalf("spans = %+v", page.Spans)
+	}
+	if page.TraceID.IsZero() || page.SpanID.IsZero() {
+		t.Fatalf("trace lacks causal identity: %+v", page)
 	}
 
 	resp, _ = get(t, ts.URL+"/debug/traces?n=zero")

@@ -29,6 +29,7 @@ import (
 	"speedkit/internal/netsim"
 	"speedkit/internal/proxy"
 	"speedkit/internal/session"
+	"speedkit/internal/tracectx"
 )
 
 // Transport talks to a Speed Kit HTTP API.
@@ -96,12 +97,25 @@ func statusErr(op, path string, resp *http.Response) error {
 	return err
 }
 
+// injectTraceparent stamps the outgoing request with the active span's
+// W3C traceparent, if the caller's context carries one. The span context
+// holds anonymous identifiers only (trace ID, span ID, sampling bit), so
+// the header is safe to send to shared infrastructure. Unsampled loads
+// carry no span and send no header — the propagation path stays
+// allocation-free when tracing sits idle.
+func injectTraceparent(ctx context.Context, req *http.Request) {
+	if sc, ok := tracectx.SpanFromContext(ctx); ok {
+		req.Header.Set(tracectx.Header, sc.Traceparent())
+	}
+}
+
 // get issues a ctx-bound GET.
 func (t *Transport) get(ctx context.Context, url string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
+	injectTraceparent(ctx, req)
 	return t.hc.Do(req)
 }
 
@@ -220,6 +234,7 @@ func (t *Transport) Revalidate(ctx context.Context, _ netsim.Region, path string
 		return proxy.RevalidationResult{}, err
 	}
 	req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(knownVersion, 10)))
+	injectTraceparent(ctx, req)
 	resp, err := t.hc.Do(req)
 	if err != nil {
 		return proxy.RevalidationResult{}, asOffline(err)

@@ -79,6 +79,13 @@ func TestObsLabelsRejectsObsInSharedInfra(t *testing.T) {
 	checkFixture(t, "obsinfra", "fixture/internal/cache", ObsLabels)
 }
 
+func TestObsLabelsCoversSlogFields(t *testing.T) {
+	// The structured log gets the same key/value fence as obs labels:
+	// PII-classified constant keys and identity-derived values in Str /
+	// Int / Msg / Named positions are flagged; anonymous state is clean.
+	checkFixture(t, "sloguse", "fixture/sloguse", ObsLabels)
+}
+
 func TestGDPRBoundaryCoversCommands(t *testing.T) {
 	// A main package with the "//speedkit:deploy shared-infra" directive
 	// gets the full boundary treatment: the synthetic path is NOT under
@@ -91,6 +98,12 @@ func TestPIIFlowFixture(t *testing.T) {
 	// label, and a CDN body; sanitizer cut-offs; struct-field
 	// sensitivity; suppression directives.
 	checkFixture(t, "piiflow", "fixture/piiflow", PIIFlow)
+}
+
+func TestPIIFlowCoversSlogSink(t *testing.T) {
+	// Interprocedural taint into structured-log record positions, with
+	// the gdpr sanitizers cutting the flow.
+	checkFixture(t, "slogflow", "fixture/slogflow", PIIFlow)
 }
 
 func TestHotPathAllocFixture(t *testing.T) {

@@ -24,20 +24,27 @@ import (
 //     not touch values whose types come from internal/session or
 //     internal/gdpr.
 //
+// The same discipline covers the structured log: slog field keys and
+// values (Str, Int, Uint, Bool, Dur, Err, Msg, Named) are exported to
+// whatever collects stderr, so they get the identical static fence —
+// constant keys must not be PII-classified names, values must not read
+// identity-bearing types. The runtime denied-key redaction in slog is
+// the second line of defense, not a license to rely on it.
+//
 // Test files are exempt: the obs registry's own tests exercise the
 // runtime PII rejection with deliberately illegal keys.
 var ObsLabels = &Analyzer{
 	Name: "obslabels",
 	Doc: "shared infrastructure must not import internal/obs, and obs " +
-		"label keys/values must not be PII-classified or derived from " +
-		"identity-bearing types",
+		"label and slog field keys/values must not be PII-classified or " +
+		"derived from identity-bearing types",
 	Run: runObsLabels,
 }
 
 func runObsLabels(pass *Pass) {
-	// The obs package itself hosts the runtime validation; analyzing its
-	// internals (and its deliberately illegal test inputs) adds nothing.
-	if pathHasSegment(pass.Path, "internal/obs") {
+	// The obs and slog packages host the runtime validation; analyzing
+	// their internals (and deliberately illegal test inputs) adds nothing.
+	if pathHasSegment(pass.Path, "internal/obs") || pathHasSegment(pass.Path, "internal/slog") {
 		return
 	}
 
@@ -67,16 +74,24 @@ func runObsLabels(pass *Pass) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				if key, value, ok := obsLabelCall(pass, n); ok {
-					checkLabelKey(pass, pii, key)
-					checkLabelValue(pass, value)
+					checkLabelKey(pass, pii, key, "obs label")
+					checkLabelValue(pass, value, "obs label")
+				}
+				if key, value, ok := slogFieldCall(pass, n); ok {
+					if key != nil {
+						checkLabelKey(pass, pii, key, "log field")
+					}
+					if value != nil {
+						checkLabelValue(pass, value, "log field")
+					}
 				}
 			case *ast.CompositeLit:
 				if key, value, ok := obsLabelLit(pass, n); ok {
 					if key != nil {
-						checkLabelKey(pass, pii, key)
+						checkLabelKey(pass, pii, key, "obs label")
 					}
 					if value != nil {
-						checkLabelValue(pass, value)
+						checkLabelValue(pass, value, "obs label")
 					}
 				}
 			}
@@ -134,23 +149,55 @@ func obsLabelLit(pass *Pass, lit *ast.CompositeLit) (key, value ast.Expr, ok boo
 	return key, value, true
 }
 
-// checkLabelKey reports constant label keys that name PII-classified
-// fields. Non-constant keys are left to the runtime validation — a
-// dynamic key is already rejected at registration.
-func checkLabelKey(pass *Pass, pii map[string]bool, expr ast.Expr) {
+// slogFieldCall recognizes method calls on the structured logger that
+// place caller-controlled strings on the log record, and returns the
+// key/value expressions to check (either may be nil: Msg/Err/Named
+// carry only a value, and non-string field setters carry only keyed
+// non-string data whose key still must not be a PII name).
+func slogFieldCall(pass *Pass, call *ast.CallExpr) (key, value ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || !pathHasSegment(fn.Pkg().Path(), "internal/slog") {
+		return nil, nil, false
+	}
+	switch fn.Name() {
+	case "Str":
+		if len(call.Args) == 2 {
+			return call.Args[0], call.Args[1], true
+		}
+	case "Int", "Uint", "Bool", "Dur":
+		if len(call.Args) == 2 {
+			return call.Args[0], nil, true
+		}
+	case "Msg", "Err", "Named":
+		if len(call.Args) == 1 {
+			return nil, call.Args[0], true
+		}
+	}
+	return nil, nil, false
+}
+
+// checkLabelKey reports constant label/field keys that name
+// PII-classified fields. Non-constant keys are left to the runtime
+// validation — a dynamic key is already rejected at registration (obs)
+// or redacted at the sink (slog).
+func checkLabelKey(pass *Pass, pii map[string]bool, expr ast.Expr, noun string) {
 	tv, ok := pass.Info.Types[expr]
 	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 		return
 	}
 	if key := constant.StringVal(tv.Value); pii[key] {
-		pass.Reportf(expr.Pos(), "obs label key %q is a PII-classified field name", key)
+		pass.Reportf(expr.Pos(), "%s key %q is a PII-classified field name", noun, key)
 	}
 }
 
-// checkLabelValue reports label value expressions that read from
+// checkLabelValue reports label/field value expressions that read from
 // identity-bearing values: any identifier or field selection whose type
 // (or receiver type) comes from internal/session or internal/gdpr.
-func checkLabelValue(pass *Pass, expr ast.Expr) {
+func checkLabelValue(pass *Pass, expr ast.Expr, noun string) {
 	reported := false
 	ast.Inspect(expr, func(n ast.Node) bool {
 		if reported {
@@ -160,14 +207,14 @@ func checkLabelValue(pass *Pass, expr ast.Expr) {
 		case *ast.SelectorExpr:
 			if sel, ok := pass.Info.Selections[n]; ok && isIdentityType(sel.Recv()) {
 				pass.Reportf(n.Pos(),
-					"obs label value reads %s from identity-bearing type %s", n.Sel.Name, sel.Recv())
+					"%s value reads %s from identity-bearing type %s", noun, n.Sel.Name, sel.Recv())
 				reported = true
 				return false
 			}
 		case *ast.Ident:
 			if obj := pass.Info.Uses[n]; obj != nil && isIdentityType(obj.Type()) {
 				pass.Reportf(n.Pos(),
-					"obs label value uses identity-bearing value %s (%s)", n.Name, obj.Type())
+					"%s value uses identity-bearing value %s (%s)", noun, n.Name, obj.Type())
 				reported = true
 				return false
 			}

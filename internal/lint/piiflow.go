@@ -22,7 +22,9 @@ import (
 // value used as a whole. Sanitizers — gdpr.Pseudonymize and
 // gdpr.StripPII — cut taint. Sinks are the API boundaries where bytes
 // leave the device's trust domain: WAL appends, the durability journal,
-// coherence-sketch reports, obs metric labels and trace attributes, CDN
+// coherence-sketch reports, obs metric labels and trace attributes,
+// structured-log records (every slog value position, fail-closed — the
+// runtime denied-key redaction is the backstop, not the fence), CDN
 // edge fills and purges, and fmt/log printing inside shared-infra
 // packages.
 //
@@ -31,8 +33,9 @@ var PIIFlow = &Analyzer{
 	Name: "piiflow",
 	Doc: "no PII value (per gdpr.Classify, fail-closed) may flow — through " +
 		"any number of calls — into WAL frames, the durability journal, " +
-		"sketch reports, obs labels, trace attributes, CDN edges, or " +
-		"shared-infra printing; gdpr.Pseudonymize/StripPII cut the flow",
+		"sketch reports, obs labels, trace attributes, structured-log " +
+		"records, CDN edges, or shared-infra printing; " +
+		"gdpr.Pseudonymize/StripPII cut the flow",
 	RunModule: runPIIFlow,
 }
 
@@ -147,9 +150,20 @@ func piiSinks() []dataflow.SinkSpec {
 			Description: "trace attribute (exported by /debug/traces)",
 			Match: anyOf(
 				sinkMethod("internal/obs", "Trace", "AddSpan"),
+				sinkMethod("internal/obs", "Trace", "AddEvent"),
 				sinkMethod("internal/obs", "Trace", "SetSource"),
 				sinkMethod("internal/obs", "Trace", "MarkDegraded"),
 				sinkMethod("internal/obs", "Tracer", "Start"),
+				sinkMethod("internal/obs", "Tracer", "StartRemote"),
+			),
+		},
+		{
+			Description: "structured log record (process log, exported off-host)",
+			Match: anyOf(
+				sinkMethod("internal/slog", "Event", "Str"),
+				sinkMethod("internal/slog", "Event", "Msg"),
+				sinkMethod("internal/slog", "Event", "Err"),
+				sinkMethod("internal/slog", "Logger", "Named"),
 			),
 		},
 		{

@@ -1,0 +1,42 @@
+// Package slogflow is the taint fixture for the structured-log sink:
+// interprocedural flows of PII values into slog record positions, and
+// the sanitizer cut-offs that make such flows legal.
+package slogflow
+
+import (
+	"context"
+
+	"speedkit/internal/gdpr"
+	"speedkit/internal/session"
+	"speedkit/internal/slog"
+)
+
+// describe is hop zero: a pure transformer, keeps taint.
+func describe(u *session.User) string { return u.Email }
+
+// emit is the hop that reaches the sink; reported at its callers.
+func emit(ctx context.Context, lg *slog.Logger, v string) {
+	lg.Info(ctx).Str("detail", v).Msg("emitted")
+}
+
+func LeakLog(ctx context.Context, lg *slog.Logger, u *session.User) {
+	emit(ctx, lg, describe(u)) // want "reaches structured log record"
+}
+
+// --- direct (one-hop) sink calls are caught too ---
+
+func LeakMsg(ctx context.Context, lg *slog.Logger, u *session.User) {
+	lg.Warn(ctx).Msg(u.Name) // want "reaches structured log record"
+}
+
+// --- sanitizers cut the flow ---
+
+func CleanPseudonymized(ctx context.Context, lg *slog.Logger, u *session.User) {
+	emit(ctx, lg, gdpr.Pseudonymize(u.ID))
+}
+
+// --- anonymous protocol state is clean ---
+
+func CleanProtocol(ctx context.Context, lg *slog.Logger, gen uint64) {
+	lg.Info(ctx).Uint("generation", gen).Msg("sketch rotated")
+}

@@ -1,0 +1,38 @@
+// Package sloguse seeds obslabels violations on the structured-log
+// surface. The fixture test loads it under the synthetic import path
+// "fixture/sloguse" — device-side code, where importing slog and
+// session together is legal but putting identity on a log record is not.
+package sloguse
+
+import (
+	"context"
+	"errors"
+
+	"speedkit/internal/session"
+	"speedkit/internal/slog"
+)
+
+const tierKey = "tier" // PII-classified: loyalty tier reveals account state
+
+// Record shows every shape the analyzer must catch — and the clean
+// forms it must leave alone.
+func Record(ctx context.Context, lg *slog.Logger, u *session.User, source string) {
+	// Clean: bounded, anonymous protocol state.
+	lg.Info(ctx).Str("source", source).Int("generation", 3).Msg("served")
+	lg.Warn(ctx).Err(errors.New("upstream timeout")).Msg("degraded")
+
+	// PII-classified constant keys, literal and via a named constant —
+	// on string fields and non-string fields alike.
+	lg.Info(ctx).Str("email", "x").Msg("bad") // want "PII-classified field name"
+	lg.Info(ctx).Str(tierKey, "x").Msg("bad") // want "PII-classified field name"
+	lg.Info(ctx).Int("user_id", 1).Msg("bad") // want "PII-classified field name"
+
+	// Identity-derived values behind a clean key, and in the message.
+	lg.Info(ctx).Str("segment", u.ID).Msg("bad") // want "identity-bearing type"
+	lg.Error(ctx).Msg(u.Name)                    // want "identity-bearing type"
+
+	// Component names are static identifiers, never request state.
+	lg.Named(ident(u)).Info(ctx).Msg("bad") // want "identity-bearing value"
+}
+
+func ident(u *session.User) string { return u.ID }

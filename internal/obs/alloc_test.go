@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"speedkit/internal/clock"
+	"speedkit/internal/tracectx"
 )
 
 // The acceptance bar for telemetry on the request path: tracing that is
@@ -44,6 +45,35 @@ func TestUnsampledStartAllocsFree(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("unsampled Start allocates %v per run, want 0", n)
+	}
+}
+
+func TestUnsampledRemoteStartAllocsFree(t *testing.T) {
+	// A propagated parent whose head decided NOT to sample: StartRemote
+	// must honor the decision with zero allocations — this is the common
+	// path on every server request from an untraced client.
+	tcr := NewTracer(clock.NewSimulated(time.Time{}), 1, 8)
+	src := tracectx.NewIDSource(9)
+	parent := tracectx.SpanContext{TraceID: src.TraceID(), SpanID: src.SpanID(), Sampled: false}
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr := tcr.StartRemote("http.page", "/p", parent); tr != nil {
+			t.Fatal("unsampled parent was recorded")
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled StartRemote allocates %v per run, want 0", n)
+	}
+}
+
+func TestNilTracerStartRemoteAllocsFree(t *testing.T) {
+	var nilT *Tracer
+	src := tracectx.NewIDSource(9)
+	parent := tracectx.SpanContext{TraceID: src.TraceID(), SpanID: src.SpanID(), Sampled: true}
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr := nilT.StartRemote("http.page", "/p", parent); tr != nil {
+			t.Fatal("nil tracer sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("nil StartRemote allocates %v per run, want 0", n)
 	}
 }
 

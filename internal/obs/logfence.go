@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"speedkit/internal/gdpr"
+	"speedkit/internal/slog"
+)
+
+// The structured logger lives below the GDPR boundary and therefore
+// cannot import the classification itself. This init installs the
+// runtime log-field fence — every field name the GDPR model classifies
+// as PII becomes a denied log key — from the one package that sits on
+// the telemetry side and already depends on gdpr. Any binary that links
+// telemetry (server, sim, every cmd) gets the fence for free; the
+// static piiflow/obslabels analyzers remain the primary gate, this is
+// the belt-and-braces behind them.
+func init() {
+	slog.DenyKeys(gdpr.PIIFields()...)
+}

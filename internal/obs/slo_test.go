@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/tracectx"
+)
+
+func newTestSLO(clk clock.Clock) (*DeltaSLO, *Registry) {
+	r := NewRegistry()
+	s := NewDeltaSLO(SLOConfig{Clock: clk, Registry: r, Objective: 0.999})
+	return s, r
+}
+
+func TestSLOBucketsAreCumulative(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1700000000, 0).UTC())
+	s, _ := newTestSLO(clk)
+	ids := tracectx.NewIDSource(1)
+	// One observation per bucket, plus one breach.
+	for _, frac := range []float64{0.05, 0.2, 0.4, 0.7, 0.8, 0.95, 1.5} {
+		s.Observe("cdn", frac, ids.TraceID())
+	}
+	snap := s.Snapshot()
+	if len(snap.Sources) != 1 || snap.Sources[0].Source != "cdn" {
+		t.Fatalf("sources = %+v", snap.Sources)
+	}
+	src := snap.Sources[0]
+	wantCum := []uint64{1, 2, 3, 4, 5, 6, 7}
+	if len(src.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(src.Buckets), len(wantCum))
+	}
+	for i, b := range src.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket[%d] (le=%s) = %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if src.Buckets[len(src.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("last bucket le = %s", src.Buckets[len(src.Buckets)-1].LE)
+	}
+	if src.Total != 7 {
+		t.Fatalf("total = %d", src.Total)
+	}
+}
+
+func TestSLOBurnRateWindows(t *testing.T) {
+	start := time.Unix(1700000000, 0).UTC()
+	clk := clock.NewSimulated(start)
+	s, _ := newTestSLO(clk)
+	tid := tracectx.TraceID{}
+
+	// Minute 0: 9 good, 1 breach => 10% breach rate; objective 0.999
+	// means a 0.1% error budget, so burn = 0.10/0.001 = 100.
+	for i := 0; i < 9; i++ {
+		s.Observe("cdn", 0.5, tid)
+	}
+	s.Observe("cdn", 1.5, tid)
+	snap := s.Snapshot()
+	for _, w := range snap.Windows {
+		if w.Total != 10 || w.Breached != 1 {
+			t.Fatalf("window %s = %+v, want 10/1", w.Window, w)
+		}
+		if w.BurnRate < 99.9 || w.BurnRate > 100.1 {
+			t.Fatalf("window %s burn = %v, want ~100", w.Window, w.BurnRate)
+		}
+	}
+
+	// 10 minutes later: clean traffic. The 5m window forgets the breach,
+	// the 30m window still sees it.
+	clk.Advance(10 * time.Minute)
+	for i := 0; i < 10; i++ {
+		s.Observe("cdn", 0.2, tid)
+	}
+	snap = s.Snapshot()
+	byWindow := map[string]SLOWindow{}
+	for _, w := range snap.Windows {
+		byWindow[w.Window] = w
+	}
+	if w := byWindow["5m0s"]; w.Total != 10 || w.Breached != 0 || w.BurnRate != 0 {
+		t.Fatalf("5m window = %+v, want clean 10/0", w)
+	}
+	if w := byWindow["30m0s"]; w.Total != 20 || w.Breached != 1 {
+		t.Fatalf("30m window = %+v, want 20/1", w)
+	}
+
+	// 7 hours later: everything has aged out of even the 6h window.
+	clk.Advance(7 * time.Hour)
+	snap = s.Snapshot()
+	for _, w := range snap.Windows {
+		if w.Total != 0 || w.BurnRate != 0 {
+			t.Fatalf("window %s retains aged-out traffic: %+v", w.Window, w)
+		}
+	}
+}
+
+func TestSLOExemplarsTailOnly(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1700000000, 0).UTC())
+	s, _ := newTestSLO(clk)
+	ids := tracectx.NewIDSource(7)
+	lowID, tailID := ids.TraceID(), ids.TraceID()
+
+	s.Observe("cdn", 0.2, lowID)              // below the tail: no exemplar
+	s.Observe("origin", 0.8, tailID)          // tail: exemplar
+	s.Observe("cdn", 1.2, tracectx.TraceID{}) // breach but unsampled: no exemplar
+	snap := s.Snapshot()
+	if len(snap.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly one", snap.Exemplars)
+	}
+	ex := snap.Exemplars[0]
+	if ex.TraceID != tailID || ex.Source != "origin" || ex.Budget != 0.8 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+
+	// The ring keeps the newest ExemplarCap exemplars.
+	capN := s.cfg.ExemplarCap
+	for i := 0; i < capN+5; i++ {
+		s.Observe("cdn", 0.9, ids.TraceID())
+	}
+	snap = s.Snapshot()
+	if len(snap.Exemplars) != capN {
+		t.Fatalf("exemplar ring = %d, want cap %d", len(snap.Exemplars), capN)
+	}
+	for _, e := range snap.Exemplars {
+		if e.TraceID == lowID {
+			t.Fatal("below-tail trace donated an exemplar")
+		}
+	}
+}
+
+func TestSLOSnapshotDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		clk := clock.NewSimulated(time.Unix(1700000000, 0).UTC())
+		s, _ := newTestSLO(clk)
+		ids := tracectx.NewIDSource(3)
+		s.Observe("origin", 0.8, ids.TraceID())
+		s.Observe("cdn", 0.3, ids.TraceID())
+		s.Observe("device", 1.1, ids.TraceID())
+		b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	x, y := build(), build()
+	if string(x) != string(y) {
+		t.Fatalf("twin snapshots differ:\n%s\n---\n%s", x, y)
+	}
+	// Sources sorted by name for byte determinism.
+	var snap SLOSnapshot
+	if err := json.Unmarshal(x, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sources) != 3 || snap.Sources[0].Source != "cdn" ||
+		snap.Sources[1].Source != "device" || snap.Sources[2].Source != "origin" {
+		t.Fatalf("sources not sorted: %+v", snap.Sources)
+	}
+}
+
+func TestSLOFeedsRegistry(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1700000000, 0).UTC())
+	s, r := newTestSLO(clk)
+	s.Observe("cdn", 0.5, tracectx.TraceID{})
+	s.Observe("cdn", 1.5, tracectx.TraceID{})
+	s.Snapshot() // refreshes burn gauges
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"speedkit_slo_delta_budget_permil_count{source=\"cdn\"} 2",
+		"speedkit_slo_objective_millis 999",
+		"speedkit_slo_burn_rate_millis{window=\"5m0s\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSLONilIsInert(t *testing.T) {
+	var s *DeltaSLO
+	s.Observe("cdn", 0.5, tracectx.TraceID{}) // must not panic
+	snap := s.Snapshot()
+	if snap.Objective != 0 || len(snap.Sources) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Collect()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"speedkit_runtime_goroutines",
+		"speedkit_runtime_heap_alloc_bytes",
+		"speedkit_runtime_gc_cycles",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	var nilC *RuntimeCollector
+	nilC.Collect() // must not panic
+}

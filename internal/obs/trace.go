@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"speedkit/internal/clock"
+	"speedkit/internal/tracectx"
 )
 
 // Span is one timed step inside a trace: a sketch fetch, the shell
@@ -38,6 +41,20 @@ type Span struct {
 type Trace struct {
 	// ID orders traces; it is the sampling sequence number that drew them.
 	ID uint64 `json:"id"`
+	// TraceID is the 128-bit causal identity shared by every span of the
+	// request, across processes: the device's page-load trace, the
+	// server's http.page trace, and the invalidation trace a write fans
+	// out into all carry the same TraceID when stitched over a real HTTP
+	// hop via the W3C traceparent header.
+	TraceID tracectx.TraceID `json:"trace_id"`
+	// SpanID is this trace's own 64-bit span identity — what a downstream
+	// process sees as its parent when the context propagates.
+	SpanID tracectx.SpanID `json:"span_id"`
+	// ParentSpanID is the propagated parent's span ID; zero for a root.
+	ParentSpanID tracectx.SpanID `json:"parent_span_id"`
+	// Remote marks a trace whose identity was adopted from a propagated
+	// context rather than drawn locally.
+	Remote bool `json:"remote,omitempty"`
 	// Kind is the request class: "page_load", "http.page", "invalidation".
 	Kind string `json:"kind"`
 	// Path is the (anonymous) resource the request was for.
@@ -72,6 +89,38 @@ type Trace struct {
 	Total time.Duration `json:"total_ns"`
 	// Spans are the timed steps, in recording order.
 	Spans []Span `json:"spans,omitempty"`
+	// Events are point annotations in recording order: a retry attempt,
+	// a circuit-breaker open, a degradation decision. They carry no
+	// timestamp of their own — ordering is the information — which keeps
+	// them deterministic under the simulated clock.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Event is a point annotation on a trace: something that happened
+// between spans, with a short machine-readable detail (a retry count, a
+// degradation reason, a breaker name). Details are anonymous protocol
+// state, never identity — the obslabels analyzer polices the call sites.
+type Event struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// SpanContext returns the propagated form of this trace's identity.
+// A nil (unsampled) trace returns the zero, invalid SpanContext —
+// callers on that path send no header at all.
+func (tr *Trace) SpanContext() tracectx.SpanContext {
+	if tr == nil {
+		return tracectx.SpanContext{}
+	}
+	return tracectx.SpanContext{TraceID: tr.TraceID, SpanID: tr.SpanID, Sampled: true}
+}
+
+// AddEvent appends a point annotation. No-op on a nil trace.
+func (tr *Trace) AddEvent(name, detail string) {
+	if tr == nil {
+		return
+	}
+	tr.Events = append(tr.Events, Event{Name: name, Detail: detail})
 }
 
 // AddSpan appends a timed step. No-op on a nil (unsampled) trace.
@@ -179,6 +228,12 @@ type Tracer struct {
 	seq         atomic.Uint64
 	sampled     atomic.Uint64
 
+	// ids draws trace/span identity on the sampled path only, guarded by
+	// idMu (splitmix64 state is not concurrency-safe, and the sampled
+	// path already allocates, so a mutex costs nothing that matters).
+	idMu sync.Mutex
+	ids  *tracectx.IDSource
+
 	mu   sync.Mutex
 	ring []*Trace // guarded by mu
 	next int      // guarded by mu
@@ -186,15 +241,29 @@ type Tracer struct {
 
 // NewTracer creates a tracer reading time from clk (default the coarse
 // system clock), sampling one request in sampleEvery (0 disables), and
-// retaining the last ringSize finished traces (default 256).
+// retaining the last ringSize finished traces (default 256). Trace and
+// span IDs come from a default-seeded deterministic stream; processes
+// that need distinct or replayable ID streams use NewTracerSeeded.
 func NewTracer(clk clock.Clock, sampleEvery int, ringSize int) *Tracer {
+	return NewTracerSeeded(clk, sampleEvery, ringSize, 1)
+}
+
+// NewTracerSeeded is NewTracer with an explicit identity seed. Same
+// seed, same ID sequence — golden trace exports depend on it. Two
+// cooperating processes (device and server) seed differently so locally
+// rooted traces never collide.
+func NewTracerSeeded(clk clock.Clock, sampleEvery int, ringSize int, seed int64) *Tracer {
 	if clk == nil {
 		clk = clock.CoarseSystem
 	}
 	if ringSize <= 0 {
 		ringSize = 256
 	}
-	t := &Tracer{clk: clk, ring: make([]*Trace, 0, ringSize)}
+	t := &Tracer{
+		clk:  clk,
+		ids:  tracectx.NewIDSource(seed),
+		ring: make([]*Trace, 0, ringSize),
+	}
 	if sampleEvery > 0 {
 		t.sampleEvery.Store(uint64(sampleEvery))
 	}
@@ -238,7 +307,51 @@ func (t *Tracer) Start(kind, path string) *Trace {
 		return nil
 	}
 	t.sampled.Add(1)
-	return &Trace{ID: id, Kind: kind, Path: path, Start: t.clk.Now()}
+	tr := &Trace{ID: id, Kind: kind, Path: path, Start: t.clk.Now()}
+	t.idMu.Lock()
+	tr.TraceID = t.ids.TraceID()
+	tr.SpanID = t.ids.SpanID()
+	t.idMu.Unlock()
+	return tr
+}
+
+// StartRemote starts a trace that joins (or declines to join) a
+// propagated span context, honoring the head-based sampling decision in
+// both directions: a valid sampled parent forces recording under the
+// parent's trace ID regardless of the local sampling knob, and a valid
+// unsampled parent forces nil, so one page load is traced end-to-end or
+// not at all. An invalid parent — absent, malformed, or truncated
+// header, already collapsed to the zero SpanContext by
+// tracectx.ParseTraceparent — falls back to a fresh local root via
+// Start: never a panic, never an inherited sampling bit.
+//
+// The unsampled-parent outcome is one branch and no allocation; the
+// alloc gates pin it.
+func (t *Tracer) StartRemote(kind, path string, parent tracectx.SpanContext) *Trace {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.Start(kind, path)
+	}
+	if !parent.Sampled {
+		t.seq.Add(1)
+		return nil
+	}
+	t.seq.Add(1)
+	tr := &Trace{
+		ID:           t.sampled.Add(1),
+		Kind:         kind,
+		Path:         path,
+		Start:        t.clk.Now(),
+		TraceID:      parent.TraceID,
+		ParentSpanID: parent.SpanID,
+		Remote:       true,
+	}
+	t.idMu.Lock()
+	tr.SpanID = t.ids.SpanID()
+	t.idMu.Unlock()
+	return tr
 }
 
 // Finish publishes a populated trace into the ring buffer. The trace
@@ -283,10 +396,75 @@ func (t *Tracer) Recent(n int) []*Trace {
 	return out
 }
 
+// ByTraceID returns every retained trace with the given causal
+// identity, oldest first. One process can legitimately hold several:
+// the server's http.page trace and the invalidation trace a write
+// caused share a trace ID by design. Empty result for the zero ID.
+func (t *Tracer) ByTraceID(id tracectx.TraceID) []*Trace {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Trace
+	total := len(t.ring)
+	// Walk oldest→newest: the slot at t.next is the oldest once the ring
+	// has wrapped; before wrapping the ring is already in order.
+	start := 0
+	if total == cap(t.ring) {
+		start = t.next
+	}
+	for i := 0; i < total; i++ {
+		tr := t.ring[(start+i)%total]
+		if tr.TraceID == id {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
 // Stats returns a copy of the tracer counters.
 func (t *Tracer) Stats() TracerStats {
 	if t == nil {
 		return TracerStats{}
 	}
 	return TracerStats{Started: t.seq.Load(), Sampled: t.sampled.Load()}
+}
+
+// ExportTraces renders traces as indented JSON, byte-deterministically:
+// struct-field order is fixed, IDs serialize as lowercase hex, and
+// under a simulated clock the timestamps replay exactly. The golden
+// stitching tests compare this output verbatim.
+func ExportTraces(traces []*Trace) ([]byte, error) {
+	if traces == nil {
+		traces = []*Trace{}
+	}
+	return json.MarshalIndent(traces, "", "  ")
+}
+
+// traceCtxKey carries the active *Trace through a request's context so
+// lower layers (transport, core service, resilience retries) can attach
+// spans and events without new parameters on every signature.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tr as the active trace, both as
+// the *Trace itself (for span/event attachment below this layer) and as
+// its tracectx.SpanContext (so packages below the GDPR boundary — the
+// structured logger above all — can stamp trace identity without
+// importing obs). A nil trace (the unsampled case) stores nothing,
+// keeping that path free.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceCtxKey{}, tr)
+	return tracectx.ContextWithSpan(ctx, tr.SpanContext())
+}
+
+// TraceFromContext returns the active trace, or nil — and nil is fine:
+// every *Trace method is a nil-safe no-op, so callers chain directly,
+// e.g. obs.TraceFromContext(ctx).AddSpan(...).
+func TraceFromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
 }

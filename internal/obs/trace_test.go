@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"speedkit/internal/clock"
+	"speedkit/internal/tracectx"
 )
 
 func TestTracerSamplesOneInN(t *testing.T) {
@@ -118,4 +120,182 @@ func ids(trs []*Trace) []uint64 {
 		out[i] = tr.ID
 	}
 	return out
+}
+
+func TestTracerAssignsCausalIdentity(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracerSeeded(clk, 1, 8, 42)
+	a := tcr.Start("page_load", "/p")
+	b := tcr.Start("page_load", "/p")
+	for _, tr := range []*Trace{a, b} {
+		if tr.TraceID.IsZero() || tr.SpanID.IsZero() {
+			t.Fatalf("sampled trace missing identity: %+v", tr)
+		}
+		if !tr.ParentSpanID.IsZero() || tr.Remote {
+			t.Fatalf("locally rooted trace claims a parent: %+v", tr)
+		}
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatal("two local roots share a trace ID")
+	}
+	// Same seed replays the same identity stream.
+	twin := NewTracerSeeded(clock.NewSimulated(time.Time{}), 1, 8, 42)
+	if ta := twin.Start("page_load", "/p"); ta.TraceID != a.TraceID || ta.SpanID != a.SpanID {
+		t.Fatal("seeded tracers diverged")
+	}
+	sc := a.SpanContext()
+	if !sc.Valid() || !sc.Sampled || sc.TraceID != a.TraceID || sc.SpanID != a.SpanID {
+		t.Fatalf("SpanContext = %+v", sc)
+	}
+	var nilTr *Trace
+	if nilTr.SpanContext().Valid() {
+		t.Fatal("nil trace produced a valid span context")
+	}
+}
+
+func TestStartRemoteInheritsSamplingBothWays(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	parentTcr := NewTracerSeeded(clk, 1, 8, 1)
+	parent := parentTcr.Start("page_load", "/p")
+
+	// Sampled parent forces recording even when the local knob would
+	// never draw the request.
+	server := NewTracerSeeded(clk, 1<<30, 8, 2)
+	child := server.StartRemote("http.page", "/p", parent.SpanContext())
+	if child == nil {
+		t.Fatal("sampled parent was not honored")
+	}
+	if child.TraceID != parent.TraceID {
+		t.Fatalf("child trace ID %s != parent %s", child.TraceID, parent.TraceID)
+	}
+	if child.ParentSpanID != parent.SpanID || !child.Remote {
+		t.Fatalf("child parentage = %+v", child)
+	}
+	if child.SpanID == parent.SpanID || child.SpanID.IsZero() {
+		t.Fatalf("child span ID %s not distinct from parent", child.SpanID)
+	}
+
+	// Unsampled parent forces nil even when the local knob samples
+	// everything.
+	unsampled := parent.SpanContext()
+	unsampled.Sampled = false
+	eager := NewTracerSeeded(clk, 1, 8, 3)
+	if tr := eager.StartRemote("http.page", "/p", unsampled); tr != nil {
+		t.Fatalf("unsampled parent was recorded: %+v", tr)
+	}
+
+	// Invalid parent (malformed header already collapsed to zero) falls
+	// back to a fresh local root with a fresh trace ID.
+	root := eager.StartRemote("http.page", "/p", tracectx.SpanContext{})
+	if root == nil {
+		t.Fatal("invalid parent did not fall back to local root")
+	}
+	if root.TraceID == parent.TraceID || root.Remote || !root.ParentSpanID.IsZero() {
+		t.Fatalf("fallback root inherited remote state: %+v", root)
+	}
+}
+
+func TestByTraceID(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracerSeeded(clk, 1, 4, 5)
+	a := tcr.Start("http.page", "/p")
+	// A second trace joining a's causal identity (the invalidation the
+	// write caused).
+	inv := tcr.StartRemote("invalidation", "/p", a.SpanContext())
+	other := tcr.Start("http.page", "/q")
+	tcr.Finish(a)
+	tcr.Finish(inv)
+	tcr.Finish(other)
+
+	got := tcr.ByTraceID(a.TraceID)
+	if len(got) != 2 || got[0] != a || got[1] != inv {
+		t.Fatalf("ByTraceID returned %d traces, want [a inv]", len(got))
+	}
+	if got := tcr.ByTraceID(other.TraceID); len(got) != 1 || got[0] != other {
+		t.Fatalf("ByTraceID(other) = %v", got)
+	}
+	if tcr.ByTraceID(tracectx.TraceID{}) != nil {
+		t.Fatal("zero ID matched")
+	}
+	var nilT *Tracer
+	if nilT.ByTraceID(a.TraceID) != nil {
+		t.Fatal("nil tracer returned traces")
+	}
+
+	// Ring wrap: oldest evicted, order preserved oldest→newest.
+	for i := 0; i < 4; i++ {
+		tr := tcr.StartRemote("evict", "/e", a.SpanContext())
+		tcr.Finish(tr)
+	}
+	wrapped := tcr.ByTraceID(a.TraceID)
+	if len(wrapped) != 4 {
+		t.Fatalf("after wrap ByTraceID = %d traces, want 4 evict traces", len(wrapped))
+	}
+	for _, tr := range wrapped {
+		if tr.Kind != "evict" {
+			t.Fatalf("stale trace survived wrap: %+v", tr)
+		}
+	}
+}
+
+func TestTraceEventsRecordInOrder(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracer(clk, 1, 4)
+	tr := tcr.Start("page_load", "/p")
+	tr.AddEvent("retry", "sketch attempt=1")
+	tr.AddEvent("breaker.open", "origin")
+	tr.AddEvent("degraded", "stale_shell")
+	if len(tr.Events) != 3 || tr.Events[0].Name != "retry" || tr.Events[2].Detail != "stale_shell" {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+	var nilTr *Trace
+	nilTr.AddEvent("x", "y") // must not panic
+}
+
+func TestExportTracesDeterministic(t *testing.T) {
+	build := func() []*Trace {
+		clk := clock.NewSimulated(time.Unix(1700000000, 0).UTC())
+		tcr := NewTracerSeeded(clk, 1, 4, 42)
+		a := tcr.Start("page_load", "/product/p1")
+		a.AddSpan("sketch.fetch", "cdn", 5*time.Millisecond)
+		a.AddEvent("retry", "sketch attempt=1")
+		a.SetSource("cdn")
+		a.SetTotal(9 * time.Millisecond)
+		tcr.Finish(a)
+		b := tcr.StartRemote("http.page", "/product/p1", a.SpanContext())
+		b.SetTotal(3 * time.Millisecond)
+		tcr.Finish(b)
+		return tcr.Recent(0)
+	}
+	x, err := ExportTraces(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := ExportTraces(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Fatalf("twin exports differ:\n%s\n---\n%s", x, y)
+	}
+	if empty, err := ExportTraces(nil); err != nil || string(empty) != "[]" {
+		t.Fatalf("ExportTraces(nil) = %q, %v", empty, err)
+	}
+}
+
+func TestContextCarriesTrace(t *testing.T) {
+	clk := clock.NewSimulated(time.Time{})
+	tcr := NewTracer(clk, 1, 4)
+	tr := tcr.Start("page_load", "/p")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFromContext(ctx); got != tr {
+		t.Fatalf("TraceFromContext = %v, want %v", got, tr)
+	}
+	if TraceFromContext(context.Background()) != nil {
+		t.Fatal("empty ctx yielded a trace")
+	}
+	// Nil traces are not stored: the unsampled path stays free.
+	if ctx2 := ContextWithTrace(context.Background(), nil); TraceFromContext(ctx2) != nil {
+		t.Fatal("nil trace stored in ctx")
+	}
 }

@@ -139,6 +139,11 @@ type Config struct {
 	// Tracer samples page-load traces (nil disables tracing at zero
 	// per-load cost).
 	Tracer *obs.Tracer
+	// SLO receives one Δ-budget observation per load — the fraction of
+	// the staleness budget the consulted sketch snapshot had burned at
+	// decision time — keyed by serving tier, with the load's trace ID as
+	// exemplar when the load was sampled (nil disables).
+	SLO *obs.DeltaSLO
 	// Obs registers device-side metrics — loads by serving tier, load and
 	// block-personalization latency — under the shared registry (nil
 	// disables).
@@ -325,8 +330,12 @@ func (p *Proxy) Load(ctx context.Context, path string) (PageLoad, error) {
 	p.stats.Loads++
 	// Unsampled and disabled tracing both yield a nil trace; every trace
 	// method below is a nil-safe no-op, so the untraced load pays one
-	// atomic load here and nothing else.
+	// atomic load here and nothing else. A sampled trace also rides the
+	// ctx so the layers below — the resilience retry loop, and the HTTP
+	// transport that propagates the W3C traceparent to the server — reach
+	// it without new parameters; ContextWithTrace is a no-op for nil.
 	trace := p.cfg.Tracer.Start("page_load", path)
+	ctx = obs.ContextWithTrace(ctx, trace)
 
 	// 1. Sketch freshness: refresh if older than Δ. The sketch itself is
 	// an anonymous resource fetched from the edge. A failed refresh
@@ -336,7 +345,7 @@ func (p *Proxy) Load(ctx context.Context, path string) (PageLoad, error) {
 	if !p.cfg.DisableSketch && p.sketch.NeedsRefresh() {
 		var sn *cachesketch.Snapshot
 		sketchStart := res.Latency
-		err := p.withRetry(ctx, &res, p.brSketch, func() error {
+		err := p.withRetry(ctx, &res, p.brSketch, "sketch", func() error {
 			s, lat, err := p.tr.FetchSketch(ctx, p.cfg.Region)
 			if err != nil {
 				return err
@@ -361,10 +370,17 @@ func (p *Proxy) Load(ctx context.Context, path string) (PageLoad, error) {
 			sketchOK = false
 		}
 	}
-	if trace != nil && !p.cfg.DisableSketch {
-		// Sketch state at decision time: how much of the Δ budget the
-		// held snapshot had consumed when it vouched for this load.
-		trace.SetSketch(p.sketch.Generation(), p.sketch.Age(), p.cfg.Delta)
+	// Sketch state at decision time: how much of the Δ budget the held
+	// snapshot had consumed when it vouched for this load. The fraction
+	// feeds both the sampled trace and the SLO histogram (which counts
+	// every load, sampled or not).
+	budgetFrac := -1.0
+	if !p.cfg.DisableSketch {
+		age := p.sketch.Age()
+		trace.SetSketch(p.sketch.Generation(), age, p.cfg.Delta)
+		if p.cfg.Delta > 0 {
+			budgetFrac = float64(age) / float64(p.cfg.Delta)
+		}
 	}
 
 	// 2. Coherence decision for the shell. With the sketch disabled,
@@ -502,6 +518,11 @@ func (p *Proxy) Load(ctx context.Context, path string) (PageLoad, error) {
 	trace.SetSource(res.Source.String())
 	trace.SetTotal(res.Latency)
 	p.cfg.Tracer.Finish(trace)
+	if p.cfg.SLO != nil && budgetFrac >= 0 {
+		// SpanContext is nil-safe: an unsampled load donates the zero
+		// trace ID, so it counts toward the SLO but never as an exemplar.
+		p.cfg.SLO.Observe(res.Source.String(), budgetFrac, trace.SpanContext().TraceID)
+	}
 	if p.m != nil {
 		p.m.loads[res.Source].Inc()
 		p.m.loadLatency.ObserveDuration(res.Latency)
@@ -527,7 +548,7 @@ func (p *Proxy) fetchShell(ctx context.Context, path string, res *PageLoad) (cac
 	p.auditCDN("path")
 	var entry cache.Entry
 	var src Source
-	err := p.withRetry(ctx, res, p.brShell, func() error {
+	err := p.withRetry(ctx, res, p.brShell, "shell", func() error {
 		e, lat, s, err := p.tr.Fetch(ctx, p.cfg.Region, path)
 		if err != nil {
 			return err
@@ -570,7 +591,7 @@ func (p *Proxy) revalidateShell(ctx context.Context, path string, res *PageLoad)
 	}
 	p.auditCDN("path")
 	var rr RevalidationResult
-	err := p.withRetry(ctx, res, p.brShell, func() error {
+	err := p.withRetry(ctx, res, p.brShell, "shell", func() error {
 		r, err := p.tr.Revalidate(ctx, p.cfg.Region, path, knownVersion)
 		if err != nil {
 			return err
@@ -643,7 +664,7 @@ func (p *Proxy) personalize(ctx context.Context, entry cache.Entry, res *PageLoa
 			p.cfg.Auditor.RecordFlow(gdpr.BoundaryOrigin, []string{"user_id", "path"})
 		}
 		var frs map[string][]byte
-		err := p.withRetry(ctx, res, p.brBlocks, func() error {
+		err := p.withRetry(ctx, res, p.brBlocks, "blocks", func() error {
 			f, lat, err := p.tr.FetchBlocks(ctx, p.cfg.Region, originNames, p.cfg.User)
 			if err != nil {
 				return err

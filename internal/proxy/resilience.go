@@ -3,6 +3,7 @@ package proxy
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
 	"speedkit/internal/cache"
@@ -84,14 +85,22 @@ func (p *Proxy) budgetLeft(res *PageLoad) bool {
 // Outcome mapping: ErrOffline fails fast (the offline ladder handles
 // it); application errors resolve the breaker as success (the upstream
 // answered) and propagate unchanged; ctx cancellation is never retried.
-func (p *Proxy) withRetry(ctx context.Context, res *PageLoad, br *resilience.Breaker, op func() error) error {
+// Sampled traces riding the ctx (obs.ContextWithTrace) collect the
+// resilience decisions as events: each retry attempt, breaker
+// rejections, breaker opens, and an exhausted budget — so a degraded
+// load's trace explains which rung fired and why. The unsampled path
+// pays one ctx lookup; every event call is a nil-safe no-op.
+func (p *Proxy) withRetry(ctx context.Context, res *PageLoad, br *resilience.Breaker, upstream string, op func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := obs.TraceFromContext(ctx)
 	if !p.budgetLeft(res) {
+		tr.AddEvent("budget.exhausted", upstream)
 		return ErrBudgetExceeded
 	}
 	if !br.Allow() {
+		tr.AddEvent("breaker.rejected", upstream)
 		return ErrCircuitOpen
 	}
 	for attempt := 0; ; attempt++ {
@@ -106,12 +115,18 @@ func (p *Proxy) withRetry(ctx context.Context, res *PageLoad, br *resilience.Bre
 			// partitions open the circuit) but never retry — the offline
 			// ladder answers faster than any backoff schedule.
 			br.Failure()
+			tr.AddEvent("offline", upstream)
 			return err
 		case errors.Is(err, ErrUpstream):
 			br.Failure()
-			if attempt >= p.cfg.Resilience.RetryMax || br.State() == resilience.Open {
+			if br.State() == resilience.Open {
+				tr.AddEvent("breaker.open", upstream)
 				return err
 			}
+			if attempt >= p.cfg.Resilience.RetryMax {
+				return err
+			}
+			tr.AddEvent("retry", upstream+" attempt="+strconv.Itoa(attempt+1))
 			delay := p.backoff.Delay(p.rng, attempt)
 			res.Latency += delay
 			p.stats.Retries++
@@ -123,6 +138,7 @@ func (p *Proxy) withRetry(ctx context.Context, res *PageLoad, br *resilience.Bre
 				return err
 			}
 			if !p.budgetLeft(res) {
+				tr.AddEvent("budget.exhausted", upstream)
 				return ErrBudgetExceeded
 			}
 		default:
@@ -148,6 +164,7 @@ func (p *Proxy) markDegraded(res *PageLoad, trace *obs.Trace, reason DegradeReas
 		}
 	}
 	trace.MarkDegraded(string(reason))
+	trace.AddEvent("degraded", string(reason))
 }
 
 // heldWithinDelta returns a held device copy of path whose StoredAt is
