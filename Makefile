@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash stitch experiments fmt vet clean
+.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash stitch edge experiments fmt vet clean
 
 all: build test lint
 
@@ -28,6 +28,9 @@ help:
 	@echo "  crash          seed-pinned crash-recovery run asserting durability invariants"
 	@echo "  stitch         two-process trace-stitching gate over real HTTP (traceparent"
 	@echo "                 propagation, causal parentage, byte-deterministic export)"
+	@echo "  edge           edge-cache smoke gate over real HTTP (stampede coalescing,"
+	@echo "                 purge propagation, mid-fill kill + warm restart, zero"
+	@echo "                 persisted PII)"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -138,6 +141,18 @@ STITCH_SEED ?= 1
 
 stitch:
 	$(GO) run ./cmd/speedkit-sim -stitch -seed $(STITCH_SEED)
+
+# Edge gate: a real speedkit-server and a speedkit edge proxy joined only
+# by loopback HTTP. Asserts a 100-client stampede reaches the origin
+# exactly once, backend writes purge the edge through the invalidation
+# pipeline, a seed-pinned kill torn into the disk tier's WAL mid-fill is
+# recovered warm by an in-process restart serving byte-identical bodies
+# without refetching, and no PII byte sits in anything the edge
+# persisted. Non-zero exit on violation.
+EDGE_SEED ?= 1
+
+edge:
+	$(GO) run ./cmd/speedkit-sim -edge -seed $(EDGE_SEED) -products 100
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

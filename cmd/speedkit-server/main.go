@@ -32,8 +32,10 @@ import (
 	"context"
 	"flag"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +58,7 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "how many recent traces /debug/traces retains")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	dataDir := flag.String("data-dir", "", "durability directory (empty = memory-only); coherence state is journaled there and recovered at startup")
+	notifyEdge := flag.String("notify-edge", "", "edge base URL to POST purges to (e.g. http://localhost:8081); invalidations then evict the edge cache")
 	flag.Parse()
 
 	// The sanctioned process log: leveled logfmt on stderr, stamped with
@@ -122,6 +125,28 @@ func main() {
 			fatal(logger.Error(ctx), err)
 		}
 		logger.Info(ctx).Int("warmed", int64(warmed)).Int("skipped", int64(len(skipped))).Msg("edges warmed")
+	}
+
+	if *notifyEdge != "" {
+		base := strings.TrimRight(*notifyEdge, "/")
+		hc := &http.Client{Timeout: 5 * time.Second}
+		// Purge notifications ride the invalidation pipeline: every
+		// invalidb match that purges the simulated CDN also evicts the
+		// real edge. Best-effort by design — a missed purge leaves the
+		// edge entry to the sketch, which flags the path on the next
+		// generation and forces revalidation within Δ.
+		cancel := svc.OnPurge(func(path string) {
+			go func() {
+				resp, err := hc.Post(base+"/v1/purge?path="+url.QueryEscape(path), "", nil)
+				if err != nil {
+					logger.Warn(ctx).Err(err).Str("path", path).Msg("edge purge failed")
+					return
+				}
+				resp.Body.Close()
+			}()
+		})
+		defer cancel()
+		logger.Info(ctx).Str("edge", base).Msg("edge purge notifications enabled")
 	}
 
 	api := httpapi.New(svc, speedkit.NewUsers(1, 100))

@@ -35,6 +35,15 @@
 // propagated via the W3C traceparent header, with correct causal
 // parentage through to the invalidation pipeline — and twin runs on the
 // same seed must export byte-identical trace JSON. `make stitch`.
+//
+// -edge runs the edge smoke gate: a real speedkit-server and a speedkit
+// edge proxy joined only by loopback HTTP. A 100-client stampede on one
+// cold path must reach the origin exactly once; a backend write must
+// flow through the invalidation pipeline to an edge purge; a seed-pinned
+// kill torn into the disk tier's WAL append mid-fill must be recovered
+// warm by an in-process restart serving byte-identical bodies without
+// refetching; and no PII byte may appear in anything the edge
+// persisted. `make edge`.
 package main
 
 import (
@@ -90,6 +99,7 @@ func main() {
 	crash := flag.Bool("crash", false, "crash mode: inject durability kills, recover, assert Δ + determinism + no persisted PII")
 	crashRate := flag.Float64("crashrate", 0.004, "crash profile per-WAL-append kill probability")
 	stitch := flag.Bool("stitch", false, "stitch mode: device↔server over real HTTP, assert cross-process trace stitching + byte-determinism")
+	edgeGate := flag.Bool("edge", false, "edge mode: server+edge over real HTTP, assert coalescing, purge propagation, crash recovery, zero persisted PII")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -113,6 +123,10 @@ func main() {
 	}
 	if *stitch {
 		runStitch(*seed, *delta, *products)
+		return
+	}
+	if *edgeGate {
+		runEdge(*seed, *products)
 		return
 	}
 
@@ -432,6 +446,15 @@ func scanPII(dir string, idents []string) ([]string, error) {
 		}
 	}
 	needles = append(needles, idents...)
+	return scanBytes(dir, needles)
+}
+
+// scanBytes walks a directory and reports every needle found in any
+// persisted byte. Split from scanPII because the edge gate scans cache
+// directories holding anonymous HTML verbatim: the shared shell
+// legitimately contains block names ("cart") and markup words that
+// collide with PII *field names*, so it scans identity *values* only.
+func scanBytes(dir string, needles []string) ([]string, error) {
 	var hits []string
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {

@@ -12,7 +12,7 @@ import (
 // through a device (cold, then from the device cache), and drive the
 // invalidation pipeline with a write.
 func Example() {
-	svc, err := speedkit.New(speedkit.Config{Products: 100})
+	svc, err := speedkit.New(speedkit.WithProducts(100))
 	if err != nil {
 		log.Fatal(err)
 	}

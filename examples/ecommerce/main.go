@@ -19,10 +19,11 @@ import (
 func main() {
 	// A simulated clock lets the walkthrough jump through time.
 	clk := clock.NewSimulated(time.Time{})
-	cfg := speedkit.Config{Products: 200}
-	cfg.Clock = clk
-	cfg.Delta = 30 * time.Second
-	svc, err := speedkit.New(cfg)
+	svc, err := speedkit.New(
+		speedkit.WithProducts(200),
+		speedkit.WithClock(clk),
+		speedkit.WithDelta(30*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	svc, err := speedkit.New(speedkit.Config{Products: 100})
+	svc, err := speedkit.New(speedkit.WithProducts(100))
 	if err != nil {
 		log.Fatal(err)
 	}

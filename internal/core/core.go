@@ -197,6 +197,13 @@ type Service struct {
 	recovery    durable.RecoveryInfo
 	recoveryErr error
 
+	// purgeMu guards the purge-listener registry. Listeners are invoked
+	// synchronously from the invalidation pipeline and from PurgePath, so
+	// they must be fast and must not call back into the Service.
+	purgeMu        sync.Mutex
+	purgeListeners map[int64]func(path string)
+	purgeSeq       int64
+
 	// writeParent is the span context of the write request currently
 	// executing under WithWriteSpan, if any. The document store's change
 	// stream runs synchronously with the write, so the invalidation
@@ -452,6 +459,7 @@ func (s *Service) handleInvalidation(path string) {
 			tr.AddSpan("cdn.purge", "pipeline", sw.Elapsed())
 		}
 		s.m.purges.Inc()
+		s.notifyPurge(path)
 	}
 	s.analytics.Append("invalidations", 1)
 	s.m.invalidations.Inc()
@@ -489,6 +497,50 @@ func (s *Service) handleInvalidation(path string) {
 		tr.SetTotal(total)
 		s.m.pipelineLat.ObserveDuration(total)
 		s.cfg.Tracer.Finish(tr)
+	}
+}
+
+// PurgePath evicts one path from the shared caching tier outside the
+// write pipeline: the CDN edges drop their copies immediately and every
+// registered purge listener is notified. It backs POST /v1/purge, the
+// operational escape hatch for evicting content that no write event will
+// invalidate (a manual rollback, an emergency takedown).
+func (s *Service) PurgePath(path string) {
+	s.cdnNet.Purge(path)
+	s.m.purges.Inc()
+	s.notifyPurge(path)
+}
+
+// OnPurge registers fn to run whenever a path is purged — by the
+// invalidation pipeline or by PurgePath. Listeners run synchronously on
+// the purging goroutine, so they must be fast and must not call back
+// into the Service. The returned cancel func removes the listener.
+func (s *Service) OnPurge(fn func(path string)) (cancel func()) {
+	s.purgeMu.Lock()
+	if s.purgeListeners == nil {
+		s.purgeListeners = make(map[int64]func(path string))
+	}
+	s.purgeSeq++
+	id := s.purgeSeq
+	s.purgeListeners[id] = fn
+	s.purgeMu.Unlock()
+	return func() {
+		s.purgeMu.Lock()
+		delete(s.purgeListeners, id)
+		s.purgeMu.Unlock()
+	}
+}
+
+// notifyPurge fans a purge out to the registered listeners.
+func (s *Service) notifyPurge(path string) {
+	s.purgeMu.Lock()
+	fns := make([]func(string), 0, len(s.purgeListeners))
+	for _, fn := range s.purgeListeners {
+		fns = append(fns, fn)
+	}
+	s.purgeMu.Unlock()
+	for _, fn := range fns {
+		fn(path)
 	}
 }
 

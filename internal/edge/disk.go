@@ -1,0 +1,433 @@
+package edge
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"speedkit/internal/cache"
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+	"speedkit/internal/wal"
+)
+
+// Disk tier layout, reusing the durability subsystem's discipline:
+//
+//	<dir>/wal/            segmented WAL of fill/purge records
+//	<dir>/edge-<lsn>.snap crash-safe snapshots (temp file, fsync, rename)
+//
+// Every committed cache entry and purge is journaled; a snapshot folds
+// the live entry set into one file named by the WAL position it covers,
+// after which older segments are pruned. Recovery loads the newest
+// valid snapshot and replays the WAL above it. A torn tail (the
+// expected kill signature) is truncated by the WAL itself; mid-log
+// corruption (wal.ErrCorrupt) answers with a full wipe and cold start —
+// an edge cache is disposable state, so losing it costs misses, never
+// correctness.
+//
+// The records hold resource paths, body bytes the origin already serves
+// publicly, versions, and expirations — anonymous coherence state only.
+// The PII byte-scan in the smoke gate asserts exactly that.
+
+const (
+	recFill  byte = 1
+	recPurge byte = 2
+
+	snapMagic   = "SKEC"
+	snapVersion = byte(1)
+	snapSuffix  = ".snap"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// RecoveryInfo summarizes what a disk-tier open recovered.
+type RecoveryInfo struct {
+	// Entries live in the cache after recovery.
+	Entries int
+	// SnapshotLSN is the WAL position the loaded snapshot covered (0:
+	// no usable snapshot).
+	SnapshotLSN uint64
+	// Replayed counts WAL records applied above the snapshot.
+	Replayed int
+	// ColdStart reports a mid-log-corruption wipe: the directory was
+	// cleared and the cache starts empty.
+	ColdStart bool
+}
+
+type diskTier struct {
+	dir  string
+	log  *wal.Log
+	clk  clock.Clock
+	m    *metrics
+	inj  *faults.Injector
+	mem  *cache.Store
+	dead bool
+
+	// every is the journal-records-per-snapshot cadence; sinceSnap
+	// counts records appended since the last one.
+	every     int
+	sinceSnap int
+	snapLSN   uint64
+}
+
+// openDisk opens (or recovers) the disk tier rooted at dir, loading
+// surviving entries into mem.
+func openDisk(dir string, every int, clk clock.Clock, inj *faults.Injector, mem *cache.Store, m *metrics) (*diskTier, RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	var info RecoveryInfo
+	snapLSN, loaded, err := loadNewestSnapshot(dir, mem)
+	if err != nil {
+		return nil, info, err
+	}
+	info.SnapshotLSN = snapLSN
+	info.Entries = loaded
+
+	apply := func(lsn uint64, payload []byte) {
+		if lsn <= snapLSN || len(payload) == 0 {
+			return
+		}
+		switch payload[0] {
+		case recFill:
+			if e, ok := decodeEntry(payload[1:]); ok {
+				mem.Put(e)
+				info.Replayed++
+			}
+		case recPurge:
+			mem.Delete(string(payload[1:]))
+			info.Replayed++
+		}
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:      filepath.Join(dir, "wal"),
+		Clock:    clk,
+		Faults:   inj,
+		OnRecord: apply,
+	})
+	if errors.Is(err, wal.ErrCorrupt) {
+		// Mid-log hole: do not trust anything. Wipe and start cold —
+		// the cache re-fills from the upstream; a loss costs misses.
+		mem.Clear()
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, info, err
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, info, err
+		}
+		log, err = wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Clock: clk, Faults: inj})
+		if err != nil {
+			return nil, info, err
+		}
+		info = RecoveryInfo{ColdStart: true}
+	} else if err != nil {
+		return nil, info, err
+	}
+	info.Entries = mem.Len()
+	if every <= 0 {
+		every = 256
+	}
+	return &diskTier{
+		dir: dir, log: log, clk: clk, m: m, inj: inj, mem: mem,
+		every: every, snapLSN: snapLSN,
+	}, info, nil
+}
+
+// appendFill journals one committed entry. A failed append (injected
+// crash, disk error) marks the tier dead: the edge keeps serving from
+// memory, and the owner's restart path runs recovery.
+func (d *diskTier) appendFill(e cache.Entry) {
+	payload := append([]byte{recFill}, encodeEntry(e)...)
+	d.append(payload)
+	d.m.diskFills.Add(1)
+}
+
+// appendPurge journals one eviction.
+func (d *diskTier) appendPurge(key string) {
+	d.append(append([]byte{recPurge}, key...))
+	d.m.diskPurges.Add(1)
+}
+
+func (d *diskTier) append(payload []byte) {
+	if d.dead {
+		return
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		d.dead = true
+		return
+	}
+	d.sinceSnap++
+	if d.sinceSnap >= d.every {
+		// A failed snapshot is not fatal: the WAL still holds every
+		// record, so recovery replays what the snapshot missed.
+		_ = d.snapshot()
+	}
+}
+
+// crashed reports whether an injected fault killed the WAL.
+func (d *diskTier) crashed() bool { return d.log.Crashed() }
+
+func (d *diskTier) close() error { return d.log.Close() }
+
+// snapshot folds the live entry set into edge-<lsn>.snap and prunes the
+// WAL below it. The LSN is captured before export so records appended
+// concurrently with the write stay above the prune line.
+func (d *diskTier) snapshot() error {
+	lsn := d.log.NextLSN() - 1
+	keys := d.mem.Keys()
+	sort.Strings(keys)
+	var entBuf []byte
+	n := 0
+	for _, k := range keys {
+		e, ok := d.mem.Peek(k)
+		if !ok {
+			continue
+		}
+		enc := encodeEntry(e)
+		entBuf = binary.AppendUvarint(entBuf, uint64(len(enc)))
+		entBuf = append(entBuf, enc...)
+		n++
+	}
+	body := append(binary.AppendUvarint(nil, uint64(n)), entBuf...)
+
+	blob := append([]byte(snapMagic), snapVersion)
+	blob = binary.BigEndian.AppendUint32(blob, crc32.Checksum(body, castagnoli))
+	blob = append(blob, body...)
+
+	final := filepath.Join(d.dir, fmt.Sprintf("edge-%016d%s", lsn, snapSuffix))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(d.dir)
+	d.snapLSN = lsn
+	d.sinceSnap = 0
+	d.m.snapshots.Add(1)
+	_, _ = d.log.PruneBelow(lsn + 1)
+	d.pruneSnapshots(final)
+	return nil
+}
+
+// pruneSnapshots removes every snapshot except the one just written.
+func (d *diskTier) pruneSnapshots(keep string) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := filepath.Join(d.dir, e.Name())
+		if name != keep && strings.HasSuffix(e.Name(), snapSuffix) {
+			os.Remove(name)
+		}
+	}
+}
+
+// loadNewestSnapshot scans dir for edge-<lsn>.snap files, newest first,
+// and loads the first one that validates; torn or corrupt files are
+// skipped (a crash between Create and Sync leaves exactly that).
+func loadNewestSnapshot(dir string, mem *cache.Store) (lsn uint64, entries int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	type cand struct {
+		lsn  uint64
+		path string
+	}
+	var cands []cand
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "edge-") || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		v, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "edge-"), snapSuffix), 10, 64)
+		if perr != nil {
+			continue
+		}
+		cands = append(cands, cand{lsn: v, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lsn > cands[j].lsn })
+	for _, c := range cands {
+		n, ok := loadSnapshot(c.path, mem)
+		if ok {
+			return c.lsn, n, nil
+		}
+	}
+	return 0, 0, nil
+}
+
+func loadSnapshot(path string, mem *cache.Store) (entries int, ok bool) {
+	blob, err := os.ReadFile(path)
+	if err != nil || len(blob) < len(snapMagic)+5 {
+		return 0, false
+	}
+	if string(blob[:4]) != snapMagic || blob[4] != snapVersion {
+		return 0, false
+	}
+	body := blob[9:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(blob[5:9]) {
+		return 0, false
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, false
+	}
+	body = body[n:]
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(body)
+		if n <= 0 || uint64(len(body[n:])) < sz {
+			return 0, false
+		}
+		e, eok := decodeEntry(body[n : n+int(sz)])
+		if !eok {
+			return 0, false
+		}
+		mem.Put(e)
+		entries++
+		body = body[n+int(sz):]
+	}
+	return entries, true
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// unixNano maps a time to its wire form; the zero time stays zero so a
+// never-expiring entry round-trips as one.
+func unixNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func fromUnixNano(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// --- entry wire encoding -------------------------------------------------
+//
+// Length-prefixed binary, no reflection:
+//
+//	str key | bytes body | uvarint version | varint storedAt | varint
+//	expiresAt | uvarint nmeta | nmeta × (str k, str v)
+//
+// Timestamps travel as Unix nanoseconds (zero time → 0).
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, bool) {
+	sz, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < sz {
+		return "", nil, false
+	}
+	return string(b[n : n+int(sz)]), b[n+int(sz):], true
+}
+
+func encodeEntry(e cache.Entry) []byte {
+	b := appendString(nil, e.Key)
+	b = binary.AppendUvarint(b, uint64(len(e.Body)))
+	b = append(b, e.Body...)
+	b = binary.AppendUvarint(b, e.Version)
+	b = binary.AppendVarint(b, unixNano(e.StoredAt))
+	b = binary.AppendVarint(b, unixNano(e.ExpiresAt))
+	b = binary.AppendUvarint(b, uint64(len(e.Metadata)))
+	keys := make([]string, 0, len(e.Metadata))
+	for k := range e.Metadata {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendString(b, e.Metadata[k])
+	}
+	return b
+}
+
+func decodeEntry(b []byte) (cache.Entry, bool) {
+	var e cache.Entry
+	var ok bool
+	if e.Key, b, ok = readString(b); !ok {
+		return e, false
+	}
+	sz, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < sz {
+		return e, false
+	}
+	e.Body = append([]byte(nil), b[n:n+int(sz)]...)
+	b = b[n+int(sz):]
+	if e.Version, n = binary.Uvarint(b); n <= 0 {
+		return e, false
+	}
+	b = b[n:]
+	var ns int64
+	if ns, n = binary.Varint(b); n <= 0 {
+		return e, false
+	}
+	e.StoredAt = fromUnixNano(ns)
+	b = b[n:]
+	if ns, n = binary.Varint(b); n <= 0 {
+		return e, false
+	}
+	e.ExpiresAt = fromUnixNano(ns)
+	b = b[n:]
+	nmeta, n := binary.Uvarint(b)
+	if n <= 0 {
+		return e, false
+	}
+	b = b[n:]
+	if nmeta > 0 {
+		e.Metadata = make(map[string]string, nmeta)
+		for i := uint64(0); i < nmeta; i++ {
+			var k, v string
+			if k, b, ok = readString(b); !ok {
+				return e, false
+			}
+			if v, b, ok = readString(b); !ok {
+				return e, false
+			}
+			e.Metadata[k] = v
+		}
+	}
+	return e, true
+}

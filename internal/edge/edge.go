@@ -1,0 +1,704 @@
+// Package edge implements a streaming HTTP caching reverse proxy in
+// front of a speedkit-server: the CDN tier of the paper promoted from
+// an in-process simulator to a real socket.
+//
+// Protocol behavior:
+//
+//   - Only GET page fetches (/v1/page, legacy /page) are cached, keyed
+//     by the ?path= value — the same key space the Cache Sketch and the
+//     invalidation pipeline speak. Cacheability is decided by the
+//     upstream's Cache-Control and the sketch, never by URL heuristics:
+//     path-pattern cacheability is exactly the web-cache-deception trap,
+//     where an attacker-shaped URL tricks the edge into storing a
+//     personalized response under a "static" key. Everything that is
+//     not a page fetch — the personalized /blocks API above all — is
+//     proxied through uncached.
+//   - Concurrent misses for one key coalesce into a single origin
+//     fetch; late joiners stream the shared in-flight body (see fill).
+//   - Hits whose key the Bloom sketch flags on a newer generation are
+//     revalidated upstream with If-None-Match; a 304 renews the entry
+//     without moving the body again. Client If-None-Match gets 304s
+//     locally. Range requests are served from the cached body.
+//   - Entries and purges are journaled to a WAL-plus-snapshot disk
+//     tier (see disk.go); a restart recovers the cache crash-safely.
+//
+// GDPR boundary: this package is shared infrastructure. It must never
+// import internal/session, internal/gdpr, or internal/obs — the edge
+// caches only sketch-governed public representations, carries only
+// anonymous trace identifiers (internal/tracectx), and owns its own
+// speedkit.edge.* metrics (see metrics.go). The gdprboundary and
+// piiflow analyzers enforce this at lint time; the smoke gate's PII
+// byte-scan enforces it over the disk tier at run time.
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speedkit/internal/bloom"
+	"speedkit/internal/cache"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+	"speedkit/internal/tracectx"
+)
+
+// Metadata keys stored per entry.
+const (
+	metaGen         = "sketch-gen"
+	metaContentType = "content-type"
+)
+
+// Options parameterizes a Proxy.
+type Options struct {
+	// Upstream is the speedkit-server base URL (e.g. "http://host:8080").
+	Upstream string
+	// Client performs upstream requests; nil uses a 10 s-timeout default.
+	Client *http.Client
+	// Clock drives expiry and Age math (default the system clock).
+	Clock clock.Clock
+	// CacheDir enables the disk tier when non-empty.
+	CacheDir string
+	// MaxEntries bounds the in-memory cache (default 4096).
+	MaxEntries int
+	// DefaultTTL is the freshness granted when the upstream sends no
+	// max-age (default 30 s).
+	DefaultTTL time.Duration
+	// SnapshotEvery is the disk-tier journal-records-per-snapshot
+	// cadence (default 256).
+	SnapshotEvery int
+	// Faults optionally injects disk-tier crashes (smoke gate).
+	Faults *faults.Injector
+}
+
+// Proxy is the edge cache. It implements http.Handler for the proxied
+// surface; Handler() adds the edge's own operational endpoints.
+type Proxy struct {
+	upstream string
+	hc       *http.Client
+	clk      clock.Clock
+	ttl      time.Duration
+
+	mem  *cache.Store
+	disk *diskTier
+	m    metrics
+
+	sketch atomic.Pointer[cachesketch.Snapshot]
+
+	fillsMu sync.Mutex
+	fills   map[string]*fill
+
+	// legacy latches when the upstream predates the /v1 surface.
+	legacy atomic.Bool
+}
+
+// New builds a Proxy and, when Options.CacheDir is set, recovers the
+// disk tier into memory.
+func New(o Options) (*Proxy, RecoveryInfo, error) {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.Clock == nil {
+		o.Clock = clock.System
+	}
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 4096
+	}
+	if o.DefaultTTL <= 0 {
+		o.DefaultTTL = 30 * time.Second
+	}
+	p := &Proxy{
+		upstream: strings.TrimRight(o.Upstream, "/"),
+		hc:       o.Client,
+		clk:      o.Clock,
+		ttl:      o.DefaultTTL,
+		mem:      cache.New(cache.Config{MaxItems: o.MaxEntries, Clock: o.Clock}),
+		fills:    make(map[string]*fill),
+	}
+	var info RecoveryInfo
+	if o.CacheDir != "" {
+		var err error
+		p.disk, info, err = openDisk(o.CacheDir, o.SnapshotEvery, o.Clock, o.Faults, p.mem, &p.m)
+		if err != nil {
+			return nil, info, err
+		}
+	}
+	return p, info, nil
+}
+
+// Close flushes and closes the disk tier.
+func (p *Proxy) Close() error {
+	if p.disk != nil {
+		return p.disk.close()
+	}
+	return nil
+}
+
+// Stats returns a copy of the edge counters.
+func (p *Proxy) Stats() Stats { return p.m.stats() }
+
+// Crashed reports whether an injected fault killed the disk tier.
+func (p *Proxy) Crashed() bool { return p.disk != nil && p.disk.crashed() }
+
+// Generation returns the sketch generation the edge currently holds.
+func (p *Proxy) Generation() uint64 {
+	if sn := p.sketch.Load(); sn != nil {
+		return sn.Generation
+	}
+	return 0
+}
+
+// Handler returns the edge's full server surface: the proxied routes
+// plus the operational endpoints every deployment needs.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.m.write(w)
+	})
+	mux.Handle("/", p)
+	return mux
+}
+
+// ServeHTTP routes one request: purges apply locally, page fetches hit
+// the cache, everything else proxies through uncached.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && (r.URL.Path == "/v1/purge" || r.URL.Path == "/purge"):
+		p.handlePurge(w, r)
+	case r.Method == http.MethodGet && (r.URL.Path == "/v1/page" || r.URL.Path == "/page"):
+		if key := r.URL.Query().Get("path"); key != "" {
+			p.servePage(w, r, key)
+			return
+		}
+		p.edgeError(w, http.StatusBadRequest, "bad_request", "missing ?path=")
+	default:
+		p.passthrough(w, r)
+	}
+}
+
+// handlePurge evicts one key, journaling the purge. The speedkit-server
+// invalidation pipeline POSTs here when invalidb matches a write.
+func (p *Proxy) handlePurge(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		p.edgeError(w, http.StatusBadRequest, "bad_request", "missing ?path=")
+		return
+	}
+	p.Purge(path)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"purged\":%q}\n", path)
+}
+
+// Purge evicts key from memory and journals the eviction.
+func (p *Proxy) Purge(key string) {
+	p.mem.Delete(key)
+	if p.disk != nil {
+		p.disk.appendPurge(key)
+	}
+	p.m.purges.Add(1)
+}
+
+// InstallSketch hands the edge a sketch snapshot directly (tests, and
+// owners that already hold one).
+func (p *Proxy) InstallSketch(sn *cachesketch.Snapshot) { p.sketch.Store(sn) }
+
+// RefreshSketch pulls the current sketch from the upstream. The edge
+// consumes the same public endpoint clients do; it holds no private
+// channel into the server.
+func (p *Proxy) RefreshSketch(ctx context.Context) error {
+	resp, err := p.upstreamGet(ctx, "/sketch", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("edge: sketch fetch: %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var f bloom.Filter
+	if err := f.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("edge: sketch decode: %w", err)
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get("X-Sketch-Generation"), 10, 64)
+	p.sketch.Store(&cachesketch.Snapshot{Filter: &f, Generation: gen, TakenAt: p.clk.Now()})
+	p.m.sketchRefreshes.Add(1)
+	return nil
+}
+
+// servePage is the cache path for one page key.
+func (p *Proxy) servePage(w http.ResponseWriter, r *http.Request, key string) {
+	now := p.clk.Now()
+	// PeekAny, not Get: Get reaps expired entries, but an expired copy
+	// is still valuable — its version enables a conditional refresh
+	// (saving the body transfer on 304) and its body backs the
+	// serve-stale path when the upstream is down.
+	if e, ok := p.mem.PeekAny(key); ok {
+		snap := p.sketch.Load()
+		fresh := !e.Expired(now)
+		// The sketch overrides TTL freshness: a key reported written on
+		// a generation newer than the one this entry was validated
+		// against might be stale and must be revalidated. A key the
+		// sketch does not flag is fresh by Δ-atomicity even if another
+		// key changed.
+		if fresh && snap != nil && entryGen(e) < snap.Generation && snap.MightBeStale(key) {
+			fresh = false
+		}
+		if fresh {
+			// Promote in the eviction order; the entry is unexpired, so
+			// this cannot reap it.
+			p.mem.Get(key)
+			p.m.hits.Add(1)
+			p.serveEntry(w, r, e, "hit")
+			return
+		}
+		p.revalidatePath(w, r, key, e)
+		return
+	}
+	p.coalesce(w, r, key)
+}
+
+// revalidatePath refreshes a stale entry with a conditional GET.
+func (p *Proxy) revalidatePath(w http.ResponseWriter, r *http.Request, key string, e cache.Entry) {
+	hdr := http.Header{}
+	hdr.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(e.Version, 10)))
+	copyTraceparent(r, hdr)
+	resp, err := p.upstreamGet(r.Context(), "/page", "?path="+url.QueryEscape(key), hdr)
+	if err != nil {
+		// Upstream unreachable: serve the stale copy rather than fail —
+		// the sketch already bounds how stale it can be.
+		p.m.upstreamErrors.Add(1)
+		p.m.servedStale.Add(1)
+		p.serveEntry(w, r, e, "stale")
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		ne := p.renewEntry(e, resp)
+		p.commit(ne)
+		p.m.revalidated.Add(1)
+		p.serveEntry(w, r, ne, "revalidated")
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			p.m.upstreamErrors.Add(1)
+			p.m.servedStale.Add(1)
+			p.serveEntry(w, r, e, "stale")
+			return
+		}
+		ne := p.entryFromResponse(key, resp, body)
+		p.commit(ne)
+		p.m.misses.Add(1)
+		p.serveEntry(w, r, ne, "miss")
+	default:
+		// The resource is gone (or errored): drop the entry and relay
+		// the upstream's answer verbatim.
+		p.Purge(key)
+		relayResponse(w, resp)
+	}
+}
+
+// coalesce is the miss path: one leader fetches, followers stream the
+// shared in-flight body.
+func (p *Proxy) coalesce(w http.ResponseWriter, r *http.Request, key string) {
+	p.fillsMu.Lock()
+	if f, ok := p.fills[key]; ok {
+		p.fillsMu.Unlock()
+		p.m.coalescedWaiters.Add(1)
+		p.follow(w, f)
+		return
+	}
+	f := newFill()
+	p.fills[key] = f
+	p.fillsMu.Unlock()
+	p.m.misses.Add(1)
+	p.lead(w, r, key, f)
+}
+
+// lead performs the single origin fetch of a coalesced miss, streaming
+// the body to its own client while publishing it to followers.
+func (p *Proxy) lead(w http.ResponseWriter, r *http.Request, key string, f *fill) {
+	defer func() {
+		p.fillsMu.Lock()
+		delete(p.fills, key)
+		p.fillsMu.Unlock()
+	}()
+	hdr := http.Header{}
+	copyTraceparent(r, hdr)
+	resp, err := p.upstreamGet(r.Context(), "/page", "?path="+url.QueryEscape(key), hdr)
+	if err != nil {
+		f.finish(err)
+		p.m.upstreamErrors.Add(1)
+		p.edgeError(w, http.StatusBadGateway, "unavailable", "upstream: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	f.publishHeader(resp.StatusCode, resp.Header.Clone())
+
+	copyEntryHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Edge-Cache", "miss")
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	var streamErr error
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			f.appendChunk(buf[:n])
+			if _, werr := w.Write(buf[:n]); werr == nil && flusher != nil {
+				flusher.Flush()
+			}
+			p.m.bytesServed.Add(uint64(n))
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			streamErr = rerr
+			break
+		}
+	}
+	f.finish(streamErr)
+	if streamErr != nil {
+		p.m.upstreamErrors.Add(1)
+		return
+	}
+	if resp.StatusCode == http.StatusOK && cacheable(resp.Header) {
+		p.commit(p.entryFromResponse(key, resp, f.bytes()))
+	}
+}
+
+// follow streams another request's in-flight fill.
+func (p *Proxy) follow(w http.ResponseWriter, f *fill) {
+	status, header, err := f.waitHeader()
+	if err != nil {
+		p.edgeError(w, http.StatusBadGateway, "unavailable", "upstream: "+err.Error())
+		return
+	}
+	copyEntryHeaders(w.Header(), header)
+	w.Header().Set("X-Edge-Cache", "coalesced")
+	w.WriteHeader(status)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, done := f.next(off)
+		if len(chunk) > 0 {
+			if _, werr := w.Write(chunk); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			off += len(chunk)
+			p.m.bytesServed.Add(uint64(len(chunk)))
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// serveEntry answers from a committed entry: local 304s on matching
+// If-None-Match, 206/416 on Range, 200 otherwise.
+func (p *Proxy) serveEntry(w http.ResponseWriter, r *http.Request, e cache.Entry, state string) {
+	now := p.clk.Now()
+	etag := fmt.Sprintf("%q", "v"+strconv.FormatUint(e.Version, 10))
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("X-Edge-Cache", state)
+	if ct := e.Metadata[metaContentType]; ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	if fresh := e.FreshFor(now); fresh > 0 {
+		h.Set("Cache-Control", "max-age="+strconv.Itoa(int(fresh/time.Second)))
+	}
+	if age := now.Sub(e.StoredAt); age > 0 {
+		h.Set("Age", strconv.Itoa(int(age/time.Second)))
+	}
+
+	if matchesETag(r.Header.Get("If-None-Match"), etag) {
+		p.m.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	body := e.Body
+	if spec := r.Header.Get("Range"); spec != "" {
+		rg, ok, unsat := parseRange(spec, int64(len(body)))
+		if unsat {
+			p.m.rangeRejected.Add(1)
+			h.Set("Content-Range", fmt.Sprintf("bytes */%d", len(body)))
+			w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		if ok {
+			p.m.rangeRequests.Add(1)
+			h.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", rg.start, rg.end, len(body)))
+			h.Set("Content-Length", strconv.FormatInt(rg.length(), 10))
+			w.WriteHeader(http.StatusPartialContent)
+			w.Write(body[rg.start : rg.end+1])
+			p.m.bytesServed.Add(uint64(rg.length()))
+			return
+		}
+	}
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+	p.m.bytesServed.Add(uint64(len(body)))
+}
+
+// passthrough proxies a request the edge does not cache.
+func (p *Proxy) passthrough(w http.ResponseWriter, r *http.Request) {
+	p.m.bypass.Add(1)
+	u := p.upstream + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+	if err != nil {
+		p.edgeError(w, http.StatusBadGateway, "unavailable", err.Error())
+		return
+	}
+	copyProxyHeaders(req.Header, r.Header)
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.m.upstreamErrors.Add(1)
+		p.edgeError(w, http.StatusBadGateway, "unavailable", "upstream: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("X-Edge-Cache", "bypass")
+	relayResponse(w, resp)
+}
+
+// commit stores an entry in memory and journals it.
+func (p *Proxy) commit(e cache.Entry) {
+	p.mem.Put(e)
+	if p.disk != nil {
+		p.disk.appendFill(e)
+	}
+}
+
+// renewEntry extends a 304-validated entry: same body, fresh expiry,
+// the current sketch generation as its validation watermark.
+func (p *Proxy) renewEntry(e cache.Entry, resp *http.Response) cache.Entry {
+	now := p.clk.Now()
+	e.StoredAt = now
+	e.ExpiresAt = now.Add(p.freshness(resp.Header))
+	e.Metadata = cloneMeta(e.Metadata)
+	e.Metadata[metaGen] = strconv.FormatUint(p.Generation(), 10)
+	return e
+}
+
+// entryFromResponse builds the cached representation of a 200 page
+// response. Only protocol metadata is retained: key, body, version,
+// expiry, content type, and the sketch generation watermark.
+func (p *Proxy) entryFromResponse(key string, resp *http.Response, body []byte) cache.Entry {
+	now := p.clk.Now()
+	e := cache.Entry{
+		Key:       key,
+		Body:      body,
+		Version:   parseVersionETag(resp.Header.Get("ETag")),
+		StoredAt:  now,
+		ExpiresAt: now.Add(p.freshness(resp.Header)),
+		Metadata: map[string]string{
+			metaGen: strconv.FormatUint(p.Generation(), 10),
+		},
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		e.Metadata[metaContentType] = ct
+	}
+	return e
+}
+
+// freshness derives an entry TTL from upstream Cache-Control.
+func (p *Proxy) freshness(h http.Header) time.Duration {
+	if maxAge, ok := parseMaxAge(h.Get("Cache-Control")); ok && maxAge > 0 {
+		return maxAge
+	}
+	return p.ttl
+}
+
+// upstreamGet issues a GET against the upstream, negotiating the /v1
+// surface exactly like internal/httpclient: a non-JSON 404 on a /v1
+// path can only be the stdlib mux of a pre-/v1 server, so it latches
+// the legacy paths.
+func (p *Proxy) upstreamGet(ctx context.Context, endpoint, query string, hdr http.Header) (*http.Response, error) {
+	build := func(url string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		return req, nil
+	}
+	if !p.legacy.Load() {
+		req, err := build(p.upstream + "/v1" + endpoint + query)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := p.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusNotFound ||
+			strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		p.legacy.Store(true)
+	}
+	req, err := build(p.upstream + endpoint + query)
+	if err != nil {
+		return nil, err
+	}
+	return p.hc.Do(req)
+}
+
+// edgeError emits the same JSON error envelope the /v1 API uses.
+func (p *Proxy) edgeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+		"error": {"code": code, "message": message},
+	})
+}
+
+// --- small helpers -------------------------------------------------------
+
+// cloneMeta copies a metadata map so a renewed entry never aliases the
+// stored one's map.
+func cloneMeta(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// entryGen reads the sketch-generation watermark of an entry.
+func entryGen(e cache.Entry) uint64 {
+	v, _ := strconv.ParseUint(e.Metadata[metaGen], 10, 64)
+	return v
+}
+
+// cacheable reports whether the upstream allows storing the response.
+func cacheable(h http.Header) bool {
+	cc := strings.ToLower(h.Get("Cache-Control"))
+	return !strings.Contains(cc, "no-store") && !strings.Contains(cc, "private")
+}
+
+// matchesETag checks a client If-None-Match against the entry's ETag
+// (weak-comparison: a W/ prefix on either side is ignored).
+func matchesETag(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	strip := func(s string) string { return strings.TrimPrefix(strings.TrimSpace(s), "W/") }
+	if strings.TrimSpace(inm) == "*" {
+		return true
+	}
+	want := strip(etag)
+	for _, cand := range strings.Split(inm, ",") {
+		if strip(cand) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// parseVersionETag extracts the version from the server's `"v<n>"` ETags.
+func parseVersionETag(tag string) uint64 {
+	tag = strings.Trim(strings.TrimPrefix(strings.TrimSpace(tag), "W/"), `"`)
+	if !strings.HasPrefix(tag, "v") {
+		return 0
+	}
+	v, _ := strconv.ParseUint(tag[1:], 10, 64)
+	return v
+}
+
+// parseMaxAge extracts max-age seconds from a Cache-Control header.
+func parseMaxAge(cc string) (time.Duration, bool) {
+	for _, part := range strings.Split(cc, ",") {
+		part = strings.TrimSpace(part)
+		if rest, ok := strings.CutPrefix(part, "max-age="); ok {
+			secs, err := strconv.Atoi(rest)
+			if err != nil || secs < 0 {
+				return 0, false
+			}
+			return time.Duration(secs) * time.Second, true
+		}
+	}
+	return 0, false
+}
+
+// copyTraceparent forwards the anonymous trace identity of an incoming
+// request; the edge never invents or strips one mid-trace.
+func copyTraceparent(r *http.Request, dst http.Header) {
+	if tp := r.Header.Get(tracectx.Header); tp != "" {
+		if _, ok := tracectx.ParseTraceparent(tp); ok {
+			dst.Set(tracectx.Header, tp)
+		}
+	}
+}
+
+// copyEntryHeaders copies the response headers worth relaying from an
+// origin fetch (hop-by-hop and connection headers stay behind).
+func copyEntryHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "X-Blocks", "X-Served-By", "X-Sketch-Generation"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+// hopByHop lists the headers a proxy must not forward (RFC 9110 §7.6.1).
+var hopByHop = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+func copyProxyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// relayResponse copies an upstream response verbatim.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

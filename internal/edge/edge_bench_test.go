@@ -1,0 +1,78 @@
+package edge
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// BenchmarkEdgeHit measures the steady-state serving path: an in-memory
+// hit answered without touching the upstream — the latency every POP
+// request pays once the working set is warm.
+func BenchmarkEdgeHit(b *testing.B) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "the warm body the POP serves all day", 1)
+	p, _, err := New(Options{Upstream: u.srv.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	// Warm the entry; every timed iteration is a pure hit.
+	r := httptest.NewRequest(http.MethodGet, "/v1/page?path=/p", nil)
+	if w := httptest.NewRecorder(); true {
+		p.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("warmup: %d", w.Code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		p.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("hit: %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkEdgeCoalescedMiss measures the stampede path: 8 concurrent
+// requests race one cold key, the leader fetches from the upstream over
+// real loopback HTTP, and the waiters stream from its in-flight fill.
+// ns/op is the cost of one whole coalesced group, upstream round trip
+// included.
+func BenchmarkEdgeCoalescedMiss(b *testing.B) {
+	u := newFakeUpstream()
+	defer u.close()
+	p, _, err := New(Options{Upstream: u.srv.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const racers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := fmt.Sprintf("/cold/%d", i)
+		u.set(path, "a cold body fetched once and fanned out", 1)
+		target := "/v1/page?path=" + path
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for r := 0; r < racers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := httptest.NewRecorder()
+				p.ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+				if w.Code != http.StatusOK {
+					b.Error("miss:", w.Code)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

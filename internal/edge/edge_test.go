@@ -1,0 +1,451 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speedkit/internal/bloom"
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+)
+
+// fakeUpstream is a minimal speedkit-server stand-in: /v1/page with
+// versioned bodies and ETags, /v1/sketch with a marshaled Bloom filter,
+// and counters the tests assert against.
+type fakeUpstream struct {
+	mu       sync.Mutex
+	bodies   map[string][]byte
+	versions map[string]uint64
+	maxAge   int
+	noStore  bool
+	gen      uint64
+	sketch   *bloom.Filter
+
+	fetches    atomic.Int64 // full-body /v1/page responses
+	conds      atomic.Int64 // If-None-Match requests seen
+	legacyOnly bool
+	// hold, when non-nil, blocks page responses until closed — the
+	// stampede test uses it to keep the fill in flight.
+	hold chan struct{}
+
+	srv *httptest.Server
+}
+
+func newFakeUpstream() *fakeUpstream {
+	u := &fakeUpstream{
+		bodies:   map[string][]byte{},
+		versions: map[string]uint64{},
+		maxAge:   60,
+	}
+	mux := http.NewServeMux()
+	page := func(w http.ResponseWriter, r *http.Request) { u.servePage(w, r) }
+	sketch := func(w http.ResponseWriter, _ *http.Request) { u.serveSketch(w) }
+	mux.HandleFunc("GET /page", page)
+	mux.HandleFunc("GET /sketch", sketch)
+	u.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if u.legacyOnly && (r.URL.Path == "/v1/page" || r.URL.Path == "/v1/sketch") {
+			http.NotFound(w, r) // the stdlib text/plain 404 of a pre-/v1 server
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/page":
+			page(w, r)
+			return
+		case "/v1/sketch":
+			sketch(w, nil)
+			return
+		case "/v1/blocks", "/blocks":
+			// Personalized: never cacheable.
+			w.Header().Set("Cache-Control", "no-store")
+			io.WriteString(w, `{"cart":"3 items"}`)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	return u
+}
+
+func (u *fakeUpstream) close() { u.srv.Close() }
+
+func (u *fakeUpstream) set(path, body string, version uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.bodies[path] = []byte(body)
+	u.versions[path] = version
+}
+
+func (u *fakeUpstream) servePage(w http.ResponseWriter, r *http.Request) {
+	if u.hold != nil {
+		<-u.hold
+	}
+	path := r.URL.Query().Get("path")
+	u.mu.Lock()
+	body, ok := u.bodies[path]
+	version := u.versions[path]
+	maxAge, noStore := u.maxAge, u.noStore
+	u.mu.Unlock()
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":{"code":"not_found","message":"no route"}}`)
+		return
+	}
+	etag := fmt.Sprintf("%q", "v"+strconv.FormatUint(version, 10))
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		u.conds.Add(1)
+		if inm == etag {
+			w.Header().Set("ETag", etag)
+			w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(maxAge))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	u.fetches.Add(1)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "text/html")
+	if noStore {
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(maxAge))
+	}
+	w.Write(body)
+}
+
+func (u *fakeUpstream) serveSketch(w http.ResponseWriter) {
+	u.mu.Lock()
+	f, gen := u.sketch, u.gen
+	u.mu.Unlock()
+	if f == nil {
+		f = bloom.NewFilterForCapacity(64, 0.01)
+	}
+	data, _ := f.MarshalBinary()
+	w.Header().Set("X-Sketch-Generation", strconv.FormatUint(gen, 10))
+	w.Write(data)
+}
+
+// snapshotWith builds a sketch snapshot flagging the given keys.
+func snapshotWith(gen uint64, keys ...string) *cachesketch.Snapshot {
+	f := bloom.NewFilterForCapacity(64, 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	return &cachesketch.Snapshot{Filter: f, Generation: gen, TakenAt: time.Unix(0, 0)}
+}
+
+func newTestProxy(t *testing.T, u *fakeUpstream, opts Options) *Proxy {
+	t.Helper()
+	opts.Upstream = u.srv.URL
+	if opts.Clock == nil {
+		opts.Clock = clock.System
+	}
+	p, _, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func get(t *testing.T, h http.Handler, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func TestMissThenHit(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "hello page", 1)
+	p := newTestProxy(t, u, Options{})
+
+	w := get(t, p, "/v1/page?path=/p", nil)
+	if w.Code != http.StatusOK || w.Body.String() != "hello page" {
+		t.Fatalf("miss: code=%d body=%q", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Edge-Cache"); got != "miss" {
+		t.Fatalf("X-Edge-Cache = %q, want miss", got)
+	}
+
+	w = get(t, p, "/v1/page?path=/p", nil)
+	if w.Body.String() != "hello page" || w.Header().Get("X-Edge-Cache") != "hit" {
+		t.Fatalf("hit: body=%q state=%q", w.Body.String(), w.Header().Get("X-Edge-Cache"))
+	}
+	if n := u.fetches.Load(); n != 1 {
+		t.Fatalf("origin fetches = %d, want 1", n)
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStampedeCoalescesToOneFetch(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/hot", "stampede body", 1)
+	u.hold = make(chan struct{})
+	p := newTestProxy(t, u, Options{})
+
+	const n = 100
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	states := make([]string, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			w := get(t, p, "/v1/page?path=/hot", nil)
+			bodies[i] = w.Body.String()
+			states[i] = w.Header().Get("X-Edge-Cache")
+		}(i)
+	}
+	close(start)
+	// Let the wave pile onto the in-flight fill, then release the
+	// upstream.
+	time.Sleep(100 * time.Millisecond)
+	close(u.hold)
+	wg.Wait()
+
+	if n := u.fetches.Load(); n != 1 {
+		t.Fatalf("origin fetches = %d, want exactly 1", n)
+	}
+	for i := range bodies {
+		if bodies[i] != "stampede body" {
+			t.Fatalf("request %d body = %q", i, bodies[i])
+		}
+	}
+	s := p.Stats()
+	if s.CoalescedWaiters == 0 {
+		t.Fatalf("no coalesced waiters recorded: %+v", s)
+	}
+}
+
+func TestSketchDrivenRevalidation(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "v1 body", 1)
+	p := newTestProxy(t, u, Options{})
+
+	// Fill.
+	get(t, p, "/v1/page?path=/p", nil)
+	if n := u.fetches.Load(); n != 1 {
+		t.Fatalf("fetches = %d", n)
+	}
+
+	// Fresh generation NOT flagging the key: pure hit, no upstream trip.
+	p.InstallSketch(snapshotWith(5, "/other"))
+	w := get(t, p, "/v1/page?path=/p", nil)
+	if w.Header().Get("X-Edge-Cache") != "hit" {
+		t.Fatalf("unflagged key state = %q, want hit", w.Header().Get("X-Edge-Cache"))
+	}
+	if n := u.conds.Load(); n != 0 {
+		t.Fatalf("conditional requests = %d, want 0", n)
+	}
+
+	// Newer generation flagging the key, body unchanged upstream: one
+	// conditional request, 304 renews, then hits again.
+	p.InstallSketch(snapshotWith(6, "/p"))
+	w = get(t, p, "/v1/page?path=/p", nil)
+	if w.Header().Get("X-Edge-Cache") != "revalidated" || w.Body.String() != "v1 body" {
+		t.Fatalf("stale-flagged: state=%q body=%q", w.Header().Get("X-Edge-Cache"), w.Body.String())
+	}
+	if n := u.conds.Load(); n != 1 {
+		t.Fatalf("conditional requests = %d, want 1", n)
+	}
+	w = get(t, p, "/v1/page?path=/p", nil)
+	if w.Header().Get("X-Edge-Cache") != "hit" {
+		t.Fatalf("renewed entry state = %q, want hit", w.Header().Get("X-Edge-Cache"))
+	}
+
+	// Body actually changed: the conditional turns into a 200 refresh.
+	u.set("/p", "v2 body", 2)
+	p.InstallSketch(snapshotWith(7, "/p"))
+	w = get(t, p, "/v1/page?path=/p", nil)
+	if w.Body.String() != "v2 body" || w.Header().Get("X-Edge-Cache") != "miss" {
+		t.Fatalf("changed body: state=%q body=%q", w.Header().Get("X-Edge-Cache"), w.Body.String())
+	}
+}
+
+func TestClientIfNoneMatch(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "body", 3)
+	p := newTestProxy(t, u, Options{})
+	get(t, p, "/v1/page?path=/p", nil)
+
+	w := get(t, p, "/v1/page?path=/p", map[string]string{"If-None-Match": `"v3"`})
+	if w.Code != http.StatusNotModified || w.Body.Len() != 0 {
+		t.Fatalf("matching INM: code=%d len=%d", w.Code, w.Body.Len())
+	}
+	w = get(t, p, "/v1/page?path=/p", map[string]string{"If-None-Match": `"v2"`})
+	if w.Code != http.StatusOK || w.Body.String() != "body" {
+		t.Fatalf("stale INM: code=%d body=%q", w.Code, w.Body.String())
+	}
+}
+
+func TestRangeRequests(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "0123456789", 1) // 10 bytes
+	p := newTestProxy(t, u, Options{})
+	get(t, p, "/v1/page?path=/p", nil)
+
+	cases := []struct {
+		spec string
+		code int
+		body string
+		cr   string
+	}{
+		{"bytes=0-3", http.StatusPartialContent, "0123", "bytes 0-3/10"},
+		{"bytes=4-", http.StatusPartialContent, "456789", "bytes 4-9/10"},
+		{"bytes=-2", http.StatusPartialContent, "89", "bytes 8-9/10"},
+		{"bytes=2-100", http.StatusPartialContent, "23456789", "bytes 2-9/10"},
+		{"bytes=10-", http.StatusRequestedRangeNotSatisfiable, "", "bytes */10"},
+		{"bytes=-0", http.StatusRequestedRangeNotSatisfiable, "", "bytes */10"},
+		// Multi-range and malformed specs are ignored: full body.
+		{"bytes=0-1,5-6", http.StatusOK, "0123456789", ""},
+		{"lines=0-3", http.StatusOK, "0123456789", ""},
+	}
+	for _, c := range cases {
+		w := get(t, p, "/v1/page?path=/p", map[string]string{"Range": c.spec})
+		if w.Code != c.code || w.Body.String() != c.body {
+			t.Fatalf("%s: code=%d body=%q", c.spec, w.Code, w.Body.String())
+		}
+		if got := w.Header().Get("Content-Range"); got != c.cr {
+			t.Fatalf("%s: Content-Range=%q want %q", c.spec, got, c.cr)
+		}
+	}
+}
+
+func TestPurgeEvicts(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "body", 1)
+	p := newTestProxy(t, u, Options{})
+	get(t, p, "/v1/page?path=/p", nil)
+
+	r := httptest.NewRequest(http.MethodPost, "/v1/purge?path=/p", nil)
+	w := httptest.NewRecorder()
+	p.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("purge code = %d", w.Code)
+	}
+
+	get(t, p, "/v1/page?path=/p", nil)
+	if n := u.fetches.Load(); n != 2 {
+		t.Fatalf("fetches after purge = %d, want 2", n)
+	}
+}
+
+func TestNoStoreNotCached(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "private-ish", 1)
+	u.noStore = true
+	p := newTestProxy(t, u, Options{})
+
+	get(t, p, "/v1/page?path=/p", nil)
+	get(t, p, "/v1/page?path=/p", nil)
+	if n := u.fetches.Load(); n != 2 {
+		t.Fatalf("no-store fetches = %d, want 2 (never cached)", n)
+	}
+}
+
+func TestPassthroughUncached(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	p := newTestProxy(t, u, Options{})
+
+	w := get(t, p, "/v1/blocks?names=cart&user=u1", nil)
+	if w.Header().Get("X-Edge-Cache") != "bypass" || w.Body.String() != `{"cart":"3 items"}` {
+		t.Fatalf("blocks: state=%q body=%q", w.Header().Get("X-Edge-Cache"), w.Body.String())
+	}
+	w = get(t, p, "/v1/blocks?names=cart&user=u1", nil)
+	if w.Header().Get("X-Edge-Cache") != "bypass" {
+		t.Fatalf("blocks second call state = %q, want bypass", w.Header().Get("X-Edge-Cache"))
+	}
+}
+
+func TestLegacyUpstreamFallback(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.legacyOnly = true
+	u.set("/p", "legacy body", 1)
+	p := newTestProxy(t, u, Options{})
+
+	w := get(t, p, "/v1/page?path=/p", nil)
+	if w.Code != http.StatusOK || w.Body.String() != "legacy body" {
+		t.Fatalf("legacy upstream: code=%d body=%q", w.Code, w.Body.String())
+	}
+	// The latch means the next request goes straight to the legacy path.
+	w = get(t, p, "/page?path=/p", nil)
+	if w.Header().Get("X-Edge-Cache") != "hit" {
+		t.Fatalf("state = %q, want hit", w.Header().Get("X-Edge-Cache"))
+	}
+}
+
+func TestServeStaleOnUpstreamFailure(t *testing.T) {
+	u := newFakeUpstream()
+	u.set("/p", "survivor", 1)
+	clk := clock.NewSimulated(time.Unix(1000, 0))
+	p := newTestProxy(t, u, Options{Clock: clk, DefaultTTL: time.Second})
+	u.mu.Lock()
+	u.maxAge = 1
+	u.mu.Unlock()
+	get(t, p, "/v1/page?path=/p", nil)
+
+	// Expire the entry, then kill the upstream: the edge serves the
+	// stale copy instead of failing the request.
+	clk.Advance(5 * time.Second)
+	u.close()
+	w := get(t, p, "/v1/page?path=/p", nil)
+	if w.Code != http.StatusOK || w.Body.String() != "survivor" {
+		t.Fatalf("stale serve: code=%d body=%q", w.Code, w.Body.String())
+	}
+	if w.Header().Get("X-Edge-Cache") != "stale" {
+		t.Fatalf("state = %q, want stale", w.Header().Get("X-Edge-Cache"))
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	u := newFakeUpstream()
+	defer u.close()
+	u.set("/p", "body", 1)
+	p := newTestProxy(t, u, Options{})
+	h := p.Handler()
+	get(t, h, "/v1/page?path=/p", nil)
+	get(t, h, "/v1/page?path=/p", nil)
+
+	w := get(t, h, "/metrics", nil)
+	out := w.Body.String()
+	for _, want := range []string{
+		"speedkit_edge_hits_total 1\n",
+		"speedkit_edge_misses_total 1\n",
+	} {
+		if !contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

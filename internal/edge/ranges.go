@@ -1,0 +1,71 @@
+package edge
+
+import (
+	"strconv"
+	"strings"
+)
+
+// byteRange is one closed interval [start, end] of a cached body.
+type byteRange struct {
+	start, end int64
+}
+
+func (r byteRange) length() int64 { return r.end - r.start + 1 }
+
+// parseRange interprets a Range header against a body of the given
+// size. It handles the single-range forms of RFC 9110 §14:
+//
+//	bytes=0-99    explicit interval (end clamped to the body)
+//	bytes=100-    open interval to the end
+//	bytes=-50     suffix: the final 50 bytes
+//
+// Returns (range, ok, unsatisfiable). ok=false means the header should
+// be ignored and the full body served — the RFC's required behavior for
+// syntactically invalid or multi-range specs a server chooses not to
+// honor. unsatisfiable=true demands a 416 with Content-Range: bytes */size:
+// the spec parsed but selects no bytes (start at or past the end, or a
+// zero-length suffix).
+func parseRange(spec string, size int64) (byteRange, bool, bool) {
+	spec = strings.TrimSpace(spec)
+	rest, ok := strings.CutPrefix(spec, "bytes=")
+	if !ok || strings.Contains(rest, ",") {
+		return byteRange{}, false, false
+	}
+	first, last, ok := strings.Cut(rest, "-")
+	if !ok {
+		return byteRange{}, false, false
+	}
+	first, last = strings.TrimSpace(first), strings.TrimSpace(last)
+	if first == "" {
+		// Suffix form: the final N bytes.
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return byteRange{}, false, false
+		}
+		if n == 0 || size == 0 {
+			return byteRange{}, false, true
+		}
+		if n > size {
+			n = size
+		}
+		return byteRange{start: size - n, end: size - 1}, true, false
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return byteRange{}, false, false
+	}
+	if start >= size {
+		return byteRange{}, false, true
+	}
+	end := size - 1
+	if last != "" {
+		e, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || e < start {
+			return byteRange{}, false, false
+		}
+		if e < end {
+			end = e
+		}
+	}
+	return byteRange{start: start, end: end}, true, false
+}

@@ -1,0 +1,50 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Error codes of the versioned wire surface. The envelope replaces the
+// ad-hoc text/plain bodies of the unversioned API: clients branch on the
+// machine-readable code, humans read the message, and both travel in one
+// JSON document regardless of which handler produced the failure.
+const (
+	// CodeBadRequest: the request is malformed (missing or unparsable
+	// parameter). Retrying without change cannot succeed.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the referenced resource (page path, product) does not
+	// exist at the origin.
+	CodeNotFound = "not_found"
+	// CodeUnavailable: a transient service-side failure; the request is
+	// safe to retry (the client resilience layer maps 5xx to ErrUpstream).
+	CodeUnavailable = "unavailable"
+	// CodeInternal: an unexpected service-side error.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the typed JSON error envelope every /v1/ endpoint (and,
+// since the same handlers back them, every legacy alias) returns on
+// failure:
+//
+//	{"error":{"code":"not_found","message":"render /nope: no route"}}
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and the human-readable
+// message of one failure.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the envelope with the given HTTP status. It is the
+// only failure path handlers use; http.Error and its text/plain bodies
+// are retired from this package.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}

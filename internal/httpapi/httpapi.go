@@ -1,12 +1,22 @@
 // Package httpapi exposes a Speed Kit service over HTTP — the deployable
-// surface of the reproduction. Endpoints mirror what the production
-// system's client proxy talks to:
+// surface of the reproduction. The wire surface is versioned under /v1/;
+// endpoints mirror what the production system's client proxy talks to:
 //
-//	GET  /sketch                         the binary client sketch (cacheable for Δ)
-//	GET  /page?path=...                  anonymous page shell via the CDN path;
+//	GET  /v1/sketch                      the binary client sketch (cacheable for Δ)
+//	GET  /v1/page?path=...               anonymous page shell via the CDN path;
 //	                                     honors If-None-Match for conditional GETs
-//	GET  /blocks?names=a,b&user=...      first-party personalized fragments (JSON)
-//	POST /admin/write?product=&price=    a catalog write driving the pipeline
+//	GET  /v1/blocks?names=a,b&user=...   first-party personalized fragments (JSON)
+//	POST /v1/write?product=&price=       a catalog write driving the pipeline
+//	POST /v1/purge?path=...              purge one path from the CDN tier and
+//	                                     notify registered purge listeners (edges)
+//
+// The unversioned aliases (/sketch, /page, /blocks, /admin/write) are
+// kept for one release so deployed clients keep working; they serve the
+// same handlers. Failures on every endpoint return the typed JSON error
+// envelope {"error":{"code","message"}} (see ErrorBody).
+//
+// Operational endpoints stay unversioned:
+//
 //	GET  /stats                          service counters
 //	GET  /healthz                        liveness + deployment shape (JSON)
 //	GET  /metrics                        Prometheus-style text exposition
@@ -110,10 +120,18 @@ func New(svc *core.Service, users []*session.User) *API {
 	return a
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler: the /v1/ surface, the legacy
+// unversioned aliases (same handlers, kept for one release), and the
+// operational endpoints, which stay unversioned.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /v1/sketch", a.handleSketch)
+	mux.HandleFunc("GET /v1/page", a.handlePage)
+	mux.HandleFunc("GET /v1/blocks", a.handleBlocks)
+	mux.HandleFunc("POST /v1/write", a.handleWrite)
+	mux.HandleFunc("POST /v1/purge", a.handlePurge)
+	// Legacy aliases, one release of grace for deployed clients.
 	mux.HandleFunc("GET /sketch", a.handleSketch)
 	mux.HandleFunc("GET /page", a.handlePage)
 	mux.HandleFunc("GET /blocks", a.handleBlocks)
@@ -231,12 +249,12 @@ func (a *API) handleSLO(w http.ResponseWriter, _ *http.Request) {
 func (a *API) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	id, ok := tracectx.ParseTraceID(r.PathValue("id"))
 	if !ok {
-		http.Error(w, "bad trace id (32 lowercase hex chars)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad trace id (32 lowercase hex chars)")
 		return
 	}
 	out, err := obs.ExportTraces(a.svc.Tracer().ByTraceID(id))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -251,7 +269,7 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v <= 0 {
-			http.Error(w, "bad ?n=", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad ?n=")
 			return
 		}
 		n = v
@@ -296,13 +314,13 @@ func (a *API) handleSketch(w http.ResponseWriter, r *http.Request) {
 	sn, lat, err := a.svc.FetchSketch(ctx, a.region)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	}
 	a.finishRemote(tr, "cdn", lat)
 	data, err := sn.Marshal()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -332,7 +350,7 @@ func parseETag(tag string) (uint64, bool) {
 func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Query().Get("path")
 	if path == "" {
-		http.Error(w, "missing ?path=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
 		return
 	}
 	// The trace starts before the fetch so the core transport's spans
@@ -346,7 +364,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 			rr, err := a.svc.Revalidate(ctx, a.region, path, known)
 			if err != nil {
 				a.finishRemote(tr, "", 0)
-				http.Error(w, err.Error(), http.StatusNotFound)
+				writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 				return
 			}
 			tr.MarkRevalidated()
@@ -365,7 +383,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 	entry, simLat, src, err := a.svc.Fetch(ctx, a.region, path)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	}
 	a.finishRemote(tr, src.String(), simLat)
@@ -398,7 +416,7 @@ func (a *API) writePage(w http.ResponseWriter, entry cache.Entry, simLat time.Du
 func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	names := strings.Split(r.URL.Query().Get("names"), ",")
 	if len(names) == 1 && names[0] == "" {
-		http.Error(w, "missing ?names=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?names=")
 		return
 	}
 	u := a.users[r.URL.Query().Get("user")] // nil → anonymous fragments
@@ -408,7 +426,7 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	frs, lat, err := a.svc.FetchBlocks(ctx, a.region, names, u)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	}
 	a.finishRemote(tr, "origin", lat)
@@ -426,14 +444,14 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("product")
 	if id == "" {
-		http.Error(w, "missing ?product=", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?product=")
 		return
 	}
 	patch := map[string]any{}
 	if p := r.URL.Query().Get("price"); p != "" {
 		price, err := strconv.ParseFloat(p, 64)
 		if err != nil {
-			http.Error(w, "bad price", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad price")
 			return
 		}
 		patch["price"] = price
@@ -441,13 +459,13 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if st := r.URL.Query().Get("stock"); st != "" {
 		n, err := strconv.ParseInt(st, 10, 64)
 		if err != nil {
-			http.Error(w, "bad stock", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad stock")
 			return
 		}
 		patch["stock"] = n
 	}
 	if len(patch) == 0 {
-		http.Error(w, "nothing to write (price= or stock=)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "nothing to write (price= or stock=)")
 		return
 	}
 	path := "/product/" + id
@@ -467,7 +485,7 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	})
 	if patchErr != nil {
 		a.finishRemote(tr, "", 0)
-		http.Error(w, patchErr.Error(), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, CodeNotFound, patchErr.Error())
 		return
 	}
 	var total time.Duration
@@ -477,6 +495,22 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	a.finishRemote(tr, "origin", total)
 	fmt.Fprintf(w, "ok: %s now v%d, in sketch: %v\n",
 		path, a.svc.Origin().Version(path), a.svc.SketchServer().Contains(path))
+}
+
+// handlePurge evicts one path from the shared caching tier: the CDN
+// edges drop their copies (after the modeled propagation delay) and
+// every registered purge listener — a speedkit-edge process fronting
+// this server — is notified. Purging an unknown path is not an error:
+// purges are idempotent eviction requests, not resource lookups.
+func (a *API) handlePurge(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
+		return
+	}
+	a.svc.PurgePath(path)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"purged\":%q}\n", path)
 }
 
 // handleStats dumps service counters in a human-readable form.

@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"speedkit/internal/bloom"
@@ -32,7 +33,9 @@ import (
 	"speedkit/internal/tracectx"
 )
 
-// Transport talks to a Speed Kit HTTP API.
+// Transport talks to a Speed Kit HTTP API. It speaks the versioned
+// /v1/ wire surface and transparently falls back to the legacy
+// unversioned paths when pointed at a pre-/v1 server.
 type Transport struct {
 	base string
 	hc   *http.Client
@@ -40,6 +43,9 @@ type Transport struct {
 	// generation tracks sketch generations for Install ordering when the
 	// server omits the header.
 	generation uint64
+	// legacy latches once the server is known to predate /v1: every later
+	// request goes straight to the unversioned path without re-probing.
+	legacy atomic.Bool
 }
 
 // New creates a transport for the API at base (e.g. "http://host:8080").
@@ -86,11 +92,23 @@ func asOffline(err error) error {
 
 // statusErr renders a non-success response as an error: 5xx answers are
 // transient upstream failures (retryable under proxy.ErrUpstream), 4xx
-// are application errors and pass through untyped.
+// are application errors and pass through untyped. The /v1 JSON error
+// envelope ({"error":{"code","message"}}) is unwrapped into the message
+// when present; legacy text/plain bodies pass through as-is.
 func statusErr(op, path string, resp *http.Response) error {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	detail := strings.TrimSpace(string(raw))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		detail = env.Error.Code + ": " + env.Error.Message
+	}
 	err := fmt.Errorf("httpclient: %s %s: %d %s",
-		op, path, resp.StatusCode, strings.TrimSpace(string(msg)))
+		op, path, resp.StatusCode, detail)
 	if resp.StatusCode >= 500 {
 		return fmt.Errorf("%w: %w", proxy.ErrUpstream, err)
 	}
@@ -109,20 +127,62 @@ func injectTraceparent(ctx context.Context, req *http.Request) {
 	}
 }
 
-// get issues a ctx-bound GET.
-func (t *Transport) get(ctx context.Context, url string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// routeMissing reports whether a 404 means "this server has no such
+// route" rather than "the resource does not exist". Every /v1 handler
+// emits 404s through the JSON error envelope; the stdlib mux's
+// route-not-found answer is text/plain. So a non-JSON 404 on a /v1 path
+// can only come from a server that predates the versioned surface.
+func routeMissing(resp *http.Response) bool {
+	return resp.StatusCode == http.StatusNotFound &&
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json")
+}
+
+// get issues a ctx-bound GET for the API endpoint (e.g. "/page") plus
+// query, negotiating the wire version: the versioned /v1 path is tried
+// first, and a route-missing 404 latches the transport onto the legacy
+// unversioned paths for all subsequent requests. hdr, when non-nil, is
+// merged into the request (If-None-Match for revalidation).
+func (t *Transport) get(ctx context.Context, endpoint, query string, hdr http.Header) (*http.Response, error) {
+	build := func(url string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		injectTraceparent(ctx, req)
+		return req, nil
+	}
+	if !t.legacy.Load() {
+		req, err := build(t.base + "/v1" + endpoint + query)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := t.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !routeMissing(resp) {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.legacy.Store(true)
+	}
+	req, err := build(t.base + endpoint + query)
 	if err != nil {
 		return nil, err
 	}
-	injectTraceparent(ctx, req)
 	return t.hc.Do(req)
 }
 
 // FetchSketch implements proxy.Transport.
 func (t *Transport) FetchSketch(ctx context.Context, _ netsim.Region) (*cachesketch.Snapshot, time.Duration, error) {
 	start := t.clk.Now()
-	resp, err := t.get(ctx, t.base+"/sketch")
+	resp, err := t.get(ctx, "/sketch", "", nil)
 	if err != nil {
 		return nil, 0, asOffline(err)
 	}
@@ -209,7 +269,7 @@ func sourceFromHeader(h string) proxy.Source {
 // Fetch implements proxy.Transport.
 func (t *Transport) Fetch(ctx context.Context, _ netsim.Region, path string) (cache.Entry, time.Duration, proxy.Source, error) {
 	start := t.clk.Now()
-	resp, err := t.get(ctx, t.base+"/page?path="+url.QueryEscape(path))
+	resp, err := t.get(ctx, "/page", "?path="+url.QueryEscape(path), nil)
 	if err != nil {
 		return cache.Entry{}, 0, 0, asOffline(err)
 	}
@@ -229,13 +289,9 @@ func (t *Transport) Fetch(ctx context.Context, _ netsim.Region, path string) (ca
 // Revalidate implements proxy.Transport via If-None-Match.
 func (t *Transport) Revalidate(ctx context.Context, _ netsim.Region, path string, knownVersion uint64) (proxy.RevalidationResult, error) {
 	start := t.clk.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/page?path="+url.QueryEscape(path), nil)
-	if err != nil {
-		return proxy.RevalidationResult{}, err
-	}
-	req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(knownVersion, 10)))
-	injectTraceparent(ctx, req)
-	resp, err := t.hc.Do(req)
+	hdr := http.Header{}
+	hdr.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(knownVersion, 10)))
+	resp, err := t.get(ctx, "/page", "?path="+url.QueryEscape(path), hdr)
 	if err != nil {
 		return proxy.RevalidationResult{}, asOffline(err)
 	}
@@ -274,7 +330,7 @@ func (t *Transport) FetchBlocks(ctx context.Context, _ netsim.Region, names []st
 	if u != nil {
 		q.Set("user", u.ID)
 	}
-	resp, err := t.get(ctx, t.base+"/blocks?"+q.Encode())
+	resp, err := t.get(ctx, "/blocks", "?"+q.Encode(), nil)
 	if err != nil {
 		return nil, 0, asOffline(err)
 	}

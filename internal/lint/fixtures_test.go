@@ -106,6 +106,12 @@ func TestPIIFlowCoversSlogSink(t *testing.T) {
 	checkFixture(t, "slogflow", "fixture/slogflow", PIIFlow)
 }
 
+func TestPIIFlowCoversEdgeProxy(t *testing.T) {
+	// Edge purge keys are served and persisted on shared POPs:
+	// identity-derived keys are flagged, pseudonymized ones pass.
+	checkFixture(t, "edgeflow", "fixture/edgeflow", PIIFlow)
+}
+
 func TestHotPathAllocFixture(t *testing.T) {
 	checkFixture(t, "hotpathalloc", "fixture/hotpathalloc", HotPathAlloc)
 }

@@ -25,8 +25,11 @@ var sharedInfraSegments = []string{
 	// twice over (shared infra AND persisted bytes).
 	"internal/wal",
 	"internal/durable",
-	// The edge command (ROADMAP item 2) deploys on shared POPs; commands
-	// are covered by path here and by deployment role below.
+	// The edge cache proxy deploys on shared POPs: its library and its
+	// command both serve (and persist) cached bodies on infrastructure
+	// the user never consented to hand identity. Commands are covered by
+	// path here and by deployment role below.
+	"internal/edge",
 	"cmd/speedkit-edge",
 }
 

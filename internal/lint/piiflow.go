@@ -177,6 +177,18 @@ func piiSinks() []dataflow.SinkSpec {
 			Params:      []int{1},
 		},
 		{
+			// The edge proxy persists entries to its disk tier and
+			// serves them to arbitrary clients: anything committed or
+			// journaled there leaves the trust boundary twice over.
+			Description: "edge cache commit (served and persisted on shared POPs)",
+			Match: anyOf(
+				sinkMethod("internal/edge", "Proxy", "Purge"),
+				sinkMethod("internal/edge", "diskTier", "appendFill"),
+				sinkMethod("internal/edge", "diskTier", "appendPurge"),
+			),
+			Params: []int{1},
+		},
+		{
 			Description:  "print/log inside shared infrastructure",
 			Match:        printerFunc,
 			CallerScoped: printScope,

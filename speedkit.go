@@ -6,7 +6,7 @@
 //
 // # Quick start
 //
-//	svc, err := speedkit.New(speedkit.Config{Products: 1000})
+//	svc, err := speedkit.New(speedkit.WithProducts(1000))
 //	if err != nil { ... }
 //	defer svc.Close()
 //
@@ -63,8 +63,11 @@ import (
 // invalidation pipeline, and TTL estimation behind a single handle.
 type Service = core.Service
 
-// Config parameterizes New. The zero value is a working simulated
-// deployment: 1000 products, Δ = 60 s, adaptive TTLs, three CDN regions.
+// Config is the raw storefront configuration struct. The zero value is
+// a working simulated deployment: 1000 products, Δ = 60 s, adaptive
+// TTLs, three CDN regions. New takes functional options instead; reach
+// for Config (via WithConfig or NewFromConfig) only for settings
+// without a dedicated option.
 type Config = core.StorefrontConfig
 
 // ServiceConfig is the lower-level configuration embedded in Config, for
@@ -151,10 +154,13 @@ type Query = query.Query
 // Config.TTLSource nil for the adaptive estimator.
 type StaticTTL = ttl.Static
 
-// New builds the canonical storefront deployment: seeded catalog, home /
-// category / product pages, the built-in dynamic blocks, and a fully
-// wired Service. Close it when done.
-func New(cfg Config) (*Service, error) { return core.NewStorefront(cfg) }
+// NewFromConfig builds the canonical storefront deployment from a raw
+// config struct.
+//
+// Deprecated: use New with functional options (WithProducts, WithDelta,
+// WithDataDir, WithResilience, ...); WithConfig covers fields without a
+// dedicated option. NewFromConfig remains for one release of grace.
+func NewFromConfig(cfg Config) (*Service, error) { return core.NewStorefront(cfg) }
 
 // NewService assembles a Service over a custom document store and origin.
 // Register the origin's pages before calling this so its listing queries

@@ -9,7 +9,7 @@ import (
 )
 
 func TestPublicAPIQuickstartFlow(t *testing.T) {
-	svc, err := speedkit.New(speedkit.Config{Products: 50})
+	svc, err := speedkit.New(speedkit.WithProducts(50))
 	if err != nil {
 		t.Fatal(err)
 	}
