@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"speedkit/internal/cache"
@@ -62,12 +63,18 @@ type RecoveryInfo struct {
 }
 
 type diskTier struct {
-	dir  string
-	log  *wal.Log
-	clk  clock.Clock
-	m    *metrics
-	inj  *faults.Injector
-	mem  *cache.Store
+	dir string
+	log *wal.Log
+	clk clock.Clock
+	m   *metrics
+	inj *faults.Injector
+	mem *cache.Store
+
+	// mu serializes appends and snapshots: handlers journal fills and
+	// purges concurrently, and two overlapping snapshot() runs would
+	// interleave bytes in the same temp file before rename. wal.Log is
+	// internally locked, but dead/sinceSnap/snapLSN are ours to guard.
+	mu   sync.Mutex
 	dead bool
 
 	// every is the journal-records-per-snapshot cadence; sinceSnap
@@ -156,6 +163,8 @@ func (d *diskTier) appendPurge(key string) {
 }
 
 func (d *diskTier) append(payload []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.dead {
 		return
 	}
@@ -178,7 +187,8 @@ func (d *diskTier) close() error { return d.log.Close() }
 
 // snapshot folds the live entry set into edge-<lsn>.snap and prunes the
 // WAL below it. The LSN is captured before export so records appended
-// concurrently with the write stay above the prune line.
+// concurrently with the write stay above the prune line. Callers must
+// hold d.mu.
 func (d *diskTier) snapshot() error {
 	lsn := d.log.NextLSN() - 1
 	keys := d.mem.Keys()

@@ -1,10 +1,12 @@
 package edge
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -268,5 +270,50 @@ func TestProxyRestartServesIdenticalBodies(t *testing.T) {
 	}
 	if n := u.fetches.Load(); n != 1 {
 		t.Fatalf("fetches = %d, want 1 (recovered hit)", n)
+	}
+}
+
+// TestDiskTierConcurrentAppend hammers the tier from many goroutines
+// with a snapshot cadence low enough that snapshots race appends; run
+// under -race this is the regression test for the unguarded
+// sinceSnap/dead/snapLSN fields and overlapping snapshot() writers.
+func TestDiskTierConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewSimulated(time.Unix(1000, 0))
+	mem := cache.New(cache.Config{Clock: clk})
+	var m metrics
+	d, _, err := openDisk(dir, 4, clk, nil, mem, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("/g%d/i%d", g, i)
+				d.appendFill(cache.Entry{Key: k, Body: []byte("body")})
+				if i%5 == 0 {
+					d.appendPurge(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := d.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything journaled must survive recovery intact.
+	mem2 := cache.New(cache.Config{Clock: clk})
+	var m2 metrics
+	d2, _, err := openDisk(dir, 1000, clk, nil, mem2, &m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.close()
+	if mem2.Len() != mem.Len() {
+		t.Fatalf("recovered %d entries, want %d", mem2.Len(), mem.Len())
 	}
 }

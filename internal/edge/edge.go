@@ -58,6 +58,11 @@ const (
 	metaContentType = "content-type"
 )
 
+// fillTimeout bounds a coalesced origin fetch once it is detached from
+// the leader's request context; a hung upstream must still release the
+// followers eventually.
+const fillTimeout = 60 * time.Second
+
 // Options parameterizes a Proxy.
 type Options struct {
 	// Upstream is the speedkit-server base URL (e.g. "http://host:8080").
@@ -199,7 +204,7 @@ func (p *Proxy) handlePurge(w http.ResponseWriter, r *http.Request) {
 	}
 	p.Purge(path)
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"purged\":%q}\n", path)
+	_ = json.NewEncoder(w).Encode(map[string]string{"purged": path})
 }
 
 // Purge evicts key from memory and journals the eviction.
@@ -302,13 +307,35 @@ func (p *Proxy) revalidatePath(w http.ResponseWriter, r *http.Request, key strin
 			p.serveEntry(w, r, e, "stale")
 			return
 		}
+		p.m.misses.Add(1)
+		// Same storability gate as lead(): an upstream that turned
+		// no-store/private must not be re-cached through revalidation.
+		if !cacheable(resp.Header) {
+			// Drop the copy the upstream disowned and relay the fresh
+			// answer verbatim — no edge freshness headers on a no-store
+			// response.
+			p.Purge(key)
+			copyEntryHeaders(w.Header(), resp.Header)
+			w.Header().Set("X-Edge-Cache", "miss")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.Write(body)
+			p.m.bytesServed.Add(uint64(len(body)))
+			return
+		}
 		ne := p.entryFromResponse(key, resp, body)
 		p.commit(ne)
-		p.m.misses.Add(1)
 		p.serveEntry(w, r, ne, "miss")
 	default:
-		// The resource is gone (or errored): drop the entry and relay
-		// the upstream's answer verbatim.
+		if resp.StatusCode >= 500 {
+			// A transient upstream failure must not evict a servable
+			// copy — treat it like the transport-error path above.
+			p.m.upstreamErrors.Add(1)
+			p.m.servedStale.Add(1)
+			p.serveEntry(w, r, e, "stale")
+			return
+		}
+		// The resource is gone (4xx): drop the entry and relay the
+		// upstream's answer verbatim.
 		p.Purge(key)
 		relayResponse(w, resp)
 	}
@@ -341,7 +368,13 @@ func (p *Proxy) lead(w http.ResponseWriter, r *http.Request, key string, f *fill
 	}()
 	hdr := http.Header{}
 	copyTraceparent(r, hdr)
-	resp, err := p.upstreamGet(r.Context(), "/page", "?path="+url.QueryEscape(key), hdr)
+	// The fetch is shared state, not the leader's own: a leader whose
+	// client disconnects mid-stream must not cancel the fill out from
+	// under its followers, so the upstream request is detached from the
+	// leader's context (the client's own timeout still bounds it).
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), fillTimeout)
+	defer cancel()
+	resp, err := p.upstreamGet(ctx, "/page", "?path="+url.QueryEscape(key), hdr)
 	if err != nil {
 		f.finish(err)
 		p.m.upstreamErrors.Add(1)
@@ -349,9 +382,15 @@ func (p *Proxy) lead(w http.ResponseWriter, r *http.Request, key string, f *fill
 		return
 	}
 	defer resp.Body.Close()
-	f.publishHeader(resp.StatusCode, resp.Header.Clone())
+	respHdr := resp.Header.Clone()
+	// Relay the upstream length so a truncated fill is detectable by
+	// clients instead of ending in a clean-looking chunk terminator.
+	if resp.ContentLength >= 0 {
+		respHdr.Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	f.publishHeader(resp.StatusCode, respHdr)
 
-	copyEntryHeaders(w.Header(), resp.Header)
+	copyEntryHeaders(w.Header(), respHdr)
 	w.Header().Set("X-Edge-Cache", "miss")
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
@@ -664,7 +703,7 @@ func copyTraceparent(r *http.Request, dst http.Header) {
 // copyEntryHeaders copies the response headers worth relaying from an
 // origin fetch (hop-by-hop and connection headers stay behind).
 func copyEntryHeaders(dst, src http.Header) {
-	for _, k := range []string{"Content-Type", "ETag", "Cache-Control", "X-Blocks", "X-Served-By", "X-Sketch-Generation"} {
+	for _, k := range []string{"Content-Type", "Content-Length", "ETag", "Cache-Control", "X-Blocks", "X-Served-By", "X-Sketch-Generation"} {
 		if v := src.Get(k); v != "" {
 			dst.Set(k, v)
 		}

@@ -510,7 +510,7 @@ func (a *API) handlePurge(w http.ResponseWriter, r *http.Request) {
 	}
 	a.svc.PurgePath(path)
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"purged\":%q}\n", path)
+	_ = json.NewEncoder(w).Encode(map[string]string{"purged": path})
 }
 
 // handleStats dumps service counters in a human-readable form.
