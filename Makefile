@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash stitch edge experiments fmt vet clean
+.PHONY: all help build test lint lint-sarif lint-baseline race cover bench bench-hotpath bench-obs bench-all bench-regress bench-baselines chaos crash stitch edge cluster experiments fmt vet clean
 
 all: build test lint
 
@@ -31,6 +31,9 @@ help:
 	@echo "  edge           edge-cache smoke gate over real HTTP (stampede coalescing,"
 	@echo "                 purge propagation, mid-fill kill + warm restart, zero"
 	@echo "                 persisted PII)"
+	@echo "  cluster        multi-node smoke gate: 3 sharded nodes over loopback HTTP"
+	@echo "                 with seeded kills + partitions (exact sharded matching,"
+	@echo "                 cluster-wide Δ-atomicity, twin-run determinism, zero leaks)"
 	@echo "  experiments    regenerate every experiment at full scale"
 	@echo "  fmt / vet / clean"
 
@@ -153,6 +156,20 @@ EDGE_SEED ?= 1
 
 edge:
 	$(GO) run ./cmd/speedkit-sim -edge -seed $(EDGE_SEED) -products 100
+
+# Cluster gate: a 3-node coordinator-free deployment — per-node shard
+# sketches over per-node WALs, delta exchange over real loopback HTTP —
+# driven on one shared simulated clock with seeded node kills and
+# exchange partitions. Asserts sharded invalidation matching equals a
+# single unsharded engine, every cache serve stays within Δ of its first
+# acknowledged write through every kill and partition, twin seeded runs
+# export byte-identical merged sketches, no raw identity reaches any
+# node's persisted bytes, and no goroutine leaks. Non-zero exit on
+# violation.
+CLUSTER_SEED ?= 42
+
+cluster:
+	$(GO) run ./cmd/speedkit-sim -cluster -seed $(CLUSTER_SEED) -products 100
 
 # Regenerate every experiment at full scale (minutes).
 experiments:

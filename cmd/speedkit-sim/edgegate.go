@@ -1,0 +1,336 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speedkit"
+	"speedkit/internal/clock"
+	"speedkit/internal/core"
+	"speedkit/internal/edge"
+	"speedkit/internal/faults"
+	"speedkit/internal/httpapi"
+)
+
+// runEdge is the -edge gate: a real speedkit-server and a speedkit edge
+// proxy joined only by HTTP over loopback listeners, exercised through
+// the edge's public surface the way a POP deployment would be. The gate
+// asserts, in order:
+//
+//  1. Coalescing — a client stampede on one cold path reaches the
+//     origin exactly once, and every response body is byte-identical.
+//  2. Purge propagation — a backend write flows through the
+//     invalidation pipeline to an edge purge, and the next edge read is
+//     a miss serving the new version.
+//  3. Crash durability — with seed-pinned kills armed on the disk
+//     tier's WAL append path, a mid-fill tear is recovered warm by an
+//     in-process restart over the same directory: every entry
+//     acknowledged before the tear is served byte-identical, without
+//     touching the origin.
+//  4. GDPR — no PII field name and no simulated user identity appears
+//     in any byte the edge persisted, scanned over both cache
+//     directories exactly like the -crash gate scans the durability
+//     tier.
+//
+// Violations exit non-zero, so `make edge` is a CI gate, not a demo.
+func runEdge(seed int64, products int) {
+	violations := 0
+	fail := func(format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "EDGE VIOLATION: "+format+"\n", args...)
+	}
+
+	// Origin: a real storefront behind the HTTP API, wrapped in a
+	// middleware counting page fetches so coalescing is observable. The
+	// system clock (what cmd/speedkit-server runs on) matters here: the
+	// default frozen simulated clock would keep the CDN's 10 ms purge
+	// propagation deadline from ever coming due.
+	svc, err := core.NewStorefront(core.StorefrontConfig{
+		Config:   core.Config{Delta: 30 * time.Second, Clock: clock.System},
+		Products: products,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: storefront: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+	users := speedkit.NewUsers(seed, 10)
+	api := httpapi.New(svc, users).Handler()
+	counter := &pageCounter{next: api}
+	origin, originBase := serveLoopback(counter)
+	defer origin.Close()
+
+	// --- Phase A: coalescing + purge propagation (no faults) ---------
+
+	dirA, err := os.MkdirTemp("", "speedkit-edge-a-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: scratch dir: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dirA)
+	pa, _, err := edge.New(edge.Options{Upstream: originBase, CacheDir: dirA})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: proxy A: %v\n", err)
+		os.Exit(1)
+	}
+	edgeSrvA, edgeBaseA := serveLoopback(pa.Handler())
+
+	// Invalidations flow to edge purges the way cmd/speedkit-server's
+	// -notify-edge does, but synchronously so the gate is deterministic.
+	cancel := svc.OnPurge(func(path string) {
+		resp, err := http.Post(edgeBaseA+"/v1/purge?path="+url.QueryEscape(path), "", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+
+	// 1. Stampede: 100 clients race one cold path.
+	const stampede = 100
+	hot := "/product/p00042"
+	before := counter.pages.Load()
+	bodies := make([]string, stampede)
+	etags := make([]string, stampede)
+	var wg sync.WaitGroup
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, hdr, status, err := edgeGet(edgeBaseA, hot, "")
+			if err != nil || status != http.StatusOK {
+				bodies[i] = fmt.Sprintf("error: status=%d err=%v", status, err)
+				return
+			}
+			bodies[i] = body
+			etags[i] = hdr.Get("ETag")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < stampede; i++ {
+		if bodies[i] != bodies[0] {
+			fail("stampede response %d diverged: %.60q vs %.60q", i, bodies[i], bodies[0])
+			break
+		}
+	}
+	if fetched := counter.pages.Load() - before; fetched != 1 {
+		fail("stampede of %d reached the origin %d times, want exactly 1", stampede, fetched)
+	}
+	if s := pa.Stats(); s.CoalescedWaiters == 0 {
+		fail("stampede coalesced no waiters (stats %+v)", s)
+	} else {
+		fmt.Printf("edge: stampede of %d -> 1 origin fetch, %d waiters coalesced\n",
+			stampede, s.CoalescedWaiters)
+	}
+
+	// 2. Purge propagation: a backend write must invalidate the edge
+	// copy; the next read is a miss serving a new version. The simulated
+	// CDN inside the origin applies its own purges after a propagation
+	// delay (10 ms default), so outwait it — otherwise the refetch can
+	// legitimately pick up the pre-purge POP copy, the residual
+	// staleness the sketch bounds within Δ.
+	if err := svc.Docs().Patch("products", "p00042", map[string]any{"price": 49.99}); err != nil {
+		fail("backend write: %v", err)
+	}
+	clock.Sleep(clock.System, 50*time.Millisecond)
+	body2, hdr2, status2, err := edgeGet(edgeBaseA, hot, "")
+	if err != nil || status2 != http.StatusOK {
+		fail("post-purge read: status=%d err=%v", status2, err)
+	}
+	if state := hdr2.Get("X-Edge-Cache"); state != "miss" {
+		fail("post-purge read state %q, want miss (purge did not reach the edge)", state)
+	}
+	if hdr2.Get("ETag") == etags[0] {
+		fail("post-purge read served the old version %s", etags[0])
+	} else {
+		fmt.Printf("edge: write purged %s, edge refetched %s -> %s\n", hot, etags[0], hdr2.Get("ETag"))
+	}
+	_ = body2
+
+	// Personalized fragments must bypass the cache entirely: the PII
+	// scan below then proves nothing of this response was persisted.
+	resp, err := http.Get(edgeBaseA + "/v1/blocks?names=cart,recommendations&user=" + url.QueryEscape(users[0].ID))
+	if err != nil {
+		fail("blocks through edge: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for keep-alive only
+		resp.Body.Close()
+		if state := resp.Header.Get("X-Edge-Cache"); state != "bypass" {
+			fail("personalized blocks served with state %q, want bypass", state)
+		}
+	}
+	cancel()
+	edgeSrvA.Close()
+	if err := pa.Close(); err != nil {
+		fail("proxy A close: %v", err)
+	}
+
+	// --- Phase B: kill mid-fill, restart, serve byte-identical -------
+
+	dirB, err := os.MkdirTemp("", "speedkit-edge-b-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: scratch dir: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dirB)
+	inj := faults.New(clock.System, seed, faults.Rule{
+		Component: faults.WALAppend, Kind: faults.Crash, Probability: 0.15,
+	})
+	pb, _, err := edge.New(edge.Options{Upstream: originBase, CacheDir: dirB, Faults: inj})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: proxy B: %v\n", err)
+		os.Exit(1)
+	}
+	edgeSrvB, edgeBaseB := serveLoopback(pb.Handler())
+
+	// Fill distinct pages until the injected kill tears a WAL frame.
+	// Entries acknowledged before the tear are the durable set.
+	durable := map[string]string{}
+	crashedAt := ""
+	for i := 1; i <= 60 && crashedAt == ""; i++ {
+		path := fmt.Sprintf("/product/p%05d", i)
+		body, _, status, err := edgeGet(edgeBaseB, path, "")
+		if err != nil || status != http.StatusOK {
+			fail("fill %s: status=%d err=%v", path, status, err)
+			break
+		}
+		if pb.Crashed() {
+			crashedAt = path
+		} else {
+			durable[path] = body
+		}
+	}
+	if crashedAt == "" {
+		fail("injected kill did not fire in 60 fills (seed %d) — pick another seed", seed)
+	} else {
+		fmt.Printf("edge: kill tore the WAL mid-fill at %s; %d entries acknowledged before it\n",
+			crashedAt, len(durable))
+	}
+	edgeSrvB.Close()
+	if err := pb.Close(); err != nil {
+		fail("proxy B close: %v", err)
+	}
+
+	// In-process restart over the same directory: recovery must be warm
+	// (a torn tail truncates; it never cold-starts) and complete.
+	pb2, rec, err := edge.New(edge.Options{Upstream: originBase, CacheDir: dirB})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: proxy B restart: %v\n", err)
+		os.Exit(1)
+	}
+	edgeSrvB2, edgeBaseB2 := serveLoopback(pb2.Handler())
+	if rec.ColdStart {
+		fail("torn-tail restart cold-started: %+v", rec)
+	}
+	if rec.Entries != len(durable) {
+		fail("restart recovered %d entries, want %d acknowledged before the tear", rec.Entries, len(durable))
+	}
+	before = counter.pages.Load()
+	for path, want := range durable {
+		body, hdr, status, err := edgeGet(edgeBaseB2, path, "")
+		if err != nil || status != http.StatusOK {
+			fail("recovered read %s: status=%d err=%v", path, status, err)
+			continue
+		}
+		if body != want {
+			fail("recovered body for %s diverged from the pre-crash fill", path)
+		}
+		if state := hdr.Get("X-Edge-Cache"); state != "hit" {
+			fail("recovered read %s state %q, want hit", path, state)
+		}
+	}
+	if refetched := counter.pages.Load() - before; refetched != 0 {
+		fail("recovered reads reached the origin %d times, want 0", refetched)
+	} else if violations == 0 {
+		fmt.Printf("edge: restart recovered %d entries warm, served byte-identical, 0 origin fetches\n",
+			len(durable))
+	}
+	edgeSrvB2.Close()
+	if err := pb2.Close(); err != nil {
+		fail("proxy B2 close: %v", err)
+	}
+
+	// 4. GDPR: no user identity in any byte the edge persisted. The
+	// cache holds the anonymous shared shell verbatim, so the scan looks
+	// for identity values — IDs, names, emails of the simulated
+	// population — not field names (shell markup legitimately contains
+	// words like "cart" that collide with the field-name needles the
+	// -crash gate uses over structured durability records).
+	idents := []string{}
+	for _, u := range users {
+		for _, v := range []string{u.ID, u.Name, u.Email} {
+			if v != "" {
+				idents = append(idents, v)
+			}
+		}
+	}
+	for _, dir := range []string{dirA, dirB} {
+		hits, err := scanBytes(dir, idents)
+		if err != nil {
+			fail("PII scan over %s: %v", dir, err)
+		}
+		for _, h := range hits {
+			fail("%s in edge-persisted bytes under %s", h, dir)
+		}
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "\nedge: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("edge: all invariants hold — coalescing, purge propagation, crash recovery, zero persisted PII")
+}
+
+// pageCounter counts page fetches reaching the origin, so the gate can
+// assert how many requests the edge let through.
+type pageCounter struct {
+	next  http.Handler
+	pages atomic.Int64
+}
+
+func (c *pageCounter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/page" || r.URL.Path == "/page" {
+		c.pages.Add(1)
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+// serveLoopback serves h on an ephemeral loopback listener and returns
+// the server handle plus its base URL.
+func serveLoopback(h http.Handler) (*http.Server, string) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edge: listen: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln) //nolint:errcheck // closed by the caller; Serve's shutdown error is expected
+	return hs, "http://" + ln.Addr().String()
+}
+
+// edgeGet fetches one page through the edge surface and returns the
+// body, headers, and status.
+func edgeGet(base, path, inm string) (string, http.Header, int, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/page?path="+url.QueryEscape(path), nil)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", resp.Header, resp.StatusCode, err
+	}
+	return string(b), resp.Header, resp.StatusCode, nil
+}

@@ -44,6 +44,16 @@
 // warm by an in-process restart serving byte-identical bodies without
 // refetching; and no PII byte may appear in anything the edge
 // persisted. `make edge`.
+//
+// -cluster runs the multi-node smoke gate: a 3-node coordinator-free
+// deployment — per-node shard sketches over per-node WAL directories,
+// delta exchange pulled over real loopback HTTP — driven on one shared
+// simulated clock with seeded node kills and exchange partitions.
+// Sharded invalidation matching must equal a single unsharded engine;
+// every cache serve must stay within Δ of its first acknowledged write
+// through every kill and partition; twin seeded runs must export
+// byte-identical merged sketches; no raw identity may reach a node's
+// persisted bytes; no goroutine may leak. `make cluster`.
 package main
 
 import (
@@ -100,6 +110,7 @@ func main() {
 	crashRate := flag.Float64("crashrate", 0.004, "crash profile per-WAL-append kill probability")
 	stitch := flag.Bool("stitch", false, "stitch mode: device↔server over real HTTP, assert cross-process trace stitching + byte-determinism")
 	edgeGate := flag.Bool("edge", false, "edge mode: server+edge over real HTTP, assert coalescing, purge propagation, crash recovery, zero persisted PII")
+	clusterGate := flag.Bool("cluster", false, "cluster mode: 3-node sharded deployment over loopback HTTP, assert exact matching, Δ-atomicity through node kills and partitions, twin-run determinism")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -127,6 +138,10 @@ func main() {
 	}
 	if *edgeGate {
 		runEdge(*seed, *products)
+		return
+	}
+	if *clusterGate {
+		runCluster(*seed, *products)
 		return
 	}
 

@@ -217,13 +217,13 @@ func TestCompare(t *testing.T) {
 }
 
 func TestLoadSuitesFromRepo(t *testing.T) {
-	// The checked-in registry must parse and contain the six suites the
-	// harness promises.
+	// The checked-in registry must parse and contain the seven suites
+	// the harness promises.
 	suites, err := LoadSuites("../../benchsuites")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"edge", "end-to-end-pageload", "hotpath", "invalidation-matching", "obs", "wal-append"}
+	want := []string{"cluster-matching", "edge", "end-to-end-pageload", "hotpath", "invalidation-matching", "obs", "wal-append"}
 	if len(suites) != len(want) {
 		t.Fatalf("loaded %d suites, want %d", len(suites), len(want))
 	}

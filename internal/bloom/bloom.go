@@ -290,13 +290,32 @@ func (f *Filter) EstimatedCardinality() float64 {
 	return -float64(f.m) / float64(f.k) * math.Log(1-fill)
 }
 
-// Union ORs other into f. Both filters must have identical parameters.
+// ErrParamMismatch is the sentinel for every merge/union of filters whose
+// parameters (m, k) disagree. Unioning incompatible filters would scatter
+// probe positions and silently corrupt the merged sketch — bits set for one
+// key could satisfy Contains for arbitrary other keys, or worse, a flatten
+// of the corrupt union could miss keys and break Δ-atomicity. Callers
+// (notably the cluster merge layer) match it with errors.Is.
+var ErrParamMismatch = errors.New("bloom: filter parameter mismatch")
+
+// ErrNilFilter is returned when merging with a nil filter.
+var ErrNilFilter = errors.New("bloom: merge with nil filter")
+
+// mismatchError wraps ErrParamMismatch with both parameter sets so the
+// error message pinpoints which dimension disagrees.
+func mismatchError(m1, k1, m2, k2 uint32) error {
+	return fmt.Errorf("%w (m=%d,k=%d vs m=%d,k=%d)", ErrParamMismatch, m1, k1, m2, k2)
+}
+
+// Union ORs other into f. Both filters must have identical parameters;
+// a mismatch returns an error wrapping ErrParamMismatch and leaves f
+// untouched.
 func (f *Filter) Union(other *Filter) error {
 	if other == nil {
-		return errors.New("bloom: union with nil filter")
+		return ErrNilFilter
 	}
 	if f.m != other.m || f.k != other.k {
-		return fmt.Errorf("bloom: parameter mismatch (m=%d,k=%d vs m=%d,k=%d)", f.m, f.k, other.m, other.k)
+		return mismatchError(f.m, f.k, other.m, other.k)
 	}
 	for i := range f.bits {
 		f.bits[i] |= other.bits[i]
@@ -304,6 +323,11 @@ func (f *Filter) Union(other *Filter) error {
 	f.n += other.n
 	return nil
 }
+
+// Merge is Union under the name the cluster merge layer uses; it exists so
+// Filter and Counting expose the same merge verb with the same typed
+// error contract.
+func (f *Filter) Merge(other *Filter) error { return f.Union(other) }
 
 // Clone returns a deep copy of the filter.
 func (f *Filter) Clone() *Filter {

@@ -142,6 +142,33 @@ func (c *Counting) FillRatio() float64 {
 	return float64(set) / float64(c.m)
 }
 
+// Merge adds other's cells into c, saturating per cell. Both filters must
+// have identical parameters; a mismatch returns an error wrapping
+// ErrParamMismatch and leaves c untouched. Merging is how a recovered node
+// folds a peer's shard back into a local counting sketch: cell-wise
+// saturating addition preserves the no-false-negative invariant because a
+// merged cell is never smaller than either input.
+func (c *Counting) Merge(other *Counting) error {
+	if other == nil {
+		return ErrNilFilter
+	}
+	if c.m != other.m || c.k != other.k {
+		return mismatchError(c.m, c.k, other.m, other.k)
+	}
+	for i, cell := range other.cells {
+		sum := uint32(c.cells[i]) + uint32(cell)
+		if sum > maxCell {
+			c.cells[i] = maxCell
+			c.Saturations++
+			continue
+		}
+		c.cells[i] = uint16(sum)
+	}
+	c.n += other.n
+	c.Saturations += other.Saturations
+	return nil
+}
+
 // Flatten projects the counting filter onto a plain Bloom filter with the
 // same parameters: exactly the operation the Cache Sketch server performs
 // to produce the compact client sketch. The resulting filter contains every

@@ -1,0 +1,140 @@
+package bloom
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFilterMergeParamMismatch tables every way two filters' parameters can
+// disagree and asserts the typed sentinel comes back, with the receiver
+// untouched.
+func TestFilterMergeParamMismatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    *Filter
+		wantErr error
+	}{
+		{"nil other", NewFilter(128, 4), nil, ErrNilFilter},
+		{"m mismatch", NewFilter(128, 4), NewFilter(256, 4), ErrParamMismatch},
+		{"k mismatch", NewFilter(128, 4), NewFilter(128, 5), ErrParamMismatch},
+		{"m and k mismatch", NewFilter(128, 4), NewFilter(256, 5), ErrParamMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.a.Add("sentinel")
+			before, _ := tc.a.MarshalBinary()
+			err := tc.a.Merge(tc.b)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Merge err = %v, want errors.Is(err, %v)", err, tc.wantErr)
+			}
+			after, _ := tc.a.MarshalBinary()
+			if string(before) != string(after) {
+				t.Fatalf("failed Merge mutated the receiver")
+			}
+		})
+	}
+}
+
+func TestFilterMergeUnions(t *testing.T) {
+	a := NewFilter(512, 4)
+	b := NewFilter(512, 4)
+	a.Add("alpha")
+	b.Add("beta")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	for _, key := range []string{"alpha", "beta"} {
+		if !a.Contains(key) {
+			t.Fatalf("merged filter missing %q", key)
+		}
+	}
+}
+
+func TestCountingMergeParamMismatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    *Counting
+		wantErr error
+	}{
+		{"nil other", NewCounting(128, 4), nil, ErrNilFilter},
+		{"m mismatch", NewCounting(128, 4), NewCounting(256, 4), ErrParamMismatch},
+		{"k mismatch", NewCounting(128, 4), NewCounting(128, 5), ErrParamMismatch},
+		{"m and k mismatch", NewCounting(128, 4), NewCounting(256, 5), ErrParamMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.a.Add("sentinel")
+			nBefore := tc.a.Len()
+			err := tc.a.Merge(tc.b)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Merge err = %v, want errors.Is(err, %v)", err, tc.wantErr)
+			}
+			if tc.a.Len() != nBefore {
+				t.Fatalf("failed Merge mutated the receiver (n %d -> %d)", nBefore, tc.a.Len())
+			}
+		})
+	}
+}
+
+// TestCountingMergeRoundTrip merges two shard sketches and checks the union
+// behaves like the same adds applied to one filter: membership, removal
+// bookkeeping, and flatten equivalence.
+func TestCountingMergeRoundTrip(t *testing.T) {
+	a := NewCounting(512, 4)
+	b := NewCounting(512, 4)
+	one := NewCounting(512, 4)
+	for _, key := range []string{"p1", "p2", "shared"} {
+		a.Add(key)
+		one.Add(key)
+	}
+	for _, key := range []string{"p3", "shared"} {
+		b.Add(key)
+		one.Add(key)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Len() != one.Len() {
+		t.Fatalf("merged Len = %d, want %d", a.Len(), one.Len())
+	}
+	for _, key := range []string{"p1", "p2", "p3", "shared"} {
+		if !a.Contains(key) {
+			t.Fatalf("merged counting filter missing %q", key)
+		}
+	}
+	// "shared" was added twice across shards; one Remove must keep it present.
+	a.Remove("shared")
+	if !a.Contains("shared") {
+		t.Fatalf("double-added key vanished after a single Remove")
+	}
+	got, _ := a.Flatten().MarshalBinary()
+	want, _ := one.Flatten().MarshalBinary()
+	if string(got) != string(want) {
+		t.Fatalf("merged flatten differs from single-filter flatten")
+	}
+}
+
+// TestCountingMergeSaturates pins the per-cell ceiling: a merge can only
+// push cells up to maxCell, never wrap, and the overflow is surfaced via
+// Saturations.
+func TestCountingMergeSaturates(t *testing.T) {
+	a := NewCounting(64, 1)
+	b := NewCounting(64, 1)
+	for i := 0; i < maxCell; i++ {
+		a.AddProbes(Probes{h1: 0, h2: 1})
+		b.AddProbes(Probes{h1: 0, h2: 1})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Saturations == 0 {
+		t.Fatalf("expected saturation to be recorded")
+	}
+	if !a.Contains("") {
+		// The probed cell must still read as set after saturating.
+		p := Probes{h1: 0, h2: 1}
+		if a.cells[p.bit(0, 64)] != maxCell {
+			t.Fatalf("saturated cell not at ceiling")
+		}
+	}
+}

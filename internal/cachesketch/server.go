@@ -362,6 +362,17 @@ func (s *Server) Stats() ServerStats {
 	return st
 }
 
+// FilterParams returns the (m, k) Bloom parameters of the server's
+// counting filter — the parameters every flattened snapshot inherits. The
+// cluster merge layer validates incoming shard frames against them before
+// unioning, so a mis-sized node is rejected with bloom.ErrParamMismatch
+// instead of silently corrupting the merged sketch.
+func (s *Server) FilterParams() (m, k uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counting.Bits(), s.counting.Hashes()
+}
+
 // SketchBytes returns the wire size of a flattened snapshot.
 func (s *Server) SketchBytes() int {
 	s.mu.Lock()

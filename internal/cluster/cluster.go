@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"speedkit/internal/cachesketch"
+	"speedkit/internal/clock"
+	"speedkit/internal/faults"
+	"speedkit/internal/invalidb"
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+// DeltaSource publishes one member's shard frame. *Node implements it
+// in-process; *Peer implements it over the /v1 HTTP surface, which is how
+// a deployment's merge layer pulls frames from real remote nodes.
+type DeltaSource interface {
+	Name() string
+	Delta() (DeltaFrame, error)
+}
+
+// Config parameterizes a Cluster router.
+type Config struct {
+	// Seed fixes the consistent-hash ring; every router and node of a
+	// deployment must share it.
+	Seed int64
+	// VirtualNodes per member (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Clock supplies time (default system clock).
+	Clock clock.Clock
+	// Faults optionally perturbs the delta-exchange hop (component
+	// faults.DeltaExchange: Blackhole partitions a member away from the
+	// merge layer for the round, Error drops one pull).
+	Faults *faults.Injector
+	// Capacity / FalsePositiveRate must match the nodes' sketch sizing.
+	Capacity          uint64
+	FalsePositiveRate float64
+	// MaxFrameAge passes through to the Merger: a member whose frame is
+	// older degrades the merge to the saturated filter.
+	MaxFrameAge time.Duration
+}
+
+// ClusterStats aggregates router activity.
+type ClusterStats struct {
+	RoutedWrites, RoutedReads, Broadcasts uint64
+	// FailedRoutes counts operations refused because the owning node was
+	// down — unacknowledged work that imposes no coherence obligation.
+	FailedRoutes uint64
+	// DroppedExchanges counts delta pulls lost to injected faults.
+	DroppedExchanges uint64
+	Merger           MergerStats
+}
+
+// Cluster routes coherence traffic across the node set and owns the
+// merge layer. Resource reports go to the ring owner of their key;
+// registrations go to the ring owner of their registration ID; change
+// events broadcast to every node. Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	merger *Merger
+
+	mu      sync.Mutex
+	nodes   map[string]*Node       // guarded by mu
+	sources map[string]DeltaSource // guarded by mu; delta fetch per member
+	stats   ClusterStats           // guarded by mu
+}
+
+// New assembles a router over the given nodes. The ring is derived from
+// the seed and the node names, so every router built over the same
+// deployment shards identically.
+func New(cfg Config, nodes []*Node) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	names := make([]string, 0, len(nodes))
+	byName := make(map[string]*Node, len(nodes))
+	sources := make(map[string]DeltaSource, len(nodes))
+	for _, n := range nodes {
+		if _, dup := byName[n.Name()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name())
+		}
+		names = append(names, n.Name())
+		byName[n.Name()] = n
+		sources[n.Name()] = n
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		ring: NewRing(cfg.Seed, cfg.VirtualNodes, names),
+		merger: NewMerger(MergerConfig{
+			Members:           names,
+			Capacity:          cfg.Capacity,
+			FalsePositiveRate: cfg.FalsePositiveRate,
+			Clock:             cfg.Clock,
+			MaxFrameAge:       cfg.MaxFrameAge,
+		}),
+		nodes:   byName,
+		sources: sources,
+	}
+	return c, nil
+}
+
+// Ring returns the routing ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Node returns the named member, or nil.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// UseDeltaSource swaps the delta fetcher for one member — the deployment
+// wiring point where an in-process handle is replaced by a Peer speaking
+// real HTTP to the node's /v1/cluster/delta endpoint.
+func (c *Cluster) UseDeltaSource(src DeltaSource) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[src.Name()]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, src.Name())
+	}
+	c.sources[src.Name()] = src
+	return nil
+}
+
+// owner resolves the live node owning key.
+func (c *Cluster) owner(key string) (*Node, error) {
+	name := c.ring.Owner(key)
+	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	if n == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	return n, nil
+}
+
+// ReportWrite routes one write report to its shard owner. A down owner
+// returns ErrNodeDown: the write is unacknowledged, so no client may have
+// observed it and no staleness obligation arises — identical to a
+// single-node deployment refusing writes while crashed.
+func (c *Cluster) ReportWrite(key string) error {
+	return c.ReportWrites([]string{key})
+}
+
+// ReportWrites routes a batch of write reports, grouping keys by owner so
+// each node pays one batched critical section. Returns the first routing
+// error; keys owned by live nodes are still applied.
+func (c *Cluster) ReportWrites(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	byOwner := make(map[string][]string)
+	for _, key := range keys {
+		name := c.ring.Owner(key)
+		byOwner[name] = append(byOwner[name], key)
+	}
+	owners := make([]string, 0, len(byOwner))
+	for name := range byOwner {
+		owners = append(owners, name)
+	}
+	sort.Strings(owners)
+	var firstErr error
+	for _, name := range owners {
+		c.mu.Lock()
+		n := c.nodes[name]
+		c.mu.Unlock()
+		err := ErrNodeDown
+		if n != nil {
+			err = n.ReportWrites(byOwner[name])
+		}
+		c.mu.Lock()
+		if err != nil {
+			c.stats.FailedRoutes++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: write shard %s: %w", name, err)
+			}
+		} else {
+			c.stats.RoutedWrites += uint64(len(byOwner[name]))
+		}
+		c.mu.Unlock()
+	}
+	return firstErr
+}
+
+// ReportCachedRead routes a cache-fill report to its shard owner.
+func (c *Cluster) ReportCachedRead(key string, expiresAt time.Time) error {
+	n, err := c.owner(key)
+	if err == nil {
+		err = n.ReportCachedRead(key, expiresAt)
+	}
+	c.mu.Lock()
+	if err != nil {
+		c.stats.FailedRoutes++
+	} else {
+		c.stats.RoutedReads++
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Register routes a continuous-query registration to the ring owner of
+// its registration ID — the partitioning dimension that spreads the
+// matching work, while events broadcast on the other dimension.
+func (c *Cluster) Register(id string, q query.Query) error {
+	n, err := c.owner(id)
+	if err != nil {
+		return err
+	}
+	return n.Register(id, q)
+}
+
+// ProcessEvent broadcasts one change event to every live node and unions
+// the matches, sorted by registration ID like the single-node engine. The
+// error (ErrNodeDown from any member) tells the caller some registration
+// shard could not match — its owner's outage already degrades the merged
+// sketch to saturated, so the miss cannot cause staleness. Matched
+// registrations are then reported as writes to THEIR shard owners, which
+// is what pushes query-result staleness into the merged sketch.
+func (c *Cluster) ProcessEvent(ev storage.ChangeEvent) ([]invalidb.Invalidation, error) {
+	c.mu.Lock()
+	members := make([]*Node, 0, len(c.nodes))
+	for _, name := range c.ring.Members() {
+		members = append(members, c.nodes[name])
+	}
+	c.stats.Broadcasts++
+	c.mu.Unlock()
+
+	var all []invalidb.Invalidation
+	var firstErr error
+	for _, n := range members {
+		invs, err := n.ProcessEvent(ev)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: matcher %s: %w", n.Name(), err)
+			}
+			continue
+		}
+		all = append(all, invs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].RegistrationID < all[j].RegistrationID })
+	if len(all) > 0 {
+		ids := make([]string, len(all))
+		for i, inv := range all {
+			ids[i] = inv.RegistrationID
+		}
+		if err := c.ReportWrites(ids); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return all, firstErr
+}
+
+// SyncDeltas runs one delta-exchange round: every member's frame is
+// pulled from its DeltaSource and folded into the merge layer. Injected
+// faults on the faults.DeltaExchange component drop individual pulls —
+// the partition failure mode; the member's held frame then ages out and
+// the merge degrades to saturated, never to a filter missing that shard's
+// writes. Down members simply fail their pull with the same effect.
+// Returns the first pull/fold error after completing the round.
+func (c *Cluster) SyncDeltas() error {
+	c.mu.Lock()
+	srcs := make([]DeltaSource, 0, len(c.sources))
+	for _, name := range c.ring.Members() {
+		srcs = append(srcs, c.sources[name])
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, src := range srcs {
+		if d := c.cfg.Faults.Decide(faults.DeltaExchange); d.Faulted() {
+			c.mu.Lock()
+			c.stats.DroppedExchanges++
+			c.mu.Unlock()
+			if firstErr == nil && d.Err != nil {
+				firstErr = fmt.Errorf("cluster: exchange with %s: %w", src.Name(), d.Err)
+			}
+			continue
+		}
+		frame, err := src.Delta()
+		if err == nil {
+			err = c.merger.Fold(frame)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: exchange with %s: %w", src.Name(), err)
+		}
+	}
+	return firstErr
+}
+
+// Snapshot returns the merged client sketch (see Merger.Snapshot).
+func (c *Cluster) Snapshot() *cachesketch.Snapshot {
+	return c.merger.Snapshot()
+}
+
+// Export returns the deterministic merged-sketch export (see
+// Merger.Export).
+func (c *Cluster) Export() ([]byte, error) {
+	return c.merger.Export()
+}
+
+// Merger exposes the merge layer.
+func (c *Cluster) Merger() *Merger { return c.merger }
+
+// Close closes every node cleanly.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, name := range c.ring.Members() {
+		if err := c.nodes[name].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a copy of the router counters (merge stats included).
+func (c *Cluster) Stats() ClusterStats {
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	st.Merger = c.merger.Stats()
+	return st
+}

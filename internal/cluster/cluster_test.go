@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"speedkit/internal/clock"
+	"speedkit/internal/httpapi"
+	"speedkit/internal/invalidb"
+	"speedkit/internal/query"
+	"speedkit/internal/storage"
+)
+
+// testNodes builds n durable nodes over per-node temp dirs sharing clk.
+func testNodes(t *testing.T, clk clock.Clock, n int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		node, err := NewNode(NodeConfig{
+			Member:         fmt.Sprintf("node-%d", i),
+			Clock:          clk,
+			SketchCapacity: 512,
+			DurableDir:     t.TempDir(),
+			ColdWindow:     time.Minute,
+			BlindHorizon:   time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		nodes[i] = node
+	}
+	return nodes
+}
+
+func testCluster(t *testing.T, clk clock.Clock, nodes []*Node) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Seed:        42,
+		Clock:       clk,
+		Capacity:    512,
+		MaxFrameAge: time.Minute,
+	}, nodes)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return c
+}
+
+// TestClusterRoutedWriteReachesMergedSketch: a write routed to its shard
+// owner must appear in the merged client sketch after one exchange round.
+func TestClusterRoutedWriteReachesMergedSketch(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	nodes := testNodes(t, clk, 3)
+	c := testCluster(t, clk, nodes)
+	defer c.Close()
+
+	// A write only enters the sketch while a cached copy may be live.
+	if err := c.ReportCachedRead("product-1", clk.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if err := c.ReportWrite("product-1"); err != nil {
+		t.Fatalf("write report: %v", err)
+	}
+	if err := c.SyncDeltas(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	snap := c.Snapshot()
+	if !snap.MightBeStale("product-1") {
+		t.Fatal("routed write missing from merged sketch")
+	}
+	if snap.MightBeStale("product-unrelated-7") && c.Stats().Merger.SaturatedServes > 0 &&
+		c.Stats().Merger.MergedServes == 0 {
+		t.Fatal("merge still saturated after a full exchange round")
+	}
+	// Verify the write landed on exactly the ring owner.
+	owner := c.Ring().Owner("product-1")
+	for _, n := range nodes {
+		st := n.Stats()
+		if n.Name() == owner && st.Writes != 1 {
+			t.Errorf("owner %s recorded %d writes, want 1", n.Name(), st.Writes)
+		}
+		if n.Name() != owner && st.Writes != 0 {
+			t.Errorf("non-owner %s recorded %d writes", n.Name(), st.Writes)
+		}
+	}
+}
+
+// TestClusterKillDegradesAndRecoveryRestores drives the full node-kill
+// cycle: kill → routed ops to the dead shard fail and the merge degrades
+// to saturated; recover → the node comes back cold (saturated shard) and
+// the merge completes again, still conservative until the cold window
+// retires.
+func TestClusterKillDegradesAndRecoveryRestores(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	nodes := testNodes(t, clk, 3)
+	c := testCluster(t, clk, nodes)
+	defer c.Close()
+
+	_ = c.ReportCachedRead("key-a", clk.Now().Add(time.Hour))
+	_ = c.ReportWrite("key-a")
+	if err := c.SyncDeltas(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if c.Snapshot().MightBeStale("fresh-unwritten") {
+		t.Fatal("healthy cluster serving saturated sketch")
+	}
+
+	victimName := c.Ring().Owner("key-a")
+	victim := c.Node(victimName)
+	if err := victim.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := c.ReportWrite("key-a"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("write to dead shard: err = %v, want ErrNodeDown", err)
+	}
+	// The victim's frame ages out; the merge must degrade, never serve a
+	// merge missing the dead shard.
+	clk.Advance(2 * time.Minute)
+	_ = c.SyncDeltas()
+	if !c.Snapshot().MightBeStale("any-key-at-all") {
+		t.Fatal("merge not saturated while a member is dead past MaxFrameAge")
+	}
+
+	if err := victim.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	st := victim.Stats()
+	if st.Recoveries != 1 || st.Down {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	if err := c.SyncDeltas(); err != nil {
+		t.Fatalf("post-recovery sync: %v", err)
+	}
+	// Complete again, but the recovered shard publishes a cold (saturated)
+	// frame, so the union stays all-stale — conservative, exactly right.
+	if !c.Snapshot().MightBeStale("any-key-at-all") {
+		t.Fatal("cold recovered shard did not keep the merge conservative")
+	}
+	// Once the cold window retires the merge clears.
+	clk.Advance(2 * time.Minute)
+	if err := c.SyncDeltas(); err != nil {
+		t.Fatalf("warm sync: %v", err)
+	}
+	if c.Snapshot().MightBeStale("fresh-unwritten-2") {
+		t.Fatal("merge still saturated after cold window retired")
+	}
+	if err := c.ReportWrite("key-a"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestClusterGenerationNeverRegressesAcrossKill pins the watermark rule
+// under the crash matrix: a kill + recovery must never hand clients a
+// lower merged generation.
+func TestClusterGenerationNeverRegressesAcrossKill(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	nodes := testNodes(t, clk, 2)
+	c := testCluster(t, clk, nodes)
+	defer c.Close()
+
+	last := uint64(0)
+	step := func(stage string) {
+		t.Helper()
+		g := c.Snapshot().Generation
+		if g < last {
+			t.Fatalf("%s: merged generation regressed %d -> %d", stage, last, g)
+		}
+		last = g
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		_ = c.ReportCachedRead(key, clk.Now().Add(time.Hour))
+		_ = c.ReportWrite(key)
+		clk.Advance(time.Second)
+		_ = c.SyncDeltas()
+		step(fmt.Sprintf("write %d", i))
+	}
+	victim := c.Node("node-0")
+	_ = victim.Kill()
+	clk.Advance(2 * time.Minute)
+	_ = c.SyncDeltas()
+	step("dead member aged out")
+	if err := victim.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	_ = c.SyncDeltas()
+	step("recovered")
+	clk.Advance(2 * time.Minute)
+	_ = c.SyncDeltas()
+	step("cold window retired")
+}
+
+// TestClusterEventBroadcastMatchesOracle: the cluster's two-dimensional
+// partitioning (registrations by ID, events broadcast) must produce
+// exactly the matches of one unsharded engine over the same
+// registrations.
+func TestClusterEventBroadcastMatchesOracle(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	nodes := testNodes(t, clk, 4)
+	c := testCluster(t, clk, nodes)
+	defer c.Close()
+
+	oracle := invalidb.New(invalidb.Config{Clock: clk})
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("q:products?cat=%d", i%8)
+		q := query.New("products", query.Eq("category", fmt.Sprintf("cat-%d", i%8)))
+		if err := c.Register(id, q); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		oracle.Register(id, q)
+	}
+	// Registrations must actually be spread across members.
+	owners := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		owners[c.Ring().Owner(fmt.Sprintf("q:products?cat=%d", i%8))] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all registrations landed on %d member(s)", len(owners))
+	}
+
+	for i := 0; i < 16; i++ {
+		ev := storage.ChangeEvent{
+			Collection: "products",
+			ID:         fmt.Sprintf("p-%d", i),
+			Kind:       storage.ChangeUpdate,
+			Before:     map[string]any{"category": fmt.Sprintf("cat-%d", i%8)},
+			After:      map[string]any{"category": fmt.Sprintf("cat-%d", (i+1)%8)},
+			Time:       clk.Now(),
+		}
+		got, err := c.ProcessEvent(ev)
+		if err != nil {
+			t.Fatalf("process: %v", err)
+		}
+		want := oracle.Process(ev)
+		gotIDs := make([]string, len(got))
+		for j, inv := range got {
+			gotIDs[j] = inv.RegistrationID + "/" + inv.Kind.String()
+		}
+		wantIDs := make([]string, len(want))
+		for j, inv := range want {
+			wantIDs[j] = inv.RegistrationID + "/" + inv.Kind.String()
+		}
+		sort.Strings(gotIDs)
+		sort.Strings(wantIDs)
+		if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+			t.Fatalf("event %d: cluster matched %v, oracle %v", i, gotIDs, wantIDs)
+		}
+	}
+}
+
+// TestNodeHTTPSurface drives a node through its /v1/cluster endpoints
+// with a Peer over real loopback HTTP: report → delta → fold must carry a
+// key into the merged sketch, and the ring endpoint must describe the
+// deployment.
+func TestNodeHTTPSurface(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	node, err := NewNode(NodeConfig{Member: "n0", Clock: clk, SketchCapacity: 512})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	ring := NewRing(1, 0, []string{"n0"})
+	srv := httptest.NewServer(NodeHandler(node, ring))
+	defer srv.Close()
+
+	peer := NewPeer("n0", srv.URL, srv.Client())
+	if err := peer.ReportCachedRead("res-1", clk.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("peer read report: %v", err)
+	}
+	if err := peer.ReportWrites([]string{"res-1"}); err != nil {
+		t.Fatalf("peer write report: %v", err)
+	}
+	frame, err := peer.Delta()
+	if err != nil {
+		t.Fatalf("peer delta: %v", err)
+	}
+	if frame.Node != "n0" {
+		t.Fatalf("frame.Node = %q", frame.Node)
+	}
+	mg := NewMerger(MergerConfig{Members: []string{"n0"}, Capacity: 512, Clock: clk})
+	if err := mg.Fold(frame); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+	if !mg.Snapshot().MightBeStale("res-1") {
+		t.Fatal("write reported over HTTP missing from merged sketch")
+	}
+
+	info, err := peer.Ring()
+	if err != nil {
+		t.Fatalf("peer ring: %v", err)
+	}
+	if info.Seed != 1 || len(info.Members) != 1 || info.Members[0] != "n0" {
+		t.Fatalf("ring info = %+v", info)
+	}
+}
+
+// TestNodeHTTPErrorEnvelopeCompatible pins the cluster endpoints' error
+// envelope wire-compatible with the /v1 contract: httpapi's exported
+// ErrorBody must decode every cluster error, codes included.
+func TestNodeHTTPErrorEnvelopeCompatible(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	node, err := NewNode(NodeConfig{Member: "n0", Clock: clk})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	ring := NewRing(1, 0, []string{"n0"})
+	srv := httptest.NewServer(NodeHandler(node, ring))
+	defer srv.Close()
+
+	check := func(path, method string, wantStatus int, wantCode string) {
+		t.Helper()
+		req, _ := http.NewRequest(method, srv.URL+path, nil)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+		}
+		var eb httpapi.ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("%s %s: envelope not decodable with httpapi.ErrorBody: %v", method, path, err)
+		}
+		if eb.Error.Code != wantCode {
+			t.Fatalf("%s %s: code %q, want %q", method, path, eb.Error.Code, wantCode)
+		}
+		if eb.Error.Message == "" {
+			t.Fatalf("%s %s: empty message", method, path)
+		}
+	}
+	check("/v1/cluster/nope", http.MethodGet, http.StatusNotFound, httpapi.CodeNotFound)
+	check("/v1/cluster/delta", http.MethodPost, http.StatusMethodNotAllowed, httpapi.CodeBadRequest)
+
+	_ = node.Kill()
+	check("/v1/cluster/delta", http.MethodGet, http.StatusServiceUnavailable, httpapi.CodeUnavailable)
+
+	// The peer must map the 503 envelope back onto ErrNodeDown.
+	peer := NewPeer("n0", srv.URL, srv.Client())
+	if _, err := peer.Delta(); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("peer against killed node: err = %v, want ErrNodeDown", err)
+	}
+}
+
+// TestClusterDeltaOverHTTPSources swaps every in-process delta source for
+// a Peer and checks a full exchange round over real loopback HTTP.
+func TestClusterDeltaOverHTTPSources(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	nodes := testNodes(t, clk, 2)
+	c := testCluster(t, clk, nodes)
+	defer c.Close()
+
+	for _, n := range nodes {
+		srv := httptest.NewServer(NodeHandler(n, c.Ring()))
+		defer srv.Close()
+		if err := c.UseDeltaSource(NewPeer(n.Name(), srv.URL, srv.Client())); err != nil {
+			t.Fatalf("use source: %v", err)
+		}
+	}
+	_ = c.ReportCachedRead("k", clk.Now().Add(time.Hour))
+	_ = c.ReportWrite("k")
+	if err := c.SyncDeltas(); err != nil {
+		t.Fatalf("sync over HTTP: %v", err)
+	}
+	if !c.Snapshot().MightBeStale("k") {
+		t.Fatal("write missing from merge after HTTP exchange")
+	}
+	if c.Snapshot().MightBeStale("unwritten") {
+		t.Fatal("merge saturated after complete HTTP exchange")
+	}
+}
+
+// TestNodeDurableKillRecoversState: state journaled before a kill must
+// survive into the recovered node (generation floor included), with the
+// recovered sketch cold-started.
+func TestNodeDurableKillRecoversState(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	dir := t.TempDir()
+	node, err := NewNode(NodeConfig{
+		Member:         "n0",
+		Clock:          clk,
+		SketchCapacity: 512,
+		DurableDir:     dir,
+		ColdWindow:     time.Minute,
+		BlindHorizon:   time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	_ = node.ReportCachedRead("res-1", clk.Now().Add(time.Hour))
+	_ = node.ReportWrites([]string{"res-1"})
+	preGen, err := node.Generation()
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	// Publish a frame so the generation is journaled before the kill.
+	if _, err := node.Delta(); err != nil {
+		t.Fatalf("delta: %v", err)
+	}
+	if err := node.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := node.Delta(); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("delta on dead node: %v", err)
+	}
+	if err := node.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	frame, err := node.Delta()
+	if err != nil {
+		t.Fatalf("post-recovery delta: %v", err)
+	}
+	if !frame.Cold {
+		t.Fatal("unclean recovery did not cold-start the sketch")
+	}
+	if frame.Generation < preGen {
+		t.Fatalf("recovered generation %d below pre-kill %d", frame.Generation, preGen)
+	}
+}

@@ -1,0 +1,34 @@
+package cluster
+
+// delta.go defines the inter-node wire formats: the per-shard sketch
+// delta frame exchanged on /v1/cluster/delta and the ring description on
+// /v1/cluster/ring. Both are JSON on the /v1 surface and carry only
+// anonymous coherence metadata — a frame is a Bloom filter (bit material,
+// no resource IDs, no identity) plus a generation watermark.
+
+// DeltaFrame is one node's published shard sketch: the flattened Bloom
+// filter of its possibly-stale resource shard at a generation. Frames are
+// idempotent full states rather than incremental diffs — folding the same
+// frame twice is a no-op, and a missed exchange round needs no replay,
+// which is what keeps the protocol coordinator-free.
+type DeltaFrame struct {
+	// Node names the publishing member.
+	Node string `json:"node"`
+	// Generation is the shard sketch's content generation (monotone per
+	// node; survives recovery via the durable generation floor).
+	Generation uint64 `json:"generation"`
+	// Sketch is the bloom.Filter MarshalBinary payload (base64 in JSON).
+	Sketch []byte `json:"sketch"`
+	// Cold marks a frame published during the node's post-crash cold
+	// window: the sketch is saturated, so folding it makes the merged
+	// filter conservative for the whole cluster.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// RingInfo is the ring layout served at /v1/cluster/ring: everything a
+// peer needs to derive the identical ring locally.
+type RingInfo struct {
+	Seed         int64    `json:"seed"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	Members      []string `json:"members"`
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// http.go is the node-side /v1/cluster surface: the endpoints one node
+// serves to its peers and to the merge layer. The JSON error envelope is
+// wire-identical to internal/httpapi's ({"error":{"code","message"}});
+// the struct is mirrored rather than imported because this package sits
+// behind the shared-infra fence and must not pull the identity-bearing
+// server stack into every node. The compatibility test decodes one
+// surface's errors with the other's types.
+
+// Error codes mirrored from the /v1 contract (httpapi.Code*).
+const (
+	codeBadRequest  = "bad_request"
+	codeNotFound    = "not_found"
+	codeUnavailable = "unavailable"
+	codeInternal    = "internal"
+)
+
+// errorBody / errorDetail mirror httpapi.ErrorBody / httpapi.ErrorDetail.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the /v1 JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: code, Message: message}})
+}
+
+// writeJSON emits one JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// reportRequest is the body of POST /v1/cluster/report: the coherence
+// reports a router forwards to the shard owner. Keys are resource IDs —
+// anonymous coherence metadata only; the piiflow analyzer treats the
+// peer-side writer as a sink so identity can never reach a frame.
+type reportRequest struct {
+	// Writes lists written resource IDs.
+	Writes []string `json:"writes,omitempty"`
+	// Reads lists cache-fill reports.
+	Reads []readReport `json:"reads,omitempty"`
+}
+
+// readReport is one cache-fill: a resource ID and when the copy expires.
+type readReport struct {
+	Key       string    `json:"key"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// NodeHandler serves one node's /v1/cluster surface:
+//
+//	GET  /v1/cluster/delta  — the node's current DeltaFrame
+//	GET  /v1/cluster/ring   — the deployment's ring layout
+//	POST /v1/cluster/report — routed write / cached-read reports
+//
+// A down node answers everything 503 {"error":{"code":"unavailable"}} —
+// the signal a router maps back onto ErrNodeDown.
+func NodeHandler(n *Node, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/delta", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "GET only")
+			return
+		}
+		frame, err := n.Delta()
+		if err != nil {
+			writeNodeError(w, err)
+			return
+		}
+		writeJSON(w, frame)
+	})
+	mux.HandleFunc("/v1/cluster/ring", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "GET only")
+			return
+		}
+		writeJSON(w, ring.Info())
+	})
+	mux.HandleFunc("/v1/cluster/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, codeBadRequest, "POST only")
+			return
+		}
+		var req reportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "bad report body: "+err.Error())
+			return
+		}
+		if len(req.Writes) > 0 {
+			if err := n.ReportWrites(req.Writes); err != nil {
+				writeNodeError(w, err)
+				return
+			}
+		}
+		for _, rr := range req.Reads {
+			if rr.Key == "" {
+				writeError(w, http.StatusBadRequest, codeBadRequest, "read report without key")
+				return
+			}
+			if err := n.ReportCachedRead(rr.Key, rr.ExpiresAt); err != nil {
+				writeNodeError(w, err)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such cluster endpoint: "+r.URL.Path)
+	})
+	return mux
+}
+
+// writeNodeError maps node failures onto the envelope: a down node is
+// 503/unavailable (retryable), anything else 500/internal.
+func writeNodeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNodeDown) {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+}

@@ -896,6 +896,28 @@ func (s *Store) Close() error {
 	return err
 }
 
+// Kill simulates process death for this store's node: the log is closed
+// WITHOUT the clean-shutdown marker and the store goes dead, exactly the
+// disk state a real kill leaves behind. The next Recover over the same
+// directory therefore distrusts the tail and engages the conservative
+// cold start. The cluster gate uses this for node-level kill injection;
+// unlike an injected WAL crash it is driver-scheduled, so twin seeded
+// runs kill the same nodes at the same points.
+func (s *Store) Kill() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+	s.stats.Crashed = true
+	if s.log == nil {
+		return nil
+	}
+	log := s.log
+	s.log = nil
+	err := log.Close()
+	s.stats.WAL = log.Stats()
+	return err
+}
+
 // Sync forces the WAL's group commit (SIGTERM flush path). An injected
 // crash during the fsync flips the store dead, like any journaling crash.
 func (s *Store) Sync() error {

@@ -51,12 +51,20 @@ const (
 	// SnapshotWrite is the durable snapshot writer; Crash rules here kill
 	// the process with a half-written temp file (never renamed into place).
 	SnapshotWrite Component = "snapshot_write"
+	// NodeKill is the cluster-node process-death point: Crash rules here
+	// kill one whole node (its sketch shard, matcher shard, and WAL go
+	// down together) until the driver recovers it from its durable dir.
+	NodeKill Component = "node_kill"
+	// DeltaExchange is the inter-node sketch delta-exchange hop; Blackhole
+	// rules here partition a node away from the merge layer, Error rules
+	// drop one exchange round.
+	DeltaExchange Component = "delta_exchange"
 )
 
 // Components lists the canonical injection points in report order.
 func Components() []Component {
 	return []Component{OriginFetch, SketchFetch, Invalidation, CDNPurge,
-		WALAppend, WALFsync, SnapshotWrite}
+		WALAppend, WALFsync, SnapshotWrite, NodeKill, DeltaExchange}
 }
 
 // Kind classifies a fault.

@@ -39,10 +39,14 @@ type ErrorDetail struct {
 	Message string `json:"message"`
 }
 
-// writeError emits the envelope with the given HTTP status. It is the
+// WriteError emits the envelope with the given HTTP status. It is the
 // only failure path handlers use; http.Error and its text/plain bodies
-// are retired from this package.
-func writeError(w http.ResponseWriter, status int, code, message string) {
+// are retired from this package. Exported because the envelope is the
+// /v1 surface's error contract, not this package's private shape: the
+// cluster node endpoints (internal/cluster, which stays behind the
+// shared-infra import fence and therefore mirrors rather than imports
+// this) are pinned wire-compatible against it by test.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)

@@ -249,12 +249,12 @@ func (a *API) handleSLO(w http.ResponseWriter, _ *http.Request) {
 func (a *API) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	id, ok := tracectx.ParseTraceID(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad trace id (32 lowercase hex chars)")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad trace id (32 lowercase hex chars)")
 		return
 	}
 	out, err := obs.ExportTraces(a.svc.Tracer().ByTraceID(id))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		WriteError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -269,7 +269,7 @@ func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v <= 0 {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad ?n=")
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad ?n=")
 			return
 		}
 		n = v
@@ -314,13 +314,13 @@ func (a *API) handleSketch(w http.ResponseWriter, r *http.Request) {
 	sn, lat, err := a.svc.FetchSketch(ctx, a.region)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	}
 	a.finishRemote(tr, "cdn", lat)
 	data, err := sn.Marshal()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		WriteError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -350,7 +350,7 @@ func parseETag(tag string) (uint64, bool) {
 func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Query().Get("path")
 	if path == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
 		return
 	}
 	// The trace starts before the fetch so the core transport's spans
@@ -364,7 +364,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 			rr, err := a.svc.Revalidate(ctx, a.region, path, known)
 			if err != nil {
 				a.finishRemote(tr, "", 0)
-				writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+				WriteError(w, http.StatusNotFound, CodeNotFound, err.Error())
 				return
 			}
 			tr.MarkRevalidated()
@@ -383,7 +383,7 @@ func (a *API) handlePage(w http.ResponseWriter, r *http.Request) {
 	entry, simLat, src, err := a.svc.Fetch(ctx, a.region, path)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+		WriteError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
 	}
 	a.finishRemote(tr, src.String(), simLat)
@@ -416,7 +416,7 @@ func (a *API) writePage(w http.ResponseWriter, entry cache.Entry, simLat time.Du
 func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	names := strings.Split(r.URL.Query().Get("names"), ",")
 	if len(names) == 1 && names[0] == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?names=")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "missing ?names=")
 		return
 	}
 	u := a.users[r.URL.Query().Get("user")] // nil → anonymous fragments
@@ -426,7 +426,7 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	frs, lat, err := a.svc.FetchBlocks(ctx, a.region, names, u)
 	if err != nil {
 		a.finishRemote(tr, "", 0)
-		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	}
 	a.finishRemote(tr, "origin", lat)
@@ -444,14 +444,14 @@ func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("product")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?product=")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "missing ?product=")
 		return
 	}
 	patch := map[string]any{}
 	if p := r.URL.Query().Get("price"); p != "" {
 		price, err := strconv.ParseFloat(p, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad price")
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad price")
 			return
 		}
 		patch["price"] = price
@@ -459,13 +459,13 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if st := r.URL.Query().Get("stock"); st != "" {
 		n, err := strconv.ParseInt(st, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad stock")
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad stock")
 			return
 		}
 		patch["stock"] = n
 	}
 	if len(patch) == 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "nothing to write (price= or stock=)")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "nothing to write (price= or stock=)")
 		return
 	}
 	path := "/product/" + id
@@ -485,7 +485,7 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 	})
 	if patchErr != nil {
 		a.finishRemote(tr, "", 0)
-		writeError(w, http.StatusNotFound, CodeNotFound, patchErr.Error())
+		WriteError(w, http.StatusNotFound, CodeNotFound, patchErr.Error())
 		return
 	}
 	var total time.Duration
@@ -505,7 +505,7 @@ func (a *API) handleWrite(w http.ResponseWriter, r *http.Request) {
 func (a *API) handlePurge(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Query().Get("path")
 	if path == "" {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "missing ?path=")
 		return
 	}
 	a.svc.PurgePath(path)

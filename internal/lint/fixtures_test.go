@@ -112,6 +112,13 @@ func TestPIIFlowCoversEdgeProxy(t *testing.T) {
 	checkFixture(t, "edgeflow", "fixture/edgeflow", PIIFlow)
 }
 
+func TestPIIFlowCoversClusterDeltaExchange(t *testing.T) {
+	// Cluster report writers become wire frames replicated to every
+	// node and journaled into per-node WALs: session-derived keys are
+	// flagged, pseudonymized and anonymous resource IDs pass.
+	checkFixture(t, "clusterflow", "fixture/clusterflow", PIIFlow)
+}
+
 func TestHotPathAllocFixture(t *testing.T) {
 	checkFixture(t, "hotpathalloc", "fixture/hotpathalloc", HotPathAlloc)
 }

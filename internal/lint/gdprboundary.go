@@ -31,6 +31,11 @@ var sharedInfraSegments = []string{
 	// path here and by deployment role below.
 	"internal/edge",
 	"cmd/speedkit-edge",
+	// Cluster nodes exchange sketch frames and routed coherence reports
+	// over the network and persist per-node WALs: every byte that enters
+	// the delta-exchange plane fans out to N machines and to disk.
+	"internal/cluster",
+	"cmd/speedkit-cluster",
 }
 
 // identityBearingSegments are the packages whose types carry identity:

@@ -189,6 +189,23 @@ func piiSinks() []dataflow.SinkSpec {
 			Params: []int{1},
 		},
 		{
+			// The inter-node delta-exchange writers: routed coherence
+			// reports become wire frames replicated to every cluster node
+			// and journaled into each node's WAL. A session ID reaching a
+			// frame would be a cluster-wide identity broadcast.
+			Description: "cluster delta-exchange frame (replicated to all nodes)",
+			Match: anyOf(
+				sinkMethod("internal/cluster", "Peer", "ReportWrites"),
+				sinkMethod("internal/cluster", "Peer", "ReportCachedRead"),
+				sinkMethod("internal/cluster", "Cluster", "ReportWrite"),
+				sinkMethod("internal/cluster", "Cluster", "ReportWrites"),
+				sinkMethod("internal/cluster", "Cluster", "ReportCachedRead"),
+				sinkMethod("internal/cluster", "Node", "ReportWrites"),
+				sinkMethod("internal/cluster", "Node", "ReportCachedRead"),
+			),
+			Params: []int{1},
+		},
+		{
 			Description:  "print/log inside shared infrastructure",
 			Match:        printerFunc,
 			CallerScoped: printScope,

@@ -1,0 +1,44 @@
+// Package clusterflow is the fixture for the cluster delta-exchange sink
+// group: resource IDs reported into the cluster become wire frames
+// replicated to every node and journaled into each node's WAL, so a
+// session-ID-derived key reaching a report writer is a cluster-wide
+// identity broadcast — flagged; pseudonymized and anonymous keys pass.
+package clusterflow
+
+import (
+	"time"
+
+	"speedkit/internal/cluster"
+	"speedkit/internal/gdpr"
+	"speedkit/internal/session"
+)
+
+// cartKey is a pure transformer: taint rides through.
+func cartKey(v string) string { return "/cart/" + v }
+
+// forward is the hop that reaches the peer sink; reported at callers.
+func forward(p *cluster.Peer, key string) { _ = p.ReportWrites([]string{key}) }
+
+func LeakSessionIDIntoFrame(p *cluster.Peer, u *session.User) {
+	forward(p, cartKey(u.ID)) // want "reaches cluster delta-exchange frame"
+}
+
+func LeakUserIDDirect(c *cluster.Cluster, u *session.User) {
+	_ = c.ReportWrite(cartKey(u.ID)) // want "reaches cluster delta-exchange frame"
+}
+
+func LeakEmailIntoReadReport(p *cluster.Peer, u *session.User, exp time.Time) {
+	_ = p.ReportCachedRead(cartKey(u.Email), exp) // want "reaches cluster delta-exchange frame"
+}
+
+// --- pseudonymized keys are clean ---
+
+func CleanPseudonymizedKey(c *cluster.Cluster, u *session.User) {
+	_ = c.ReportWrite(cartKey(gdpr.Pseudonymize(u.ID)))
+}
+
+// --- anonymous resource IDs never carry taint ---
+
+func CleanAnonymousKey(p *cluster.Peer) {
+	forward(p, cartKey("p00042"))
+}
